@@ -1,0 +1,161 @@
+package repro_test
+
+// Extension benchmarks: the §VII execution-model comparison (SMPSs vs
+// CellSs vs SuperMatrix on one Cholesky graph), the tiled QR of paper
+// reference [10], and the SparseLU / heat demo workloads.  See
+// EXPERIMENTS.md ("Extension experiments") for the recorded sweeps.
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cellss"
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+	"repro/internal/omptask"
+	"repro/internal/supermatrix"
+)
+
+// BenchmarkExtModels* run the identical blocked Cholesky through the
+// three execution models of §VII.
+func BenchmarkExtModelsSMPSs(b *testing.B) {
+	spd := kernels.GenSPD(bDim, 31)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := hypermatrix.FromFlat(spd, bDim/bBlock, bBlock)
+		rt := core.New(core.Config{})
+		al := linalg.New(rt, kernels.Fast, bBlock)
+		b.StartTimer()
+		al.CholeskyDense(h)
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGflops(b, kernels.CholeskyFlops(bDim))
+}
+
+func BenchmarkExtModelsCellSs(b *testing.B) {
+	spd := kernels.GenSPD(bDim, 31)
+	ts := cellss.NewTasks(kernels.Fast, bBlock)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := hypermatrix.FromFlat(spd, bDim/bBlock, bBlock)
+		rt := cellss.New(cellss.Config{})
+		b.StartTimer()
+		cellss.Cholesky(rt, ts, h)
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGflops(b, kernels.CholeskyFlops(bDim))
+}
+
+func BenchmarkExtModelsSuperMatrix(b *testing.B) {
+	spd := kernels.GenSPD(bDim, 31)
+	ts := supermatrix.NewTasks(kernels.Fast, bBlock)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := hypermatrix.FromFlat(spd, bDim/bBlock, bBlock)
+		rt := supermatrix.New(supermatrix.Config{})
+		b.StartTimer()
+		supermatrix.Cholesky(rt, ts, h)
+		if err := rt.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGflops(b, kernels.CholeskyFlops(bDim))
+}
+
+// BenchmarkExtQR measures the tiled QR factorization (reference [10]).
+func BenchmarkExtQR(b *testing.B) {
+	dim := bDim / 2
+	a0 := kernels.GenMatrix(dim, 33)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := hypermatrix.FromFlat(a0, dim/bBlock, bBlock)
+		rt := core.New(core.Config{})
+		al := linalg.New(rt, kernels.Fast, bBlock)
+		b.StartTimer()
+		al.QR(h)
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGflops(b, kernels.QRFlops(dim))
+}
+
+// BenchmarkExtSparseLU* compare the dependency-aware SparseLU against
+// the taskwait-fenced pool version.
+func BenchmarkExtSparseLUSMPSs(b *testing.B) {
+	input := apps.GenSparseLU(16, 48, 0.35, 5)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := input.Clone()
+		rt := core.New(core.Config{})
+		b.StartTimer()
+		if err := apps.SparseLUSMPSs(rt, h); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtSparseLUOMP(b *testing.B) {
+	input := apps.GenSparseLU(16, 48, 0.35, 5)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := input.Clone()
+		pool := omptask.New(0)
+		b.StartTimer()
+		apps.SparseLUOMP3(pool, h)
+		pool.Close()
+	}
+}
+
+func BenchmarkExtSparseLUSeq(b *testing.B) {
+	input := apps.GenSparseLU(16, 48, 0.35, 5)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := input.Clone()
+		b.StartTimer()
+		if !apps.SparseLUSeq(h) {
+			b.Fatal("zero pivot")
+		}
+	}
+}
+
+// BenchmarkExtHeat* compare the derived Gauss-Seidel wavefront against
+// the sequential sweep.
+func BenchmarkExtHeatSMPSs(b *testing.B) {
+	const n, m, sweeps = 12, 48, 8
+	bc := apps.HeatBC{Top: 1}
+	grid := hypermatrix.New(n, m)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := grid.Clone()
+		rt := core.New(core.Config{})
+		b.StartTimer()
+		if err := apps.HeatSMPSsGS(rt, h, bc, sweeps); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtHeatSeq(b *testing.B) {
+	const n, m, sweeps = 12, 48, 8
+	bc := apps.HeatBC{Top: 1}
+	grid := hypermatrix.New(n, m)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := grid.Clone()
+		b.StartTimer()
+		apps.HeatSeqGS(h, bc, sweeps)
+	}
+}

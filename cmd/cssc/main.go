@@ -1,0 +1,95 @@
+// Command cssc is the SMPSs source-to-source compiler front-end: it
+// reads a task declaration file — "#pragma css task" annotated C
+// prototypes, as in Fig. 2 and Fig. 7 of the paper — and emits a Go
+// source file with task definitions and typed submission wrappers
+// targeting the runtime.
+//
+// With -translate it instead performs the C-to-C rewriting of paper §II
+// on a whole annotated program: task pragmas are stripped (the source
+// then compiles sequentially with any C compiler, §I), task calls become
+// css_submit_* runtime calls, and the program-level directives
+// (start/finish/barrier/wait on/mutex) become their runtime calls.
+//
+// Usage:
+//
+//	cssc -pkg tasks -typedef ELM=int64 -o tasks_gen.go decls.css
+//	cssc -translate -o program_css.c program.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cssc"
+)
+
+func main() {
+	pkg := flag.String("pkg", "tasks", "package name of the generated file")
+	out := flag.String("o", "", "output file (default stdout)")
+	corePath := flag.String("core", "repro/internal/core", "import path of the runtime package")
+	typedefs := flag.String("typedef", "", "comma-separated C=Go type mappings, e.g. ELM=int64,real=float32")
+	translate := flag.Bool("translate", false, "C-to-C mode: rewrite an annotated program into C99 + runtime calls")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cssc [flags] <task-declaration-file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	tds := map[string]string{}
+	if *typedefs != "" {
+		for _, pair := range strings.Split(*typedefs, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cssc: malformed -typedef entry %q\n", pair)
+				os.Exit(2)
+			}
+			tds[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *translate {
+		out2, tasks, err := cssc.Translate(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			os.Stdout.WriteString(out2)
+			return
+		}
+		if err := os.WriteFile(*out, []byte(out2), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cssc: translated %d tasks to %s\n", len(tasks), *out)
+		return
+	}
+	tasks, err := cssc.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code, err := cssc.Generate(tasks, cssc.Options{Package: *pkg, CorePath: *corePath, Typedefs: tds})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cssc: wrote %d tasks to %s\n", len(tasks), *out)
+}

@@ -1,0 +1,64 @@
+// Command smpssbench regenerates the evaluation figures of the SMPSs
+// paper (CLUSTER 2008, §VI): Cholesky block-size and thread sweeps
+// (Fig. 8, 11), matrix multiplication with on-demand copies (Fig. 12),
+// Strassen (Fig. 13), Multisort (Fig. 14) and N-Queens (Fig. 15, 16),
+// plus the ablations of DESIGN.md.
+//
+// Usage:
+//
+//	smpssbench -exp all                  # everything, default scale
+//	smpssbench -exp fig11,fig14 -quick   # selected figures, test scale
+//	smpssbench -exp fig08 -dim 4096 -csv # bigger matrix, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all' ("+strings.Join(bench.IDs(), ", ")+")")
+	dim := flag.Int("dim", 0, "matrix dimension (default 2048, paper 8192)")
+	block := flag.Int("block", 0, "block size for thread sweeps (default 256)")
+	threads := flag.Int("threads", 0, "maximum thread count (default GOMAXPROCS)")
+	sortKeys := flag.Int("sortkeys", 0, "multisort input size (default 4M)")
+	queensN := flag.Int("queens", 0, "N-Queens board size (default 13)")
+	quick := flag.Bool("quick", false, "tiny test-scale configuration")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Dim:        *dim,
+		Block:      *block,
+		MaxThreads: *threads,
+		SortKeys:   *sortKeys,
+		QueensN:    *queensN,
+		Quick:      *quick,
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = bench.IDs()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := bench.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "smpssbench: unknown experiment %q (known: %s)\n", id, strings.Join(bench.IDs(), ", "))
+			os.Exit(2)
+		}
+		res := run(cfg)
+		if *csv {
+			fmt.Printf("# %s: %s\n", res.ID, res.Title)
+			res.CSV(os.Stdout)
+		} else {
+			res.Table(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Heat: Gauss-Seidel heat diffusion on a blocked grid, the stencil demo
+// of the SMPSs distribution.
+//
+// The in-place Gauss-Seidel sweep looks hopelessly sequential — every
+// block needs its north and west neighbours *already updated in this
+// sweep* — yet declaring the block inout and the neighbours in lets the
+// runtime derive the wavefront schedule automatically.  Renaming then
+// pipelines consecutive sweeps diagonally across the grid: sweep s+1
+// starts in the top-left corner while sweep s is still finishing in the
+// bottom-right, parallelism that barrier-per-sweep models cannot express.
+//
+//	go run ./examples/heat
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+)
+
+const (
+	n      = 16 // blocks per dimension
+	m      = 64 // elements per block dimension
+	sweeps = 24
+)
+
+func main() {
+	workers := runtime.GOMAXPROCS(0)
+	bc := apps.HeatBC{Top: 1} // hot top edge, cold elsewhere
+	grid := hypermatrix.New(n, m)
+
+	fmt.Printf("heat %d×%d grid (%d×%d blocks), %d Gauss-Seidel sweeps, %d workers\n",
+		n*m, n*m, n, n, sweeps, workers)
+	fmt.Printf("  initial residual: %.4g\n", apps.HeatResidual(grid, bc))
+
+	// Sequential reference.
+	seq := grid.Clone()
+	t0 := time.Now()
+	apps.HeatSeqGS(seq, bc, sweeps)
+	seqTime := time.Since(t0)
+
+	// SMPSs wavefront.
+	mine := grid.Clone()
+	rt := core.New(core.Config{Workers: workers})
+	t0 = time.Now()
+	if err := apps.HeatSMPSsGS(rt, mine, bc, sweeps); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Barrier(); err != nil {
+		log.Fatal(err)
+	}
+	par := time.Since(t0)
+	st := rt.Stats()
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	got, want := mine.ToFlat(), seq.ToFlat()
+	for i := range want {
+		if got[i] != want[i] {
+			log.Fatalf("wavefront result diverged from sequential at element %d", i)
+		}
+	}
+
+	fmt.Printf("  sequential: %8v\n", seqTime)
+	fmt.Printf("  smpss:      %8v   speedup ×%.2f\n", par, seqTime.Seconds()/par.Seconds())
+	fmt.Printf("  %d tasks, %d true edges, %d renames (across-sweep pipelining), result exact\n",
+		st.TasksExecuted, st.Deps.TrueEdges, st.Deps.Renames)
+	fmt.Printf("  residual after %d sweeps: %.4g\n", sweeps, apps.HeatResidual(mine, bc))
+
+	// Convergence comparison: Jacobi needs explicit double-buffering (no
+	// renaming help) and converges slower per sweep.
+	jac := grid.Clone()
+	jres := apps.HeatSeqJacobi(jac, bc, sweeps)
+	fmt.Printf("  Jacobi residual after the same %d sweeps: %.4g (Gauss-Seidel wins per sweep)\n",
+		sweeps, apps.HeatResidual(jres, bc))
+}

@@ -1,0 +1,108 @@
+// Qr: tiled QR factorization (paper reference [10]) with explicit
+// verification, showing the renaming-driven lookahead on the diagonal
+// tile.
+//
+// After Geqrt, the diagonal tile holds both R (upper triangle) and the
+// Householder vectors V (below it).  The same step's Unmqr tasks read V
+// while the Tsqrt chain keeps rewriting R in the same tile — a sharing
+// conflict that would serialize the panel under a dependency-unaware
+// model, and that the SMPSs renaming engine resolves automatically: the
+// readers pin the post-Geqrt version, the chain advances on fresh
+// copies.  Watch the rename counter.
+//
+//	go run ./examples/qr
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+)
+
+const (
+	n = 8   // blocks per dimension
+	m = 128 // elements per block dimension
+)
+
+func main() {
+	dim := n * m
+	workers := runtime.GOMAXPROCS(0)
+	orig := kernels.GenMatrix(dim, 77)
+
+	rt := core.New(core.Config{Workers: workers})
+	al := linalg.New(rt, kernels.Fast, m)
+
+	a := hypermatrix.FromFlat(orig, n, m)
+	start := time.Now()
+	tf := al.QR(a)
+
+	// Build Qᵀ explicitly by applying the factorization to the identity;
+	// the submission pipelines behind the factorization itself.
+	g := hypermatrix.New(n, m)
+	for d := 0; d < dim; d++ {
+		g.Set(d, d, 1)
+	}
+	al.ApplyQT(a, tf, g)
+	if err := rt.Barrier(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	st := rt.Stats()
+
+	fmt.Printf("tiled QR %d×%d (%d×%d blocks of %d×%d), %d workers\n", dim, dim, n, n, m, m, workers)
+	fmt.Printf("  %d tasks (%.0f%% trailing updates), %d true edges, %d renames\n",
+		st.TasksExecuted, 100*float64(st.TasksExecuted-int64(3*n*(n+1)/2))/float64(st.TasksExecuted),
+		st.Deps.TrueEdges, st.Deps.Renames)
+	fmt.Printf("  factor + build Qᵀ: %v (%.2f Gflop/s on the factorization alone)\n",
+		elapsed, kernels.QRFlops(dim)/elapsed.Seconds()/1e9)
+
+	// Verification 1: orthogonality — max |(G·Gᵀ − I)| with G = Qᵀ.
+	gf := g.ToFlat()
+	ortho := make([]float32, dim*dim)
+	kernels.Fast.GemmNT(gf, gf, ortho, dim) // ortho := −G·Gᵀ
+	var worstO float64
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			want := float64(0)
+			if i == j {
+				want = -1
+			}
+			if d := math.Abs(float64(ortho[i*dim+j]) - want); d > worstO {
+				worstO = d
+			}
+		}
+	}
+
+	// Verification 2: reconstruction — max |(Q·R − A)| with Q = Gᵀ.
+	fact := a.ToFlat()
+	r := make([]float32, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			r[i*dim+j] = fact[i*dim+j]
+		}
+	}
+	var worstR float64
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			var s float32
+			for k := 0; k < dim; k++ {
+				s += gf[k*dim+i] * r[k*dim+j]
+			}
+			if d := math.Abs(float64(s - orig[i*dim+j])); d > worstR {
+				worstR = d
+			}
+		}
+	}
+	fmt.Printf("  ‖Q·Qᵀ − I‖∞ = %.3g, ‖Q·R − A‖∞ = %.3g\n", worstO, worstR)
+
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

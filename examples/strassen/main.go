@@ -1,0 +1,62 @@
+// Strassen: the intensive-renaming workload of paper §VI.C.
+//
+// The recursion reuses two operand-sum temporaries across its seven
+// sub-products, so every reuse overwrites data that earlier products'
+// tasks are still reading.  Under most programming models that demands
+// per-product temporaries by hand; under SMPSs the renaming engine
+// allocates fresh instances automatically and all seven products run
+// concurrently.  The example shows the rename count and compares the
+// result and operation count against plain tiled multiplication.
+//
+//	go run ./examples/strassen
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+)
+
+const (
+	n = 8   // blocks per dimension (power of two for the recursion)
+	m = 128 // elements per block dimension
+)
+
+func main() {
+	dim := n * m
+	aflat := kernels.GenMatrix(dim, 1)
+	bflat := kernels.GenMatrix(dim, 2)
+	want := make([]float32, dim*dim)
+	kernels.GemmFlat(aflat, bflat, want, dim)
+
+	a := hypermatrix.FromFlat(aflat, n, m)
+	b := hypermatrix.FromFlat(bflat, n, m)
+	c := hypermatrix.New(n, m)
+
+	rt := core.New(core.Config{})
+	al := linalg.New(rt, kernels.Fast, m)
+	start := time.Now()
+	al.Strassen(a, b, c)
+	if err := rt.Barrier(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	st := rt.Stats()
+
+	sflops := kernels.StrassenFlops(dim, m)
+	fmt.Printf("Strassen %d×%d (%d-blocks): %d tasks in %v\n", dim, dim, m, st.TasksExecuted, elapsed)
+	fmt.Printf("gflop/s (Strassen formula, as in the paper): %.2f\n", sflops/elapsed.Seconds()/1e9)
+	fmt.Printf("operation count: %.0f vs %.0f for the classic algorithm (%.1f%% saved)\n",
+		sflops, kernels.GemmFlops(dim), 100*(1-sflops/kernels.GemmFlops(dim)))
+	fmt.Printf("renames performed by the runtime: %d (with %d seed copies)\n",
+		st.Deps.Renames, st.Deps.RenameCopies)
+	fmt.Printf("max |Δ| vs plain multiplication: %g\n", kernels.MaxAbsDiff(want, c.ToFlat()))
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

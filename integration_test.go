@@ -1,0 +1,157 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// TestEndToEndApplication drives a realistic multi-phase application
+// through one runtime instance, the way a downstream user would compose
+// the library: generate a system, factor it, solve it, validate, with
+// tracing and statistics on — all phases overlapping through the
+// dependency graph, no barrier until the results are read.
+func TestEndToEndApplication(t *testing.T) {
+	const (
+		nb  = 6
+		m   = 32
+		dim = nb * m
+	)
+	tr := trace.New()
+	rt := core.New(core.Config{Workers: 8, Tracer: tr, GraphLimit: 512})
+	al := linalg.New(rt, kernels.Fast, m)
+
+	// Phase 1: factor A (SPD) in place.
+	spd := kernels.GenSPD(dim, 101)
+	a := hypermatrix.FromFlat(spd, nb, m)
+	al.CholeskyDense(a)
+
+	// Phase 2: solve L·z = b for three right-hand sides, all submitted
+	// before the factorization finished (§VII.D composition).
+	var solutions [][][]float32
+	var rhs [][]float32
+	for s := 0; s < 3; s++ {
+		v := kernels.GenMatrix(dim, int64(200+s))[:dim]
+		rhs = append(rhs, append([]float32(nil), v...))
+		b := linalg.BlockVector(v, nb, m)
+		al.SolveLower(a, b)
+		solutions = append(solutions, b)
+	}
+
+	// Phase 3: read one solution early with WaitOn instead of a full
+	// barrier (only its own dependency cone must complete).
+	for i := 0; i < nb; i++ {
+		if err := rt.WaitOn(solutions[0][i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	early := linalg.FlattenVector(solutions[0])
+
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validate every solution against the sequential pipeline.
+	lref := append([]float32(nil), spd...)
+	if !kernels.CholeskyFlat(lref, dim) {
+		t.Fatal("reference factor failed")
+	}
+	for s := range solutions {
+		want := append([]float32(nil), rhs[s]...)
+		kernels.TrsvFlat(lref, want, dim)
+		got := linalg.FlattenVector(solutions[s])
+		if d := kernels.MaxAbsDiff(want, got); d > 1e-2 {
+			t.Fatalf("solution %d off by %g", s, d)
+		}
+	}
+	if d := kernels.MaxAbsDiff(early, linalg.FlattenVector(solutions[0])); d != 0 {
+		t.Fatalf("WaitOn result changed after the barrier by %g", d)
+	}
+
+	// The runtime's own accounting must be coherent.
+	st := rt.Stats()
+	wantTasks := int64(0)
+	// Cholesky tasks for nb=6: 56 (Fig. 5); each solve: nb trsv + nb(nb-1)/2 gemv.
+	wantTasks += 56 + 3*(6+15)
+	if st.TasksExecuted != wantTasks {
+		t.Fatalf("executed %d tasks, want %d", st.TasksExecuted, wantTasks)
+	}
+	if st.TasksSubmitted != st.TasksExecuted {
+		t.Fatalf("submitted %d != executed %d", st.TasksSubmitted, st.TasksExecuted)
+	}
+
+	// The trace must contain every execution, pairable per worker.
+	sum := tr.Summarize()
+	total := 0
+	for _, k := range sum.Kinds {
+		total += k.Count
+	}
+	if int64(total) != wantTasks {
+		t.Fatalf("trace paired %d executions, want %d", total, wantTasks)
+	}
+
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-mortem round trip through the Paraver files.
+	var prv, pcf strings.Builder
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := trace.ParsePCF(strings.NewReader(pcf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ParsePRV(strings.NewReader(prv.String()), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backSum := back.Summarize()
+	backTotal := 0
+	for _, k := range backSum.Kinds {
+		backTotal += k.Count
+	}
+	if backTotal != total {
+		t.Fatalf("post-mortem trace paired %d executions, want %d", backTotal, total)
+	}
+}
+
+// TestEndToEndGraphShape replays the same application under a recorder
+// and checks the cross-phase structure: solve tasks hang off the
+// factorization graph rather than behind a barrier.
+func TestEndToEndGraphShape(t *testing.T) {
+	const (
+		nb = 6
+		m  = 8
+	)
+	rec := &graph.Recorder{}
+	rt := core.New(core.Config{Workers: 1, Recorder: rec})
+	al := linalg.New(rt, kernels.Fast, m)
+	a := hypermatrix.FromFlat(kernels.GenSPD(nb*m, 102), nb, m)
+	al.CholeskyDense(a)
+	b := linalg.BlockVector(kernels.GenMatrix(nb*m, 103)[:nb*m], nb, m)
+	al.SolveLower(a, b)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumNodes() != 56+6+15 {
+		t.Fatalf("nodes = %d, want 77", rec.NumNodes())
+	}
+	// The combined critical path must be longer than Cholesky's (16)
+	// but far shorter than serial phases (16 + 21 would mean no
+	// overlap; the solve chain adds at most nb hops past each column).
+	cpl := rec.CriticalPathLength()
+	if cpl <= 16 || cpl > 16+2*nb {
+		t.Fatalf("combined critical path %d outside the overlap range", cpl)
+	}
+}

@@ -1,0 +1,228 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/omptask"
+)
+
+// SparseLU factors a block-sparse matrix in place (LU without pivoting),
+// the classic irregular task workload of the Barcelona tool chain (it
+// ships as an SMPSs demo and as a BOTS benchmark).  It exercises exactly
+// what §IV's sparse multiplication (Fig. 3) motivates: value-dependent
+// task creation — blocks may be absent, and the trailing update allocates
+// fill-in blocks on demand from the main flow.
+//
+// Per step k of the blocked right-looking algorithm:
+//
+//	lu0(A[k][k])                                 diagonal factorization
+//	fwd(A[k][k], A[k][j])   for present j > k    A[k][j] := L(kk)⁻¹·A[k][j]
+//	bdiv(A[k][k], A[i][k])  for present i > k    A[i][k] := A[i][k]·U(kk)⁻¹
+//	bmod(A[i][k], A[k][j], A[i][j])              A[i][j] −= A[i][k]·A[k][j]
+//	                        allocating A[i][j] if it is fill-in
+//
+// The OpenMP-3.0-tasks version needs a taskwait after each phase of each
+// step (the pool has no dependencies); the SMPSs version submits the
+// whole factorization and lets the tracker pipeline independent steps.
+
+// GenSparseLU builds an n×n hyper-matrix of m×m blocks where each
+// off-diagonal block is present with the given density.  Blocks are made
+// diagonally dominant so LU without pivoting is stable; diagonal blocks
+// are always present.
+func GenSparseLU(n, m int, density float64, seed int64) *hypermatrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	h := hypermatrix.NewSparse(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() >= density {
+				continue
+			}
+			b := h.EnsureBlock(i, j)
+			for e := range b {
+				b[e] = rng.Float32()*0.2 - 0.1
+			}
+			if i == j {
+				// Strong block-diagonal dominance keeps every pivot of
+				// the no-pivoting factorization well away from zero.
+				for d := 0; d < m; d++ {
+					b[d*m+d] += float32(2*n) + 1
+				}
+			}
+		}
+	}
+	return h
+}
+
+// SparseLUSeq factors h in place sequentially, returning false on a zero
+// pivot.  It is the gold reference: the task versions perform the same
+// block operations in an order the dependency analysis must prove
+// equivalent, so their results must match bit for bit.
+func SparseLUSeq(h *hypermatrix.Matrix) bool {
+	n, m := h.N, h.M
+	for k := 0; k < n; k++ {
+		diag := h.Blocks[k][k]
+		if diag == nil || !kernels.LUBlock(diag, m) {
+			return false
+		}
+		for j := k + 1; j < n; j++ {
+			if h.Blocks[k][j] != nil {
+				kernels.TrsmLLUnit(diag, h.Blocks[k][j], m)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if h.Blocks[i][k] != nil {
+				if !kernels.TrsmRU(diag, h.Blocks[i][k], m) {
+					return false
+				}
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if h.Blocks[i][k] == nil {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				if h.Blocks[k][j] == nil {
+					continue
+				}
+				kernels.GemmSubNN(h.Blocks[i][k], h.Blocks[k][j], h.EnsureBlock(i, j), m)
+			}
+		}
+	}
+	return true
+}
+
+// SparseLUSMPSs factors h in place as an SMPSs task program.  Fill-in
+// allocation is a main-flow decision exactly like Fig. 3's alloc_block;
+// the freshly allocated block is zero, so the first bmod touching it may
+// declare it inout without a prior producer.
+func SparseLUSMPSs(rt *core.Runtime, h *hypermatrix.Matrix) error {
+	n, m := h.N, h.M
+
+	lu0 := core.NewHighPriorityTaskDef("lu0", func(a *core.Args) {
+		if !kernels.LUBlock(a.F32(0), m) {
+			panic("sparselu: zero pivot")
+		}
+	})
+	fwd := core.NewTaskDef("fwd", func(a *core.Args) {
+		kernels.TrsmLLUnit(a.F32(0), a.F32(1), m)
+	})
+	bdiv := core.NewTaskDef("bdiv", func(a *core.Args) {
+		if !kernels.TrsmRU(a.F32(0), a.F32(1), m) {
+			panic("sparselu: zero pivot in bdiv")
+		}
+	})
+	bmod := core.NewTaskDef("bmod", func(a *core.Args) {
+		kernels.GemmSubNN(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+
+	for k := 0; k < n; k++ {
+		if h.Blocks[k][k] == nil {
+			h.EnsureBlock(k, k)
+		}
+		diag := h.Blocks[k][k]
+		rt.Submit(lu0, core.InOut(diag))
+		for j := k + 1; j < n; j++ {
+			if h.Blocks[k][j] != nil {
+				rt.Submit(fwd, core.In(diag), core.InOut(h.Blocks[k][j]))
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if h.Blocks[i][k] != nil {
+				rt.Submit(bdiv, core.In(diag), core.InOut(h.Blocks[i][k]))
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if h.Blocks[i][k] == nil {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				if h.Blocks[k][j] == nil {
+					continue
+				}
+				rt.Submit(bmod,
+					core.In(h.Blocks[i][k]), core.In(h.Blocks[k][j]),
+					core.InOut(h.EnsureBlock(i, j)))
+			}
+		}
+	}
+	return rt.Err()
+}
+
+// SparseLUOMP3 factors h in place under the task-pool model: without
+// dependencies, each phase of each step must end in a taskwait, so
+// independent steps never overlap (paper §VII.B).
+func SparseLUOMP3(rt *omptask.RT, h *hypermatrix.Matrix) {
+	n, m := h.N, h.M
+	rt.Parallel(func(c *omptask.Ctx) {
+		for k := 0; k < n; k++ {
+			diag := h.EnsureBlock(k, k)
+			if !kernels.LUBlock(diag, m) {
+				panic("sparselu: zero pivot")
+			}
+			for j := k + 1; j < n; j++ {
+				if blk := h.Blocks[k][j]; blk != nil {
+					c.Task(func(*omptask.Ctx) { kernels.TrsmLLUnit(diag, blk, m) })
+				}
+			}
+			for i := k + 1; i < n; i++ {
+				if blk := h.Blocks[i][k]; blk != nil {
+					c.Task(func(*omptask.Ctx) {
+						if !kernels.TrsmRU(diag, blk, m) {
+							panic("sparselu: zero pivot in bdiv")
+						}
+					})
+				}
+			}
+			c.Taskwait()
+			for i := k + 1; i < n; i++ {
+				if h.Blocks[i][k] == nil {
+					continue
+				}
+				for j := k + 1; j < n; j++ {
+					if h.Blocks[k][j] == nil {
+						continue
+					}
+					left, right, dst := h.Blocks[i][k], h.Blocks[k][j], h.EnsureBlock(i, j)
+					c.Task(func(*omptask.Ctx) { kernels.GemmSubNN(left, right, dst, m) })
+				}
+			}
+			c.Taskwait()
+		}
+	})
+}
+
+// SparseLUVerify dense-multiplies the factors back together and returns
+// the maximum absolute difference against the original matrix: with
+// L unit-lower and U upper taken from the factored hyper-matrix,
+// max |(L·U − A₀)[r][c]|.
+func SparseLUVerify(factored *hypermatrix.Matrix, original []float32) float64 {
+	dim := factored.N * factored.M
+	f := factored.ToFlat()
+	l := make([]float32, dim*dim)
+	u := make([]float32, dim*dim)
+	for r := 0; r < dim; r++ {
+		l[r*dim+r] = 1
+		for c := 0; c < r; c++ {
+			l[r*dim+c] = f[r*dim+c]
+		}
+		for c := r; c < dim; c++ {
+			u[r*dim+c] = f[r*dim+c]
+		}
+	}
+	prod := make([]float32, dim*dim)
+	kernels.GemmFlat(l, u, prod, dim)
+	var worst float64
+	for i := range prod {
+		d := float64(prod[i] - original[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

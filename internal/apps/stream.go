@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"repro/internal/core"
+)
+
+// Stream is a bandwidth-style triad built around the exact pattern §II
+// gives as the canonical renaming case: "renaming is typically applied
+// whenever an algorithm uses a temporary variable or a work array that
+// is accessed by several tasks.  In order to avoid false dependencies on
+// those, most programming paradigms require per-thread copies ...  This
+// problem is avoided transparently through automatic renaming."
+//
+// Each step computes c[blk] += scale·(a[blk] + b[blk]) through a single
+// shared work array t:
+//
+//	add_t(a[blk], b[blk], t)        output(t)
+//	axpy_t(t, c[blk], scale)        input(t) inout(c[blk])
+//
+// Sequentially, one t suffices.  Under a dependency-unaware parallel
+// model the programmer must allocate one t per thread by hand; under
+// SMPSs the Out(t) of every add opens a fresh version, so all
+// blocks·iters steps are independent apart from each block's own c
+// chain — with the program still naming exactly one temporary.
+
+// StreamVectors holds the blocked operands: nb blocks of m elements.
+type StreamVectors struct {
+	M       int
+	A, B, C [][]float32
+}
+
+// NewStreamVectors builds nb blocks of m elements with deterministic
+// contents.
+func NewStreamVectors(nb, m int) *StreamVectors {
+	v := &StreamVectors{M: m}
+	mk := func(scale int) [][]float32 {
+		blocks := make([][]float32, nb)
+		for i := range blocks {
+			blocks[i] = make([]float32, m)
+			for j := range blocks[i] {
+				blocks[i][j] = float32((i*m+j)%17 + scale)
+			}
+		}
+		return blocks
+	}
+	v.A, v.B, v.C = mk(1), mk(2), mk(3)
+	return v
+}
+
+// StreamSeq runs iters triad sweeps sequentially through one shared
+// temporary block — the plain C program an SMPSs user would write.
+func StreamSeq(v *StreamVectors, scale float32, iters int) {
+	t := make([]float32, v.M)
+	for it := 0; it < iters; it++ {
+		for blk := range v.A {
+			a, b, c := v.A[blk], v.B[blk], v.C[blk]
+			for j := range t {
+				t[j] = a[j] + b[j]
+			}
+			for j := range c {
+				c[j] += scale * t[j]
+			}
+		}
+	}
+}
+
+// StreamSMPSs runs the same sweeps as tasks sharing the single temporary
+// t; automatic renaming removes every false dependency on it.
+func StreamSMPSs(rt *core.Runtime, v *StreamVectors, scale float32, iters int) error {
+	m := v.M
+	add := core.NewTaskDef("stream_add", func(a *core.Args) {
+		x, y, t := a.F32(0), a.F32(1), a.F32(2)
+		for j := 0; j < m; j++ {
+			t[j] = x[j] + y[j]
+		}
+	})
+	axpy := core.NewTaskDef("stream_axpy", func(a *core.Args) {
+		t, c := a.F32(0), a.F32(1)
+		s := float32(a.Float(2))
+		for j := 0; j < m; j++ {
+			c[j] += s * t[j]
+		}
+	})
+	t := make([]float32, m) // the one temporary the program names
+	for it := 0; it < iters; it++ {
+		for blk := range v.A {
+			rt.Submit(add, core.In(v.A[blk]), core.In(v.B[blk]), core.Out(t))
+			rt.Submit(axpy, core.In(t), core.InOut(v.C[blk]), core.Value(scale))
+		}
+	}
+	return rt.Err()
+}

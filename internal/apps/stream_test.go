@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStreamMatchesSeq is the gold test: same shared temporary, same
+// arithmetic, bit-identical results.
+func TestStreamMatchesSeq(t *testing.T) {
+	const nb, m, iters = 16, 32, 5
+	ref := NewStreamVectors(nb, m)
+	StreamSeq(ref, 0.5, iters)
+
+	mine := NewStreamVectors(nb, m)
+	rt := core.New(core.Config{Workers: 8})
+	if err := StreamSMPSs(rt, mine, 0.5, iters); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for blk := range ref.C {
+		for j := range ref.C[blk] {
+			if mine.C[blk][j] != ref.C[blk][j] {
+				t.Fatalf("block %d element %d: %g vs %g", blk, j, mine.C[blk][j], ref.C[blk][j])
+			}
+		}
+	}
+}
+
+// TestStreamRenamesTheTemporary checks the §II mechanism: every add
+// after the first must rename the shared temporary, and no false edge
+// may appear.
+func TestStreamRenamesTheTemporary(t *testing.T) {
+	const nb, m, iters = 8, 16, 3
+	v := NewStreamVectors(nb, m)
+	// One worker: nothing executes while the graph is built, so every
+	// add after the first deterministically finds its predecessor's
+	// axpy reader still pending and must rename.
+	rt := core.New(core.Config{Workers: 1})
+	if err := StreamSMPSs(rt, v, 2, iters); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if want := int64(nb*iters - 1); st.Deps.Renames != want {
+		t.Fatalf("got %d renames for %d temp writes, want exactly %d", st.Deps.Renames, nb*iters, want)
+	}
+	if st.Deps.FalseEdges != 0 {
+		t.Fatalf("%d false edges materialized despite renaming", st.Deps.FalseEdges)
+	}
+}
+
+// TestStreamWithoutRenamingSerializes: disabling renaming must still be
+// correct but must materialize the WAR chains on the temporary.
+func TestStreamWithoutRenamingSerializes(t *testing.T) {
+	const nb, m, iters = 8, 16, 2
+	ref := NewStreamVectors(nb, m)
+	StreamSeq(ref, 1.5, iters)
+
+	v := NewStreamVectors(nb, m)
+	rt := core.New(core.Config{Workers: 4, DisableRenaming: true})
+	if err := StreamSMPSs(rt, v, 1.5, iters); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Deps.Renames != 0 {
+		t.Fatalf("renaming disabled but %d renames happened", st.Deps.Renames)
+	}
+	if st.Deps.FalseEdges == 0 {
+		t.Fatal("no false edges: the shared temporary should serialize")
+	}
+	for blk := range ref.C {
+		for j := range ref.C[blk] {
+			if v.C[blk][j] != ref.C[blk][j] {
+				t.Fatalf("block %d element %d: %g vs %g", blk, j, v.C[blk][j], ref.C[blk][j])
+			}
+		}
+	}
+}

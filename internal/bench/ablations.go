@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+)
+
+// The ablations make the design decisions of DESIGN.md measurable: each
+// switches off one mechanism the paper argues for and reports the cost.
+
+// AblationRenaming compares renaming on/off for the two workloads the
+// paper identifies as renaming-bound: Strassen (§VI.C) and N-Queens
+// (§VI.E).  With renaming off, WAR/WAW hazards become real edges and the
+// graphs serialize.
+func AblationRenaming(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "ablation-rename",
+		Title:  "Renaming on/off (seconds, lower is better)",
+		XLabel: "threads",
+		YLabel: "seconds",
+	}
+	dim, block := cfg.StrassenDim, cfg.StrassenBlock
+	n := dim / block
+	aflat := kernels.GenMatrix(dim, 11)
+	bflat := kernels.GenMatrix(dim, 12)
+	threads := cfg.MaxThreads
+
+	run := func(disable bool) (secs float64, renames, falseEdges int64) {
+		a := hypermatrix.FromFlat(aflat, n, block)
+		b := hypermatrix.FromFlat(bflat, n, block)
+		c := hypermatrix.New(n, block)
+		withProcs(threads, func() {
+			rt := core.New(core.Config{Workers: threads, DisableRenaming: disable})
+			al := linalg.New(rt, kernels.Fast, block)
+			secs = timeIt(func() {
+				al.Strassen(a, b, c)
+				if err := rt.Barrier(); err != nil {
+					panic(err)
+				}
+			})
+			st := rt.Stats()
+			renames, falseEdges = st.Deps.Renames, st.Deps.FalseEdges
+			rt.Close()
+		})
+		return
+	}
+	on := Series{Name: "strassen renaming"}
+	off := Series{Name: "strassen no-renaming"}
+	sOn, ren, _ := run(false)
+	sOff, _, fe := run(true)
+	on.add(float64(threads), sOn)
+	off.add(float64(threads), sOff)
+	r.Series = append(r.Series, on, off)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("renaming on: %d renames; off: %d false edges materialized", ren, fe))
+
+	qOn := Series{Name: "nqueens renaming"}
+	qOff := Series{Name: "nqueens no-renaming"}
+	want := apps.NQueensSeq(cfg.QueensN)
+	for _, disable := range []bool{false, true} {
+		var secs float64
+		withProcs(threads, func() {
+			rt := core.New(core.Config{Workers: threads, DisableRenaming: disable})
+			secs = timeIt(func() {
+				got, err := apps.NQueensSMPSs(rt, cfg.QueensN)
+				if err != nil {
+					panic(err)
+				}
+				if got != want {
+					panic("ablation-rename: wrong queens count")
+				}
+			})
+			rt.Close()
+		})
+		if disable {
+			qOff.add(float64(threads), secs)
+		} else {
+			qOn.add(float64(threads), secs)
+		}
+	}
+	r.Series = append(r.Series, qOn, qOff)
+
+	// Stream: the §II shared-temporary pattern.  One named work array;
+	// renaming decides whether blocks·iters steps are independent or a
+	// serial WAR chain.
+	nb, bm, iters := 128, 2048, 8
+	if cfg.Quick {
+		nb, bm, iters = 8, 64, 2
+	}
+	stOn := Series{Name: "stream renaming"}
+	stOff := Series{Name: "stream no-renaming"}
+	for _, disable := range []bool{false, true} {
+		v := apps.NewStreamVectors(nb, bm)
+		var secs float64
+		withProcs(threads, func() {
+			rt := core.New(core.Config{Workers: threads, DisableRenaming: disable})
+			secs = timeIt(func() {
+				if err := apps.StreamSMPSs(rt, v, 0.5, iters); err != nil {
+					panic(err)
+				}
+				if err := rt.Barrier(); err != nil {
+					panic(err)
+				}
+			})
+			rt.Close()
+		})
+		if disable {
+			stOff.add(float64(threads), secs)
+		} else {
+			stOn.add(float64(threads), secs)
+		}
+	}
+	r.Series = append(r.Series, stOn, stOff)
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// AblationScheduler compares the paper's locality scheduler against a
+// single global FIFO queue (the SuperMatrix structure, §VII.C) on the
+// dense Cholesky.
+func AblationScheduler(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "ablation-sched",
+		Title:  fmt.Sprintf("Scheduler policy on Cholesky %d×%d (Gflop/s)", cfg.Dim, cfg.Dim),
+		XLabel: "threads",
+		YLabel: "Gflop/s",
+	}
+	flops := kernels.CholeskyFlops(cfg.Dim)
+	spd := kernels.GenSPD(cfg.Dim, 13)
+	nb := cfg.Dim / cfg.Block
+	for _, policy := range []core.SchedulerKind{core.SchedLocality, core.SchedGlobalFIFO} {
+		name := "locality"
+		if policy == core.SchedGlobalFIFO {
+			name = "global-fifo"
+		}
+		s := Series{Name: name}
+		for _, t := range ThreadSweep(cfg.MaxThreads) {
+			h := hypermatrix.FromFlat(spd, nb, cfg.Block)
+			var secs float64
+			withProcs(t, func() {
+				rt := core.New(core.Config{Workers: t, Scheduler: policy})
+				al := linalg.New(rt, kernels.Fast, cfg.Block)
+				secs = timeIt(func() {
+					al.CholeskyDense(h)
+					if err := rt.Barrier(); err != nil {
+						panic(err)
+					}
+				})
+				rt.Close()
+			})
+			s.add(float64(t), flops/secs/1e9)
+		}
+		r.Series = append(r.Series, s)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// AblationRegions compares the §V.A array-region dependencies against
+// whole-array directionality on Multisort, quantifying why the paper
+// needed regions (or their representant workaround) for flat data.
+func AblationRegions(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "ablation-regions",
+		Title:  fmt.Sprintf("Array regions vs whole-array deps, Multisort %d keys (seconds)", cfg.SortKeys),
+		XLabel: "threads",
+		YLabel: "seconds",
+	}
+	orig := randKeys(cfg.SortKeys, 21)
+	scfg := sortCfgFor(cfg.SortKeys)
+	for _, model := range []string{"smpss", "smpss-coarse"} {
+		name := "regions"
+		if model == "smpss-coarse" {
+			name = "whole-array"
+		}
+		s := Series{Name: name}
+		for _, t := range []int{1, cfg.MaxThreads} {
+			s.add(float64(t), multisortSecs(model, t, orig, scfg))
+		}
+		r.Series = append(r.Series, s)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// AblationThrottle sweeps the open-graph limit on the dense Cholesky:
+// too small throttles the discovery of distant parallelism, unlimited
+// costs memory (the paper's §III names the graph size limit as one of
+// the main thread's blocking conditions).
+func AblationThrottle(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "ablation-throttle",
+		Title:  fmt.Sprintf("Open-graph limit on Cholesky %d×%d (Gflop/s at %d threads)", cfg.Dim, cfg.Dim, cfg.MaxThreads),
+		XLabel: "limit",
+		YLabel: "Gflop/s",
+	}
+	flops := kernels.CholeskyFlops(cfg.Dim)
+	spd := kernels.GenSPD(cfg.Dim, 14)
+	nb := cfg.Dim / cfg.Block
+	s := Series{Name: "SMPSs+goto tiles"}
+	for _, limit := range []int{8, 64, 512, 4096, core.DefaultGraphLimit} {
+		h := hypermatrix.FromFlat(spd, nb, cfg.Block)
+		var secs float64
+		withProcs(cfg.MaxThreads, func() {
+			rt := core.New(core.Config{Workers: cfg.MaxThreads, GraphLimit: limit})
+			al := linalg.New(rt, kernels.Fast, cfg.Block)
+			secs = timeIt(func() {
+				al.CholeskyDense(h)
+				if err := rt.Barrier(); err != nil {
+					panic(err)
+				}
+			})
+			rt.Close()
+		})
+		s.add(float64(limit), flops/secs/1e9)
+	}
+	r.Series = append(r.Series, s)
+	r.Elapsed = time.Since(start)
+	return r
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg is the seconds-scale configuration used to validate every
+// experiment runner end to end.
+var quickCfg = Config{Quick: true, MaxThreads: 4}
+
+func TestThreadSweep(t *testing.T) {
+	got := ThreadSweep(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("ThreadSweep(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ThreadSweep(8) = %v, want %v", got, want)
+		}
+	}
+	if got := ThreadSweep(24); got[len(got)-1] != 24 {
+		t.Fatalf("sweep must end at max: %v", got)
+	}
+	if got := ThreadSweep(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ThreadSweep(1) = %v", got)
+	}
+}
+
+func TestBlockSweep(t *testing.T) {
+	got := BlockSweep(256)
+	want := []int{32, 64, 128, 256}
+	if len(got) != len(want) {
+		t.Fatalf("BlockSweep(256) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BlockSweep(256) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.Dim != 2048 || c.Block != 256 || c.QueensN != 13 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	q := Config{Quick: true}.Normalize()
+	if q.Dim != 256 || q.Block != 32 || q.QueensN != 9 {
+		t.Fatalf("quick defaults = %+v", q)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, id := range []string{"fig08", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"} {
+		if Registry[id] == nil {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	if len(IDs()) != len(Registry) {
+		t.Fatalf("IDs() incomplete")
+	}
+}
+
+// TestAllExperimentsQuick runs every registered experiment at quick
+// scale: each must produce non-empty series with positive measurements
+// and render without error.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds each")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res := Registry[id](quickCfg)
+			if res.ID != id {
+				t.Fatalf("result ID = %q, want %q", res.ID, id)
+			}
+			if len(res.Series) == 0 {
+				t.Fatalf("no series produced")
+			}
+			for _, s := range res.Series {
+				if len(s.Points) == 0 {
+					t.Fatalf("series %q empty", s.Name)
+				}
+				for _, p := range s.Points {
+					if p.Y <= 0 {
+						t.Fatalf("series %q has non-positive measurement at x=%g", s.Name, p.X)
+					}
+				}
+			}
+			var tab, csv strings.Builder
+			res.Table(&tab)
+			res.CSV(&csv)
+			if !strings.Contains(tab.String(), res.ID) {
+				t.Fatalf("table missing experiment id:\n%s", tab.String())
+			}
+			if !strings.HasPrefix(csv.String(), "x,") {
+				t.Fatalf("csv missing header:\n%s", csv.String())
+			}
+		})
+	}
+}
+
+func TestSeriesByNameAndLookup(t *testing.T) {
+	r := &Result{Series: []Series{{Name: "a", Points: []Point{{X: 1, Y: 2}}}}}
+	if r.SeriesByName("a") == nil || r.SeriesByName("b") != nil {
+		t.Fatalf("SeriesByName broken")
+	}
+	if y, ok := lookup(r.Series[0], 1); !ok || y != 2 {
+		t.Fatalf("lookup broken")
+	}
+	if _, ok := lookup(r.Series[0], 9); ok {
+		t.Fatalf("lookup must miss absent x")
+	}
+}
+
+// TestFig14SpeedupSanity checks the headline shape at quick scale: with
+// 4 threads, every task model must beat half of one thread's throughput
+// (i.e. parallelism is real, not incidental).
+func TestFig14SpeedupSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	cfg := quickCfg
+	cfg.SortKeys = 1 << 19 // large enough for stable timing
+	res := Fig14(cfg)
+	for _, s := range res.Series {
+		last := s.Points[len(s.Points)-1]
+		if last.Y < 0.5 {
+			t.Fatalf("series %q speedup at %g threads = %g; parallel run pathologically slow", s.Name, last.X, last.Y)
+		}
+	}
+}

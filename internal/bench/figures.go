@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forkjoin"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+)
+
+// newRT builds a runtime with the given total thread count.
+func newRT(threads int) *core.Runtime {
+	return core.New(core.Config{Workers: threads})
+}
+
+// choleskySMPSs runs one timed hyper-matrix Cholesky: blocking the input
+// is untimed (the paper's flat-matrix comparison is Fig. 11; Fig. 8
+// sweeps block sizes on the blocked algorithm).
+func choleskySMPSs(spd []float32, dim, block, threads int, p kernels.Provider) float64 {
+	n := dim / block
+	h := hypermatrix.FromFlat(spd, n, block)
+	var secs float64
+	withProcs(threads, func() {
+		rt := newRT(threads)
+		al := linalg.New(rt, p, block)
+		secs = timeIt(func() {
+			al.CholeskyDense(h)
+			if err := rt.Barrier(); err != nil {
+				panic(err)
+			}
+		})
+		rt.Close()
+	})
+	return secs
+}
+
+// Fig08 reproduces Fig. 8: Cholesky Gflop/s as a function of block size
+// with both kernel providers, fixed thread count.  The paper's curve is
+// an inverted U: tiny blocks drown in runtime overhead (374,272 tasks at
+// 32² blocks), huge blocks starve the cores.
+func Fig08(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "fig08",
+		Title:  fmt.Sprintf("Cholesky on %d threads, %d×%d floats, varying block size", cfg.MaxThreads, cfg.Dim, cfg.Dim),
+		XLabel: "block",
+		YLabel: "Gflop/s",
+		Notes:  []string{fmt.Sprintf("paper: 8192×8192 on 32 Itanium2 cores; here: %d×%d on %d threads, pure-Go tiles", cfg.Dim, cfg.Dim, cfg.MaxThreads)},
+	}
+	flops := kernels.CholeskyFlops(cfg.Dim)
+	spd := kernels.GenSPD(cfg.Dim, 1)
+	for _, p := range kernels.Providers {
+		s := Series{Name: "SMPSs+" + p.Name + " tiles"}
+		for _, b := range BlockSweep(cfg.Dim) {
+			if cfg.Dim/b < 1 {
+				continue
+			}
+			in := append([]float32(nil), spd...)
+			secs := choleskySMPSs(in, cfg.Dim, b, cfg.MaxThreads, p)
+			s.add(float64(b), flops/secs/1e9)
+		}
+		r.Series = append(r.Series, s)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// Fig11 reproduces Fig. 11: Cholesky Gflop/s versus thread count —
+// threaded fork-join baselines against SMPSs with both tile providers,
+// plus the linear-ideal "peak" line.  The paper's shape: the fork-join
+// baselines flatten early (MKL beyond 4, Goto beyond 10), SMPSs keeps
+// scaling to the full machine.
+func Fig11(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("Cholesky %d×%d floats varying thread count", cfg.Dim, cfg.Dim),
+		XLabel: "threads",
+		YLabel: "Gflop/s",
+		Notes:  []string{fmt.Sprintf("block %d; threaded baselines are fork-join flat-matrix Cholesky (threaded-BLAS stand-ins)", cfg.Block)},
+	}
+	flops := kernels.CholeskyFlops(cfg.Dim)
+	spd := kernels.GenSPD(cfg.Dim, 2)
+	perCore := singleCoreGemmGflops(cfg.Block)
+	peak := Series{Name: "peak"}
+	series := map[string]*Series{}
+	for _, p := range kernels.Providers {
+		series["fj:"+p.Name] = &Series{Name: "threaded " + p.Name}
+		series["smpss:"+p.Name] = &Series{Name: "SMPSs+" + p.Name + " tiles"}
+	}
+	for _, t := range ThreadSweep(cfg.MaxThreads) {
+		for _, p := range kernels.Providers {
+			in := append([]float32(nil), spd...)
+			var secs float64
+			withProcs(t, func() {
+				secs = timeIt(func() {
+					if !forkjoin.Cholesky(in, cfg.Dim, cfg.Block, t, p) {
+						panic("fig11: fork-join Cholesky failed")
+					}
+				})
+			})
+			series["fj:"+p.Name].add(float64(t), flops/secs/1e9)
+
+			in2 := append([]float32(nil), spd...)
+			secs = choleskySMPSs(in2, cfg.Dim, cfg.Block, t, p)
+			series["smpss:"+p.Name].add(float64(t), flops/secs/1e9)
+		}
+		peak.add(float64(t), perCore*float64(t))
+	}
+	for _, p := range kernels.Providers {
+		r.Series = append(r.Series, *series["fj:"+p.Name], *series["smpss:"+p.Name])
+	}
+	r.Series = append(r.Series, peak)
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// Fig12 reproduces Fig. 12: matrix multiplication with on-demand block
+// copies versus thread count, against the fork-join flat GEMM baselines.
+// The paper's SMPSs curve is a staircase (fixed block size starves some
+// thread counts) yet competitive at high counts.
+func Fig12(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("Matrix multiply (on-demand copies) %d×%d floats varying thread count", cfg.Dim, cfg.Dim),
+		XLabel: "threads",
+		YLabel: "Gflop/s",
+		Notes:  []string{fmt.Sprintf("block %d; SMPSs series include get_block/put_block copy tasks (Fig. 9/10 transformation)", cfg.Block)},
+	}
+	flops := kernels.GemmFlops(cfg.Dim)
+	a := kernels.GenMatrix(cfg.Dim, 3)
+	b := kernels.GenMatrix(cfg.Dim, 4)
+	perCore := singleCoreGemmGflops(cfg.Block)
+	peak := Series{Name: "peak"}
+	series := map[string]*Series{}
+	for _, p := range kernels.Providers {
+		series["fj:"+p.Name] = &Series{Name: "threaded " + p.Name}
+		series["smpss:"+p.Name] = &Series{Name: "SMPSs+" + p.Name + " tiles"}
+	}
+	for _, t := range ThreadSweep(cfg.MaxThreads) {
+		for _, p := range kernels.Providers {
+			c := make([]float32, cfg.Dim*cfg.Dim)
+			var secs float64
+			withProcs(t, func() {
+				secs = timeIt(func() { forkjoin.Gemm(a, b, c, cfg.Dim, t, p) })
+			})
+			series["fj:"+p.Name].add(float64(t), flops/secs/1e9)
+
+			c2 := make([]float32, cfg.Dim*cfg.Dim)
+			withProcs(t, func() {
+				rt := newRT(t)
+				al := linalg.New(rt, p, cfg.Block)
+				secs = timeIt(func() {
+					al.MatMulFlat(a, b, c2, cfg.Dim/cfg.Block)
+					if err := rt.Barrier(); err != nil {
+						panic(err)
+					}
+				})
+				rt.Close()
+			})
+			series["smpss:"+p.Name].add(float64(t), flops/secs/1e9)
+		}
+		peak.add(float64(t), perCore*float64(t))
+	}
+	for _, p := range kernels.Providers {
+		r.Series = append(r.Series, *series["fj:"+p.Name], *series["smpss:"+p.Name])
+	}
+	r.Series = append(r.Series, peak)
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// Fig13 reproduces Fig. 13: the blocked Strassen algorithm versus thread
+// count, Gflop/s computed with Strassen's operation-count formula as the
+// paper does.  The expected shape: smoother scaling than plain matmul
+// (the richer graph feeds work stealing) at lower absolute Gflop/s
+// (renaming allocations plus bandwidth-bound additions).
+func Fig13(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	dim, block := cfg.StrassenDim, cfg.StrassenBlock
+	r := &Result{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("Strassen %d×%d floats, %d-blocks, varying thread count", dim, dim, block),
+		XLabel: "threads",
+		YLabel: "Gflop/s",
+		Notes:  []string{"Gflop/s uses Strassen's formula (paper §VI.C); intensive renaming workload"},
+	}
+	flops := kernels.StrassenFlops(dim, block)
+	n := dim / block
+	aflat := kernels.GenMatrix(dim, 5)
+	bflat := kernels.GenMatrix(dim, 6)
+	perCore := singleCoreGemmGflops(block)
+	peak := Series{Name: "peak"}
+	for _, p := range kernels.Providers {
+		s := Series{Name: "SMPSs+" + p.Name + " tiles"}
+		for _, t := range ThreadSweep(cfg.MaxThreads) {
+			a := hypermatrix.FromFlat(aflat, n, block)
+			b := hypermatrix.FromFlat(bflat, n, block)
+			c := hypermatrix.New(n, block)
+			var secs float64
+			withProcs(t, func() {
+				rt := newRT(t)
+				al := linalg.New(rt, p, block)
+				secs = timeIt(func() {
+					al.Strassen(a, b, c)
+					if err := rt.Barrier(); err != nil {
+						panic(err)
+					}
+				})
+				rt.Close()
+			})
+			s.add(float64(t), flops/secs/1e9)
+		}
+		r.Series = append(r.Series, s)
+	}
+	for _, t := range ThreadSweep(cfg.MaxThreads) {
+		peak.add(float64(t), perCore*float64(t))
+	}
+	r.Series = append(r.Series, peak)
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// singleCoreGemmGflops measures the fast provider's single-core tile
+// GEMM rate, the basis of the linear-ideal "peak" series (the paper
+// plots the machine's theoretical peak; a pure-Go build has no published
+// peak, so the measured single-core kernel rate is the honest analogue).
+func singleCoreGemmGflops(block int) float64 {
+	a := kernels.GenMatrix(block, 7)
+	b := kernels.GenMatrix(block, 8)
+	c := make([]float32, block*block)
+	reps := 1 + (1<<27)/(2*block*block*block)
+	secs := timeIt(func() {
+		for i := 0; i < reps; i++ {
+			kernels.Fast.GemmNN(a, b, c, block)
+		}
+	})
+	return float64(reps) * kernels.GemmFlops(block) / secs / 1e9
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cilkrt"
+	"repro/internal/core"
+	"repro/internal/omptask"
+)
+
+func randKeys(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	return keys
+}
+
+// sortCfgFor scales the task granularity with the input so the quick
+// configuration still generates a useful number of tasks.
+func sortCfgFor(keys int) apps.SortConfig {
+	cfg := apps.DefaultSortConfig
+	if keys/64 < cfg.QuickSize {
+		cfg.QuickSize = keys/64 + 1
+		cfg.MergeSize = cfg.QuickSize
+	}
+	return cfg
+}
+
+// multisortSecs measures one multisort run of the given model.
+func multisortSecs(model string, threads int, orig []int64, cfg apps.SortConfig) float64 {
+	data := append([]int64(nil), orig...)
+	var secs float64
+	withProcs(threads, func() {
+		switch model {
+		case "seq":
+			secs = timeIt(func() { apps.MultisortSeq(data, cfg) })
+		case "cilk":
+			rt := cilkrt.New(threads)
+			secs = timeIt(func() { apps.MultisortCilk(rt, data, cfg) })
+			rt.Close()
+		case "omp3":
+			rt := omptask.New(threads)
+			secs = timeIt(func() { apps.MultisortOMP(rt, data, cfg) })
+			rt.Close()
+		case "smpss":
+			rt := core.New(core.Config{Workers: threads})
+			secs = timeIt(func() {
+				if err := apps.MultisortSMPSs(rt, data, cfg); err != nil {
+					panic(err)
+				}
+			})
+			rt.Close()
+		case "smpss-coarse":
+			rt := core.New(core.Config{Workers: threads})
+			secs = timeIt(func() {
+				if err := apps.MultisortSMPSsCoarse(rt, data, cfg); err != nil {
+					panic(err)
+				}
+			})
+			rt.Close()
+		default:
+			panic("unknown model " + model)
+		}
+	})
+	if !sortedKeys(data) {
+		panic("bench: " + model + " multisort produced unsorted output")
+	}
+	return secs
+}
+
+func sortedKeys(d []int64) bool {
+	for i := 1; i < len(d); i++ {
+		if d[i-1] > d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fig14 reproduces Fig. 14: Multisort speedup versus the sequential
+// implementation for Cilk, OpenMP 3.0 tasks and SMPSs.  The paper's
+// shape: "all three versions scale similarly, with SMPSs having slightly
+// better performance than the others".
+func Fig14(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "fig14",
+		Title:  fmt.Sprintf("Multisort of %d int64 keys, speedup vs sequential", cfg.SortKeys),
+		XLabel: "threads",
+		YLabel: "speedup",
+	}
+	orig := randKeys(cfg.SortKeys, 42)
+	scfg := sortCfgFor(cfg.SortKeys)
+	seqSecs := multisortSecs("seq", 1, orig, scfg)
+	for _, model := range []string{"cilk", "omp3", "smpss"} {
+		s := Series{Name: model}
+		for _, t := range ThreadSweep(cfg.MaxThreads) {
+			s.add(float64(t), seqSecs/multisortSecs(model, t, orig, scfg))
+		}
+		r.Series = append(r.Series, s)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// queensSecs measures one N-Queens solve of the given model and checks
+// the count against the sequential answer.
+func queensSecs(model string, threads, n int, want int64) float64 {
+	var secs float64
+	var got int64
+	withProcs(threads, func() {
+		switch model {
+		case "seq":
+			secs = timeIt(func() { got = apps.NQueensSeq(n) })
+		case "cilk":
+			rt := cilkrt.New(threads)
+			secs = timeIt(func() { got = apps.NQueensCilk(rt, n) })
+			rt.Close()
+		case "omp3":
+			rt := omptask.New(threads)
+			secs = timeIt(func() { got = apps.NQueensOMP(rt, n) })
+			rt.Close()
+		case "smpss":
+			rt := core.New(core.Config{Workers: threads})
+			secs = timeIt(func() {
+				var err error
+				got, err = apps.NQueensSMPSs(rt, n)
+				if err != nil {
+					panic(err)
+				}
+			})
+			rt.Close()
+		default:
+			panic("unknown model " + model)
+		}
+	})
+	if want != 0 && got != want {
+		panic(fmt.Sprintf("bench: %s N-Queens(%d) = %d, want %d", model, n, got, want))
+	}
+	return secs
+}
+
+// Fig15 reproduces Fig. 15: N-Queens speedup versus the plain sequential
+// version (one solution array, no parallel artifacts).
+func Fig15(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "fig15",
+		Title:  fmt.Sprintf("N-Queens N=%d, speedup vs sequential", cfg.QueensN),
+		XLabel: "threads",
+		YLabel: "speedup",
+		Notes:  []string{"sequential version has no per-branch array copies (paper §VI.E)"},
+	}
+	want := apps.NQueensSeq(cfg.QueensN)
+	seqSecs := queensSecs("seq", 1, cfg.QueensN, want)
+	for _, model := range []string{"cilk", "omp3", "smpss"} {
+		s := Series{Name: model}
+		for _, t := range ThreadSweep(cfg.MaxThreads) {
+			s.add(float64(t), seqSecs/queensSecs(model, t, cfg.QueensN, want))
+		}
+		r.Series = append(r.Series, s)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// Fig16 reproduces Fig. 16: N-Queens scalability measured against the
+// same programming model at one thread, the comparison the paper argues
+// most publications actually report.
+func Fig16(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "fig16",
+		Title:  fmt.Sprintf("N-Queens N=%d, scalability vs same model at 1 thread", cfg.QueensN),
+		XLabel: "threads",
+		YLabel: "speedup vs 1 thread",
+	}
+	want := apps.NQueensSeq(cfg.QueensN)
+	for _, model := range []string{"cilk", "omp3", "smpss"} {
+		base := queensSecs(model, 1, cfg.QueensN, want)
+		s := Series{Name: model}
+		for _, t := range ThreadSweep(cfg.MaxThreads) {
+			s.add(float64(t), base/queensSecs(model, t, cfg.QueensN, want))
+		}
+		r.Series = append(r.Series, s)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}

@@ -1,0 +1,83 @@
+package cellss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// TestGemmMatchesReference multiplies under the CellSs model and checks
+// against the sequential flat GEMM.
+func TestGemmMatchesReference(t *testing.T) {
+	const n, m = 4, 8
+	dim := n * m
+	af := kernels.GenMatrix(dim, 71)
+	bf := kernels.GenMatrix(dim, 72)
+	want := make([]float32, dim*dim)
+	kernels.GemmFlat(af, bf, want, dim)
+
+	a := hypermatrix.FromFlat(af, n, m)
+	b := hypermatrix.FromFlat(bf, n, m)
+	c := hypermatrix.New(n, m)
+	rt := New(Config{Workers: 3})
+	if rt.Workers() != 3 {
+		t.Fatalf("Workers() = %d", rt.Workers())
+	}
+	Gemm(rt, NewTasks(kernels.Fast, m), a, b, c)
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.ToFlat()
+	for i := range want {
+		if diff := math.Abs(float64(got[i] - want[i])); diff > 1e-2*(1+math.Abs(float64(want[i]))) {
+			t.Fatalf("product mismatch at %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestArgsAccessors covers the typed accessors and their panics.
+func TestArgsAccessors(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	defer rt.Close()
+	data := make([]float32, 2)
+	done := make(chan struct{})
+	def := NewTaskDef("acc", func(a *Args) {
+		defer close(done)
+		if a.Len() != 4 {
+			panic("wrong arity")
+		}
+		if a.Worker() < 0 {
+			panic("bad worker")
+		}
+		_ = a.F32(0)
+		if a.Int(1) != 7 || a.Int(2) != 8 || a.Int(3) != 9 {
+			panic("bad ints")
+		}
+		mustPanic := func(f func()) {
+			panicked := false
+			func() {
+				defer func() { panicked = recover() != nil }()
+				f()
+			}()
+			if !panicked {
+				panic("accessor did not panic")
+			}
+		}
+		mustPanic(func() { a.Value(0) }) // data arg is not a value
+		mustPanic(func() { a.Data(1) })  // value arg is not data
+		mustPanic(func() { a.Int(0) })   // data arg is not an int
+	})
+	rt.Submit(def, InOut(data), Value(7), Value(int64(8)), Value(int32(9)))
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

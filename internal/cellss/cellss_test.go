@@ -1,0 +1,181 @@
+package cellss
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// TestEagerExecution checks that, unlike SuperMatrix, CellSs starts
+// running tasks while the main flow is still submitting (§VII.C: "both
+// SMPSs and CellSs start executing tasks as soon as they enter the
+// graph").
+func TestEagerExecution(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	defer rt.Close()
+	started := make(chan struct{})
+	var once sync.Once
+	def := NewTaskDef("probe", func(a *Args) { once.Do(func() { close(started) }) })
+	data := make([]float32, 1)
+	rt.Submit(def, InOut(data))
+	// The task has no dependencies; a worker must pick it up without any
+	// Barrier/Execute call from the main flow.
+	<-started
+}
+
+// TestRenaming checks that CellSs renames like SMPSs: independent writers
+// of one variable run concurrently, and after Barrier the user's storage
+// holds the last writer's value.
+func TestRenaming(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Close()
+	data := make([]float32, 4)
+	var running, maxRunning atomic.Int64
+	for i := 0; i < 16; i++ {
+		i := i
+		def := NewTaskDef("writer", func(a *Args) {
+			cur := running.Add(1)
+			for {
+				m := maxRunning.Load()
+				if cur <= m || maxRunning.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			a.F32(0)[0] = float32(i)
+			running.Add(-1)
+		})
+		rt.Submit(def, Out(data))
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 15 {
+		t.Fatalf("after barrier data[0] = %v, want 15 (last writer)", data[0])
+	}
+	st := rt.Stats()
+	if st.Deps.Renames == 0 {
+		t.Fatal("independent writers caused no renames")
+	}
+	if st.Deps.FalseEdges != 0 {
+		t.Fatalf("renaming left %d false edges", st.Deps.FalseEdges)
+	}
+}
+
+// TestBundles checks the pre-scheduler dispatches groups: with a wide
+// ready set, mean bundle size must exceed 1.
+func TestBundles(t *testing.T) {
+	rt := New(Config{Workers: 2, Bundle: 8})
+	data := make([][]float32, 256)
+	def := NewTaskDef("leaf", func(a *Args) { a.F32(0)[0]++ })
+	for i := range data {
+		data[i] = make([]float32, 1)
+		rt.Submit(def, InOut(data[i]))
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Bundles == 0 {
+		t.Fatal("no bundles dispatched")
+	}
+	if mean := float64(st.BundledTasks) / float64(st.Bundles); mean <= 1.5 {
+		t.Fatalf("mean bundle size %.2f; pre-scheduling is not grouping", mean)
+	}
+	if st.TasksExecuted != 256 {
+		t.Fatalf("executed %d of 256", st.TasksExecuted)
+	}
+}
+
+// TestCholeskyMatchesReference factors an SPD matrix under the CellSs
+// model and compares against the sequential flat Cholesky.
+func TestCholeskyMatchesReference(t *testing.T) {
+	const n, m = 6, 16
+	dim := n * m
+	spd := kernels.GenSPD(dim, 9)
+	want := append([]float32(nil), spd...)
+	if !kernels.CholeskyFlat(want, dim) {
+		t.Fatal("reference factorization failed")
+	}
+
+	h := hypermatrix.FromFlat(spd, n, m)
+	rt := New(Config{Workers: 4})
+	Cholesky(rt, NewTasks(kernels.Fast, m), h)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := h.ToFlat()
+	for i := 0; i < dim; i++ {
+		for j := 0; j <= i; j++ {
+			g, w := got[i*dim+j], want[i*dim+j]
+			if diff := math.Abs(float64(g - w)); diff > 1e-3*(1+math.Abs(float64(w))) {
+				t.Fatalf("factor mismatch at (%d,%d): got %v want %v", i, j, g, w)
+			}
+		}
+	}
+}
+
+// TestChainSerializes checks true dependencies still order execution.
+func TestChainSerializes(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Close()
+	data := make([]float32, 1)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 32; i++ {
+		i := i
+		def := NewTaskDef("link", func(a *Args) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.F32(0)[0]++
+		})
+		rt.Submit(def, InOut(data))
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain ran out of order at %d: %v", i, order)
+		}
+	}
+	if data[0] != 32 {
+		t.Fatalf("chain result %v, want 32", data[0])
+	}
+}
+
+// TestPanicPropagation checks task panics surface from Barrier and Close.
+func TestPanicPropagation(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	data := make([]float32, 1)
+	rt.Submit(NewTaskDef("boom", func(a *Args) { panic("kaboom") }), InOut(data))
+	rt.Submit(NewTaskDef("after", func(a *Args) { a.F32(0)[0]++ }), InOut(data))
+	if err := rt.Barrier(); err == nil {
+		t.Fatal("Barrier returned nil after a task panicked")
+	}
+	if err := rt.Close(); err == nil {
+		t.Fatal("Close returned nil after a task panicked")
+	}
+}
+
+// TestValueArgs checks by-value parameter passing.
+func TestValueArgs(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	data := make([]float32, 4)
+	def := NewTaskDef("set", func(a *Args) { a.F32(0)[a.Int(1)] = 1 })
+	for i := 0; i < 4; i++ {
+		rt.Submit(def, InOut(data), Value(i))
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if v != 1 {
+			t.Fatalf("data[%d] = %v, want 1", i, v)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package cellss_test
+
+import (
+	"fmt"
+
+	"repro/internal/cellss"
+)
+
+// The CellSs model in one screen: eager execution with renaming like
+// SMPSs, but a centralized scheduler dispatching bundles from one
+// queue, and a main thread that only waits at barriers (paper §VII.A).
+func Example() {
+	scale := cellss.NewTaskDef("scale", func(a *cellss.Args) {
+		v := a.F32(0)
+		for i := range v {
+			v[i] *= 2
+		}
+	})
+	x := []float32{1, 2, 3}
+
+	rt := cellss.New(cellss.Config{Workers: 2, Bundle: 4})
+	rt.Submit(scale, cellss.InOut(x))
+	rt.Submit(scale, cellss.InOut(x))
+	if err := rt.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println(x)
+	// Output: [4 8 12]
+}

@@ -1,0 +1,254 @@
+// Package cilkrt is a Cilk-5-style spawn/sync work-stealing runtime, the
+// baseline programming model the paper compares against for Multisort
+// and N-Queens (§VI.D, §VI.E, §VII.D).
+//
+// The programming model is recursive fork-join: a function may spawn
+// child invocations and must sync before using their results.  There is
+// no dependency analysis: "Cilk does not handle task dependencies across
+// tasks in the same recursion level.  Moreover, the programmer must
+// place barriers before exiting a task in order to wait for the results
+// of its sibling tasks" (paper §VII.D).  Shared mutable state (like the
+// N-Queens partial solution array) must be copied by hand.
+//
+// Scheduling matches Cilk: each worker owns a deque, works on its own
+// deque in LIFO order, and steals from random victims in FIFO order
+// (taking the "biggest" task available).
+package cilkrt
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one spawned invocation together with the frame whose sync is
+// waiting on it.
+type task struct {
+	f  func(*Ctx)
+	fr *frame
+}
+
+// frame counts the outstanding spawned children of one function
+// activation.
+type frame struct {
+	pending atomic.Int64
+}
+
+// RT is a Cilk-style runtime instance with a fixed worker count.
+type RT struct {
+	nworkers int
+	deques   []deque
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	version uint64
+	closed  bool
+	// sleepers counts threads parked (or about to park) in waitChange;
+	// bump skips the lock and broadcast entirely while it is zero, which
+	// is the common case under load.
+	sleepers atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// deque is a mutex-guarded per-worker work deque.
+type deque struct {
+	mu    sync.Mutex
+	items []task
+}
+
+func (d *deque) push(t task) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBack() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return task{}, false
+	}
+	t := d.items[len(d.items)-1]
+	d.items[len(d.items)-1] = task{}
+	d.items = d.items[:len(d.items)-1]
+	return t, true
+}
+
+func (d *deque) popFront() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return task{}, false
+	}
+	t := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = task{}
+	d.items = d.items[:len(d.items)-1]
+	return t, true
+}
+
+// New creates a runtime with the given number of workers (including the
+// thread that calls Run).  Zero means GOMAXPROCS.
+func New(workers int) *RT {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &RT{nworkers: workers, deques: make([]deque, workers)}
+	rt.cond = sync.NewCond(&rt.mu)
+	for w := 1; w < workers; w++ {
+		rt.wg.Add(1)
+		go rt.workerLoop(w)
+	}
+	return rt
+}
+
+// Ctx identifies the executing worker and its current frame; all spawn
+// and sync operations go through it.
+type Ctx struct {
+	rt   *RT
+	self int
+	fr   *frame
+	rng  *rand.Rand
+}
+
+// Spawn runs f asynchronously as a child of the current frame.  The
+// child may be stolen by another worker; the parent must Sync before
+// consuming its results.
+func (c *Ctx) Spawn(f func(*Ctx)) {
+	c.fr.pending.Add(1)
+	c.rt.deques[c.self].push(task{f: f, fr: c.fr})
+	c.rt.bump()
+}
+
+// Sync blocks until every child spawned by the current frame has
+// finished, executing available work (its own children first) meanwhile
+// — the Cilk "sync" statement.
+func (c *Ctx) Sync() {
+	for c.fr.pending.Load() > 0 {
+		if t, ok := c.rt.next(c.self, c.rng); ok {
+			c.rt.runTask(t, c.self, c.rng)
+			continue
+		}
+		// Nothing runnable anywhere: children are executing on other
+		// workers.  Park until something changes.
+		c.rt.waitChange(c.self, c.rng, func() bool { return c.fr.pending.Load() == 0 })
+	}
+}
+
+// Run executes f as the root of a parallel computation and returns when
+// f and all its descendants have completed.
+func (rt *RT) Run(f func(*Ctx)) {
+	root := &frame{}
+	c := &Ctx{rt: rt, self: 0, fr: root, rng: rand.New(rand.NewSource(1))}
+	f(c)
+	c.Sync()
+}
+
+// Close stops the worker threads.
+func (rt *RT) Close() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+	rt.wg.Wait()
+}
+
+// runTask executes a stolen or popped task: the child body runs in its
+// own frame with an implicit sync at function end (Cilk semantics), and
+// only then is the parent's pending count released.  The executing
+// worker's steal RNG is reused across tasks.
+func (rt *RT) runTask(t task, self int, rng *rand.Rand) {
+	child := &frame{}
+	c := &Ctx{rt: rt, self: self, fr: child, rng: rng}
+	t.f(c)
+	c.Sync()
+	if t.fr.pending.Add(-1) == 0 {
+		rt.bump()
+	}
+}
+
+// next finds work: own deque in LIFO order, then random victims in FIFO
+// order ("steal tasks as big as possible", paper §VII.D).
+func (rt *RT) next(self int, rng *rand.Rand) (task, bool) {
+	if t, ok := rt.deques[self].popBack(); ok {
+		return t, true
+	}
+	if rt.nworkers == 1 {
+		return task{}, false
+	}
+	start := rng.Intn(rt.nworkers)
+	for i := 0; i < rt.nworkers; i++ {
+		v := (start + i) % rt.nworkers
+		if v == self {
+			continue
+		}
+		if t, ok := rt.deques[v].popFront(); ok {
+			return t, true
+		}
+	}
+	return task{}, false
+}
+
+// bump wakes parked threads.  While nobody is parked (the common case
+// under load) it is a single atomic load.
+func (rt *RT) bump() {
+	if rt.sleepers.Load() == 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.version++
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// waitChange parks until the runtime's version changes, it closes, or
+// cancel reports true.  The sleeper declares itself before the final
+// work recheck so a concurrent Spawn cannot slip between the recheck and
+// the park unseen (bump skips the broadcast only while sleepers == 0).
+func (rt *RT) waitChange(self int, rng *rand.Rand, cancel func() bool) {
+	rt.mu.Lock()
+	v := rt.version
+	rt.mu.Unlock()
+	rt.sleepers.Add(1)
+	defer rt.sleepers.Add(-1)
+	if cancel() {
+		return
+	}
+	if t, ok := rt.next(self, rng); ok {
+		rt.runTask(t, self, rng)
+		return
+	}
+	if cancel() {
+		return
+	}
+	rt.mu.Lock()
+	for rt.version == v && !rt.closed {
+		rt.cond.Wait()
+	}
+	rt.mu.Unlock()
+}
+
+// workerLoop is the body of each dedicated worker.
+func (rt *RT) workerLoop(self int) {
+	defer rt.wg.Done()
+	rng := rand.New(rand.NewSource(int64(self) + 7))
+	for {
+		if t, ok := rt.next(self, rng); ok {
+			rt.runTask(t, self, rng)
+			continue
+		}
+		rt.mu.Lock()
+		closed := rt.closed
+		rt.mu.Unlock()
+		if closed {
+			return
+		}
+		rt.waitChange(self, rng, func() bool {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return rt.closed
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package cilkrt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// fib computes Fibonacci with spawn/sync, the canonical Cilk example.
+func fib(c *Ctx, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var a, b int64
+	c.Spawn(func(c *Ctx) { fib(c, n-1, &a) })
+	fib(c, n-2, &b)
+	c.Sync()
+	*out = a + b
+}
+
+func TestFib(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		rt := New(workers)
+		var out int64
+		rt.Run(func(c *Ctx) { fib(c, 20, &out) })
+		rt.Close()
+		if out != 6765 {
+			t.Fatalf("workers=%d: fib(20) = %d, want 6765", workers, out)
+		}
+	}
+}
+
+func TestSyncWaitsForAllChildren(t *testing.T) {
+	rt := New(4)
+	defer rt.Close()
+	var done atomic.Int32
+	rt.Run(func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Spawn(func(c *Ctx) { done.Add(1) })
+		}
+		c.Sync()
+		if got := done.Load(); got != 100 {
+			t.Errorf("after Sync %d/100 children done", got)
+		}
+	})
+}
+
+func TestImplicitSyncAtTaskEnd(t *testing.T) {
+	// A spawned child that itself spawns grandchildren must not release
+	// its parent's counter until the grandchildren finished (Cilk's
+	// implicit sync at function end).
+	rt := New(4)
+	defer rt.Close()
+	var grand atomic.Int32
+	rt.Run(func(c *Ctx) {
+		c.Spawn(func(c *Ctx) {
+			for i := 0; i < 10; i++ {
+				c.Spawn(func(c *Ctx) { grand.Add(1) })
+			}
+			// no explicit Sync: implicit at end
+		})
+		c.Sync()
+		if got := grand.Load(); got != 10 {
+			t.Errorf("after parent Sync %d/10 grandchildren done", got)
+		}
+	})
+}
+
+func TestParallelSum(t *testing.T) {
+	const n = 1 << 16
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var sum func(c *Ctx, lo, hi int, out *int64)
+	sum = func(c *Ctx, lo, hi int, out *int64) {
+		if hi-lo <= 1024 {
+			var s int64
+			for _, v := range data[lo:hi] {
+				s += v
+			}
+			*out = s
+			return
+		}
+		mid := (lo + hi) / 2
+		var l, r int64
+		c.Spawn(func(c *Ctx) { sum(c, lo, mid, &l) })
+		sum(c, mid, hi, &r)
+		c.Sync()
+		*out = l + r
+	}
+	rt := New(8)
+	defer rt.Close()
+	var got int64
+	rt.Run(func(c *Ctx) { sum(c, 0, n, &got) })
+	want := int64(n) * (n - 1) / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestRunReusableAcrossInvocations(t *testing.T) {
+	rt := New(4)
+	defer rt.Close()
+	for round := 0; round < 5; round++ {
+		var out int64
+		rt.Run(func(c *Ctx) { fib(c, 15, &out) })
+		if out != 610 {
+			t.Fatalf("round %d: fib(15) = %d, want 610", round, out)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The paper's programming model in one screen: declare a task with its
+// parameter directionality, invoke it like a function, let the runtime
+// discover the parallelism, and read the results after a barrier.
+func Example() {
+	axpy := core.NewTaskDef("axpy", func(a *core.Args) {
+		x, y := a.F32(0), a.F32(1)
+		s := float32(a.Float(2))
+		for i := range y {
+			y[i] += s * x[i]
+		}
+	})
+
+	x := []float32{1, 2, 3, 4}
+	y := []float32{0, 0, 0, 0}
+
+	rt := core.New(core.Config{Workers: 4})
+	rt.Submit(axpy, core.In(x), core.InOut(y), core.Value(float32(10)))
+	rt.Submit(axpy, core.In(x), core.InOut(y), core.Value(float32(1)))
+	if err := rt.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println(y)
+	// Output: [11 22 33 44]
+}
+
+// Renaming removes false dependencies on a shared temporary: both
+// "iterations" reuse the one work array t, yet they run independently
+// because every Out(t) opens a fresh version (§II).
+func Example_renaming() {
+	add := core.NewTaskDef("add", func(a *core.Args) {
+		x, y, t := a.F32(0), a.F32(1), a.F32(2)
+		for i := range t {
+			t[i] = x[i] + y[i]
+		}
+	})
+	store := core.NewTaskDef("store", func(a *core.Args) {
+		copy(a.F32(1), a.F32(0))
+	})
+
+	a := []float32{1, 2}
+	b := []float32{10, 20}
+	c := []float32{100, 200}
+	t := make([]float32, 2) // the only temporary the program names
+	out1 := make([]float32, 2)
+	out2 := make([]float32, 2)
+
+	rt := core.New(core.Config{Workers: 4})
+	rt.Submit(add, core.In(a), core.In(b), core.Out(t))
+	rt.Submit(store, core.In(t), core.Out(out1))
+	rt.Submit(add, core.In(b), core.In(c), core.Out(t)) // renames t
+	rt.Submit(store, core.In(t), core.Out(out2))
+	if err := rt.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println(out1, out2)
+	// Output: [11 22] [110 220]
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/deps"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// SchedulerKind selects the ready-task scheduling policy.
+type SchedulerKind int
+
+const (
+	// SchedLocality is the paper's scheduler (§III): per-worker ready
+	// lists consumed LIFO, a main FIFO list, a high-priority list, and
+	// FIFO work-stealing in creation order.
+	SchedLocality SchedulerKind = iota
+	// SchedGlobalFIFO is the ablation policy: one central FIFO queue,
+	// the structure of SuperMatrix (paper §VII.C).
+	SchedGlobalFIFO
+)
+
+// DefaultGraphLimit is the open-task ceiling applied when Config.GraphLimit
+// is zero.  When the graph grows past it, the submitting thread behaves as
+// a worker until the graph shrinks — the paper's "graph size limit"
+// blocking condition (§III).
+const DefaultGraphLimit = 16384
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Workers is the total number of threads executing tasks, counting
+	// the main thread (which contributes whenever it blocks).  Zero
+	// means runtime.GOMAXPROCS(0).
+	Workers int
+	// Scheduler selects the scheduling policy; default SchedLocality.
+	Scheduler SchedulerKind
+	// DisableRenaming turns off the renaming engine, materializing
+	// WAR/WAW hazards as real edges (ablation).
+	DisableRenaming bool
+	// GraphLimit bounds the number of open (submitted, not completed)
+	// tasks before Submit throttles.  Zero selects DefaultGraphLimit;
+	// negative disables throttling.
+	GraphLimit int
+	// MemoryLimit bounds the bytes of renamed storage belonging to
+	// tasks that have not completed yet; when exceeded, the submitting
+	// thread executes tasks until renamed memory is released — the
+	// paper's "memory limit" blocking condition (§III).  Zero disables
+	// the limit.
+	MemoryLimit int64
+	// Tracer, when non-nil, records task lifecycle events.
+	Tracer *trace.Tracer
+	// Recorder, when non-nil, retains the full task graph for export
+	// (Fig. 5).  Recording is unbounded; use it for analysis runs only.
+	Recorder *graph.Recorder
+}
+
+// Stats is a snapshot of runtime activity counters.
+type Stats struct {
+	// TasksSubmitted and TasksExecuted count task instances.
+	TasksSubmitted int64
+	TasksExecuted  int64
+	// Deps is the dependency tracker's view (edges, renames, objects).
+	Deps deps.Stats
+	// Sched is the scheduler's view (queue destinations, steals).
+	Sched sched.Stats
+	// SyncBackCopies counts renamed objects copied back to user storage
+	// at barriers.
+	SyncBackCopies int64
+	// MainHelped counts tasks the main thread executed while blocked.
+	MainHelped int64
+}
+
+// Runtime is one SMPSs runtime instance: it owns the task graph, the
+// dependency tracker, the worker threads and the scheduler.
+//
+// The SMPSs model is single-submitter: the main program (one goroutine)
+// calls Submit, Barrier and WaitOn; task bodies run on the runtime's
+// workers and must not submit tasks themselves (the paper's runtime
+// treats task calls inside tasks as plain function calls — do the same by
+// calling the body function directly).
+type Runtime struct {
+	cfg   Config
+	g     *graph.Graph
+	tr    *deps.Tracker
+	sc    *sched.Scheduler
+	tracr *trace.Tracer
+
+	outstanding  atomic.Int64
+	submitted    atomic.Int64
+	executed     atomic.Int64
+	mainHelped   atomic.Int64
+	syncCopies   atomic.Int64
+	waiters      atomic.Int64
+	renamedBytes atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New creates and starts a runtime.  The caller must eventually call
+// Close to release the worker goroutines.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.GraphLimit == 0 {
+		cfg.GraphLimit = DefaultGraphLimit
+	}
+	rt := &Runtime{cfg: cfg, tracr: cfg.Tracer}
+
+	var policy sched.Policy
+	switch cfg.Scheduler {
+	case SchedGlobalFIFO:
+		policy = sched.NewGlobalFIFO()
+	default:
+		policy = sched.NewLocality(cfg.Workers)
+	}
+	rt.sc = sched.NewScheduler(policy)
+	rt.g = graph.New(func(n *graph.Node, by int) { rt.sc.Push(n, by) })
+	if cfg.Recorder != nil {
+		rt.g.Attach(cfg.Recorder)
+	}
+	rt.tr = deps.NewTracker(rt.g)
+	rt.tr.DisableRenaming = cfg.DisableRenaming
+
+	// The main code runs on the main thread and the runtime creates as
+	// many worker threads as necessary to fill out the rest of the
+	// cores (paper §III).  Worker identities 1..Workers-1; the main
+	// thread participates as worker 0 whenever it blocks.
+	for w := 1; w < cfg.Workers; w++ {
+		rt.wg.Add(1)
+		go rt.workerLoop(w)
+	}
+	return rt
+}
+
+// Workers returns the configured total thread count.
+func (rt *Runtime) Workers() int { return rt.cfg.Workers }
+
+// Stats returns a snapshot of the runtime's counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		TasksSubmitted: rt.submitted.Load(),
+		TasksExecuted:  rt.executed.Load(),
+		Deps:           rt.tr.Stats(),
+		Sched:          rt.sc.Stats(),
+		SyncBackCopies: rt.syncCopies.Load(),
+		MainHelped:     rt.mainHelped.Load(),
+	}
+}
+
+// Err returns the first task failure (panic) observed, or nil.
+func (rt *Runtime) Err() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.firstErr
+}
+
+func (rt *Runtime) setErr(err error) {
+	rt.errMu.Lock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+	rt.errMu.Unlock()
+}
+
+// Submit invokes a task: the runtime analyzes each parameter's
+// directionality against the current state of its data, adds the task to
+// the graph with its true dependencies, and schedules it as soon as they
+// are satisfied.  Submit returns immediately unless the open-graph limit
+// is reached, in which case the calling thread executes tasks until the
+// graph shrinks (paper §III: "a memory limit, or a graph size limit").
+func (rt *Runtime) Submit(def *TaskDef, args ...Arg) {
+	if rt.closed.Load() {
+		panic("core: Submit on closed runtime")
+	}
+	if rt.cfg.GraphLimit > 0 {
+		for rt.g.Open() >= int64(rt.cfg.GraphLimit) {
+			if !rt.helpOnce(func() bool { return rt.g.Open() < int64(rt.cfg.GraphLimit) }) {
+				break
+			}
+		}
+	}
+	if rt.cfg.MemoryLimit > 0 {
+		for rt.renamedBytes.Load() >= rt.cfg.MemoryLimit {
+			if !rt.helpOnce(func() bool { return rt.renamedBytes.Load() < rt.cfg.MemoryLimit }) {
+				break
+			}
+		}
+	}
+
+	node := rt.g.AddNode(def.kind, def.Name, def.HighPriority, nil)
+	rec := &taskRec{def: def, args: make([]boundArg, len(args))}
+	node.Payload = rec
+	for i, a := range args {
+		switch a.kind {
+		case argValue, argOpaque:
+			rec.args[i] = boundArg{kind: a.kind, instance: a.value}
+		case argData:
+			acc := deps.Access{
+				Key:    dataKey(a.data),
+				Mode:   a.mode,
+				Region: a.region,
+				Data:   a.data,
+				Alloc:  allocLike(a.data),
+				Copy:   copyInto,
+			}
+			res := rt.tr.Analyze(node, acc)
+			if res.Renamed {
+				rec.renamedBytes += byteSize(a.data)
+				rt.tracr.Emit(0, trace.EvRename, def.kind, def.Name, node.ID)
+			}
+			rec.args[i] = boundArg{
+				kind:     argData,
+				instance: res.Instance,
+				copyFrom: res.CopyFrom,
+				copyFn:   res.Copy,
+			}
+		}
+	}
+	rt.submitted.Add(1)
+	rt.outstanding.Add(1)
+	rt.renamedBytes.Add(rec.renamedBytes)
+	rt.tracr.Emit(0, trace.EvCreate, def.kind, def.Name, node.ID)
+	rt.g.Seal(node)
+}
+
+// exec runs one task body on thread self.
+func (rt *Runtime) exec(n *graph.Node, self int) {
+	rt.g.MarkRunning(n)
+	rec := n.Payload.(*taskRec)
+	// Seed renamed inout parameters.  The RAW edge on the previous
+	// producer guarantees the source contents are final.
+	for i := range rec.args {
+		if b := &rec.args[i]; b.copyFrom != nil {
+			b.copyFn(b.instance, b.copyFrom)
+			b.copyFrom = nil
+		}
+	}
+	rt.tracr.Emit(self, trace.EvStart, n.Kind, rec.def.Name, n.ID)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rt.setErr(fmt.Errorf("core: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r))
+			}
+		}()
+		rec.def.Fn(&Args{rec: rec, worker: self})
+	}()
+	rt.tracr.Emit(self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
+	rt.g.Complete(n, self)
+	rt.executed.Add(1)
+	if rec.renamedBytes != 0 {
+		rt.renamedBytes.Add(-rec.renamedBytes)
+	}
+	if rt.outstanding.Add(-1) == 0 || rt.waiters.Load() > 0 {
+		// Wake blocked Barrier/WaitOn callers so they re-check their
+		// conditions.
+		rt.sc.Kick()
+	}
+}
+
+// workerLoop is the body of each dedicated worker thread.
+func (rt *Runtime) workerLoop(self int) {
+	defer rt.wg.Done()
+	for {
+		n := rt.sc.Get(self, nil)
+		if n == nil {
+			return
+		}
+		rt.exec(n, self)
+	}
+}
+
+// helpOnce lets the main thread execute a single task, parking until one
+// is available or until done() reports the blocking condition cleared.
+// It returns false when done() fired without work being found.
+func (rt *Runtime) helpOnce(done func() bool) bool {
+	rt.waiters.Add(1)
+	n := rt.sc.Get(0, done)
+	rt.waiters.Add(-1)
+	if n == nil {
+		return false
+	}
+	rt.mainHelped.Add(1)
+	rt.exec(n, 0)
+	return true
+}
+
+// Barrier blocks until every submitted task has completed, with the main
+// thread behaving as a worker in the meantime (paper §III).  On return,
+// any data whose current contents live in renamed storage have been
+// copied back to the variables the program named, and the first task
+// failure (if any) is returned.
+func (rt *Runtime) Barrier() error {
+	rt.tracr.Emit(0, trace.EvBarrier, -1, "", 0)
+	for rt.outstanding.Load() > 0 {
+		rt.helpOnce(func() bool { return rt.outstanding.Load() == 0 })
+	}
+	rt.syncCopies.Add(int64(rt.tr.SyncAll()))
+	rt.tracr.Emit(0, trace.EvBarrierDone, -1, "", 0)
+	return rt.Err()
+}
+
+// WaitOn blocks until all pending writers of data have completed,
+// helping to execute tasks meanwhile, then makes the current contents
+// visible in data (copying back from renamed storage if needed).  It is
+// the equivalent of the CellSs/SMPSs wait-on primitive: after WaitOn the
+// main program may read data without a full barrier.
+func (rt *Runtime) WaitOn(data any) error { return rt.WaitOnRegion(data, deps.Full) }
+
+// WaitOnRegion is WaitOn restricted to a region of data.  Note that if
+// the object was renamed (whole-object writes), the sync-back copies the
+// entire object.
+func (rt *Runtime) WaitOnRegion(data any, r Region) error {
+	key := dataKey(data)
+	pending := func() bool { return len(rt.tr.PendingWriters(key, r)) == 0 }
+	for !pending() {
+		rt.helpOnce(pending)
+	}
+	if rt.tr.SyncObject(key) {
+		rt.syncCopies.Add(1)
+	}
+	return rt.Err()
+}
+
+// Close waits for all outstanding work (an implicit barrier), then stops
+// the worker threads.  The runtime must not be used afterwards.
+func (rt *Runtime) Close() error {
+	err := rt.Barrier()
+	rt.closed.Store(true)
+	rt.sc.Close()
+	rt.wg.Wait()
+	return err
+}
+
+// Run is a convenience wrapper: it creates a runtime, invokes body with
+// it, and closes it, returning the first error from tasks or from body.
+func Run(cfg Config, body func(rt *Runtime) error) error {
+	rt := New(cfg)
+	bodyErr := body(rt)
+	closeErr := rt.Close()
+	if bodyErr != nil {
+		return bodyErr
+	}
+	return closeErr
+}

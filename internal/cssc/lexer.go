@@ -1,0 +1,175 @@
+// Package cssc implements the front-end of the SMPSs source-to-source
+// compiler: a parser for the paper's task annotation language (§II and
+// §V.A) and a Go code generator targeting the core runtime.
+//
+// The 2008 toolchain "translates C code with the aforementioned
+// annotations into standard C99 code with calls to the supporting
+// runtime library" (§II).  This reproduction consumes task declaration
+// files — the pragma-annotated prototypes of Fig. 2 and Fig. 7 — and
+// emits Go task definitions plus typed submission wrappers, which is the
+// same contract expressed against a Go host program:
+//
+//	#pragma css task input(a, b) inout(c)
+//	void sgemm_t(float a[M][M], float b[M][M], float c[M][M]);
+//
+// becomes a core.TaskDef named "sgemm_t", a typed implementation hook,
+// and a SubmitSgemmT(rt, a, b, c) wrapper binding In/In/InOut arguments.
+package cssc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct
+	tokPragma // a full "#pragma ..." line (continuations folded)
+)
+
+// token is one lexical element with its source line for diagnostics.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer splits a task declaration file into tokens.  Pragma lines are
+// delivered as single tokens; backslash continuations are folded.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src.  It returns an error for unterminated comments.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.lexPragmaLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLineComment()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			if err := l.skipBlockComment(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		default:
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), line: l.line})
+			l.pos++
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentRune(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// lexPragmaLine consumes a full preprocessor line, folding backslash
+// continuations, and emits it as one tokPragma token.
+func (l *lexer) lexPragmaLine() {
+	start := l.line
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == '\n' || (l.src[l.pos+1] == '\r' && l.pos+2 < len(l.src) && l.src[l.pos+2] == '\n')) {
+			// Continuation: swallow the backslash and newline.
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			l.pos++
+			l.line++
+			b.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokPragma, text: stripComments(b.String()), line: start})
+}
+
+// stripComments removes // and single-line /* */ comments from a pragma
+// line (multi-line block comments cannot occur: the pragma ends at the
+// newline).
+func stripComments(s string) string {
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	for {
+		i := strings.Index(s, "/*")
+		if i < 0 {
+			return s
+		}
+		j := strings.Index(s[i+2:], "*/")
+		if j < 0 {
+			return s[:i]
+		}
+		s = s[:i] + " " + s[i+2+j+2:]
+	}
+}
+
+func (l *lexer) skipLineComment() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) skipBlockComment() error {
+	start := l.line
+	l.pos += 2
+	for l.pos+1 < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return nil
+		}
+		l.pos++
+	}
+	return fmt.Errorf("cssc: line %d: unterminated block comment", start)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], line: l.line})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdentRune(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		// Accept suffixed and hex literals loosely; validation is not
+		// the lexer's job.
+		if l.src[l.pos] == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			break // ".." is the region range operator
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], line: l.line})
+}

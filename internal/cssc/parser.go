@@ -1,0 +1,291 @@
+package cssc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode is the directionality a clause assigns to a parameter mention.
+type Mode int
+
+// Directionality clauses of the task construct (paper §II).
+const (
+	ModeIn Mode = iota
+	ModeOut
+	ModeInOut
+)
+
+// String returns the clause keyword.
+func (m Mode) String() string {
+	switch m {
+	case ModeIn:
+		return "input"
+	case ModeOut:
+		return "output"
+	}
+	return "inout"
+}
+
+// RegionDimKind distinguishes the three region specifier forms of §V.A.
+type RegionDimKind int
+
+// Region specifier forms: {l..u}, {l:L}, {}.
+const (
+	RegionRange RegionDimKind = iota // {l..u}
+	RegionSpan                       // {l:L}
+	RegionFull                       // {}
+)
+
+// RegionDim is one per-dimension region specifier.
+type RegionDim struct {
+	Kind RegionDimKind
+	// A and B hold the C expressions: lower/upper for RegionRange,
+	// lower/length for RegionSpan, empty for RegionFull.
+	A, B string
+}
+
+// Mention is one appearance of a parameter inside a directionality
+// clause, optionally carrying dimension and region specifiers.  A single
+// parameter may appear several times to declare several accessed regions
+// (paper §V.A).
+type Mention struct {
+	Param string
+	Mode  Mode
+	// Dims are the optional dimension-size expressions ("identifier
+	// [expr][expr]...", §II), needed in C when the declaration omits
+	// sizes; Go slices carry their length, so they are recorded but not
+	// used by the generator.
+	Dims []string
+	// Region holds the region specifiers, nil when the whole parameter
+	// is accessed.
+	Region []RegionDim
+	Line   int
+}
+
+// Param is one parameter of the task prototype.
+type Param struct {
+	Name string
+	// CType is the base type name ("float", "long", "ELM", "void").
+	CType string
+	// Stars is the pointer depth.
+	Stars int
+	// ArrayDims holds the declared array dimension expressions.
+	ArrayDims []string
+	Line      int
+}
+
+// IsArray reports whether the parameter is array-shaped (declared
+// dimensions or non-void pointer).
+func (p Param) IsArray() bool {
+	return len(p.ArrayDims) > 0 || (p.Stars > 0 && p.CType != "void")
+}
+
+// IsOpaque reports whether the parameter is a void* opaque pointer,
+// which passes through the runtime unaltered (paper §II).
+func (p Param) IsOpaque() bool { return p.Stars > 0 && p.CType == "void" }
+
+// Task is one parsed "#pragma css task" construct with its prototype.
+type Task struct {
+	Name         string
+	HighPriority bool
+	Params       []Param
+	Mentions     []Mention
+	Line         int
+}
+
+// MentionsOf returns the mentions of one parameter in clause order.
+func (t *Task) MentionsOf(name string) []Mention {
+	var out []Mention
+	for _, m := range t.Mentions {
+		if m.Param == name {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Parse reads a task declaration file: a sequence of "#pragma css task"
+// constructs each followed by a C function prototype, as in Fig. 2 and
+// Fig. 7 of the paper.  Non-task pragmas and stray tokens between tasks
+// are rejected so mistakes surface early.
+func Parse(src string) ([]*Task, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var tasks []*Task
+	for !p.at(tokEOF) {
+		t := p.peek()
+		if t.kind != tokPragma {
+			return nil, fmt.Errorf("cssc: line %d: expected #pragma css task, got %q", t.line, t.text)
+		}
+		p.next()
+		task, err := parsePragma(t.text, t.line)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.parsePrototype(task); err != nil {
+			return nil, err
+		}
+		if err := validate(task); err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task)
+	}
+	return tasks, nil
+}
+
+// parser walks the top-level token stream (prototypes between pragmas).
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool {
+	return p.toks[p.pos].kind == k
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("cssc: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+// parsePrototype parses "void name(type param[dims], ...);".
+func (p *parser) parsePrototype(task *Task) error {
+	ret := p.next()
+	if ret.kind != tokIdent || ret.text != "void" {
+		return fmt.Errorf("cssc: line %d: task functions must return void, got %q", ret.line, ret.text)
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("cssc: line %d: expected task name, got %q", name.line, name.text)
+	}
+	task.Name = name.text
+	task.Line = name.line
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == ")" {
+		p.next()
+	} else {
+		for {
+			prm, err := p.parseParam()
+			if err != nil {
+				return err
+			}
+			task.Params = append(task.Params, prm)
+			t := p.next()
+			if t.kind == tokPunct && t.text == ")" {
+				break
+			}
+			if t.kind != tokPunct || t.text != "," {
+				return fmt.Errorf("cssc: line %d: expected , or ) in parameter list, got %q", t.line, t.text)
+			}
+		}
+	}
+	return p.expectPunct(";")
+}
+
+// parseParam parses "qualifiers type *... name [expr]...".
+func (p *parser) parseParam() (Param, error) {
+	var idents []token
+	var prm Param
+	for p.peek().kind == tokIdent {
+		idents = append(idents, p.next())
+	}
+	for p.peek().kind == tokPunct && p.peek().text == "*" {
+		prm.Stars++
+		p.next()
+	}
+	// "type *name" and "const type name": the last identifier before
+	// stars-or-end is the name unless stars were consumed after it.
+	if prm.Stars > 0 {
+		// Name follows the stars.
+		t := p.next()
+		if t.kind != tokIdent {
+			return prm, fmt.Errorf("cssc: line %d: expected parameter name after '*', got %q", t.line, t.text)
+		}
+		idents = append(idents, t)
+	}
+	if len(idents) < 2 {
+		if len(idents) == 1 {
+			return prm, fmt.Errorf("cssc: line %d: parameter %q is missing a type or a name", idents[0].line, idents[0].text)
+		}
+		return prm, fmt.Errorf("cssc: line %d: empty parameter", p.peek().line)
+	}
+	prm.Name = idents[len(idents)-1].text
+	prm.Line = idents[len(idents)-1].line
+	// Drop qualifiers; the base type is the last identifier before the
+	// name.
+	prm.CType = idents[len(idents)-2].text
+	for p.peek().kind == tokPunct && p.peek().text == "[" {
+		p.next()
+		expr, err := p.captureUntilBracket()
+		if err != nil {
+			return prm, err
+		}
+		prm.ArrayDims = append(prm.ArrayDims, expr)
+	}
+	return prm, nil
+}
+
+// captureUntilBracket collects raw expression text up to the matching
+// "]".
+func (p *parser) captureUntilBracket() (string, error) {
+	depth := 0
+	var parts []string
+	for {
+		t := p.next()
+		if t.kind == tokEOF {
+			return "", fmt.Errorf("cssc: line %d: unterminated [", t.line)
+		}
+		if t.kind == tokPunct {
+			switch t.text {
+			case "[", "(":
+				depth++
+			case ")":
+				depth--
+			case "]":
+				if depth == 0 {
+					return strings.Join(parts, ""), nil
+				}
+				depth--
+			}
+		}
+		parts = append(parts, t.text)
+	}
+}
+
+func validate(task *Task) error {
+	byName := map[string]Param{}
+	for _, prm := range task.Params {
+		byName[prm.Name] = prm
+	}
+	for _, m := range task.Mentions {
+		prm, ok := byName[m.Param]
+		if !ok {
+			return fmt.Errorf("cssc: line %d: clause names unknown parameter %q of task %s", m.Line, m.Param, task.Name)
+		}
+		if prm.IsOpaque() {
+			return fmt.Errorf("cssc: line %d: parameter %q of task %s is void* (opaque) and cannot appear in a directionality clause", m.Line, m.Param, task.Name)
+		}
+		if !prm.IsArray() && m.Mode != ModeIn {
+			return fmt.Errorf("cssc: line %d: scalar parameter %q of task %s is passed by value and can only be input", m.Line, m.Param, task.Name)
+		}
+		if !prm.IsArray() && m.Region != nil {
+			return fmt.Errorf("cssc: line %d: scalar parameter %q of task %s cannot have region specifiers", m.Line, m.Param, task.Name)
+		}
+	}
+	for _, prm := range task.Params {
+		if prm.IsArray() && len(task.MentionsOf(prm.Name)) == 0 {
+			return fmt.Errorf("cssc: line %d: array parameter %q of task %s appears in no directionality clause", prm.Line, prm.Name, task.Name)
+		}
+	}
+	return nil
+}

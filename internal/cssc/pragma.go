@@ -1,0 +1,207 @@
+package cssc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// parsePragma parses the folded text of one "#pragma css task" line into
+// a Task skeleton holding the clause information (the prototype is
+// parsed separately).
+//
+// Grammar (paper §II and §V.A):
+//
+//	#pragma css task [clause [clause] ...]
+//	clause     := input(refs) | output(refs) | inout(refs) | highpriority
+//	refs       := ref [, ref]...
+//	ref        := identifier dim* region*
+//	dim        := '[' expr ']'
+//	region     := '{' '}' | '{' expr '..' expr '}' | '{' expr ':' expr '}'
+func parsePragma(text string, line int) (*Task, error) {
+	s := &pragmaScanner{text: text, line: line}
+	for _, kw := range []string{"#", "pragma", "css", "task"} {
+		got := s.word()
+		if got != kw {
+			return nil, fmt.Errorf("cssc: line %d: expected %q in pragma, got %q", line, kw, got)
+		}
+	}
+	task := &Task{}
+	for {
+		kw := s.word()
+		if kw == "" {
+			break
+		}
+		switch kw {
+		case "highpriority":
+			task.HighPriority = true
+		case "input", "output", "inout":
+			mode := map[string]Mode{"input": ModeIn, "output": ModeOut, "inout": ModeInOut}[kw]
+			if err := s.expect('('); err != nil {
+				return nil, err
+			}
+			for {
+				m, err := s.paramRef(mode)
+				if err != nil {
+					return nil, err
+				}
+				task.Mentions = append(task.Mentions, m)
+				c := s.punct()
+				if c == ')' {
+					break
+				}
+				if c != ',' {
+					return nil, fmt.Errorf("cssc: line %d: expected , or ) in %s clause", line, kw)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("cssc: line %d: unknown task clause %q", line, kw)
+		}
+	}
+	if rest := strings.TrimSpace(s.text[s.pos:]); rest != "" {
+		return nil, fmt.Errorf("cssc: line %d: trailing pragma text %q", line, rest)
+	}
+	return task, nil
+}
+
+// pragmaScanner is a tiny cursor over pragma text.
+type pragmaScanner struct {
+	text string
+	pos  int
+	line int
+}
+
+func (s *pragmaScanner) skipSpace() {
+	for s.pos < len(s.text) && unicode.IsSpace(rune(s.text[s.pos])) {
+		s.pos++
+	}
+}
+
+// word consumes an identifier or a single '#' and returns it ("" at end).
+func (s *pragmaScanner) word() string {
+	s.skipSpace()
+	if s.pos >= len(s.text) {
+		return ""
+	}
+	if s.text[s.pos] == '#' {
+		s.pos++
+		return "#"
+	}
+	start := s.pos
+	for s.pos < len(s.text) && isIdentRune(rune(s.text[s.pos])) {
+		s.pos++
+	}
+	return s.text[start:s.pos]
+}
+
+// punct consumes one non-space character (0 at end).
+func (s *pragmaScanner) punct() byte {
+	s.skipSpace()
+	if s.pos >= len(s.text) {
+		return 0
+	}
+	c := s.text[s.pos]
+	s.pos++
+	return c
+}
+
+func (s *pragmaScanner) expect(c byte) error {
+	if got := s.punct(); got != c {
+		return fmt.Errorf("cssc: line %d: expected %q in pragma, got %q", s.line, string(c), string(got))
+	}
+	return nil
+}
+
+// peekPunct returns the next non-space character without consuming it.
+func (s *pragmaScanner) peekPunct() byte {
+	s.skipSpace()
+	if s.pos >= len(s.text) {
+		return 0
+	}
+	return s.text[s.pos]
+}
+
+// paramRef parses "identifier [expr]* {region}*".
+func (s *pragmaScanner) paramRef(mode Mode) (Mention, error) {
+	name := s.word()
+	if name == "" {
+		return Mention{}, fmt.Errorf("cssc: line %d: expected parameter name in clause", s.line)
+	}
+	m := Mention{Param: name, Mode: mode, Line: s.line}
+	for s.peekPunct() == '[' {
+		s.pos++
+		expr, err := s.balancedUntil(']')
+		if err != nil {
+			return m, err
+		}
+		m.Dims = append(m.Dims, strings.TrimSpace(expr))
+	}
+	for s.peekPunct() == '{' {
+		s.pos++
+		dim, err := s.regionDim()
+		if err != nil {
+			return m, err
+		}
+		m.Region = append(m.Region, dim)
+	}
+	return m, nil
+}
+
+// regionDim parses the contents of one region specifier after '{'.
+func (s *pragmaScanner) regionDim() (RegionDim, error) {
+	body, err := s.balancedUntil('}')
+	if err != nil {
+		return RegionDim{}, err
+	}
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return RegionDim{Kind: RegionFull}, nil
+	}
+	if i := strings.Index(body, ".."); i >= 0 {
+		lo := strings.TrimSpace(body[:i])
+		hi := strings.TrimSpace(body[i+2:])
+		if lo == "" || hi == "" {
+			return RegionDim{}, fmt.Errorf("cssc: line %d: malformed region range %q", s.line, body)
+		}
+		return RegionDim{Kind: RegionRange, A: lo, B: hi}, nil
+	}
+	if i := strings.IndexByte(body, ':'); i >= 0 {
+		lo := strings.TrimSpace(body[:i])
+		n := strings.TrimSpace(body[i+1:])
+		if lo == "" || n == "" {
+			return RegionDim{}, fmt.Errorf("cssc: line %d: malformed region span %q", s.line, body)
+		}
+		return RegionDim{Kind: RegionSpan, A: lo, B: n}, nil
+	}
+	return RegionDim{}, fmt.Errorf("cssc: line %d: malformed region specifier {%s}", s.line, body)
+}
+
+// balancedUntil collects text until the closing delimiter, respecting
+// nested parentheses and brackets (region bounds are C99 expressions,
+// §II).
+func (s *pragmaScanner) balancedUntil(closer byte) (string, error) {
+	depth := 0
+	start := s.pos
+	for s.pos < len(s.text) {
+		c := s.text[s.pos]
+		switch c {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			if depth == 0 && c == closer {
+				out := s.text[start:s.pos]
+				s.pos++
+				return out, nil
+			}
+			depth--
+		case '}':
+			if depth == 0 && c == closer {
+				out := s.text[start:s.pos]
+				s.pos++
+				return out, nil
+			}
+		}
+		s.pos++
+	}
+	return "", fmt.Errorf("cssc: line %d: unterminated %q in pragma", s.line, string(closer))
+}

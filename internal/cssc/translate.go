@@ -1,0 +1,344 @@
+package cssc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Translate is the whole-program half of the compiler contract of §II:
+// it "translates C code with the aforementioned annotations into
+// standard C99 code with calls to the supporting runtime library".
+//
+// The input is a C source file annotated with the SMPSs pragma set.
+// Beyond the task construct of §II, the shipped SMPSs compiler accepted
+// program-level directives, which Translate rewrites into runtime calls:
+//
+//	#pragma css start            →  css_start();
+//	#pragma css finish           →  css_finish();
+//	#pragma css barrier          →  css_barrier();
+//	#pragma css wait on(a, b)    →  css_wait_on(&a); css_wait_on(&b);
+//	#pragma css mutex lock(m)    →  css_mutex_lock(&m);
+//	#pragma css mutex unlock(m)  →  css_mutex_unlock(&m);
+//
+// A "#pragma css task" line annotates the function declaration or
+// definition that follows: the pragma line is dropped (the definition
+// compiles as plain C99, which is how the same source also builds
+// sequentially, §I), the task is recorded, and every later *statement
+// call* to it is rewritten to the runtime adapter css_submit_<name>(...).
+//
+// Translate performs no macro expansion and leaves all other text —
+// including comments and string literals, which it skips rather than
+// rewrites — byte-for-byte intact.
+func Translate(src string) (string, []*Task, error) {
+	var out strings.Builder
+	var tasks []*Task
+	taskNames := map[string]bool{}
+
+	lines := splitFolded(src)
+	expectPrototype := false
+	for _, ln := range lines {
+		trimmed := strings.TrimSpace(ln.text)
+		if strings.HasPrefix(trimmed, "#") && strings.Contains(trimmed, "pragma") {
+			rest, ok := cutPragmaCSS(trimmed)
+			if !ok {
+				// Not a css pragma (e.g. #pragma once): pass through.
+				out.WriteString(ln.text)
+				out.WriteByte('\n')
+				continue
+			}
+			word, tail := splitWord(rest)
+			switch word {
+			case "task":
+				task, err := parsePragma(trimmed, ln.line)
+				if err != nil {
+					return "", nil, err
+				}
+				tasks = append(tasks, task)
+				expectPrototype = true
+				// The pragma line is dropped; the declaration that
+				// follows stays (it is the sequential fallback).
+				continue
+			case "start":
+				out.WriteString(indentOf(ln.text) + "css_start();\n")
+			case "finish":
+				out.WriteString(indentOf(ln.text) + "css_finish();\n")
+			case "barrier":
+				out.WriteString(indentOf(ln.text) + "css_barrier();\n")
+			case "wait":
+				refs, err := parseWaitOn(tail, ln.line)
+				if err != nil {
+					return "", nil, err
+				}
+				for _, r := range refs {
+					out.WriteString(indentOf(ln.text) + fmt.Sprintf("css_wait_on(&%s);\n", r))
+				}
+			case "mutex":
+				op, refs, err := parseMutex(tail, ln.line)
+				if err != nil {
+					return "", nil, err
+				}
+				for _, r := range refs {
+					out.WriteString(indentOf(ln.text) + fmt.Sprintf("css_mutex_%s(&%s);\n", op, r))
+				}
+			default:
+				return "", nil, fmt.Errorf("cssc: line %d: unknown css pragma %q", ln.line, word)
+			}
+			continue
+		}
+
+		if expectPrototype {
+			// Bind the recorded task to the function that follows.
+			if name := declaredName(trimmed); name != "" {
+				t := tasks[len(tasks)-1]
+				bindPrototype(t, trimmed, ln.line)
+				taskNames[t.Name] = true
+				expectPrototype = false
+			}
+			out.WriteString(ln.text)
+			out.WriteByte('\n')
+			continue
+		}
+
+		out.WriteString(rewriteCalls(ln.text, taskNames))
+		out.WriteByte('\n')
+	}
+	return out.String(), tasks, nil
+}
+
+// foldedLine is one logical source line with backslash continuations
+// folded and its first physical line number.
+type foldedLine struct {
+	text string
+	line int
+}
+
+// splitFolded splits src into logical lines, folding "\"-continuations
+// (pragmas span lines that way, as in Fig. 7).
+func splitFolded(src string) []foldedLine {
+	var out []foldedLine
+	phys := strings.Split(src, "\n")
+	for i := 0; i < len(phys); i++ {
+		line := i + 1
+		text := phys[i]
+		for strings.HasSuffix(strings.TrimRight(text, " \t"), "\\") && i+1 < len(phys) {
+			text = strings.TrimSuffix(strings.TrimRight(text, " \t"), "\\") + " " + strings.TrimSpace(phys[i+1])
+			i++
+		}
+		out = append(out, foldedLine{text: text, line: line})
+	}
+	// Drop the artifact of a trailing newline.
+	if n := len(out); n > 0 && out[n-1].text == "" {
+		out = out[:n-1]
+	}
+	return out
+}
+
+// cutPragmaCSS strips "#pragma css" from a trimmed line, reporting
+// whether it was one.
+func cutPragmaCSS(s string) (rest string, ok bool) {
+	s = strings.TrimPrefix(s, "#")
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "pragma") {
+		return "", false
+	}
+	s = strings.TrimSpace(strings.TrimPrefix(s, "pragma"))
+	if !strings.HasPrefix(s, "css") {
+		return "", false
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(s, "css"))
+	return rest, true
+}
+
+// splitWord splits the first identifier off a string.
+func splitWord(s string) (word, tail string) {
+	i := 0
+	for i < len(s) && isIdentRune(rune(s[i])) {
+		i++
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+// indentOf returns the leading whitespace of a line.
+func indentOf(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseWaitOn parses "on(ref, ref...)" after "wait".
+func parseWaitOn(tail string, line int) ([]string, error) {
+	if !strings.HasPrefix(tail, "on") {
+		return nil, fmt.Errorf("cssc: line %d: expected 'on(...)' after 'wait'", line)
+	}
+	return parseRefList(strings.TrimSpace(strings.TrimPrefix(tail, "on")), line)
+}
+
+// parseMutex parses "lock(ref...)" or "unlock(ref...)" after "mutex".
+func parseMutex(tail string, line int) (op string, refs []string, err error) {
+	op, rest := splitWord(tail)
+	if op != "lock" && op != "unlock" {
+		return "", nil, fmt.Errorf("cssc: line %d: expected 'lock' or 'unlock' after 'mutex', got %q", line, op)
+	}
+	refs, err = parseRefList(rest, line)
+	return op, refs, err
+}
+
+// parseRefList parses "(a, b[i], c)" into its comma-separated items,
+// respecting nested parentheses and brackets.
+func parseRefList(s string, line int) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("cssc: line %d: expected parenthesized reference list, got %q", line, s)
+	}
+	body := s[1 : len(s)-1]
+	var refs []string
+	depth, start := 0, 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				refs = append(refs, strings.TrimSpace(body[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(body[start:])
+	if last != "" {
+		refs = append(refs, last)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("cssc: line %d: empty reference list", line)
+	}
+	return refs, nil
+}
+
+// bindPrototype fills the recorded task from the declaration (or
+// definition header) line that follows its pragma.  When the parameter
+// list parses as a full prototype the task gets its Params (so the
+// caller can feed Translate's tasks straight into Generate); otherwise —
+// a parameter list spanning physical lines, say — only the name is
+// bound, which suffices for call rewriting.
+func bindPrototype(t *Task, line string, lineno int) {
+	proto := line
+	if i := strings.LastIndexByte(proto, ')'); i >= 0 {
+		proto = proto[:i+1] + ";" // turn a definition header into a prototype
+	}
+	if toks, err := lex(proto); err == nil {
+		tmp := &Task{Mentions: t.Mentions, HighPriority: t.HighPriority}
+		p := &parser{toks: toks}
+		if err := p.parsePrototype(tmp); err == nil && validate(tmp) == nil {
+			tmp.Line = lineno
+			*t = *tmp
+			return
+		}
+	}
+	t.Name = declaredName(line)
+	t.Line = lineno
+}
+
+// declaredName extracts the function name from a C declaration or
+// definition line like "void sgemm_t(float a[M][M], ...)" — the
+// identifier immediately before the first '('.
+func declaredName(s string) string {
+	i := strings.IndexByte(s, '(')
+	if i < 0 {
+		return ""
+	}
+	end := i
+	for end > 0 && s[end-1] == ' ' {
+		end--
+	}
+	start := end
+	for start > 0 && isIdentRune(rune(s[start-1])) {
+		start--
+	}
+	if start == end {
+		return ""
+	}
+	return s[start:end]
+}
+
+// rewriteCalls rewrites statement calls to declared tasks —
+// "name(args)" at statement position — into css_submit_name(args),
+// skipping string literals, character literals and comments.
+func rewriteCalls(line string, taskNames map[string]bool) string {
+	if len(taskNames) == 0 {
+		return line
+	}
+	var out strings.Builder
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == '"' || c == '\'':
+			// Copy the literal verbatim.
+			quote := c
+			out.WriteByte(c)
+			i++
+			for i < len(line) {
+				out.WriteByte(line[i])
+				if line[i] == '\\' && i+1 < len(line) {
+					i++
+					out.WriteByte(line[i])
+					i++
+					continue
+				}
+				if line[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+		case c == '/' && i+1 < len(line) && line[i+1] == '/':
+			out.WriteString(line[i:])
+			return out.String()
+		case isIdentRune(rune(c)) && !isDigit(c):
+			start := i
+			for i < len(line) && isIdentRune(rune(line[i])) {
+				i++
+			}
+			word := line[start:i]
+			j := i
+			for j < len(line) && (line[j] == ' ' || line[j] == '\t') {
+				j++
+			}
+			if taskNames[word] && j < len(line) && line[j] == '(' && !precededByMember(line, start) {
+				out.WriteString("css_submit_" + word)
+			} else {
+				out.WriteString(word)
+			}
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String()
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// precededByMember reports whether the identifier at start must not be
+// rewritten: a struct member (a.name / a->name), or a declaration — the
+// name is preceded by a type identifier or '*', as in "void sgemm_t(".
+// Statement calls are preceded by ';', braces, ')' or start of line.
+func precededByMember(line string, start int) bool {
+	for k := start - 1; k >= 0; k-- {
+		c := line[k]
+		switch {
+		case c == ' ' || c == '\t':
+			continue
+		case c == '.' || c == '>' || c == '*' || isIdentRune(rune(c)):
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+// Package deps implements the SMPSs runtime dependency analysis (paper
+// §II): every task invocation declares the address, size and
+// directionality of each parameter, and the tracker turns that into true
+// (read-after-write) dependency edges in the task graph.
+//
+// False dependencies (write-after-read and write-after-write) are removed
+// by renaming: the tracker transparently allocates a fresh instance of the
+// data — the same technique superscalar processors apply to registers —
+// so temporaries and work arrays never serialize the graph.
+//
+// The package also implements the array-region language extension of
+// paper §V.A, which the 2008 runtime proposed but did not ship: accesses
+// may name an N-dimensional sub-rectangle of an object, and only
+// overlapping accesses are ordered.
+package deps
+
+// Region selects a rectangular sub-array of an object, as defined in
+// paper §V.A: a list of inclusive (lower, upper) bound pairs, one per
+// dimension.  The zero Region (no bounds) selects the whole object,
+// matching the paper's empty specifier "{}".
+//
+// Bounds are expressed in element units of the object's declared shape;
+// the tracker only ever compares regions of the same object, so it never
+// needs to know element sizes.
+type Region struct {
+	// Lo and Hi hold the inclusive per-dimension bounds.  len(Lo) must
+	// equal len(Hi).  Empty slices mean the full object.
+	Lo, Hi []int64
+}
+
+// Full is the region selecting the entire object.
+var Full = Region{}
+
+// Interval returns a one-dimensional region covering elements lo..hi
+// inclusive, the common case for flat arrays ("data{i..j}" in the paper's
+// syntax).
+func Interval(lo, hi int64) Region {
+	return Region{Lo: []int64{lo}, Hi: []int64{hi}}
+}
+
+// Span returns a one-dimensional region of length n starting at lo,
+// mirroring the paper's "{l:L}" specifier.
+func Span(lo, n int64) Region {
+	return Interval(lo, lo+n-1)
+}
+
+// Rect returns an N-dimensional region from per-dimension (lo, hi)
+// inclusive pairs.  Rect(l0, h0, l1, h1) selects rows l0..h0 and columns
+// l1..h1.  It panics if given an odd number of bounds.
+func Rect(bounds ...int64) Region {
+	if len(bounds)%2 != 0 {
+		panic("deps: Rect requires an even number of bounds")
+	}
+	n := len(bounds) / 2
+	r := Region{Lo: make([]int64, n), Hi: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		r.Lo[i] = bounds[2*i]
+		r.Hi[i] = bounds[2*i+1]
+	}
+	return r
+}
+
+// IsFull reports whether the region selects the whole object.
+func (r Region) IsFull() bool { return len(r.Lo) == 0 }
+
+// Empty reports whether the region selects no elements (some dimension
+// has Hi < Lo).
+func (r Region) Empty() bool {
+	for i := range r.Lo {
+		if r.Hi[i] < r.Lo[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether two regions of the same object share at least
+// one element.  Rectangles overlap iff their bounds intersect in every
+// dimension.  A full region overlaps everything non-empty, and regions
+// with mismatched dimensionality are conservatively treated as
+// overlapping (the tracker must never miss a dependency).
+func (r Region) Overlaps(s Region) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	if r.IsFull() || s.IsFull() {
+		return true
+	}
+	if len(r.Lo) != len(s.Lo) {
+		return true
+	}
+	for i := range r.Lo {
+		if r.Hi[i] < s.Lo[i] || s.Hi[i] < r.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether r covers every element of s.  A full region
+// contains everything; nothing but a full region contains a full region.
+// Mismatched dimensionality is conservatively reported as not containing.
+func (r Region) Contains(s Region) bool {
+	if r.IsFull() {
+		return true
+	}
+	if s.IsFull() {
+		return false
+	}
+	if len(r.Lo) != len(s.Lo) {
+		return false
+	}
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] || s.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}

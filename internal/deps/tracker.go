@@ -1,0 +1,435 @@
+package deps
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Mode is the directionality of a task parameter (paper §II): whether the
+// task only reads it, only writes it, or both.
+type Mode uint8
+
+// Parameter directionalities.
+const (
+	// ModeIn marks a parameter that is only read ("input" clause).
+	ModeIn Mode = iota
+	// ModeOut marks a parameter that is only written ("output" clause).
+	// The task must overwrite it completely; the runtime relies on this
+	// to rename without copying.
+	ModeOut
+	// ModeInOut marks a parameter that is read and written ("inout").
+	ModeInOut
+)
+
+// String returns the paper's clause name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIn:
+		return "input"
+	case ModeOut:
+		return "output"
+	case ModeInOut:
+		return "inout"
+	}
+	return "mode(?)"
+}
+
+// Reads reports whether the mode implies reading the previous contents.
+func (m Mode) Reads() bool { return m == ModeIn || m == ModeInOut }
+
+// Writes reports whether the mode implies writing.
+func (m Mode) Writes() bool { return m == ModeOut || m == ModeInOut }
+
+// Access describes one task parameter presented to the tracker: the
+// identity of the data it touches, how it touches it, and — because
+// renaming needs to allocate fresh storage of the right shape — callbacks
+// to clone that storage.
+type Access struct {
+	// Key identifies the data object; the runtime uses the base address
+	// of the backing array, exactly like the 2008 runtime keys its
+	// dependency analysis on parameter memory addresses.
+	Key uintptr
+	// Mode is the parameter's directionality.
+	Mode Mode
+	// Region restricts the access to a sub-array (§V.A extension).
+	// The zero Region means the whole object.
+	Region Region
+	// Data is the user-visible storage for the object's initial version.
+	Data any
+	// Alloc allocates a fresh instance with the same shape as Data.
+	// Required for renamed writes; may be nil for ModeIn.
+	Alloc func() any
+	// Copy copies the contents of src into dst.  Required when an inout
+	// parameter is renamed; may be nil otherwise.
+	Copy func(dst, src any)
+}
+
+// Resolution tells the runtime which storage a task must actually operate
+// on after renaming, mirroring the pointer rewriting the SMPSs compiler
+// performs on task bodies.
+type Resolution struct {
+	// Instance is the effective storage for the parameter.
+	Instance any
+	// CopyFrom, when non-nil, is an earlier instance whose contents must
+	// be copied into Instance immediately before the task body runs
+	// (renamed inout).  The true dependency recorded on the previous
+	// producer guarantees CopyFrom is complete by then.
+	CopyFrom any
+	// Copy is the copier to use for CopyFrom (same as Access.Copy).
+	Copy func(dst, src any)
+	// Renamed reports whether the tracker allocated fresh storage.
+	Renamed bool
+}
+
+// version is one single-assignment instance of an object.  Versions form
+// a chain: each write (out/inout) opens a new one.
+type version struct {
+	// producer is the task writing this version; nil for the initial
+	// version (data that existed before any task wrote it).
+	producer *graph.Node
+	// readers are tasks reading this version; pruned lazily as they
+	// complete.
+	readers []*graph.Node
+	// instance is the effective storage of this version.
+	instance any
+}
+
+func (v *version) producerPending() bool {
+	return v.producer != nil && !v.producer.Done()
+}
+
+func (v *version) pruneReaders() {
+	live := v.readers[:0]
+	for _, r := range v.readers {
+		if !r.Done() {
+			live = append(live, r)
+		}
+	}
+	v.readers = live
+}
+
+// regionAccess is one entry in the access history of a region-tracked
+// object.
+type regionAccess struct {
+	region Region
+	mode   Mode
+	task   *graph.Node
+}
+
+// object is the tracker's record for one base address.
+//
+// An object starts in versioned mode, where whole-object accesses build a
+// renamed version chain.  The first partial-region access flips it to
+// region mode, where an access history is kept and overlapping accesses
+// are ordered with real edges (including anti- and output dependencies:
+// renaming of partial objects is out of scope, which is exactly why the
+// 2008 runtime shipped representants instead).
+type object struct {
+	key      uintptr
+	cur      *version
+	regioned bool
+	hist     []regionAccess
+	// original is the user-visible storage the object was registered
+	// with; renaming may leave the logically-current contents in a
+	// different instance, and SyncBack restores them.
+	original any
+	// copier is the content copier captured from the first access that
+	// supplied one.
+	copier func(dst, src any)
+	// diverged is set when the current version lives in renamed storage
+	// rather than in original.
+	diverged bool
+}
+
+// Stats aggregates tracker activity for reporting and tests.
+type Stats struct {
+	// Objects is the number of distinct base addresses ever tracked.
+	Objects int64
+	// Renames counts fresh instances allocated to break WAW/WAR hazards.
+	Renames int64
+	// RenameCopies counts renamed inout parameters (each costs one
+	// content copy at task start).
+	RenameCopies int64
+	// TrueEdges counts read-after-write edges added.
+	TrueEdges int64
+	// FalseEdges counts WAR/WAW edges added; nonzero only for
+	// region-tracked objects or when renaming is disabled.
+	FalseEdges int64
+	// RegionObjects counts objects that flipped into region mode.
+	RegionObjects int64
+}
+
+// Tracker performs dependency analysis for a single runtime instance.
+//
+// Methods are safe for concurrent use, although the SMPSs model funnels
+// all task submissions through the main thread.
+type Tracker struct {
+	g *graph.Graph
+
+	// DisableRenaming turns the renaming engine off: hazards become real
+	// WAR/WAW edges.  Used by the ablation benchmarks.
+	DisableRenaming bool
+
+	mu      sync.Mutex
+	objects map[uintptr]*object
+	stats   Stats
+}
+
+// NewTracker creates a tracker that adds edges to g.
+func NewTracker(g *graph.Graph) *Tracker {
+	return &Tracker{g: g, objects: make(map[uintptr]*object)}
+}
+
+// Stats returns a snapshot of the tracker's counters.
+func (t *Tracker) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *Tracker) lookup(a Access) *object {
+	obj := t.objects[a.Key]
+	if obj == nil {
+		obj = &object{key: a.Key, cur: &version{instance: a.Data}, original: a.Data}
+		t.objects[a.Key] = obj
+		t.stats.Objects++
+	}
+	if obj.copier == nil && a.Copy != nil {
+		obj.copier = a.Copy
+	}
+	return obj
+}
+
+// Analyze resolves one parameter access for task node, adding the
+// dependency edges it implies.  It must be called after graph.AddNode and
+// before graph.Seal for the node.
+func (t *Tracker) Analyze(node *graph.Node, a Access) Resolution {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	obj := t.lookup(a)
+	if obj.regioned || !a.Region.IsFull() {
+		return t.analyzeRegion(node, obj, a)
+	}
+	switch a.Mode {
+	case ModeIn:
+		return t.analyzeIn(node, obj)
+	case ModeOut:
+		return t.analyzeOut(node, obj, a)
+	case ModeInOut:
+		return t.analyzeInOut(node, obj, a)
+	}
+	panic("deps: invalid access mode")
+}
+
+func (t *Tracker) analyzeIn(node *graph.Node, obj *object) Resolution {
+	v := obj.cur
+	if v.producerPending() {
+		t.g.AddEdge(v.producer, node)
+		t.stats.TrueEdges++
+	}
+	v.pruneReaders()
+	v.readers = append(v.readers, node)
+	return Resolution{Instance: v.instance}
+}
+
+func (t *Tracker) analyzeOut(node *graph.Node, obj *object, a Access) Resolution {
+	v := obj.cur
+	v.pruneReaders()
+	hazard := v.producerPending() || len(v.readers) > 0
+	res := Resolution{Instance: v.instance}
+	if hazard {
+		if t.DisableRenaming {
+			// Ablation path: materialize the false dependencies.
+			if v.producerPending() {
+				t.g.AddEdge(v.producer, node) // WAW
+				t.stats.FalseEdges++
+			}
+			for _, r := range v.readers {
+				t.g.AddEdge(r, node) // WAR
+				t.stats.FalseEdges++
+			}
+		} else {
+			res.Instance = a.Alloc()
+			res.Renamed = true
+			obj.diverged = true
+			t.stats.Renames++
+		}
+	}
+	obj.cur = &version{producer: node, instance: res.Instance}
+	return res
+}
+
+func (t *Tracker) analyzeInOut(node *graph.Node, obj *object, a Access) Resolution {
+	v := obj.cur
+	v.pruneReaders()
+	res := Resolution{Instance: v.instance}
+	if v.producerPending() {
+		t.g.AddEdge(v.producer, node) // RAW: the task reads the old value
+		t.stats.TrueEdges++
+	}
+	if len(v.readers) > 0 {
+		if t.DisableRenaming {
+			for _, r := range v.readers {
+				t.g.AddEdge(r, node) // WAR
+				t.stats.FalseEdges++
+			}
+		} else {
+			// Rename: write into fresh storage seeded from the previous
+			// version.  The RAW edge above guarantees the source is
+			// complete when the copy runs.
+			res.Instance = a.Alloc()
+			res.CopyFrom = v.instance
+			res.Copy = a.Copy
+			res.Renamed = true
+			obj.diverged = true
+			t.stats.Renames++
+			t.stats.RenameCopies++
+		}
+	}
+	obj.cur = &version{producer: node, instance: res.Instance}
+	return res
+}
+
+// analyzeRegion handles accesses on region-tracked objects: every
+// overlapping, still-incomplete earlier access where at least one side
+// writes becomes an edge.
+func (t *Tracker) analyzeRegion(node *graph.Node, obj *object, a Access) Resolution {
+	if !obj.regioned {
+		t.flipToRegioned(obj)
+	}
+	live := obj.hist[:0]
+	for _, h := range obj.hist {
+		if h.task.Done() {
+			continue
+		}
+		live = append(live, h)
+		if !h.region.Overlaps(a.Region) {
+			continue
+		}
+		if !a.Mode.Writes() && !h.mode.Writes() {
+			continue // read-read never orders
+		}
+		t.g.AddEdge(h.task, node)
+		if a.Mode.Reads() && h.mode.Writes() {
+			t.stats.TrueEdges++
+		} else {
+			t.stats.FalseEdges++
+		}
+	}
+	obj.hist = append(live, regionAccess{region: a.Region, mode: a.Mode, task: node})
+	return Resolution{Instance: obj.cur.instance}
+}
+
+// flipToRegioned converts a versioned object into region mode, seeding the
+// access history from the current version's pending producer and readers.
+func (t *Tracker) flipToRegioned(obj *object) {
+	obj.regioned = true
+	t.stats.RegionObjects++
+	v := obj.cur
+	if v.producerPending() {
+		obj.hist = append(obj.hist, regionAccess{region: Full, mode: ModeOut, task: v.producer})
+	}
+	v.pruneReaders()
+	for _, r := range v.readers {
+		obj.hist = append(obj.hist, regionAccess{region: Full, mode: ModeIn, task: r})
+	}
+	v.readers = nil
+}
+
+// PendingWriters returns the still-incomplete tasks that write data
+// overlapping the given region of the object at key.  The runtime's
+// WaitOn primitive blocks (and helps execute tasks) until they are all
+// done, after which the main thread may safely read the region.
+func (t *Tracker) PendingWriters(key uintptr, r Region) []*graph.Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obj := t.objects[key]
+	if obj == nil {
+		return nil
+	}
+	var out []*graph.Node
+	if obj.regioned {
+		for _, h := range obj.hist {
+			if h.mode.Writes() && !h.task.Done() && h.region.Overlaps(r) {
+				out = append(out, h.task)
+			}
+		}
+		return out
+	}
+	if obj.cur.producerPending() {
+		out = append(out, obj.cur.producer)
+	}
+	return out
+}
+
+// CurrentInstance returns the storage holding the logically current
+// contents of the object at key (the latest version after any renaming),
+// or nil if the object was never tracked.  The main thread must WaitOn
+// the object first for the contents to be meaningful.
+func (t *Tracker) CurrentInstance(key uintptr) any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obj := t.objects[key]
+	if obj == nil {
+		return nil
+	}
+	return obj.cur.instance
+}
+
+// SyncObject copies the logically-current contents of the object at key
+// back into the user's original storage if renaming moved them, and
+// resets the version chain onto the original storage.  It must only be
+// called when no task touching the object is pending (after WaitOn or a
+// barrier).  It reports whether a copy was performed.
+func (t *Tracker) SyncObject(key uintptr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obj := t.objects[key]
+	if obj == nil {
+		return false
+	}
+	return t.syncLocked(obj)
+}
+
+// SyncAll applies SyncObject to every tracked object and returns the
+// number of copies performed.  The runtime calls it from Barrier so that,
+// as in SMPSs, renaming stays invisible: after a barrier the program sees
+// all results in the variables it named.
+func (t *Tracker) SyncAll() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, obj := range t.objects {
+		if t.syncLocked(obj) {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Tracker) syncLocked(obj *object) bool {
+	if !obj.diverged {
+		return false
+	}
+	if obj.cur.producerPending() {
+		panic("deps: SyncObject called with a pending writer")
+	}
+	if obj.copier == nil {
+		panic("deps: diverged object has no copier")
+	}
+	obj.copier(obj.original, obj.cur.instance)
+	obj.cur = &version{instance: obj.original}
+	obj.diverged = false
+	return true
+}
+
+// Forget drops all tracking state for the object at key.  The next access
+// re-registers it with whatever storage the access names.  Used by
+// programs that recycle buffers for unrelated data.
+func (t *Tracker) Forget(key uintptr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.objects, key)
+}

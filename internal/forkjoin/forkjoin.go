@@ -1,0 +1,213 @@
+// Package forkjoin implements the "threaded BLAS" baselines of Fig. 11
+// and Fig. 12: parallel Cholesky and GEMM on flat matrices in the style
+// of multithreaded Goto BLAS / MKL — each step forks a parallel loop
+// over panel partitions and joins at a barrier before the next step.
+//
+// This structure is exactly why the paper's threaded baselines stop
+// scaling on Cholesky ("the MKL parallelization does not scale beyond 4
+// processors and the Goto parallelization does not scale beyond 10",
+// §VI.A): the factorization step of each panel is sequential, and every
+// join discards cross-step overlap that SMPSs' dependency graph retains.
+package forkjoin
+
+import (
+	"sync"
+
+	"repro/internal/kernels"
+)
+
+// parallelFor runs body(part) for part = 0..parts-1 on up to threads
+// goroutines and joins.
+func parallelFor(parts, threads int, body func(part int)) {
+	if threads <= 1 || parts <= 1 {
+		for p := 0; p < parts; p++ {
+			body(p)
+		}
+		return
+	}
+	if threads > parts {
+		threads = parts
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				p := next
+				next++
+				mu.Unlock()
+				if p >= parts {
+					return
+				}
+				body(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Gemm computes C += A·B on flat n×n matrices with a row-partitioned
+// parallel loop — the embarrassingly parallel case where threaded BLAS
+// has a "very good and smooth response versus the number of threads"
+// (paper §VI.B).  The per-strip arithmetic uses the given kernel
+// provider's loop discipline, so both a "threaded Goto" and a "threaded
+// MKL" baseline series exist.
+func Gemm(a, b, c []float32, n, threads int, p kernels.Provider) {
+	parts := threads * 4 // over-partition for balance
+	if parts > n {
+		parts = n
+	}
+	fast := p.Name != kernels.Ref.Name
+	parallelFor(parts, threads, func(part int) {
+		lo := part * n / parts
+		hi := (part + 1) * n / parts
+		if fast {
+			for i := lo; i < hi; i++ {
+				ci := c[i*n : i*n+n]
+				for k := 0; k < n; k++ {
+					aik := a[i*n+k]
+					if aik == 0 {
+						continue
+					}
+					bk := b[k*n : k*n+n]
+					for j := range ci {
+						ci[j] += aik * bk[j]
+					}
+				}
+			}
+			return
+		}
+		// Textbook i-j-k order (the slower provider's discipline).
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for k := 0; k < n; k++ {
+					s += a[i*n+k] * b[k*n+j]
+				}
+				c[i*n+j] += s
+			}
+		}
+	})
+}
+
+// Cholesky factors the lower triangle of the flat n×n SPD matrix A in
+// place using a right-looking blocked algorithm with block size m:
+//
+//	for each panel k:
+//	  potrf(A[k][k])                       // sequential
+//	  parallel-for i>k: trsm(A[k][k], A[i][k])
+//	  barrier
+//	  parallel-for i≥j>k: A[i][j] -= A[i][k]·A[j][k]ᵀ
+//	  barrier
+//
+// It returns false if A is not positive definite.  The trailing-update
+// arithmetic follows the given provider's loop discipline.
+func Cholesky(a []float32, n, m, threads int, p kernels.Provider) bool {
+	fast := p.Name != kernels.Ref.Name
+	nb := (n + m - 1) / m
+	blk := func(i int) (lo, sz int) {
+		lo = i * m
+		sz = m
+		if lo+sz > n {
+			sz = n - lo
+		}
+		return
+	}
+	// Views into the flat matrix are handled with explicit strides; the
+	// tile kernels need contiguous blocks, so panels are staged through
+	// scratch copies (what a flat-storage threaded BLAS does internally
+	// with packing buffers).
+	ok := true
+	for k := 0; k < nb; k++ {
+		klo, ksz := blk(k)
+		// Factor the diagonal block (sequential step).
+		diag := packBlock(a, n, klo, klo, ksz)
+		if !kernels.CholeskyFlat(diag, ksz) {
+			ok = false
+			break
+		}
+		unpackBlock(diag, a, n, klo, klo, ksz)
+		// Panel solve below the diagonal.
+		parallelFor(nb-k-1, threads, func(part int) {
+			i := k + 1 + part
+			ilo, isz := blk(i)
+			bb := packRect(a, n, ilo, klo, isz, ksz)
+			trsmRect(diag, bb, isz, ksz)
+			unpackRect(bb, a, n, ilo, klo, isz, ksz)
+		})
+		// Trailing update (barrier implied by parallelFor join).
+		type ij struct{ i, j int }
+		var updates []ij
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j <= i; j++ {
+				updates = append(updates, ij{i, j})
+			}
+		}
+		parallelFor(len(updates), threads, func(part int) {
+			u := updates[part]
+			ilo, isz := blk(u.i)
+			jlo, jsz := blk(u.j)
+			ai := packRect(a, n, ilo, klo, isz, ksz)
+			aj := packRect(a, n, jlo, klo, jsz, ksz)
+			cc := packRect(a, n, ilo, jlo, isz, jsz)
+			if fast && isz == ksz && jsz == ksz {
+				// Square interior block: use the provider's tile kernel.
+				p.GemmNT(ai, aj, cc, ksz)
+			} else {
+				// cc -= ai·ajᵀ (edge blocks and the slow provider).
+				for r := 0; r < isz; r++ {
+					for c := 0; c < jsz; c++ {
+						var s float32
+						for x := 0; x < ksz; x++ {
+							s += ai[r*ksz+x] * aj[c*ksz+x]
+						}
+						cc[r*jsz+c] -= s
+					}
+				}
+			}
+			unpackRect(cc, a, n, ilo, jlo, isz, jsz)
+		})
+	}
+	return ok
+}
+
+// trsmRect solves X·Lᵀ = B in place of B for a rows×cols rectangular B
+// against the cols×cols lower-triangular L.
+func trsmRect(l, b []float32, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		br := b[r*cols : r*cols+cols]
+		for c := 0; c < cols; c++ {
+			s := br[c]
+			for k := 0; k < c; k++ {
+				s -= br[k] * l[c*cols+k]
+			}
+			br[c] = s / l[c*cols+c]
+		}
+	}
+}
+
+func packBlock(a []float32, n, rlo, clo, sz int) []float32 {
+	return packRect(a, n, rlo, clo, sz, sz)
+}
+
+func packRect(a []float32, n, rlo, clo, rows, cols int) []float32 {
+	out := make([]float32, rows*cols)
+	for r := 0; r < rows; r++ {
+		copy(out[r*cols:(r+1)*cols], a[(rlo+r)*n+clo:(rlo+r)*n+clo+cols])
+	}
+	return out
+}
+
+func unpackBlock(src, a []float32, n, rlo, clo, sz int) {
+	unpackRect(src, a, n, rlo, clo, sz, sz)
+}
+
+func unpackRect(src, a []float32, n, rlo, clo, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		copy(a[(rlo+r)*n+clo:(rlo+r)*n+clo+cols], src[r*cols:(r+1)*cols])
+	}
+}

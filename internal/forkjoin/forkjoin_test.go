@@ -1,0 +1,85 @@
+package forkjoin
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestGemmMatchesSequential(t *testing.T) {
+	n := 96
+	a := kernels.GenMatrix(n, 1)
+	b := kernels.GenMatrix(n, 2)
+	want := make([]float32, n*n)
+	kernels.GemmFlat(a, b, want, n)
+	for _, p := range kernels.Providers {
+		for _, threads := range []int{1, 3, 8} {
+			got := make([]float32, n*n)
+			Gemm(a, b, got, n, threads, p)
+			if d := kernels.MaxAbsDiff(want, got); d > 1e-3 {
+				t.Fatalf("%s threads=%d: parallel GEMM off by %g", p.Name, threads, d)
+			}
+		}
+	}
+}
+
+func TestCholeskyMatchesSequential(t *testing.T) {
+	n := 96
+	spd := kernels.GenSPD(n, 3)
+	want := append([]float32(nil), spd...)
+	if !kernels.CholeskyFlat(want, n) {
+		t.Fatalf("reference failed")
+	}
+	for _, p := range kernels.Providers {
+		for _, threads := range []int{1, 4} {
+			for _, m := range []int{16, 32, 40} { // 40 does not divide 96
+				got := append([]float32(nil), spd...)
+				if !Cholesky(got, n, m, threads, p) {
+					t.Fatalf("%s threads=%d m=%d: Cholesky reported failure", p.Name, threads, m)
+				}
+				if d := kernels.LowerMaxAbsDiff(want, got, n); d > 1e-2 {
+					t.Fatalf("%s threads=%d m=%d: parallel Cholesky off by %g", p.Name, threads, m, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	n := 32
+	a := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = -1
+	}
+	if Cholesky(a, n, 8, 2, kernels.Fast) {
+		t.Fatalf("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestParallelForCoversAllParts(t *testing.T) {
+	seen := make([]int32, 37)
+	parallelFor(len(seen), 5, func(p int) { seen[p]++ })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("part %d executed %d times", i, c)
+		}
+	}
+	// Degenerate cases.
+	parallelFor(0, 4, func(p int) { t.Fatalf("no parts expected") })
+	ran := 0
+	parallelFor(3, 1, func(p int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("single-thread path ran %d/3", ran)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	n := 10
+	a := kernels.GenMatrix(n, 4)
+	orig := append([]float32(nil), a...)
+	r := packRect(a, n, 2, 3, 4, 5)
+	unpackRect(r, a, n, 2, 3, 4, 5)
+	if d := kernels.MaxAbsDiff(orig, a); d != 0 {
+		t.Fatalf("pack/unpack round trip changed data by %g", d)
+	}
+}

@@ -1,0 +1,165 @@
+// End-to-end test of the cssc toolchain: the committed tasks_gen.go was
+// produced by cmd/cssc from decls.css; these tests wire real kernel
+// bodies into the generated hooks and run full algorithms through the
+// generated Submit wrappers.
+package gentasks
+
+import (
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cssc"
+	"repro/internal/kernels"
+)
+
+const m = 16 // block size used by the test bodies
+
+func initImpls() {
+	p := kernels.Fast
+	SgemmTImpl = func(a, b, c []float32) { p.GemmNT(a, b, c, m) }
+	SpotrfTImpl = func(a []float32) {
+		if !p.Potrf(a, m) {
+			panic("not positive definite")
+		}
+	}
+	StrsmTImpl = func(a, b []float32) { p.Trsm(a, b, m) }
+	SsyrkTImpl = func(a, b []float32) { p.Syrk(a, b, m) }
+	SeqquickImpl = func(data []int64, i, j int64) {
+		d := data[i : j+1]
+		sort.Slice(d, func(x, y int) bool { return d[x] < d[y] })
+	}
+	SeqmergeImpl = func(data []int64, i1, j1, i2, j2 int64, dest []int64) {
+		a := data[i1 : j1+1]
+		b := data[i2 : j2+1]
+		out := dest[i1 : i1+int64(len(a)+len(b))]
+		x, y, k := 0, 0, 0
+		for x < len(a) && y < len(b) {
+			if a[x] <= b[y] {
+				out[k] = a[x]
+				x++
+			} else {
+				out[k] = b[y]
+				y++
+			}
+			k++
+		}
+		k += copy(out[k:], a[x:])
+		copy(out[k:], b[y:])
+	}
+}
+
+// TestGeneratedCholesky runs the Fig. 4 Cholesky through the generated
+// wrappers and checks the factor.
+func TestGeneratedCholesky(t *testing.T) {
+	initImpls()
+	const n = 4 // blocks per dimension
+	dim := n * m
+	spd := kernels.GenSPD(dim, 21)
+	want := append([]float32(nil), spd...)
+	if !kernels.CholeskyFlat(want, dim) {
+		t.Fatalf("reference failed")
+	}
+
+	// Block the matrix.
+	blocks := make([][][]float32, n)
+	for i := range blocks {
+		blocks[i] = make([][]float32, n)
+		for j := range blocks[i] {
+			blk := make([]float32, m*m)
+			for r := 0; r < m; r++ {
+				copy(blk[r*m:(r+1)*m], spd[(i*m+r)*dim+j*m:(i*m+r)*dim+j*m+m])
+			}
+			blocks[i][j] = blk
+		}
+	}
+
+	rt := core.New(core.Config{Workers: 8})
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			for i := j + 1; i < n; i++ {
+				SubmitSgemmT(rt, blocks[i][k], blocks[j][k], blocks[i][j])
+			}
+		}
+		for i := 0; i < j; i++ {
+			SubmitSsyrkT(rt, blocks[j][i], blocks[j][j])
+		}
+		SubmitSpotrfT(rt, blocks[j][j])
+		for i := j + 1; i < n; i++ {
+			SubmitStrsmT(rt, blocks[j][j], blocks[i][j])
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]float32, dim*dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for r := 0; r < m; r++ {
+				copy(got[(i*m+r)*dim+j*m:(i*m+r)*dim+j*m+m], blocks[i][j][r*m:(r+1)*m])
+			}
+		}
+	}
+	if d := kernels.LowerMaxAbsDiff(want, got, dim); d > 1e-2 {
+		t.Fatalf("generated-wrapper Cholesky off by %g", d)
+	}
+}
+
+// TestGeneratedSortMerge runs the Fig. 7 region tasks through the
+// generated wrappers.
+func TestGeneratedSortMerge(t *testing.T) {
+	initImpls()
+	rt := core.New(core.Config{Workers: 4})
+	defer rt.Close()
+	data := []int64{9, 3, 7, 1, 8, 2, 6, 4}
+	dest := make([]int64, 8)
+	SubmitSeqquick(rt, data, 0, 3)
+	SubmitSeqquick(rt, data, 4, 7)
+	SubmitSeqmerge(rt, data, 0, 3, 4, 7, dest)
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 6, 7, 8, 9}
+	for i := range want {
+		if dest[i] != want[i] {
+			t.Fatalf("dest = %v, want %v", dest, want)
+		}
+	}
+}
+
+// TestGeneratedFileInSync regenerates from decls.css and compares with
+// the committed tasks_gen.go, so the two cannot drift.
+func TestGeneratedFileInSync(t *testing.T) {
+	src, err := os.ReadFile("decls.css")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := cssc.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := cssc.Generate(tasks, cssc.Options{Package: "gentasks", Typedefs: map[string]string{"ELM": "int64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("tasks_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fresh) != string(committed) {
+		t.Fatalf("tasks_gen.go is stale; regenerate with:\n  go run ./cmd/cssc -pkg gentasks -typedef ELM=int64 -o internal/gentasks/tasks_gen.go internal/gentasks/decls.css")
+	}
+}
+
+// TestHighPriorityPropagated checks the highpriority clause reached the
+// generated definition.
+func TestHighPriorityPropagated(t *testing.T) {
+	if !SpotrfT.HighPriority {
+		t.Fatalf("spotrf_t must be generated as high priority")
+	}
+	if SgemmT.HighPriority {
+		t.Fatalf("sgemm_t must not be high priority")
+	}
+}

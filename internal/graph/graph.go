@@ -1,0 +1,228 @@
+// Package graph implements the dynamic task dependency graph at the heart
+// of the SMPSs runtime.
+//
+// Whenever the application calls a task, the runtime adds a node to the
+// graph together with edges encoding its true (read-after-write)
+// dependencies on earlier tasks.  Nodes whose dependency count drops to
+// zero are reported through a readiness callback, tagged with the identity
+// of the worker whose task completion released them; the scheduler uses
+// that tag to place the task on the releasing worker's own ready list,
+// which is how SMPSs exploits data locality (paper §III).
+//
+// The graph retains completed nodes only while a Recorder is attached
+// (used to reproduce Fig. 5 of the paper); in normal operation nodes are
+// dropped as soon as they complete so arbitrarily long programs run in
+// bounded memory.
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NodeState enumerates the lifecycle of a task node.
+type NodeState int32
+
+// Lifecycle states of a node.  A node moves strictly forward:
+// Building → Ready → Running → Done.
+const (
+	// StateBuilding means the node is still being analyzed; edges may be
+	// added and the node must not be scheduled yet.
+	StateBuilding NodeState = iota
+	// StateReady means all input dependencies are satisfied and the node
+	// is queued (or about to be queued) for execution.
+	StateReady
+	// StateRunning means a worker is executing the task body.
+	StateRunning
+	// StateDone means the task finished and its outgoing edges have been
+	// released.
+	StateDone
+)
+
+// String returns a short human-readable state name.
+func (s NodeState) String() string {
+	switch s {
+	case StateBuilding:
+		return "building"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// MainThread is the worker identity used for tasks that become ready at
+// submission time (on the main thread) rather than by a worker completing
+// one of their predecessors.
+const MainThread = -1
+
+// Node is one task instance in the dependency graph.
+type Node struct {
+	// ID is the task's invocation order, starting at 1 like the node
+	// numbering of Fig. 5 in the paper.
+	ID int64
+	// Kind identifies the task definition (used to color Fig. 5 and to
+	// aggregate per-task-type statistics).
+	Kind int
+	// Label is the task definition name, e.g. "spotrf_t".
+	Label string
+	// Priority marks the task as highpriority (paper §II): it is
+	// scheduled as soon as possible, bypassing locality lists.
+	Priority bool
+	// Payload carries the runtime's task record (argument bindings,
+	// function pointer).  The graph never inspects it.
+	Payload any
+
+	// pending counts unsatisfied input dependencies.  The extra +1 held
+	// during construction prevents a concurrent completion from firing
+	// the readiness callback before analysis has finished.
+	pending atomic.Int32
+	state   atomic.Int32
+
+	mu    sync.Mutex
+	succs []*Node
+	// npred is the total number of incoming true-dependency edges ever
+	// added (for statistics and DOT export of in-degree).
+	npred int32
+}
+
+// State returns the node's current lifecycle state.
+func (n *Node) State() NodeState { return NodeState(n.state.Load()) }
+
+// Done reports whether the task has completed.
+func (n *Node) Done() bool { return n.State() == StateDone }
+
+// NumPredecessors returns the number of true-dependency edges into the node.
+func (n *Node) NumPredecessors() int { return int(atomic.LoadInt32(&n.npred)) }
+
+// Graph is a dynamic task dependency graph.
+//
+// The submitting (main) thread adds nodes and edges; worker threads
+// complete nodes concurrently.  All cross-thread coordination happens via
+// per-node atomics plus a short critical section per edge endpoint.
+type Graph struct {
+	nextID  atomic.Int64
+	open    atomic.Int64 // nodes added but not yet completed
+	added   atomic.Int64
+	edges   atomic.Int64
+	readyCB func(n *Node, releasedBy int)
+
+	recMu sync.Mutex
+	rec   *Recorder
+}
+
+// New creates a graph.  ready is invoked exactly once per node when its
+// last input dependency is satisfied; releasedBy identifies the worker
+// whose completion released the node, or MainThread if the node was ready
+// at submission.  ready may be invoked from any thread and must not block.
+func New(ready func(n *Node, releasedBy int)) *Graph {
+	if ready == nil {
+		panic("graph: nil ready callback")
+	}
+	return &Graph{readyCB: ready}
+}
+
+// Open returns the number of nodes that have been added but have not yet
+// completed.  The runtime uses it to throttle the main thread when the
+// graph grows past its configured limit (paper §III: "a graph size limit").
+func (g *Graph) Open() int64 { return g.open.Load() }
+
+// Added returns the total number of nodes ever added.
+func (g *Graph) Added() int64 { return g.added.Load() }
+
+// Edges returns the total number of true-dependency edges ever added.
+func (g *Graph) Edges() int64 { return g.edges.Load() }
+
+// AddNode creates a node in the Building state.  The caller must add all
+// edges with AddEdge and then call Seal exactly once.
+func (g *Graph) AddNode(kind int, label string, priority bool, payload any) *Node {
+	n := &Node{
+		ID:       g.nextID.Add(1),
+		Kind:     kind,
+		Label:    label,
+		Priority: priority,
+		Payload:  payload,
+	}
+	n.pending.Store(1) // construction hold
+	g.open.Add(1)
+	g.added.Add(1)
+	g.recMu.Lock()
+	if g.rec != nil {
+		g.rec.addNode(n)
+	}
+	g.recMu.Unlock()
+	return n
+}
+
+// AddEdge records a true dependency from → to: "to" may not start until
+// "from" completes.  If "from" has already completed the edge is a no-op
+// (beyond statistics).  "to" must still be in the Building state.
+func (g *Graph) AddEdge(from, to *Node) {
+	if from == to {
+		return
+	}
+	// Count the dependency before publishing the edge: once "to" is in
+	// from.succs, a concurrent Complete(from) may decrement to.pending at
+	// any moment, and it must never observe the count without this edge.
+	// "to" is still under construction (its hold is in place), so the
+	// rollback below can never drop pending to zero.
+	to.pending.Add(1)
+	from.mu.Lock()
+	if from.Done() {
+		from.mu.Unlock()
+		to.pending.Add(-1)
+		return
+	}
+	from.succs = append(from.succs, to)
+	from.mu.Unlock()
+
+	atomic.AddInt32(&to.npred, 1)
+	g.edges.Add(1)
+
+	g.recMu.Lock()
+	if g.rec != nil {
+		g.rec.addEdge(from.ID, to.ID)
+	}
+	g.recMu.Unlock()
+}
+
+// Seal ends the construction of n.  If no incomplete predecessors remain,
+// the readiness callback fires on the calling (main) thread with
+// releasedBy = MainThread.
+func (g *Graph) Seal(n *Node) {
+	if n.pending.Add(-1) == 0 {
+		g.fireReady(n, MainThread)
+	}
+}
+
+func (g *Graph) fireReady(n *Node, by int) {
+	n.state.Store(int32(StateReady))
+	g.readyCB(n, by)
+}
+
+// MarkRunning transitions a node from Ready to Running.
+func (g *Graph) MarkRunning(n *Node) { n.state.Store(int32(StateRunning)) }
+
+// Complete marks n done and releases its successors.  Successors whose
+// dependency count reaches zero fire the readiness callback with
+// releasedBy = worker, implementing the SMPSs policy that a task made
+// ready by a worker lands on that worker's own ready list.
+func (g *Graph) Complete(n *Node, worker int) {
+	n.mu.Lock()
+	n.state.Store(int32(StateDone))
+	succs := n.succs
+	n.succs = nil
+	n.mu.Unlock()
+
+	for _, s := range succs {
+		if s.pending.Add(-1) == 0 {
+			g.fireReady(s, worker)
+		}
+	}
+	n.Payload = nil
+	g.open.Add(-1)
+}

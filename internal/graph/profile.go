@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// Profile is the level-by-level parallelism structure of a recorded
+// graph: nodes grouped by dependency depth.  Width[d] is the number of
+// tasks whose longest chain from a root has d+1 nodes — the tasks an
+// ideal machine with unlimited cores could run in step d.  The profile
+// quantifies what a figure like the paper's Fig. 5 shows visually: how
+// wide the graph is, where it narrows, and the best speedup any
+// scheduler could extract.
+type Profile struct {
+	// Width[d] is the number of tasks at depth d (0-based).
+	Width []int
+	// Tasks is the total task count.
+	Tasks int
+}
+
+// CriticalPath returns the number of levels (the longest chain).
+func (p *Profile) CriticalPath() int { return len(p.Width) }
+
+// MaxWidth returns the widest level.
+func (p *Profile) MaxWidth() int {
+	best := 0
+	for _, w := range p.Width {
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// AvgParallelism returns tasks / critical path: the speedup an unlimited
+// machine achieves when every task costs the same.
+func (p *Profile) AvgParallelism() float64 {
+	if len(p.Width) == 0 {
+		return 0
+	}
+	return float64(p.Tasks) / float64(len(p.Width))
+}
+
+// ParallelismProfile computes the depth histogram of the recorded graph.
+func (r *Recorder) ParallelismProfile() *Profile {
+	succ := make(map[int64][]int64, len(r.nodes))
+	indeg := make(map[int64]int, len(r.nodes))
+	for _, n := range r.nodes {
+		indeg[n.id] = 0
+	}
+	for _, e := range r.edges {
+		succ[e.from] = append(succ[e.from], e.to)
+		indeg[e.to]++
+	}
+	depth := make(map[int64]int, len(r.nodes))
+	var queue []int64
+	for _, n := range r.nodes {
+		if indeg[n.id] == 0 {
+			queue = append(queue, n.id)
+			depth[n.id] = 0
+		}
+	}
+	p := &Profile{Tasks: len(r.nodes)}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		d := depth[id]
+		for len(p.Width) <= d {
+			p.Width = append(p.Width, 0)
+		}
+		p.Width[d]++
+		for _, s := range succ[id] {
+			if d+1 > depth[s] {
+				depth[s] = d + 1
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return p
+}
+
+// WriteProfile renders the profile as a fixed-width histogram, one row
+// per level, with a proportional bar.
+func (p *Profile) WriteProfile(w io.Writer) {
+	max := p.MaxWidth()
+	if max == 0 {
+		fmt.Fprintln(w, "empty graph")
+		return
+	}
+	const barWidth = 50
+	fmt.Fprintf(w, "levels %d, tasks %d, max width %d, avg parallelism %.1f\n",
+		p.CriticalPath(), p.Tasks, max, p.AvgParallelism())
+	for d, width := range p.Width {
+		bar := width * barWidth / max
+		fmt.Fprintf(w, "%4d %6d |%s\n", d, width, bars(bar))
+	}
+}
+
+func bars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

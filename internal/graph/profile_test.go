@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildRecorded constructs a graph with a recorder and returns both plus
+// a completion sink so edges to completed nodes can be exercised.
+func buildRecorded(t *testing.T) (*Graph, *Recorder) {
+	t.Helper()
+	g := New(func(n *Node, by int) {})
+	rec := &Recorder{}
+	g.Attach(rec)
+	return g, rec
+}
+
+// TestProfileChain: a pure chain has width 1 at every level.
+func TestProfileChain(t *testing.T) {
+	g, rec := buildRecorded(t)
+	var prev *Node
+	for i := 0; i < 5; i++ {
+		n := g.AddNode(0, "link", false, nil)
+		if prev != nil {
+			g.AddEdge(prev, n)
+		}
+		g.Seal(n)
+		prev = n
+	}
+	p := rec.ParallelismProfile()
+	if p.CriticalPath() != 5 || p.Tasks != 5 || p.MaxWidth() != 1 {
+		t.Fatalf("chain profile = %+v", p)
+	}
+	if p.AvgParallelism() != 1 {
+		t.Fatalf("chain avg parallelism = %g", p.AvgParallelism())
+	}
+}
+
+// TestProfileFanOut: a root with k children has widths [1, k].
+func TestProfileFanOut(t *testing.T) {
+	g, rec := buildRecorded(t)
+	root := g.AddNode(0, "root", false, nil)
+	g.Seal(root)
+	for i := 0; i < 7; i++ {
+		c := g.AddNode(0, "leaf", false, nil)
+		g.AddEdge(root, c)
+		g.Seal(c)
+	}
+	p := rec.ParallelismProfile()
+	if p.CriticalPath() != 2 || p.Width[0] != 1 || p.Width[1] != 7 {
+		t.Fatalf("fan-out profile = %+v", p)
+	}
+	if p.AvgParallelism() != 4 {
+		t.Fatalf("avg parallelism = %g, want 4", p.AvgParallelism())
+	}
+}
+
+// TestProfileDiamond: diamond dependencies place the join at depth 2.
+func TestProfileDiamond(t *testing.T) {
+	g, rec := buildRecorded(t)
+	a := g.AddNode(0, "a", false, nil)
+	g.Seal(a)
+	b := g.AddNode(0, "b", false, nil)
+	g.AddEdge(a, b)
+	g.Seal(b)
+	c := g.AddNode(0, "c", false, nil)
+	g.AddEdge(a, c)
+	g.Seal(c)
+	d := g.AddNode(0, "d", false, nil)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	g.Seal(d)
+	p := rec.ParallelismProfile()
+	want := []int{1, 2, 1}
+	if len(p.Width) != len(want) {
+		t.Fatalf("diamond widths = %v", p.Width)
+	}
+	for i := range want {
+		if p.Width[i] != want[i] {
+			t.Fatalf("diamond widths = %v, want %v", p.Width, want)
+		}
+	}
+}
+
+// TestProfileMatchesCriticalPathLength: the two depth computations must
+// agree on any graph.
+func TestProfileMatchesCriticalPathLength(t *testing.T) {
+	g, rec := buildRecorded(t)
+	var nodes []*Node
+	for i := 0; i < 40; i++ {
+		n := g.AddNode(0, "n", false, nil)
+		for j := range nodes {
+			if (i+j)%7 == 0 {
+				g.AddEdge(nodes[j], n)
+			}
+		}
+		g.Seal(n)
+		nodes = append(nodes, n)
+	}
+	p := rec.ParallelismProfile()
+	if p.CriticalPath() != rec.CriticalPathLength() {
+		t.Fatalf("profile depth %d != critical path %d", p.CriticalPath(), rec.CriticalPathLength())
+	}
+	total := 0
+	for _, w := range p.Width {
+		total += w
+	}
+	if total != p.Tasks || total != 40 {
+		t.Fatalf("profile loses tasks: %d of %d", total, p.Tasks)
+	}
+}
+
+// TestWriteProfile renders without error and contains the summary line.
+func TestWriteProfile(t *testing.T) {
+	g, rec := buildRecorded(t)
+	a := g.AddNode(0, "a", false, nil)
+	g.Seal(a)
+	b := g.AddNode(0, "b", false, nil)
+	g.AddEdge(a, b)
+	g.Seal(b)
+	var sb strings.Builder
+	rec.ParallelismProfile().WriteProfile(&sb)
+	if !strings.Contains(sb.String(), "levels 2, tasks 2") {
+		t.Fatalf("profile output:\n%s", sb.String())
+	}
+	var empty strings.Builder
+	(&Profile{}).WriteProfile(&empty)
+	if !strings.Contains(empty.String(), "empty graph") {
+		t.Fatalf("empty profile output: %q", empty.String())
+	}
+}

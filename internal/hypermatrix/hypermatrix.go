@@ -1,0 +1,141 @@
+// Package hypermatrix implements the blocked matrix storage the paper's
+// algorithms operate on (§IV): "1-level hyper-matrices of N by N blocks,
+// each of M by M elements", where each position holds a pointer to a
+// block.  A nil block position represents an all-zero block, which is how
+// the sparse algorithms of Fig. 3 skip work and how the on-demand
+// blocking of Fig. 9/10 tracks which blocks have been copied in.
+package hypermatrix
+
+import "fmt"
+
+// Matrix is an N×N hyper-matrix of M×M row-major float32 blocks.
+type Matrix struct {
+	// N is the hyper-matrix dimension in blocks.
+	N int
+	// M is the block dimension in elements.
+	M int
+	// Blocks holds the block pointers; Blocks[i][j] == nil means an
+	// all-zero (or not-yet-copied) block.
+	Blocks [][][]float32
+}
+
+// New allocates a dense hyper-matrix with all blocks present and zeroed.
+func New(n, m int) *Matrix {
+	h := NewSparse(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Blocks[i][j] = make([]float32, m*m)
+		}
+	}
+	return h
+}
+
+// NewSparse allocates a hyper-matrix with every block position nil.
+func NewSparse(n, m int) *Matrix {
+	blocks := make([][][]float32, n)
+	for i := range blocks {
+		blocks[i] = make([][]float32, n)
+	}
+	return &Matrix{N: n, M: m, Blocks: blocks}
+}
+
+// Block returns the block at hyper-position (i, j), which may be nil.
+func (h *Matrix) Block(i, j int) []float32 { return h.Blocks[i][j] }
+
+// EnsureBlock returns the block at (i, j), allocating a zero block first
+// if the position is empty — the paper's alloc_block() (Fig. 3).
+func (h *Matrix) EnsureBlock(i, j int) []float32 {
+	if h.Blocks[i][j] == nil {
+		h.Blocks[i][j] = make([]float32, h.M*h.M)
+	}
+	return h.Blocks[i][j]
+}
+
+// NonZeroBlocks counts the allocated block positions.
+func (h *Matrix) NonZeroBlocks() int {
+	c := 0
+	for i := range h.Blocks {
+		for j := range h.Blocks[i] {
+			if h.Blocks[i][j] != nil {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// At returns element (r, c) in flat element coordinates, treating nil
+// blocks as zero.
+func (h *Matrix) At(r, c int) float32 {
+	b := h.Blocks[r/h.M][c/h.M]
+	if b == nil {
+		return 0
+	}
+	return b[(r%h.M)*h.M+c%h.M]
+}
+
+// Set writes element (r, c), allocating the containing block if needed.
+func (h *Matrix) Set(r, c int, v float32) {
+	h.EnsureBlock(r/h.M, c/h.M)[(r%h.M)*h.M+c%h.M] = v
+}
+
+// FromFlat blocks a flat (n·m)×(n·m) row-major matrix into an n×n
+// hyper-matrix of m×m blocks.
+func FromFlat(flat []float32, n, m int) *Matrix {
+	if len(flat) != n*m*n*m {
+		panic(fmt.Sprintf("hypermatrix: flat length %d does not match (%d·%d)²", len(flat), n, m))
+	}
+	h := New(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			CopyBlockFromFlat(flat, n*m, i, j, m, h.Blocks[i][j])
+		}
+	}
+	return h
+}
+
+// ToFlat unblocks the hyper-matrix into a freshly allocated flat matrix,
+// writing zeros for nil blocks.
+func (h *Matrix) ToFlat() []float32 {
+	dim := h.N * h.M
+	flat := make([]float32, dim*dim)
+	for i := 0; i < h.N; i++ {
+		for j := 0; j < h.N; j++ {
+			if b := h.Blocks[i][j]; b != nil {
+				CopyBlockToFlat(b, flat, dim, i, j, h.M)
+			}
+		}
+	}
+	return flat
+}
+
+// CopyBlockFromFlat copies block (i, j) out of a dim×dim flat matrix
+// into dst (m×m), the body of the paper's get_block task (Fig. 10).
+func CopyBlockFromFlat(flat []float32, dim, i, j, m int, dst []float32) {
+	for r := 0; r < m; r++ {
+		copy(dst[r*m:r*m+m], flat[(i*m+r)*dim+j*m:(i*m+r)*dim+j*m+m])
+	}
+}
+
+// CopyBlockToFlat copies an m×m block into position (i, j) of a dim×dim
+// flat matrix, the body of the paper's put_block task (Fig. 10).
+func CopyBlockToFlat(src []float32, flat []float32, dim, i, j, m int) {
+	for r := 0; r < m; r++ {
+		copy(flat[(i*m+r)*dim+j*m:(i*m+r)*dim+j*m+m], src[r*m:r*m+m])
+	}
+}
+
+// Clone deep-copies the hyper-matrix (nil blocks stay nil).
+func (h *Matrix) Clone() *Matrix {
+	c := NewSparse(h.N, h.M)
+	for i := range h.Blocks {
+		for j := range h.Blocks[i] {
+			if b := h.Blocks[i][j]; b != nil {
+				nb := make([]float32, len(b))
+				copy(nb, b)
+				c.Blocks[i][j] = nb
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,126 @@
+package hypermatrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernels"
+)
+
+func TestFlatRoundTrip(t *testing.T) {
+	n, m := 3, 4
+	flat := kernels.GenMatrix(n*m, 1)
+	h := FromFlat(flat, n, m)
+	back := h.ToFlat()
+	if d := kernels.MaxAbsDiff(flat, back); d != 0 {
+		t.Fatalf("round trip changed contents by %g", d)
+	}
+}
+
+func TestFromFlatRejectsBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("FromFlat must panic on shape mismatch")
+		}
+	}()
+	FromFlat(make([]float32, 10), 2, 2)
+}
+
+func TestAtSetAcrossBlocks(t *testing.T) {
+	h := NewSparse(3, 4)
+	if h.At(5, 7) != 0 {
+		t.Fatalf("nil block must read as zero")
+	}
+	h.Set(5, 7, 2.5)
+	if h.At(5, 7) != 2.5 {
+		t.Fatalf("Set/At mismatch")
+	}
+	if h.NonZeroBlocks() != 1 {
+		t.Fatalf("NonZeroBlocks = %d, want 1", h.NonZeroBlocks())
+	}
+	// The containing block is (1,1); a neighbor stays nil.
+	if h.Block(0, 0) != nil || h.Block(1, 1) == nil {
+		t.Fatalf("wrong block allocated")
+	}
+}
+
+func TestEnsureBlockIdempotent(t *testing.T) {
+	h := NewSparse(2, 2)
+	b1 := h.EnsureBlock(0, 1)
+	b1[0] = 9
+	b2 := h.EnsureBlock(0, 1)
+	if &b1[0] != &b2[0] {
+		t.Fatalf("EnsureBlock must not reallocate")
+	}
+}
+
+func TestBlockCopyHelpersMatchAtSemantics(t *testing.T) {
+	n, m := 2, 3
+	dim := n * m
+	flat := kernels.GenMatrix(dim, 3)
+	dst := make([]float32, m*m)
+	CopyBlockFromFlat(flat, dim, 1, 0, m, dst)
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			if dst[r*m+c] != flat[(m+r)*dim+c] {
+				t.Fatalf("block copy wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+	out := make([]float32, dim*dim)
+	CopyBlockToFlat(dst, out, dim, 1, 0, m)
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			if out[(m+r)*dim+c] != dst[r*m+c] {
+				t.Fatalf("block paste wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	h := New(2, 2)
+	h.Set(0, 0, 5)
+	c := h.Clone()
+	c.Set(0, 0, 7)
+	if h.At(0, 0) != 5 {
+		t.Fatalf("Clone shares storage")
+	}
+	s := NewSparse(2, 2)
+	s.Set(3, 3, 1)
+	sc := s.Clone()
+	if sc.Block(0, 0) != nil {
+		t.Fatalf("Clone must keep nil blocks nil")
+	}
+	if sc.At(3, 3) != 1 {
+		t.Fatalf("Clone lost sparse contents")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: FromFlat → ToFlat is the identity for any n, m, seed.
+	f := func(rawN, rawM uint8, seed int64) bool {
+		n := int(rawN%4) + 1
+		m := int(rawM%5) + 1
+		flat := kernels.GenMatrix(n*m, seed)
+		return kernels.MaxAbsDiff(flat, FromFlat(flat, n, m).ToFlat()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtAgainstFlatProperty(t *testing.T) {
+	// Property: h.At(r, c) equals the flat element for random positions.
+	n, m := 4, 5
+	flat := kernels.GenMatrix(n*m, 11)
+	h := FromFlat(flat, n, m)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		r, c := rng.Intn(n*m), rng.Intn(n*m)
+		if h.At(r, c) != flat[r*n*m+c] {
+			t.Fatalf("At(%d,%d) = %v, want %v", r, c, h.At(r, c), flat[r*n*m+c])
+		}
+	}
+}

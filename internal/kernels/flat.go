@@ -1,0 +1,171 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file holds flat-matrix sequential algorithms used for verification
+// and as the sequential baselines of the paper's experiments, plus the
+// workload generators.
+
+// GemmFlat computes C += A·B on flat n×n row-major matrices using the
+// fast loop order (one core, no tasking).
+func GemmFlat(a, b, c []float32, n int) {
+	gemmNNFast(a, b, c, n)
+}
+
+// CholeskyFlat factors the lower triangle of the flat n×n matrix A in
+// place (A = L·Lᵀ), returning false if A is not positive definite.
+func CholeskyFlat(a []float32, n int) bool {
+	return potrf(a, n)
+}
+
+// LUFlat performs an in-place LU decomposition without pivoting on the
+// flat n×n matrix A (L unit-lower, U upper).  It returns false on a zero
+// pivot.  The paper cites LU without pivoting as a classic blockable
+// algorithm (§IV) and LU with pivoting as the motivation for array
+// regions (§V).
+func LUFlat(a []float32, n int) bool {
+	for k := 0; k < n; k++ {
+		p := a[k*n+k]
+		if p == 0 || math.IsNaN(float64(p)) {
+			return false
+		}
+		inv := 1 / p
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] *= inv
+		}
+		for i := k + 1; i < n; i++ {
+			lik := a[i*n+k]
+			if lik == 0 {
+				continue
+			}
+			rowK := a[k*n+k+1 : k*n+n]
+			rowI := a[i*n+k+1 : i*n+n]
+			for j := range rowI {
+				rowI[j] -= lik * rowK[j]
+			}
+		}
+	}
+	return true
+}
+
+// ZeroUpper clears the strict upper triangle of the flat n×n matrix A,
+// leaving the lower-triangular factor produced by CholeskyFlat.
+func ZeroUpper(a []float32, n int) {
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a[i*n+j] = 0
+		}
+	}
+}
+
+// MulLLT computes C = L·Lᵀ for a lower-triangular flat n×n L, used to
+// verify Cholesky factors.
+func MulLLT(l []float32, n int) []float32 {
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float32
+			kmax := j
+			for k := 0; k <= kmax; k++ {
+				s += l[i*n+k] * l[j*n+k]
+			}
+			c[i*n+j] = s
+			c[j*n+i] = s
+		}
+	}
+	return c
+}
+
+// GenMatrix fills an n×n flat matrix with reproducible pseudo-random
+// values in [-1, 1).
+func GenMatrix(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float32, n*n)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+	}
+	return a
+}
+
+// GenSPD generates a reproducible symmetric positive-definite n×n flat
+// matrix: B·Bᵀ/n + I with random B, the standard way to build Cholesky
+// inputs.
+func GenSPD(n int, seed int64) []float32 {
+	b := GenMatrix(n, seed)
+	a := make([]float32, n*n)
+	inv := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		bi := b[i*n : i*n+n]
+		for j := 0; j <= i; j++ {
+			bj := b[j*n : j*n+n]
+			var s float32
+			for k := 0; k < n; k++ {
+				s += bi[k] * bj[k]
+			}
+			s *= inv
+			if i == j {
+				s += 1
+			}
+			a[i*n+j] = s
+			a[j*n+i] = s
+		}
+	}
+	return a
+}
+
+// MaxAbsDiff returns the largest absolute element difference between two
+// equal-length slices.
+func MaxAbsDiff(a, b []float32) float64 {
+	var worst float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// LowerMaxAbsDiff compares only the lower triangles of two flat n×n
+// matrices, since Cholesky kernels leave the upper triangle unspecified.
+func LowerMaxAbsDiff(a, b []float32, n int) float64 {
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d := math.Abs(float64(a[i*n+j]) - float64(b[i*n+j]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// CholeskyFlops returns the floating-point operation count n³/3 + O(n²)
+// conventionally charged for an n×n Cholesky factorization.
+func CholeskyFlops(n int) float64 {
+	fn := float64(n)
+	return fn * fn * fn / 3
+}
+
+// GemmFlops returns the 2n³ operation count of an n×n matrix multiply.
+func GemmFlops(n int) float64 {
+	fn := float64(n)
+	return 2 * fn * fn * fn
+}
+
+// StrassenFlops returns the operation count credited to Strassen's
+// algorithm on an n×n multiply with recursion cutoff at block size m:
+// each of the log2(n/m) levels multiplies 7 subproblems, so the credited
+// work is 7^L · 2m³ plus the 18 block additions per level (the paper
+// computes Gflop/s "using Strassen's formula from [15]").
+func StrassenFlops(n, m int) float64 {
+	if n <= m {
+		return GemmFlops(n)
+	}
+	half := float64(n) / 2
+	return 7*StrassenFlops(n/2, m) + 18*half*half
+}

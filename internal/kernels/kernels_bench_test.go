@@ -1,0 +1,52 @@
+package kernels
+
+import "testing"
+
+// Tile-kernel benchmarks: the per-provider single-core rates that anchor
+// every Gflop/s figure (the "peak" series is FastGemmNN × threads).
+
+func benchBlocks(m int) (a, b, c []float32) {
+	return GenMatrix(m, 1), GenMatrix(m, 2), make([]float32, m*m)
+}
+
+func benchGemm(b *testing.B, p Provider, m int) {
+	x, y, z := benchBlocks(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.GemmNN(x, y, z, m)
+	}
+	b.ReportMetric(GemmFlops(m)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflop/s")
+}
+
+func BenchmarkGemmNNFast64(b *testing.B)  { benchGemm(b, Fast, 64) }
+func BenchmarkGemmNNFast256(b *testing.B) { benchGemm(b, Fast, 256) }
+func BenchmarkGemmNNRef64(b *testing.B)   { benchGemm(b, Ref, 64) }
+func BenchmarkGemmNNRef256(b *testing.B)  { benchGemm(b, Ref, 256) }
+
+func BenchmarkPotrf256(b *testing.B) {
+	m := 256
+	spd := GenSPD(m, 3)
+	work := make([]float32, m*m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, spd)
+		if !Fast.Potrf(work, m) {
+			b.Fatal("not positive definite")
+		}
+	}
+}
+
+func BenchmarkTrsm256(b *testing.B) {
+	m := 256
+	l := GenSPD(m, 4)
+	if !Fast.Potrf(l, m) {
+		b.Fatal("factor failed")
+	}
+	x := GenMatrix(m, 5)
+	work := make([]float32, m*m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, x)
+		Fast.Trsm(l, work, m)
+	}
+}

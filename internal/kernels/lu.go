@@ -1,0 +1,143 @@
+package kernels
+
+import "math"
+
+// Block kernels for the tiled LU decomposition without pivoting, the
+// other classic blockable factorization the paper cites (§IV, refs
+// [8][9][10]).  These are provider-independent.
+
+// LUBlock performs an in-place unblocked LU factorization (no pivoting)
+// of an m×m block: L unit-lower, U upper.  Returns false on a zero pivot.
+func LUBlock(a []float32, m int) bool {
+	return LUFlat(a, m)
+}
+
+// TrsmLLUnit solves L·X = B in place of B, with L unit-lower-triangular
+// (the row-panel update of tiled LU).
+func TrsmLLUnit(l, b []float32, m int) {
+	for r := 1; r < m; r++ {
+		lr := l[r*m : r*m+r]
+		for k := 0; k < r; k++ {
+			lrk := lr[k]
+			if lrk == 0 {
+				continue
+			}
+			bk := b[k*m : k*m+m]
+			br := b[r*m : r*m+m]
+			for c := range br {
+				br[c] -= lrk * bk[c]
+			}
+		}
+	}
+}
+
+// TrsmRU solves X·U = B in place of B, with U upper-triangular including
+// its diagonal (the column-panel update of tiled LU).
+func TrsmRU(u, b []float32, m int) bool {
+	for c := 0; c < m; c++ {
+		d := u[c*m+c]
+		if d == 0 || math.IsNaN(float64(d)) {
+			return false
+		}
+		inv := 1 / d
+		for r := 0; r < m; r++ {
+			s := b[r*m+c]
+			for k := 0; k < c; k++ {
+				s -= b[r*m+k] * u[k*m+c]
+			}
+			b[r*m+c] = s * inv
+		}
+	}
+	return true
+}
+
+// LUPivFlat performs an in-place LU decomposition with partial pivoting
+// on the flat n×n matrix A: P·A = L·U with L unit-lower.  piv[k] records
+// the row swapped with row k at step k (LAPACK ipiv convention, 0-based).
+// It returns false if the matrix is exactly singular.
+//
+// Row interchanges are what make LU "hard to block" (paper §V): they
+// touch full rows across every column block, which is exactly the access
+// pattern the array-region extension expresses.
+func LUPivFlat(a []float32, n int, piv []int32) bool {
+	for k := 0; k < n; k++ {
+		// Pivot search in column k.
+		p := k
+		best := abs32(a[k*n+k])
+		for r := k + 1; r < n; r++ {
+			if v := abs32(a[r*n+k]); v > best {
+				best = v
+				p = r
+			}
+		}
+		piv[k] = int32(p)
+		if best == 0 {
+			return false
+		}
+		if p != k {
+			SwapRows(a, n, k, p, 0, n-1)
+		}
+		inv := 1 / a[k*n+k]
+		for r := k + 1; r < n; r++ {
+			a[r*n+k] *= inv
+		}
+		for r := k + 1; r < n; r++ {
+			lrk := a[r*n+k]
+			if lrk == 0 {
+				continue
+			}
+			rowK := a[k*n+k+1 : k*n+n]
+			rowR := a[r*n+k+1 : r*n+n]
+			for c := range rowR {
+				rowR[c] -= lrk * rowK[c]
+			}
+		}
+	}
+	return true
+}
+
+// SwapRows exchanges rows r1 and r2 of the flat n-stride matrix A within
+// columns c0..c1 inclusive.
+func SwapRows(a []float32, n, r1, r2, c0, c1 int) {
+	x := a[r1*n+c0 : r1*n+c1+1]
+	y := a[r2*n+c0 : r2*n+c1+1]
+	for i := range x {
+		x[i], y[i] = y[i], x[i]
+	}
+}
+
+// ApplyPivots applies the progressive row interchanges piv[k0..k1] to the
+// flat n-stride matrix A within columns c0..c1, in forward order — the
+// laswp operation.
+func ApplyPivots(a []float32, n int, piv []int32, k0, k1, c0, c1 int) {
+	for k := k0; k <= k1; k++ {
+		if p := int(piv[k]); p != k {
+			SwapRows(a, n, k, p, c0, c1)
+		}
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// GemmSubNN computes C -= A·B (the trailing update of tiled LU), using
+// the vectorization-friendly i-k-j order.
+func GemmSubNN(a, b, c []float32, m int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			aik := a[i*m+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b[k*m : k*m+m]
+			for j := range ci {
+				ci[j] -= aik * bk[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randUnitLower builds a well-conditioned unit-lower-triangular m×m tile.
+func randUnitLower(m int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	l := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		l[i*m+i] = 1
+		for j := 0; j < i; j++ {
+			l[i*m+j] = rng.Float32()*0.5 - 0.25
+		}
+	}
+	return l
+}
+
+// randUpper builds a well-conditioned upper-triangular m×m tile.
+func randUpper(m int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	u := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		u[i*m+i] = 1 + rng.Float32()
+		for j := i + 1; j < m; j++ {
+			u[i*m+j] = rng.Float32()*0.5 - 0.25
+		}
+	}
+	return u
+}
+
+// mulNN returns A·B for m×m tiles.
+func mulNN(a, b []float32, m int) []float32 {
+	c := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		for k := 0; k < m; k++ {
+			aik := a[i*m+k]
+			for j := 0; j < m; j++ {
+				c[i*m+j] += aik * b[k*m+j]
+			}
+		}
+	}
+	return c
+}
+
+func maxAbs(a, b []float32) float64 {
+	var w float64
+	for i := range a {
+		if d := math.Abs(float64(a[i] - b[i])); d > w {
+			w = d
+		}
+	}
+	return w
+}
+
+// TestTrsmLLUnitSolves: with B = L·X, TrsmLLUnit must recover X.
+func TestTrsmLLUnitSolves(t *testing.T) {
+	const m = 16
+	l := randUnitLower(m, 1)
+	x := randTile(m, 2)
+	b := mulNN(l, x, m)
+	TrsmLLUnit(l, b, m)
+	if w := maxAbs(b, x); w > 1e-4 {
+		t.Fatalf("L⁻¹·(L·X) deviates from X by %g", w)
+	}
+}
+
+// TestTrsmRUSolves: with B = X·U, TrsmRU must recover X.
+func TestTrsmRUSolves(t *testing.T) {
+	const m = 16
+	u := randUpper(m, 3)
+	x := randTile(m, 4)
+	b := mulNN(x, u, m)
+	if !TrsmRU(u, b, m) {
+		t.Fatal("TrsmRU reported a zero pivot on a unit-diagonal-dominant U")
+	}
+	if w := maxAbs(b, x); w > 1e-4 {
+		t.Fatalf("(X·U)·U⁻¹ deviates from X by %g", w)
+	}
+}
+
+// TestTrsmRUZeroPivot: a zero diagonal must be reported, not divided by.
+func TestTrsmRUZeroPivot(t *testing.T) {
+	const m = 4
+	u := randUpper(m, 5)
+	u[2*m+2] = 0
+	b := randTile(m, 6)
+	if TrsmRU(u, b, m) {
+		t.Fatal("TrsmRU accepted a singular U")
+	}
+}
+
+// TestLUBlockReconstructs: LUBlock factors A into unit-L and U whose
+// product is A.
+func TestLUBlockReconstructs(t *testing.T) {
+	const m = 16
+	l0 := randUnitLower(m, 7)
+	u0 := randUpper(m, 8)
+	a := mulNN(l0, u0, m) // guaranteed factorable without pivoting
+	orig := append([]float32(nil), a...)
+	if !LUBlock(a, m) {
+		t.Fatal("LUBlock hit a zero pivot")
+	}
+	l := make([]float32, m*m)
+	u := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		l[i*m+i] = 1
+		for j := 0; j < i; j++ {
+			l[i*m+j] = a[i*m+j]
+		}
+		for j := i; j < m; j++ {
+			u[i*m+j] = a[i*m+j]
+		}
+	}
+	if w := maxAbs(mulNN(l, u, m), orig); w > 1e-3 {
+		t.Fatalf("‖L·U − A‖∞ = %g", w)
+	}
+}
+
+// TestGemmSubNN checks C −= A·B against the reference product.
+func TestGemmSubNN(t *testing.T) {
+	const m = 8
+	a := randTile(m, 9)
+	b := randTile(m, 10)
+	c := randTile(m, 11)
+	want := append([]float32(nil), c...)
+	prod := mulNN(a, b, m)
+	for i := range want {
+		want[i] -= prod[i]
+	}
+	GemmSubNN(a, b, c, m)
+	if w := maxAbs(c, want); w > 1e-4 {
+		t.Fatalf("GemmSubNN deviates by %g", w)
+	}
+}
+
+// TestGemmFlatMatchesReference: the flat entry point must agree with the
+// textbook loop.
+func TestGemmFlatMatchesReference(t *testing.T) {
+	const n = 24
+	a := randTile(n, 12)
+	b := randTile(n, 13)
+	c := make([]float32, n*n)
+	GemmFlat(a, b, c, n)
+	if w := maxAbs(c, mulNN(a, b, n)); w > 1e-3 {
+		t.Fatalf("GemmFlat deviates by %g", w)
+	}
+}
+
+// TestLUPivFlatReconstructs: with partial pivoting, P·A = L·U, where P
+// is encoded by the returned pivot vector.
+func TestLUPivFlatReconstructs(t *testing.T) {
+	const n = 16
+	a := randTile(n, 14) // no dominance needed: pivoting handles it
+	orig := append([]float32(nil), a...)
+	piv := make([]int32, n)
+	if !LUPivFlat(a, n, piv) {
+		t.Fatal("LUPivFlat failed on a random dense matrix")
+	}
+	l := make([]float32, n*n)
+	u := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		l[i*n+i] = 1
+		for j := 0; j < i; j++ {
+			l[i*n+j] = a[i*n+j]
+		}
+		for j := i; j < n; j++ {
+			u[i*n+j] = a[i*n+j]
+		}
+	}
+	// P·A: apply the recorded row swaps to the original.
+	pa := append([]float32(nil), orig...)
+	ApplyPivots(pa, n, piv, 0, n-1, 0, n-1)
+	if w := maxAbs(mulNN(l, u, n), pa); w > 1e-3 {
+		t.Fatalf("‖L·U − P·A‖∞ = %g", w)
+	}
+}
+
+// TestSwapRowsRoundTrip: swapping twice is the identity.
+func TestSwapRowsRoundTrip(t *testing.T) {
+	const n = 8
+	a := randTile(n, 15)
+	orig := append([]float32(nil), a...)
+	SwapRows(a, n, 2, 5, 0, n-1)
+	if maxAbs(a, orig) == 0 {
+		t.Fatal("SwapRows did nothing")
+	}
+	SwapRows(a, n, 2, 5, 0, n-1)
+	if w := maxAbs(a, orig); w != 0 {
+		t.Fatalf("double swap is not the identity (%g)", w)
+	}
+	SwapRows(a, n, 3, 3, 0, n-1) // self-swap is a no-op
+	if w := maxAbs(a, orig); w != 0 {
+		t.Fatalf("self swap changed the matrix (%g)", w)
+	}
+	// Column-restricted swap touches nothing outside c0..c1.
+	SwapRows(a, n, 0, 1, 2, 4)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < n; c++ {
+			inRange := c >= 2 && c <= 4
+			if inRange && a[r*n+c] != orig[(1-r)*n+c] {
+				t.Fatalf("restricted swap missed (%d,%d)", r, c)
+			}
+			if !inRange && a[r*n+c] != orig[r*n+c] {
+				t.Fatalf("restricted swap leaked to (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+// TestGemvTrsv: Trsv(L, L·x) must recover x, and Gemv must subtract the
+// product.
+func TestGemvTrsv(t *testing.T) {
+	const m = 16
+	l := randUnitLower(m, 16)
+	for i := 0; i < m; i++ {
+		l[i*m+i] = 1.5 // Trsv divides by the diagonal
+	}
+	x := make([]float32, m)
+	for i := range x {
+		x[i] = float32(i%5) - 2
+	}
+	// b := L·x via Gemv: y −= A·x with y = 0 gives −L·x.
+	b := make([]float32, m)
+	Gemv(l, x, b, m)
+	for i := range b {
+		b[i] = -b[i]
+	}
+	Trsv(l, b, m)
+	if w := maxAbs(b, x); w > 1e-4 {
+		t.Fatalf("Trsv(L, L·x) deviates from x by %g", w)
+	}
+
+	// TrsvFlat is the same routine on a flat matrix.
+	b2 := make([]float32, m)
+	Gemv(l, x, b2, m)
+	for i := range b2 {
+		b2[i] = -b2[i]
+	}
+	TrsvFlat(l, b2, m)
+	if w := maxAbs(b2, x); w > 1e-4 {
+		t.Fatalf("TrsvFlat deviates by %g", w)
+	}
+}
+
+// TestTrsmSolveQuick is the property-based variant of the triangular
+// solves over random sizes.
+func TestTrsmSolveQuick(t *testing.T) {
+	property := func(seed int64, mraw uint8) bool {
+		m := 1 + int(mraw)%12
+		l := randUnitLower(m, seed)
+		x := randTile(m, seed+1)
+		b := mulNN(l, x, m)
+		TrsmLLUnit(l, b, m)
+		return maxAbs(b, x) <= 1e-3
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQRFlops sanity: the flop model must be positive and cubic.
+func TestQRFlops(t *testing.T) {
+	if QRFlops(100) <= 0 {
+		t.Fatal("QRFlops not positive")
+	}
+	if r := QRFlops(200) / QRFlops(100); math.Abs(r-8) > 1e-9 {
+		t.Fatalf("QRFlops not cubic: ratio %g", r)
+	}
+}

@@ -1,0 +1,228 @@
+package kernels
+
+import "math"
+
+// Tile kernels for the communication-avoiding tiled QR factorization of
+// Buttari, Langou, Kurzak and Dongarra — the paper's reference [10] ("A
+// class of parallel tiled linear algebra algorithms for multicore
+// architectures"), which names QR alongside Cholesky and LU as the
+// factorizations that decompose naturally into tasks (§IV).  The four
+// kernels follow the PLASMA naming: GEQRT factors a diagonal tile, UNMQR
+// applies its reflectors to the tiles on its right, TSQRT couples the
+// triangle with a tile below it, and TSMQR applies that coupling to the
+// trailing pairs.
+//
+// All tiles are m×m row-major []float32.  Reflectors use the compact WY
+// representation Q = I − V·T·Vᵀ with V unit-lower and T upper-triangular.
+
+// householder computes the Householder reflection annihilating x below
+// its first element: given alpha = x[0] and sq = Σ x[i>0]², it returns
+// beta (the new leading value), tau, and the inverse scale applied to the
+// tail so that v = [1, x[1:]·invScale] satisfies
+// (I − tau·v·vᵀ)·x = [beta, 0...].  A zero tail yields tau = 0 (H = I).
+func householder(alpha float32, sq float64) (beta, tau, invScale float32) {
+	if sq == 0 {
+		return alpha, 0, 0
+	}
+	b := math.Sqrt(float64(alpha)*float64(alpha) + sq)
+	if alpha > 0 {
+		b = -b
+	}
+	beta = float32(b)
+	tau = (beta - alpha) / beta
+	invScale = 1 / (alpha - beta)
+	return beta, tau, invScale
+}
+
+// Geqrt computes the QR factorization of tile a in place: R lands in the
+// upper triangle, the Householder vectors V (unit lower) below the
+// diagonal, and t receives the m×m upper-triangular factor T of the
+// compact WY representation Q = I − V·T·Vᵀ.
+func Geqrt(a, t []float32, m int) {
+	for i := range t[:m*m] {
+		t[i] = 0
+	}
+	z := make([]float32, m)
+	for k := 0; k < m; k++ {
+		var sq float64
+		for i := k + 1; i < m; i++ {
+			sq += float64(a[i*m+k]) * float64(a[i*m+k])
+		}
+		beta, tau, inv := householder(a[k*m+k], sq)
+		for i := k + 1; i < m; i++ {
+			a[i*m+k] *= inv
+		}
+		a[k*m+k] = beta
+
+		// Apply H_k = I − tau·v·vᵀ to the trailing columns.
+		if tau != 0 {
+			for j := k + 1; j < m; j++ {
+				w := a[k*m+j]
+				for i := k + 1; i < m; i++ {
+					w += a[i*m+k] * a[i*m+j]
+				}
+				w *= tau
+				a[k*m+j] -= w
+				for i := k + 1; i < m; i++ {
+					a[i*m+j] -= a[i*m+k] * w
+				}
+			}
+		}
+
+		// Fold H_k into T: T[0:k,k] = −tau·T[0:k,0:k]·(V[:,0:k]ᵀ·v_k).
+		for i := 0; i < k; i++ {
+			zi := a[k*m+i]
+			for r := k + 1; r < m; r++ {
+				zi += a[r*m+i] * a[r*m+k]
+			}
+			z[i] = zi
+		}
+		for i := 0; i < k; i++ {
+			var s float32
+			for j := i; j < k; j++ {
+				s += t[i*m+j] * z[j]
+			}
+			t[i*m+k] = -tau * s
+		}
+		t[k*m+k] = tau
+	}
+}
+
+// Unmqr applies Qᵀ from a Geqrt factorization (V stored below the
+// diagonal of v, T in t) to the tile c from the left: c := Qᵀ·c.
+func Unmqr(v, t, c []float32, m int) {
+	w := make([]float32, m*m)
+	// W = Vᵀ·C  (V unit-lower).
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s := c[i*m+j]
+			for r := i + 1; r < m; r++ {
+				s += v[r*m+i] * c[r*m+j]
+			}
+			w[i*m+j] = s
+		}
+	}
+	// W = Tᵀ·W  (T upper-triangular, so Tᵀ is lower).
+	for j := 0; j < m; j++ {
+		for i := m - 1; i >= 0; i-- {
+			var s float32
+			for q := 0; q <= i; q++ {
+				s += t[q*m+i] * w[q*m+j]
+			}
+			w[i*m+j] = s
+		}
+	}
+	// C −= V·W.
+	for r := 0; r < m; r++ {
+		for j := 0; j < m; j++ {
+			s := w[r*m+j]
+			for i := 0; i < r; i++ {
+				s += v[r*m+i] * w[i*m+j]
+			}
+			c[r*m+j] -= s
+		}
+	}
+}
+
+// Tsqrt computes the QR factorization of the stacked 2m×m matrix [R; A]
+// where R (in tile r) is upper-triangular: it updates R in place, stores
+// the dense Householder block V₂ in tile a, and the T factor in t.  The
+// strictly-lower part of r is left untouched (it still holds the V of the
+// earlier Geqrt on that tile).
+func Tsqrt(r, a, t []float32, m int) {
+	for i := range t[:m*m] {
+		t[i] = 0
+	}
+	z := make([]float32, m)
+	for k := 0; k < m; k++ {
+		var sq float64
+		for i := 0; i < m; i++ {
+			sq += float64(a[i*m+k]) * float64(a[i*m+k])
+		}
+		beta, tau, inv := householder(r[k*m+k], sq)
+		for i := 0; i < m; i++ {
+			a[i*m+k] *= inv
+		}
+		r[k*m+k] = beta
+
+		// The reflector is v = [e_k; v₂]: in the top block it touches
+		// only row k.
+		if tau != 0 {
+			for j := k + 1; j < m; j++ {
+				w := r[k*m+j]
+				for i := 0; i < m; i++ {
+					w += a[i*m+k] * a[i*m+j]
+				}
+				w *= tau
+				r[k*m+j] -= w
+				for i := 0; i < m; i++ {
+					a[i*m+j] -= a[i*m+k] * w
+				}
+			}
+		}
+
+		// T[0:k,k] = −tau·T[0:k,0:k]·(V₂[:,0:k]ᵀ·v₂) — the e_i parts are
+		// orthogonal, so only the dense halves contribute.
+		for i := 0; i < k; i++ {
+			var zi float32
+			for rr := 0; rr < m; rr++ {
+				zi += a[rr*m+i] * a[rr*m+k]
+			}
+			z[i] = zi
+		}
+		for i := 0; i < k; i++ {
+			var s float32
+			for j := i; j < k; j++ {
+				s += t[i*m+j] * z[j]
+			}
+			t[i*m+k] = -tau * s
+		}
+		t[k*m+k] = tau
+	}
+}
+
+// Tsmqr applies Qᵀ from a Tsqrt factorization (V₂ in v2, T in t) to the
+// stacked pair [C1; C2] from the left.
+func Tsmqr(c1, c2, v2, t []float32, m int) {
+	w := make([]float32, m*m)
+	// W = C1 + V₂ᵀ·C2   (the top half of V is the identity).
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s := c1[i*m+j]
+			for r := 0; r < m; r++ {
+				s += v2[r*m+i] * c2[r*m+j]
+			}
+			w[i*m+j] = s
+		}
+	}
+	// W = Tᵀ·W.
+	for j := 0; j < m; j++ {
+		for i := m - 1; i >= 0; i-- {
+			var s float32
+			for q := 0; q <= i; q++ {
+				s += t[q*m+i] * w[q*m+j]
+			}
+			w[i*m+j] = s
+		}
+	}
+	// C1 −= W;  C2 −= V₂·W.
+	for i := 0; i < m*m; i++ {
+		c1[i] -= w[i]
+	}
+	for r := 0; r < m; r++ {
+		for j := 0; j < m; j++ {
+			var s float32
+			for i := 0; i < m; i++ {
+				s += v2[r*m+i] * w[i*m+j]
+			}
+			c2[r*m+j] -= s
+		}
+	}
+}
+
+// QRFlops estimates the floating-point operations of a Householder QR of
+// an n×n matrix (4/3·n³), used to report Gflop/s for the QR experiment.
+func QRFlops(n int) float64 {
+	fn := float64(n)
+	return 4.0 / 3.0 * fn * fn * fn
+}

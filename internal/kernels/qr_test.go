@@ -1,0 +1,225 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// frob returns the Frobenius norm of a slice.
+func frob(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// frobUpper returns the Frobenius norm of the upper triangle (inclusive)
+// of an m×m tile.
+func frobUpper(a []float32, m int) float64 {
+	var s float64
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			s += float64(a[i*m+j]) * float64(a[i*m+j])
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func randTile(m int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float32, m*m)
+	for i := range a {
+		a[i] = rng.Float32()*2 - 1
+	}
+	return a
+}
+
+// TestGeqrtNormPreservation: an orthogonal transformation preserves the
+// Frobenius norm, so ‖A‖ must equal ‖R‖ after Geqrt.
+func TestGeqrtNormPreservation(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 8, 16, 32} {
+		a := randTile(m, int64(m))
+		before := frob(a)
+		tt := make([]float32, m*m)
+		Geqrt(a, tt, m)
+		after := frobUpper(a, m)
+		if math.Abs(before-after) > 1e-4*(1+before) {
+			t.Fatalf("m=%d: ‖A‖=%g but ‖R‖=%g", m, before, after)
+		}
+	}
+}
+
+// TestGeqrtOrthogonality builds Qᵀ explicitly by applying the reflectors
+// to the identity and checks Qᵀ·(Qᵀ)ᵀ = I.
+func TestGeqrtOrthogonality(t *testing.T) {
+	const m = 16
+	a := randTile(m, 3)
+	tt := make([]float32, m*m)
+	Geqrt(a, tt, m)
+
+	g := make([]float32, m*m) // G := Qᵀ·I
+	for i := 0; i < m; i++ {
+		g[i*m+i] = 1
+	}
+	Unmqr(a, tt, g, m)
+
+	// C := −G·Gᵀ must be −I.
+	c := make([]float32, m*m)
+	Fast.GemmNT(g, g, c, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			want := float64(0)
+			if i == j {
+				want = -1
+			}
+			if diff := math.Abs(float64(c[i*m+j]) - want); diff > 1e-4 {
+				t.Fatalf("(G·Gᵀ)[%d][%d] = %g, want %g", i, j, -c[i*m+j], -want)
+			}
+		}
+	}
+}
+
+// TestGeqrtReconstruction checks A = Q·R with Q = Gᵀ built as above.
+func TestGeqrtReconstruction(t *testing.T) {
+	const m = 16
+	orig := randTile(m, 4)
+	a := append([]float32(nil), orig...)
+	tt := make([]float32, m*m)
+	Geqrt(a, tt, m)
+
+	g := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		g[i*m+i] = 1
+	}
+	Unmqr(a, tt, g, m)
+
+	r := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			r[i*m+j] = a[i*m+j]
+		}
+	}
+	// P := Q·R = Gᵀ·R:  P[i][j] = Σ_k G[k][i]·R[k][j].
+	p := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			var s float32
+			for k := 0; k < m; k++ {
+				s += g[k*m+i] * r[k*m+j]
+			}
+			p[i*m+j] = s
+		}
+	}
+	scale := frob(orig)
+	for i := range p {
+		if diff := math.Abs(float64(p[i] - orig[i])); diff > 1e-4*(1+scale) {
+			t.Fatalf("QR reconstruction mismatch at %d: got %g want %g", i, p[i], orig[i])
+		}
+	}
+}
+
+// TestTsqrtNormPreservation: Tsqrt orthogonally maps [R; A] to [R'; 0],
+// so ‖R‖² + ‖A‖² must equal ‖R'‖².
+func TestTsqrtNormPreservation(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		r := randTile(m, int64(100+m))
+		tt := make([]float32, m*m)
+		Geqrt(r, tt, m) // make the top tile a genuine triangle
+		a := randTile(m, int64(200+m))
+		before := math.Sqrt(frobUpper(r, m)*frobUpper(r, m) + frob(a)*frob(a))
+		t2 := make([]float32, m*m)
+		Tsqrt(r, a, t2, m)
+		after := frobUpper(r, m)
+		if math.Abs(before-after) > 1e-4*(1+before) {
+			t.Fatalf("m=%d: stacked norm %g became %g", m, before, after)
+		}
+	}
+}
+
+// TestTsqrtPreservesLowerV checks Tsqrt never touches the strictly-lower
+// part of the triangle tile — that is where Geqrt keeps its reflectors.
+func TestTsqrtPreservesLowerV(t *testing.T) {
+	const m = 8
+	r := randTile(m, 7)
+	tt := make([]float32, m*m)
+	Geqrt(r, tt, m)
+	var lower []float32
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			lower = append(lower, r[i*m+j])
+		}
+	}
+	a := randTile(m, 8)
+	t2 := make([]float32, m*m)
+	Tsqrt(r, a, t2, m)
+	k := 0
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			if r[i*m+j] != lower[k] {
+				t.Fatalf("Tsqrt modified V at (%d,%d)", i, j)
+			}
+			k++
+		}
+	}
+}
+
+// TestTsmqrNormPreservation is the property-based check that the Tsqrt
+// reflectors applied by Tsmqr form an orthogonal transformation: for any
+// stacked pair [C1; C2], the total Frobenius norm is preserved.
+func TestTsmqrNormPreservation(t *testing.T) {
+	const m = 8
+	r := randTile(m, 9)
+	tt := make([]float32, m*m)
+	Geqrt(r, tt, m)
+	v2 := randTile(m, 10)
+	t2 := make([]float32, m*m)
+	Tsqrt(r, v2, t2, m)
+
+	property := func(seed int64) bool {
+		c1 := randTile(m, seed)
+		c2 := randTile(m, seed+1)
+		before := math.Sqrt(frob(c1)*frob(c1) + frob(c2)*frob(c2))
+		Tsmqr(c1, c2, v2, t2, m)
+		after := math.Sqrt(frob(c1)*frob(c1) + frob(c2)*frob(c2))
+		return math.Abs(before-after) <= 1e-4*(1+before)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeqrtNormPreservationQuick is the property-based variant of the
+// norm check over random tiles and sizes.
+func TestGeqrtNormPreservationQuick(t *testing.T) {
+	property := func(seed int64, mraw uint8) bool {
+		m := 1 + int(mraw)%12
+		a := randTile(m, seed)
+		before := frob(a)
+		tt := make([]float32, m*m)
+		Geqrt(a, tt, m)
+		return math.Abs(before-frobUpper(a, m)) <= 1e-4*(1+before)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeqrtZeroColumn: a column that is already zero below the diagonal
+// must yield tau = 0 and leave the tile consistent (H = I).
+func TestGeqrtZeroColumn(t *testing.T) {
+	const m = 4
+	a := make([]float32, m*m)
+	// Upper-triangular input: nothing to annihilate anywhere.
+	want := []float32{1, 2, 3, 4, 0, 5, 6, 7, 0, 0, 8, 9, 0, 0, 0, 10}
+	copy(a, want)
+	tt := make([]float32, m*m)
+	Geqrt(a, tt, m)
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("Geqrt changed an already-triangular tile at %d: %g → %g", i, want[i], a[i])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package kernels
+
+// Vector variants of the QR application kernels, used by the blocked
+// QR solver (x = R⁻¹·Qᵀ·b): the same compact-WY updates as Unmqr/Tsmqr
+// applied to length-m block vectors instead of m×m tiles, plus the
+// upper-triangular back-substitution.
+
+// UnmqrVec applies Qᵀ from a Geqrt factorization to the length-m vector
+// c in place.
+func UnmqrVec(v, t, c []float32, m int) {
+	w := make([]float32, m)
+	// w = Vᵀ·c (V unit-lower).
+	for i := 0; i < m; i++ {
+		s := c[i]
+		for r := i + 1; r < m; r++ {
+			s += v[r*m+i] * c[r]
+		}
+		w[i] = s
+	}
+	// w = Tᵀ·w.
+	for i := m - 1; i >= 0; i-- {
+		var s float32
+		for q := 0; q <= i; q++ {
+			s += t[q*m+i] * w[q]
+		}
+		w[i] = s
+	}
+	// c −= V·w.
+	for r := 0; r < m; r++ {
+		s := w[r]
+		for i := 0; i < r; i++ {
+			s += v[r*m+i] * w[i]
+		}
+		c[r] -= s
+	}
+}
+
+// TsmqrVec applies Qᵀ from a Tsqrt factorization to the stacked vector
+// pair [c1; c2] in place.
+func TsmqrVec(c1, c2, v2, t []float32, m int) {
+	w := make([]float32, m)
+	// w = c1 + V₂ᵀ·c2.
+	for i := 0; i < m; i++ {
+		s := c1[i]
+		for r := 0; r < m; r++ {
+			s += v2[r*m+i] * c2[r]
+		}
+		w[i] = s
+	}
+	// w = Tᵀ·w.
+	for i := m - 1; i >= 0; i-- {
+		var s float32
+		for q := 0; q <= i; q++ {
+			s += t[q*m+i] * w[q]
+		}
+		w[i] = s
+	}
+	// c1 −= w;  c2 −= V₂·w.
+	for i := 0; i < m; i++ {
+		c1[i] -= w[i]
+	}
+	for r := 0; r < m; r++ {
+		var s float32
+		for i := 0; i < m; i++ {
+			s += v2[r*m+i] * w[i]
+		}
+		c2[r] -= s
+	}
+}
+
+// UTrsv solves U·x = b in place of b for the upper triangle of the m×m
+// block U (back substitution).  It ignores the strictly-lower part,
+// which after a QR factorization still holds Householder vectors.
+func UTrsv(u, b []float32, m int) {
+	for i := m - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < m; k++ {
+			s -= u[i*m+k] * b[k]
+		}
+		b[i] = s / u[i*m+i]
+	}
+}

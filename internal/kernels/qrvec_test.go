@@ -1,0 +1,118 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func vecNorm(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// TestUnmqrVecMatchesTile: applying Qᵀ to a vector must equal applying
+// it to a tile whose first column is that vector.
+func TestUnmqrVecMatchesTile(t *testing.T) {
+	const m = 12
+	a := randTile(m, 61)
+	tt := make([]float32, m*m)
+	Geqrt(a, tt, m)
+
+	vec := make([]float32, m)
+	tile := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		vec[i] = float32(i%5) - 2
+		tile[i*m] = vec[i]
+	}
+	UnmqrVec(a, tt, vec, m)
+	Unmqr(a, tt, tile, m)
+	for i := 0; i < m; i++ {
+		if vec[i] != tile[i*m] {
+			t.Fatalf("row %d: vector %g vs tile column %g", i, vec[i], tile[i*m])
+		}
+	}
+}
+
+// TestTsmqrVecMatchesTile: same agreement for the stacked-pair kernel.
+func TestTsmqrVecMatchesTile(t *testing.T) {
+	const m = 10
+	r := randTile(m, 62)
+	tt := make([]float32, m*m)
+	Geqrt(r, tt, m)
+	v2 := randTile(m, 63)
+	t2 := make([]float32, m*m)
+	Tsqrt(r, v2, t2, m)
+
+	vec1 := make([]float32, m)
+	vec2 := make([]float32, m)
+	tile1 := make([]float32, m*m)
+	tile2 := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		vec1[i] = float32(i) - 4
+		vec2[i] = float32(i%3) + 1
+		tile1[i*m] = vec1[i]
+		tile2[i*m] = vec2[i]
+	}
+	TsmqrVec(vec1, vec2, v2, t2, m)
+	Tsmqr(tile1, tile2, v2, t2, m)
+	for i := 0; i < m; i++ {
+		if vec1[i] != tile1[i*m] || vec2[i] != tile2[i*m] {
+			t.Fatalf("row %d: vectors (%g,%g) vs tile columns (%g,%g)",
+				i, vec1[i], vec2[i], tile1[i*m], tile2[i*m])
+		}
+	}
+}
+
+// TestUnmqrVecNormQuick: Qᵀ preserves vector norms (property-based).
+func TestUnmqrVecNormQuick(t *testing.T) {
+	const m = 8
+	a := randTile(m, 64)
+	tt := make([]float32, m*m)
+	Geqrt(a, tt, m)
+	property := func(seed int64) bool {
+		vec := make([]float32, m)
+		copy(vec, randTile(m, seed)[:m])
+		before := vecNorm(vec)
+		UnmqrVec(a, tt, vec, m)
+		return math.Abs(vecNorm(vec)-before) <= 1e-4*(1+before)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUTrsvSolves: with b = U·x, UTrsv recovers x and ignores the
+// strictly-lower junk under the triangle.
+func TestUTrsvSolves(t *testing.T) {
+	const m = 16
+	u := randUpper(m, 65)
+	// Garbage below the diagonal must be ignored (QR keeps V there).
+	junk := randTile(m, 66)
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			u[i*m+j] = junk[i*m+j]
+		}
+	}
+	x := make([]float32, m)
+	for i := range x {
+		x[i] = float32(i%4) - 1.5
+	}
+	b := make([]float32, m)
+	for i := 0; i < m; i++ {
+		var s float32
+		for j := i; j < m; j++ {
+			s += u[i*m+j] * x[j]
+		}
+		b[i] = s
+	}
+	UTrsv(u, b, m)
+	for i := range x {
+		if d := math.Abs(float64(b[i] - x[i])); d > 1e-4 {
+			t.Fatalf("x[%d] = %g, want %g", i, b[i], x[i])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package kernels
+
+// Block-vector kernels for the triangular solve that consumes a Cholesky
+// factor (paper §VII.D: "a real program may perform a Cholesky
+// factorization and use the result in another operation").
+
+// Gemv computes y -= A·x for an m×m row-major block A and length-m
+// vectors.
+func Gemv(a, x, y []float32, m int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*m : i*m+m]
+		var s float32
+		for k := 0; k < m; k++ {
+			s += ai[k] * x[k]
+		}
+		y[i] -= s
+	}
+}
+
+// Trsv solves L·z = b in place of b for the lower triangle of the m×m
+// block L (forward substitution).
+func Trsv(l, b []float32, m int) {
+	for i := 0; i < m; i++ {
+		s := b[i]
+		li := l[i*m : i*m+i]
+		for k := range li {
+			s -= li[k] * b[k]
+		}
+		b[i] = s / l[i*m+i]
+	}
+}
+
+// TrsvFlat solves L·z = b in place for a flat n×n lower-triangular L,
+// the sequential reference for the blocked solve.
+func TrsvFlat(l, b []float32, n int) {
+	Trsv(l, b, n)
+}

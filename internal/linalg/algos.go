@@ -1,0 +1,148 @@
+// Package linalg implements every linear-algebra workload of the paper's
+// evaluation as SMPSs task programs over the core runtime:
+//
+//   - dense hyper-matrix multiplication (Fig. 1)
+//   - sparse hyper-matrix multiplication (Fig. 3)
+//   - left-looking in-place Cholesky on hyper-matrices (Fig. 4)
+//   - flat-matrix Cholesky and GEMM with on-demand block copies
+//     (Fig. 9/10, evaluated in Fig. 11 and Fig. 12)
+//   - blocked Strassen multiplication (§VI.C, Fig. 13)
+//   - tiled LU without pivoting (§IV)
+//
+// Task bodies call the tile kernels of a kernels.Provider, mirroring how
+// the paper implements tasks as calls into non-threaded Goto BLAS or MKL.
+package linalg
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// Algos bundles a runtime, a kernel provider and a block size, and owns
+// the task definitions of Fig. 2 plus the block-copy tasks of Fig. 10.
+type Algos struct {
+	rt *core.Runtime
+	p  kernels.Provider
+	m  int
+
+	sgemmNN *core.TaskDef // c += a·b          (matrix multiplication)
+	sgemmNT *core.TaskDef // c -= a·bᵀ         (Cholesky trailing update)
+	ssyrk   *core.TaskDef // c -= a·aᵀ (lower)
+	strsm   *core.TaskDef // b := b·Lᵀ⁻¹
+	spotrf  *core.TaskDef // a := chol(a)
+	smul    *core.TaskDef // c = a·b           (Strassen leaf)
+	sadd    *core.TaskDef // c = a + b
+	ssub    *core.TaskDef // c = a - b
+	saddTo  *core.TaskDef // c += a
+	ssubTo  *core.TaskDef // c -= a
+
+	sgetrf  *core.TaskDef // a := lu(a)
+	strsmLL *core.TaskDef // b := L⁻¹·b (unit lower)
+	strsmRU *core.TaskDef // b := b·U⁻¹
+	sgemmSB *core.TaskDef // c -= a·b
+
+	getBlock *core.TaskDef // copy block out of an opaque flat matrix
+	putBlock *core.TaskDef // copy block into an opaque flat matrix
+
+	sgeqrt *core.TaskDef // tiled QR: factor diagonal tile     (qr.go)
+	sunmqr *core.TaskDef // tiled QR: apply Qᵀ right of diag
+	stsqrt *core.TaskDef // tiled QR: couple triangle + tile
+	stsmqr *core.TaskDef // tiled QR: apply coupling to pairs
+}
+
+// New builds the task set for the given runtime, kernel provider and
+// block size m.
+func New(rt *core.Runtime, p kernels.Provider, m int) *Algos {
+	al := &Algos{rt: rt, p: p, m: m}
+
+	al.sgemmNN = core.NewTaskDef("sgemm_t", func(a *core.Args) {
+		p.GemmNN(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+	al.sgemmNT = core.NewTaskDef("sgemm_nt_t", func(a *core.Args) {
+		p.GemmNT(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+	al.ssyrk = core.NewTaskDef("ssyrk_t", func(a *core.Args) {
+		p.Syrk(a.F32(0), a.F32(1), m)
+	})
+	al.strsm = core.NewTaskDef("strsm_t", func(a *core.Args) {
+		p.Trsm(a.F32(0), a.F32(1), m)
+	})
+	// spotrf carries the highpriority clause: the diagonal factorization
+	// is on the critical path, and scheduling it as soon as it is ready
+	// unlocks a whole column of trsm tasks (paper §II/§III).
+	al.spotrf = core.NewHighPriorityTaskDef("spotrf_t", func(a *core.Args) {
+		if !p.Potrf(a.F32(0), m) {
+			panic("spotrf_t: block not positive definite")
+		}
+	})
+	al.smul = core.NewTaskDef("smul_t", func(a *core.Args) {
+		c := a.F32(2)
+		for i := range c {
+			c[i] = 0
+		}
+		p.GemmNN(a.F32(0), a.F32(1), c, m)
+	})
+	al.sadd = core.NewTaskDef("sadd_t", func(a *core.Args) {
+		p.Add(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+	al.ssub = core.NewTaskDef("ssub_t", func(a *core.Args) {
+		p.Sub(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+	al.saddTo = core.NewTaskDef("sadd_to_t", func(a *core.Args) {
+		src, dst := a.F32(0), a.F32(1)
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	})
+	al.ssubTo = core.NewTaskDef("ssub_to_t", func(a *core.Args) {
+		src, dst := a.F32(0), a.F32(1)
+		for i := range dst {
+			dst[i] -= src[i]
+		}
+	})
+
+	al.sgetrf = core.NewHighPriorityTaskDef("sgetrf_t", func(a *core.Args) {
+		if !kernels.LUBlock(a.F32(0), m) {
+			panic("sgetrf_t: zero pivot")
+		}
+	})
+	al.strsmLL = core.NewTaskDef("strsm_ll_t", func(a *core.Args) {
+		kernels.TrsmLLUnit(a.F32(0), a.F32(1), m)
+	})
+	al.strsmRU = core.NewTaskDef("strsm_ru_t", func(a *core.Args) {
+		if !kernels.TrsmRU(a.F32(0), a.F32(1), m) {
+			panic("strsm_ru_t: zero pivot")
+		}
+	})
+	al.sgemmSB = core.NewTaskDef("sgemm_sub_t", func(a *core.Args) {
+		kernels.GemmSubNN(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+
+	// The flat matrix is always passed to these tasks as an opaque
+	// pointer, exactly like the void* parameter of Fig. 10: it carries
+	// no dependencies; ordering comes from the block parameter.
+	al.getBlock = core.NewTaskDef("get_block", func(a *core.Args) {
+		flat := a.Opaque(0).([]float32)
+		dim := a.Int(1)
+		i, j := a.Int(2), a.Int(3)
+		hypermatrix.CopyBlockFromFlat(flat, dim, i, j, m, a.F32(4))
+	})
+	al.putBlock = core.NewTaskDef("put_block", func(a *core.Args) {
+		flat := a.Opaque(0).([]float32)
+		dim := a.Int(1)
+		i, j := a.Int(2), a.Int(3)
+		hypermatrix.CopyBlockToFlat(a.F32(4), flat, dim, i, j, m)
+	})
+	al.initQR()
+	return al
+}
+
+// Runtime returns the runtime the task set submits to.
+func (al *Algos) Runtime() *core.Runtime { return al.rt }
+
+// BlockSize returns the block dimension m.
+func (al *Algos) BlockSize() int { return al.m }
+
+// Provider returns the kernel provider.
+func (al *Algos) Provider() kernels.Provider { return al.p }

@@ -1,0 +1,260 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+const (
+	tN = 4  // blocks per dimension
+	tM = 12 // elements per block dimension
+)
+
+func withAlgos(t *testing.T, workers int, p kernels.Provider, body func(al *Algos)) {
+	t.Helper()
+	err := core.Run(core.Config{Workers: workers}, func(rt *core.Runtime) error {
+		body(New(rt, p, tM))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulDenseMatchesFlat(t *testing.T) {
+	for _, p := range kernels.Providers {
+		dim := tN * tM
+		aflat := kernels.GenMatrix(dim, 1)
+		bflat := kernels.GenMatrix(dim, 2)
+		want := make([]float32, dim*dim)
+		kernels.GemmFlat(aflat, bflat, want, dim)
+
+		a := hypermatrix.FromFlat(aflat, tN, tM)
+		b := hypermatrix.FromFlat(bflat, tN, tM)
+		c := hypermatrix.New(tN, tM)
+		withAlgos(t, 8, p, func(al *Algos) { al.MatMulDense(a, b, c) })
+		if d := kernels.MaxAbsDiff(want, c.ToFlat()); d > 1e-3 {
+			t.Fatalf("%s: dense hyper-matmul off by %g", p.Name, d)
+		}
+	}
+}
+
+func TestMatMulSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := hypermatrix.NewSparse(tN, tM)
+	b := hypermatrix.NewSparse(tN, tM)
+	for i := 0; i < tN; i++ {
+		for j := 0; j < tN; j++ {
+			if rng.Float64() < 0.5 {
+				blk := a.EnsureBlock(i, j)
+				for k := range blk {
+					blk[k] = rng.Float32()
+				}
+			}
+			if rng.Float64() < 0.5 {
+				blk := b.EnsureBlock(i, j)
+				for k := range blk {
+					blk[k] = rng.Float32()
+				}
+			}
+		}
+	}
+	want := make([]float32, tN*tM*tN*tM)
+	kernels.GemmFlat(a.ToFlat(), b.ToFlat(), want, tN*tM)
+
+	c := hypermatrix.NewSparse(tN, tM)
+	withAlgos(t, 8, kernels.Fast, func(al *Algos) { al.MatMulSparse(a, b, c) })
+	if d := kernels.MaxAbsDiff(want, c.ToFlat()); d > 1e-3 {
+		t.Fatalf("sparse hyper-matmul off by %g", d)
+	}
+	// Sparsity must be preserved: an all-zero result row of blocks stays nil.
+	if c.NonZeroBlocks() == tN*tN {
+		t.Logf("note: random instance produced a fully dense result")
+	}
+}
+
+func TestMatMulFlatOnDemandCopies(t *testing.T) {
+	dim := tN * tM
+	aflat := kernels.GenMatrix(dim, 3)
+	bflat := kernels.GenMatrix(dim, 4)
+	cflat := kernels.GenMatrix(dim, 5) // nonzero start: C += A·B
+	want := append([]float32(nil), cflat...)
+	kernels.GemmFlat(aflat, bflat, want, dim)
+
+	withAlgos(t, 8, kernels.Fast, func(al *Algos) { al.MatMulFlat(aflat, bflat, cflat, tN) })
+	if d := kernels.MaxAbsDiff(want, cflat); d > 1e-3 {
+		t.Fatalf("flat matmul with on-demand copies off by %g", d)
+	}
+}
+
+func TestCholeskyDenseMatchesFlat(t *testing.T) {
+	for _, p := range kernels.Providers {
+		dim := tN * tM
+		spd := kernels.GenSPD(dim, 6)
+		want := append([]float32(nil), spd...)
+		if !kernels.CholeskyFlat(want, dim) {
+			t.Fatalf("reference Cholesky failed")
+		}
+
+		a := hypermatrix.FromFlat(spd, tN, tM)
+		withAlgos(t, 8, p, func(al *Algos) { al.CholeskyDense(a) })
+		if d := kernels.LowerMaxAbsDiff(want, a.ToFlat(), dim); d > 1e-2 {
+			t.Fatalf("%s: hyper Cholesky lower factor off by %g", p.Name, d)
+		}
+	}
+}
+
+func TestCholeskyFlatOnDemandCopies(t *testing.T) {
+	dim := tN * tM
+	spd := kernels.GenSPD(dim, 7)
+	want := append([]float32(nil), spd...)
+	if !kernels.CholeskyFlat(want, dim) {
+		t.Fatalf("reference Cholesky failed")
+	}
+	got := append([]float32(nil), spd...)
+	withAlgos(t, 8, kernels.Fast, func(al *Algos) { al.CholeskyFlat(got, tN) })
+	if d := kernels.LowerMaxAbsDiff(want, got, dim); d > 1e-2 {
+		t.Fatalf("flat Cholesky (Fig. 9) lower factor off by %g", d)
+	}
+}
+
+func TestStrassenMatchesGemm(t *testing.T) {
+	// Power-of-two block count required.
+	n, m := 4, 12
+	dim := n * m
+	aflat := kernels.GenMatrix(dim, 8)
+	bflat := kernels.GenMatrix(dim, 9)
+	want := make([]float32, dim*dim)
+	kernels.GemmFlat(aflat, bflat, want, dim)
+
+	a := hypermatrix.FromFlat(aflat, n, m)
+	b := hypermatrix.FromFlat(bflat, n, m)
+	c := hypermatrix.New(n, m)
+	var renames int64
+	err := core.Run(core.Config{Workers: 8}, func(rt *core.Runtime) error {
+		al := New(rt, kernels.Fast, m)
+		al.Strassen(a, b, c)
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+		renames = rt.Stats().Deps.Renames
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := kernels.MaxAbsDiff(want, c.ToFlat()); d > 5e-3 {
+		t.Fatalf("Strassen off by %g", d)
+	}
+	if renames == 0 {
+		t.Fatalf("Strassen must be an intensive renaming test case (paper §VI.C), saw none")
+	}
+}
+
+func TestStrassenRejectsNonPowerOfTwo(t *testing.T) {
+	withAlgos(t, 1, kernels.Fast, func(al *Algos) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Strassen must reject non-power-of-two block counts")
+			}
+		}()
+		h := hypermatrix.New(3, tM)
+		al.Strassen(h, h, h)
+	})
+}
+
+func TestLUMatchesFlat(t *testing.T) {
+	dim := tN * tM
+	spd := kernels.GenSPD(dim, 10) // diagonally dominant: no pivoting needed
+	want := append([]float32(nil), spd...)
+	if !kernels.LUFlat(want, dim) {
+		t.Fatalf("reference LU failed")
+	}
+	a := hypermatrix.FromFlat(spd, tN, tM)
+	withAlgos(t, 8, kernels.Fast, func(al *Algos) { al.LU(a) })
+	if d := kernels.MaxAbsDiff(want, a.ToFlat()); d > 5e-2 {
+		t.Fatalf("tiled LU off by %g", d)
+	}
+}
+
+// TestCholeskyGraphShape reproduces the structural facts of Fig. 5: a
+// 6×6 block Cholesky generates exactly 56 tasks (6 spotrf, 15 strsm,
+// 15 ssyrk, 20 sgemm) with a single root (task 1, the first spotrf).
+func TestCholeskyGraphShape(t *testing.T) {
+	rec := &graph.Recorder{}
+	// Workers=1 so no task completes before submission ends: every true
+	// dependency is recorded, exactly like the paper's plotted graph.
+	rt := core.New(core.Config{Workers: 1, Recorder: rec})
+	al := New(rt, kernels.Fast, 4)
+	a := hypermatrix.FromFlat(kernels.GenSPD(24, 11), 6, 4)
+	al.CholeskyDense(a)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if rec.NumNodes() != 56 {
+		t.Fatalf("6×6 Cholesky generated %d tasks, paper says 56", rec.NumNodes())
+	}
+	kc := rec.KindCounts()
+	want := map[string]int{"spotrf_t": 6, "strsm_t": 15, "ssyrk_t": 15, "sgemm_nt_t": 20}
+	for k, w := range want {
+		if kc[k] != w {
+			t.Fatalf("task mix %v, want %v", kc, want)
+		}
+	}
+	roots := rec.Roots()
+	if len(roots) != 1 || roots[0] != 1 {
+		t.Fatalf("roots = %v, want just task 1 (first spotrf)", roots)
+	}
+	// The critical path of an N×N tiled Cholesky has 3N-2 nodes
+	// (potrf→trsm→{syrk or gemm} per column): 16 for N=6.
+	if cpl := rec.CriticalPathLength(); cpl != 16 {
+		t.Fatalf("critical path = %d, want 16", cpl)
+	}
+}
+
+// TestCholeskyEarlyParallelism checks the paper's §IV observation on
+// Fig. 5: "after running tasks 1 and 6, the runtime is able to start
+// executing task 51" — distant parts of the code are parallel.  We
+// verify the structural equivalent: some task with a high invocation
+// number depends (transitively) on nothing outside {1..6}.
+func TestCholeskyEarlyParallelism(t *testing.T) {
+	rec := &graph.Recorder{}
+	rt := core.New(core.Config{Workers: 1, Recorder: rec})
+	al := New(rt, kernels.Fast, 4)
+	a := hypermatrix.FromFlat(kernels.GenSPD(24, 12), 6, 4)
+	al.CholeskyDense(a)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 is spotrf(A00); tasks 2..6 are strsm of column 0.  Every
+	// column-0 gemm (the first gemm batch of each later column) needs
+	// only those.  Find the largest task ID whose predecessors are all
+	// within 1..6: it must be far beyond 6 (the paper's example is 51).
+	// We reconstruct predecessor sets from the DOT-exported edges, via
+	// the recorder's public data: rebuild adjacency from WriteDOT output
+	// would be clumsy, so use CriticalPathLength-style internal check
+	// through Roots of the subgraph — instead simply recompute: a gemm
+	// of blocks (i,0),(j,0)->(i,j) is submitted at position >
+	// 6 + ... for column j=4: after columns 1..3 complete.  Validate by
+	// counting: at least one task with ID ≥ 40 has in-degree whose
+	// sources are ≤ 6.  The recorder exposes edges only through DOT, so
+	// assert through a direct property: the 6×6 Cholesky root count of
+	// the subgraph induced by removing tasks 1..6 is large (> 4),
+	// meaning several far-away tasks become ready once 1..6 finish.
+	ready := rec.ReadyAfter(map[int64]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true})
+	var far int64
+	for _, id := range ready {
+		if id > far {
+			far = id
+		}
+	}
+	if far < 40 {
+		t.Fatalf("after tasks 1..6 the farthest ready task is %d; paper shows 51", far)
+	}
+}

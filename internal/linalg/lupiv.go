@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+// LUPartialPivot factors the flat dim×dim matrix (dim = n·m) in place
+// with partial pivoting: P·A = L·U, pivots recorded in piv (LAPACK ipiv
+// convention).  It must be followed by a Barrier before reading results.
+//
+// This is the algorithm the paper uses to motivate the array-region
+// language extension (§V): "the algorithm includes pivoting operations
+// that consist in swapping columns and swapping rows.  Those two
+// operations make it hard to block."  With 2-D regions the blocked
+// algorithm is direct — every task names the exact rectangle of the flat
+// matrix it touches, and row interchanges (which span whole rows across
+// all column blocks) order themselves against panel and update tasks
+// through region overlap:
+//
+//	for each panel k:
+//	  lupanel_t   inout A{c0..dim-1}{c0..c1}, output piv{c0..c1}
+//	  for j ≠ k:  laswp_t  input piv{c0..c1}, inout A{c0..dim-1}{cj0..cj1}
+//	  for j > k:  strsm_t  input A{c0..c1}{c0..c1}, inout A{c0..c1}{cj0..cj1}
+//	  for i,j>k:  sgemm_t  input A{ri}{c0..c1}, A{c0..c1}{cj}, inout A{ri}{cj}
+//
+// The 2008 runtime had no region support, so this code could not be
+// written then; it runs here on the §V.A extension.
+func (al *Algos) LUPartialPivot(a []float32, n int, piv []int32) {
+	dim := n * al.m
+	if len(a) != dim*dim {
+		panic(fmt.Sprintf("linalg: LUPartialPivot matrix length %d, want %d", len(a), dim*dim))
+	}
+	if len(piv) != dim {
+		panic(fmt.Sprintf("linalg: LUPartialPivot pivot length %d, want %d", len(piv), dim))
+	}
+	m := al.m
+
+	// Task bodies index the flat matrix directly; regions carry the
+	// dependency information.
+	panel := core.NewHighPriorityTaskDef("lupanel_t", func(args *core.Args) {
+		fa := args.F32(0)
+		pv := args.I32(1)
+		c0 := args.Int(2)
+		if !luPanel(fa, dim, c0, c0+m-1, pv) {
+			panic("lupanel_t: singular panel")
+		}
+	})
+	laswp := core.NewTaskDef("laswp_t", func(args *core.Args) {
+		fa := args.F32(0)
+		pv := args.I32(1)
+		c0, j0, j1 := args.Int(2), args.Int(3), args.Int(4)
+		kernels.ApplyPivots(fa, dim, pv, c0, c0+m-1, j0, j1)
+	})
+	trsm := core.NewTaskDef("lutrsm_t", func(args *core.Args) {
+		fa := args.F32(0) // args 0 and 1 are two regions of the matrix
+		c0, j0 := args.Int(2), args.Int(3)
+		luTrsmRow(fa, dim, c0, c0+m-1, j0, j0+m-1)
+	})
+	gemm := core.NewTaskDef("lugemm_t", func(args *core.Args) {
+		fa := args.F32(0) // args 0..2 are three regions of the matrix
+		i0, c0, j0 := args.Int(3), args.Int(4), args.Int(5)
+		luGemm(fa, dim, i0, i0+m-1, c0, c0+m-1, j0, j0+m-1)
+	})
+
+	colRegion := func(r0, r1, c0, c1 int) core.Region {
+		return core.Rect(int64(r0), int64(r1), int64(c0), int64(c1))
+	}
+
+	nb := n
+	for k := 0; k < nb; k++ {
+		c0 := k * m
+		c1 := c0 + m - 1
+		// 1. Panel factorization over rows c0..dim-1 of this column
+		// block, producing the step's pivots.
+		al.rt.Submit(panel,
+			core.InOutR(a, colRegion(c0, dim-1, c0, c1)),
+			core.OutR(piv, core.Interval(int64(c0), int64(c1))),
+			core.Value(c0))
+		// 2. Apply the interchanges to every other column block.
+		for j := 0; j < nb; j++ {
+			if j == k {
+				continue
+			}
+			j0 := j * m
+			al.rt.Submit(laswp,
+				core.InOutR(a, colRegion(c0, dim-1, j0, j0+m-1)),
+				core.InR(piv, core.Interval(int64(c0), int64(c1))),
+				core.Value(c0), core.Value(j0), core.Value(j0+m-1))
+		}
+		// 3. U row panel: L11⁻¹ · A(c0..c1, j) for the blocks right of
+		// the panel.
+		for j := k + 1; j < nb; j++ {
+			j0 := j * m
+			al.rt.Submit(trsm,
+				core.InR(a, colRegion(c0, c1, c0, c1)),
+				core.InOutR(a, colRegion(c0, c1, j0, j0+m-1)),
+				core.Value(c0), core.Value(j0))
+		}
+		// 4. Trailing update.
+		for i := k + 1; i < nb; i++ {
+			i0 := i * m
+			for j := k + 1; j < nb; j++ {
+				j0 := j * m
+				al.rt.Submit(gemm,
+					core.InR(a, colRegion(i0, i0+m-1, c0, c1)),
+					core.InR(a, colRegion(c0, c1, j0, j0+m-1)),
+					core.InOutR(a, colRegion(i0, i0+m-1, j0, j0+m-1)),
+					core.Value(i0), core.Value(c0), core.Value(j0))
+			}
+		}
+	}
+}
+
+// luPanel factors columns c0..c1 of the flat dim-stride matrix over rows
+// c0..dim-1 with partial pivoting, recording pivots in pv[c0..c1].  Row
+// interchanges stay inside the panel columns; laswp tasks mirror them in
+// the other column blocks.
+func luPanel(a []float32, dim, c0, c1 int, pv []int32) bool {
+	for c := c0; c <= c1; c++ {
+		p := c
+		best := abs32(a[c*dim+c])
+		for r := c + 1; r < dim; r++ {
+			if v := abs32(a[r*dim+c]); v > best {
+				best = v
+				p = r
+			}
+		}
+		pv[c] = int32(p)
+		if best == 0 {
+			return false
+		}
+		if p != c {
+			kernels.SwapRows(a, dim, c, p, c0, c1)
+		}
+		inv := 1 / a[c*dim+c]
+		for r := c + 1; r < dim; r++ {
+			a[r*dim+c] *= inv
+		}
+		for r := c + 1; r < dim; r++ {
+			lrc := a[r*dim+c]
+			if lrc == 0 {
+				continue
+			}
+			for cc := c + 1; cc <= c1; cc++ {
+				a[r*dim+cc] -= lrc * a[c*dim+cc]
+			}
+		}
+	}
+	return true
+}
+
+// luTrsmRow solves L11·X = B in place of B, where L11 is the unit-lower
+// triangle of rows/cols r0..r1 and B is rows r0..r1, cols j0..j1.
+func luTrsmRow(a []float32, dim, r0, r1, j0, j1 int) {
+	for r := r0 + 1; r <= r1; r++ {
+		for k := r0; k < r; k++ {
+			lrk := a[r*dim+k]
+			if lrk == 0 {
+				continue
+			}
+			rowK := a[k*dim+j0 : k*dim+j1+1]
+			rowR := a[r*dim+j0 : r*dim+j1+1]
+			for c := range rowR {
+				rowR[c] -= lrk * rowK[c]
+			}
+		}
+	}
+}
+
+// luGemm computes A(i0..i1, j0..j1) -= A(i0..i1, c0..c1) · A(c0..c1,
+// j0..j1) on the flat dim-stride matrix.
+func luGemm(a []float32, dim, i0, i1, c0, c1, j0, j1 int) {
+	for i := i0; i <= i1; i++ {
+		rowI := a[i*dim+j0 : i*dim+j1+1]
+		for k := c0; k <= c1; k++ {
+			aik := a[i*dim+k]
+			if aik == 0 {
+				continue
+			}
+			rowK := a[k*dim+j0 : k*dim+j1+1]
+			for c := range rowI {
+				rowI[c] -= aik * rowK[c]
+			}
+		}
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

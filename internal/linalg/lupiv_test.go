@@ -1,0 +1,151 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+// reconstructionError rebuilds L·U from an in-place LU result and
+// compares it against P·A for the recorded progressive pivots.
+func reconstructionError(orig, lu []float32, piv []int32, dim int) float64 {
+	pa := append([]float32(nil), orig...)
+	kernels.ApplyPivots(pa, dim, piv, 0, dim-1, 0, dim-1)
+	worst := 0.0
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			var s float32
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				var lik float32
+				if k < i {
+					lik = lu[i*dim+k]
+				} else {
+					lik = 1
+				}
+				if k <= j {
+					s += lik * lu[k*dim+j]
+				}
+			}
+			if d := math.Abs(float64(s) - float64(pa[i*dim+j])); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestLUPivFlatReference(t *testing.T) {
+	dim := 40
+	a := kernels.GenMatrix(dim, 31)
+	orig := append([]float32(nil), a...)
+	piv := make([]int32, dim)
+	if !kernels.LUPivFlat(a, dim, piv) {
+		t.Fatalf("reference LU with pivoting failed")
+	}
+	if err := reconstructionError(orig, a, piv, dim); err > 1e-3 {
+		t.Fatalf("reference reconstruction error %g", err)
+	}
+	// Pivoting must actually happen on a random matrix.
+	swapped := false
+	for k, p := range piv {
+		if int(p) != k {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Fatalf("no row interchanges on a random matrix is implausible")
+	}
+}
+
+func TestLUPivFlatSingular(t *testing.T) {
+	dim := 8
+	a := make([]float32, dim*dim) // all zeros
+	piv := make([]int32, dim)
+	if kernels.LUPivFlat(a, dim, piv) {
+		t.Fatalf("singular matrix must be rejected")
+	}
+}
+
+func TestLUPartialPivotMatchesReference(t *testing.T) {
+	// The region-based blocked factorization must produce the exact
+	// same pivot sequence and (within float tolerance) the same factors
+	// as the sequential reference.
+	nBlocks, m := 4, 12
+	dim := nBlocks * m
+	orig := kernels.GenMatrix(dim, 32)
+
+	want := append([]float32(nil), orig...)
+	wantPiv := make([]int32, dim)
+	if !kernels.LUPivFlat(want, dim, wantPiv) {
+		t.Fatalf("reference failed")
+	}
+
+	for _, workers := range []int{1, 8} {
+		got := append([]float32(nil), orig...)
+		piv := make([]int32, dim)
+		rt := core.New(core.Config{Workers: workers})
+		al := New(rt, kernels.Fast, m)
+		al.LUPartialPivot(got, nBlocks, piv)
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := reconstructionError(orig, got, piv, dim); err > 5e-3 {
+			t.Fatalf("workers=%d: P·A vs L·U off by %g", workers, err)
+		}
+		for k := range piv {
+			if piv[k] != wantPiv[k] {
+				t.Fatalf("workers=%d: pivot[%d] = %d, want %d", workers, k, piv[k], wantPiv[k])
+			}
+		}
+		if d := kernels.MaxAbsDiff(want, got); d > 5e-3 {
+			t.Fatalf("workers=%d: factors differ from reference by %g", workers, d)
+		}
+	}
+}
+
+func TestLUPartialPivotParallelism(t *testing.T) {
+	// The laswp/trsm/gemm tasks of one panel step must not be one
+	// serial chain: with the panel done, all column blocks proceed
+	// independently.  Verify structurally via the recorder: the task
+	// count is nb panels + nb(nb-1) swaps + Σ trsm + Σ gemm.
+	nBlocks, m := 3, 8
+	dim := nBlocks * m
+	rt := core.New(core.Config{Workers: 1})
+	al := New(rt, kernels.Fast, m)
+	a := kernels.GenMatrix(dim, 33)
+	piv := make([]int32, dim)
+	al.LUPartialPivot(a, nBlocks, piv)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	wantTasks := int64(0)
+	for k := 0; k < nBlocks; k++ {
+		rest := nBlocks - k - 1
+		wantTasks += 1 + int64(nBlocks-1) + int64(rest) + int64(rest*rest)
+	}
+	if st.TasksExecuted != wantTasks {
+		t.Fatalf("executed %d tasks, want %d", st.TasksExecuted, wantTasks)
+	}
+	if st.Deps.RegionObjects != 2 { // the matrix and the pivot vector
+		t.Fatalf("region objects = %d, want 2", st.Deps.RegionObjects)
+	}
+}
+
+func TestLUPartialPivotRejectsBadShapes(t *testing.T) {
+	rt := core.New(core.Config{Workers: 1})
+	defer rt.Close()
+	al := New(rt, kernels.Fast, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("shape mismatch must panic")
+		}
+	}()
+	al.LUPartialPivot(make([]float32, 10), 2, make([]int32, 16))
+}

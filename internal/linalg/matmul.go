@@ -1,0 +1,109 @@
+package linalg
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+)
+
+// MatMulDense submits the dense hyper-matrix multiplication of Fig. 1:
+//
+//	for i, j, k: sgemm_t(A[i][k], B[k][j], C[i][j])
+//
+// generating N³ tasks arranged as N² chains of N tasks.  Any ordering of
+// the three nested loops produces correct results; the runtime reorders
+// tasks for parallelism and locality (paper §IV).
+func (al *Algos) MatMulDense(a, b, c *hypermatrix.Matrix) {
+	n := a.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				al.rt.Submit(al.sgemmNN,
+					core.In(a.Block(i, k)),
+					core.In(b.Block(k, j)),
+					core.InOut(c.Block(i, j)))
+			}
+		}
+	}
+}
+
+// MatMulSparse submits the sparse variant of Fig. 3: block products are
+// skipped when either operand block is absent, and result blocks are
+// allocated on demand.
+func (al *Algos) MatMulSparse(a, b, c *hypermatrix.Matrix) {
+	n := a.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if a.Block(i, k) != nil && b.Block(k, j) != nil {
+					al.rt.Submit(al.sgemmNN,
+						core.In(a.Block(i, k)),
+						core.In(b.Block(k, j)),
+						core.InOut(c.EnsureBlock(i, j)))
+				}
+			}
+		}
+	}
+}
+
+// MatMulFlat multiplies flat matrices through on-demand hyper-matrix
+// copies, the transformation the paper applies to compare fairly against
+// threaded BLAS operating on flat storage (§VI.B): every block of A and
+// B is copied in by a get_block task the first time it is needed, the
+// block products accumulate into hyper-matrix C blocks, and a final
+// put_block phase writes C back to flat storage.
+//
+// aflat, bflat and cflat are dim×dim with dim = n·m; cflat accumulates
+// (C += A·B) to match the sgemm contract.
+func (al *Algos) MatMulFlat(aflat, bflat, cflat []float32, n int) {
+	dim := n * al.m
+	a := hypermatrix.NewSparse(n, al.m)
+	b := hypermatrix.NewSparse(n, al.m)
+	c := hypermatrix.NewSparse(n, al.m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				al.getBlockOnce(i, k, aflat, dim, a)
+				al.getBlockOnce(k, j, bflat, dim, b)
+				al.getBlockOnce(i, j, cflat, dim, c)
+				al.rt.Submit(al.sgemmNN,
+					core.In(a.Block(i, k)),
+					core.In(b.Block(k, j)),
+					core.InOut(c.Block(i, j)))
+			}
+		}
+	}
+	al.putBackAll(c, cflat, dim)
+}
+
+// getBlockOnce reproduces get_block_once of Fig. 10: if hyper-position
+// (i, j) has not been copied in yet, allocate it and submit a get_block
+// task reading the opaque flat matrix and writing the block.
+func (al *Algos) getBlockOnce(i, j int, flat []float32, dim int, h *hypermatrix.Matrix) {
+	if h.Block(i, j) != nil {
+		return
+	}
+	blk := h.EnsureBlock(i, j)
+	al.rt.Submit(al.getBlock,
+		core.Opaque(flat),
+		core.Value(dim),
+		core.Value(i), core.Value(j),
+		core.Out(blk))
+}
+
+// putBackAll submits one put_block per present block, the copy-back
+// phase at the end of Fig. 9.  Writes to the flat matrix land in
+// disjoint areas, so the flat matrix stays opaque and ordering comes
+// from each block's own dependencies.
+func (al *Algos) putBackAll(h *hypermatrix.Matrix, flat []float32, dim int) {
+	for i := 0; i < h.N; i++ {
+		for j := 0; j < h.N; j++ {
+			if blk := h.Block(i, j); blk != nil {
+				al.rt.Submit(al.putBlock,
+					core.Opaque(flat),
+					core.Value(dim),
+					core.Value(i), core.Value(j),
+					core.In(blk))
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// Tiled QR factorization — the third factorization of the paper's
+// reference [10] (Buttari, Langou, Kurzak, Dongarra), expressed as an
+// SMPSs task program.  Its dependency structure is richer than Cholesky's
+// (each panel step couples the diagonal tile with every tile below it,
+// serially, while the trailing updates of different columns proceed in
+// parallel), which makes it a natural stress test for the runtime.
+//
+// The whole-block directionality declarations create one subtlety the
+// renaming engine resolves elegantly: after Geqrt, the diagonal tile
+// holds both R (upper) and the reflectors V (strictly lower).  The Unmqr
+// tasks of the same step read V, while the Tsqrt chain keeps rewriting R
+// in the same tile.  Declaring Tsqrt as inout(diag) would serialize Unmqr
+// against the chain under a dependency-unaware model; under SMPSs the
+// readers force a rename, the Tsqrt chain advances on fresh copies, and
+// the Unmqr tasks keep reading the post-Geqrt version concurrently —
+// automatic lookahead with no programmer copies, exactly the behaviour
+// §II argues for.
+
+// initQR declares the four QR tile tasks.  Called from New.
+func (al *Algos) initQR() {
+	m := al.m
+	// The panel factorization tasks carry the highpriority clause: like
+	// spotrf in Cholesky, they sit on the critical path and unlock whole
+	// columns of trailing updates.
+	al.sgeqrt = core.NewHighPriorityTaskDef("sgeqrt_t", func(a *core.Args) {
+		kernels.Geqrt(a.F32(0), a.F32(1), m)
+	})
+	al.sunmqr = core.NewTaskDef("sunmqr_t", func(a *core.Args) {
+		kernels.Unmqr(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+	al.stsqrt = core.NewHighPriorityTaskDef("stsqrt_t", func(a *core.Args) {
+		kernels.Tsqrt(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+	al.stsmqr = core.NewTaskDef("stsmqr_t", func(a *core.Args) {
+		kernels.Tsmqr(a.F32(0), a.F32(1), a.F32(2), a.F32(3), m)
+	})
+}
+
+// QR factors the hyper-matrix A in place using the tiled Householder
+// algorithm: on return (after a barrier) the upper triangle of A holds R
+// and the tiles at and below the diagonal hold the block reflectors.  The
+// returned hyper-matrix holds the T factors (T[k][k] from the diagonal
+// factorizations, T[i][k] from the couplings) needed to apply Q or Qᵀ
+// later with ApplyQT.
+func (al *Algos) QR(a *hypermatrix.Matrix) *hypermatrix.Matrix {
+	n, m := a.N, al.m
+	t := hypermatrix.NewSparse(n, m)
+	for k := 0; k < n; k++ {
+		al.rt.Submit(al.sgeqrt, core.InOut(a.Blocks[k][k]), core.Out(t.EnsureBlock(k, k)))
+		for j := k + 1; j < n; j++ {
+			al.rt.Submit(al.sunmqr,
+				core.In(a.Blocks[k][k]), core.In(t.Blocks[k][k]), core.InOut(a.Blocks[k][j]))
+		}
+		for i := k + 1; i < n; i++ {
+			al.rt.Submit(al.stsqrt,
+				core.InOut(a.Blocks[k][k]), core.InOut(a.Blocks[i][k]), core.Out(t.EnsureBlock(i, k)))
+			for j := k + 1; j < n; j++ {
+				al.rt.Submit(al.stsmqr,
+					core.InOut(a.Blocks[k][j]), core.InOut(a.Blocks[i][j]),
+					core.In(a.Blocks[i][k]), core.In(t.Blocks[i][k]))
+			}
+		}
+	}
+	return t
+}
+
+// ApplyQT applies Qᵀ from a completed QR factorization (factored tiles in
+// a, T factors in t) to the hyper-matrix c in place: c := Qᵀ·c.  Applying
+// it to the identity yields Qᵀ explicitly; applying it to the original
+// matrix yields R.  The submission may overlap the tail of the
+// factorization itself: the dependency tracker pipelines each step of the
+// application behind the corresponding step of the factorization.
+func (al *Algos) ApplyQT(a, t, c *hypermatrix.Matrix) {
+	n := a.N
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			al.rt.Submit(al.sunmqr,
+				core.In(a.Blocks[k][k]), core.In(t.Blocks[k][k]), core.InOut(c.Blocks[k][j]))
+		}
+		for i := k + 1; i < n; i++ {
+			for j := 0; j < n; j++ {
+				al.rt.Submit(al.stsmqr,
+					core.InOut(c.Blocks[k][j]), core.InOut(c.Blocks[i][j]),
+					core.In(a.Blocks[i][k]), core.In(t.Blocks[i][k]))
+			}
+		}
+	}
+}

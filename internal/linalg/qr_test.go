@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+func frobFlat(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// identityHyper builds an n×n hyper-matrix of m×m blocks holding the
+// identity.
+func identityHyper(n, m int) *hypermatrix.Matrix {
+	h := hypermatrix.New(n, m)
+	for d := 0; d < n*m; d++ {
+		h.Set(d, d, 1)
+	}
+	return h
+}
+
+// qrEndToEnd factors a random matrix, builds Qᵀ explicitly, and returns
+// (original, Qᵀ flat, R flat).
+func qrEndToEnd(t *testing.T, workers, n, m int, seed int64) (orig, g, r []float32) {
+	t.Helper()
+	dim := n * m
+	orig = kernels.GenMatrix(dim, seed)
+
+	rt := core.New(core.Config{Workers: workers})
+	defer rt.Close()
+	al := New(rt, kernels.Fast, m)
+
+	a := hypermatrix.FromFlat(orig, n, m)
+	tf := al.QR(a)
+	gh := identityHyper(n, m)
+	al.ApplyQT(a, tf, gh) // pipelined behind the factorization
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	g = gh.ToFlat()
+	fact := a.ToFlat()
+	r = make([]float32, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			r[i*dim+j] = fact[i*dim+j]
+		}
+	}
+	return orig, g, r
+}
+
+// TestQROrthogonality checks G·Gᵀ = I for G = Qᵀ built by applying the
+// tiled factorization to the identity.
+func TestQROrthogonality(t *testing.T) {
+	const n, m = 3, 16
+	dim := n * m
+	_, g, _ := qrEndToEnd(t, 4, n, m, 31)
+	c := make([]float32, dim*dim)
+	kernels.Fast.GemmNT(g, g, c, dim) // C := −G·Gᵀ
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			want := float64(0)
+			if i == j {
+				want = -1
+			}
+			if diff := math.Abs(float64(c[i*dim+j]) - want); diff > 5e-4 {
+				t.Fatalf("(G·Gᵀ)[%d][%d] deviates by %g", i, j, diff)
+			}
+		}
+	}
+}
+
+// TestQRReconstruction checks A = Q·R and ‖A‖ = ‖R‖ on a multi-tile
+// factorization (N > 1 exercises Tsqrt/Tsmqr and the diagonal-tile
+// renaming described in qr.go).
+func TestQRReconstruction(t *testing.T) {
+	const n, m = 4, 16
+	dim := n * m
+	orig, g, r := qrEndToEnd(t, 6, n, m, 32)
+
+	if na, nr := frobFlat(orig), frobFlat(r); math.Abs(na-nr) > 1e-3*(1+na) {
+		t.Fatalf("‖A‖ = %g but ‖R‖ = %g", na, nr)
+	}
+
+	// P := Q·R = Gᵀ·R.
+	p := make([]float32, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			var s float32
+			for k := 0; k < dim; k++ {
+				s += g[k*dim+i] * r[k*dim+j]
+			}
+			p[i*dim+j] = s
+		}
+	}
+	scale := frobFlat(orig)
+	var worst float64
+	for i := range p {
+		if diff := math.Abs(float64(p[i] - orig[i])); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 1e-3*(1+scale) {
+		t.Fatalf("QR reconstruction worst-case error %g (‖A‖ = %g)", worst, scale)
+	}
+}
+
+// TestQRSingleTile degenerates to one Geqrt and must match the kernel.
+func TestQRSingleTile(t *testing.T) {
+	const m = 8
+	orig := kernels.GenMatrix(m, 33)
+	want := append([]float32(nil), orig...)
+	wantT := make([]float32, m*m)
+	kernels.Geqrt(want, wantT, m)
+
+	rt := core.New(core.Config{Workers: 2})
+	defer rt.Close()
+	al := New(rt, kernels.Fast, m)
+	a := hypermatrix.FromFlat(orig, 1, m)
+	tf := al.QR(a)
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if a.Blocks[0][0][i] != want[i] {
+			t.Fatalf("tile mismatch at %d", i)
+		}
+		if tf.Blocks[0][0][i] != wantT[i] {
+			t.Fatalf("T mismatch at %d", i)
+		}
+	}
+}
+
+// TestQRDiagonalRenaming checks the lookahead mechanism the driver relies
+// on: the Unmqr readers of the post-Geqrt diagonal force the Tsqrt chain
+// onto renamed copies, so the factorization must report renames and zero
+// false edges.
+func TestQRDiagonalRenaming(t *testing.T) {
+	const n, m = 4, 8
+	rt := core.New(core.Config{Workers: 4})
+	defer rt.Close()
+	al := New(rt, kernels.Fast, m)
+	a := hypermatrix.FromFlat(kernels.GenMatrix(n*m, 34), n, m)
+	al.QR(a)
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Deps.Renames == 0 {
+		t.Fatal("tiled QR caused no renames; the diagonal-tile lookahead is not happening")
+	}
+	if st.Deps.FalseEdges != 0 {
+		t.Fatalf("tiled QR materialized %d false edges", st.Deps.FalseEdges)
+	}
+}
+
+// TestQRTaskCount checks the driver generates the expected graph size:
+// N geqrt + N(N−1)/2 each of unmqr and tsqrt + N(N−1)(2N−1)/6... —
+// computed directly instead: Σ_k [1 + (n−1−k) + (n−1−k) + (n−1−k)²].
+func TestQRTaskCount(t *testing.T) {
+	const n, m = 5, 4
+	rt := core.New(core.Config{Workers: 2})
+	defer rt.Close()
+	al := New(rt, kernels.Fast, m)
+	a := hypermatrix.FromFlat(kernels.GenMatrix(n*m, 35), n, m)
+	al.QR(a)
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for k := 0; k < n; k++ {
+		rem := n - 1 - k
+		want += int64(1 + rem + rem + rem*rem)
+	}
+	if st := rt.Stats(); st.TasksSubmitted != want {
+		t.Fatalf("submitted %d tasks, want %d", st.TasksSubmitted, want)
+	}
+}

@@ -1,0 +1,73 @@
+package linalg
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// QRSolve — solving A·x = b through the tiled QR factorization — is the
+// QR analogue of the §VII.D composition argument: "a real program may
+// perform a [factorization] and use the result in another operation.  As
+// the results of the factorization become available, the tasks of the
+// second operation that consume them can be executed."  The solver is
+// submitted right after QR with no barrier in between; the dependency
+// tracker pipelines each Qᵀ·b update behind the panel that produces its
+// reflectors, and each back-substitution step behind the R tiles it
+// reads.
+
+// qrSolveTasks lazily declares the vector tasks of the solver.
+type qrSolveTasks struct {
+	unmqrV *core.TaskDef
+	tsmqrV *core.TaskDef
+	gemv   *core.TaskDef
+	utrsv  *core.TaskDef
+}
+
+func (al *Algos) qrSolveTasks() *qrSolveTasks {
+	m := al.m
+	return &qrSolveTasks{
+		unmqrV: core.NewTaskDef("sunmqr_v_t", func(a *core.Args) {
+			kernels.UnmqrVec(a.F32(0), a.F32(1), a.F32(2), m)
+		}),
+		tsmqrV: core.NewTaskDef("stsmqr_v_t", func(a *core.Args) {
+			kernels.TsmqrVec(a.F32(0), a.F32(1), a.F32(2), a.F32(3), m)
+		}),
+		gemv: core.NewTaskDef("sgemv_t", func(a *core.Args) {
+			kernels.Gemv(a.F32(0), a.F32(1), a.F32(2), m)
+		}),
+		utrsv: core.NewTaskDef("sutrsv_t", func(a *core.Args) {
+			kernels.UTrsv(a.F32(0), a.F32(1), m)
+		}),
+	}
+}
+
+// QRSolve solves A·x = b given the output of a prior QR(a) call (factored
+// tiles in a, T factors in t).  b is a blocked vector of a.N blocks of m
+// elements; it is overwritten with the solution x (valid after a
+// barrier).  No barrier is needed between QR and QRSolve: the submission
+// composes with the factorization through data dependencies alone.
+func (al *Algos) QRSolve(a, t *hypermatrix.Matrix, b [][]float32) {
+	n := a.N
+	ts := al.qrSolveTasks()
+
+	// y := Qᵀ·b, pipelined panel by panel behind the factorization.
+	for k := 0; k < n; k++ {
+		al.rt.Submit(ts.unmqrV,
+			core.In(a.Blocks[k][k]), core.In(t.Blocks[k][k]), core.InOut(b[k]))
+		for i := k + 1; i < n; i++ {
+			al.rt.Submit(ts.tsmqrV,
+				core.InOut(b[k]), core.InOut(b[i]),
+				core.In(a.Blocks[i][k]), core.In(t.Blocks[i][k]))
+		}
+	}
+
+	// Back substitution R·x = y, bottom block-row first.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			al.rt.Submit(ts.gemv,
+				core.In(a.Blocks[i][j]), core.In(b[j]), core.InOut(b[i]))
+		}
+		al.rt.Submit(ts.utrsv, core.In(a.Blocks[i][i]), core.InOut(b[i]))
+	}
+}

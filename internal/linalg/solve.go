@@ -1,0 +1,61 @@
+package linalg
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// SolveLower submits a blocked forward substitution solving L·z = b in
+// place of b, where L is the lower-triangular hyper-matrix produced by
+// CholeskyDense and b is a blocked vector (n blocks of m elements):
+//
+//	for i: { for j < i: sgemv_t(L[i][j], b[j], b[i]) }  strsv_t(L[i][i], b[i])
+//
+// Submitted after CholeskyDense *without a barrier in between*, the
+// solve consumes factor blocks as they become available — the §VII.D
+// composition: "As the results of the factorization become available,
+// the tasks of the second operation that consume them can be executed,
+// recovering the parallelism lost as the execution reaches the bottom of
+// the Cholesky graph."
+func (al *Algos) SolveLower(l *hypermatrix.Matrix, b [][]float32) {
+	m := al.m
+	gemv := core.NewTaskDef("sgemv_t", func(a *core.Args) {
+		kernels.Gemv(a.F32(0), a.F32(1), a.F32(2), m)
+	})
+	trsv := core.NewTaskDef("strsv_t", func(a *core.Args) {
+		kernels.Trsv(a.F32(0), a.F32(1), m)
+	})
+	n := l.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			al.rt.Submit(gemv,
+				core.In(l.Block(i, j)),
+				core.In(b[j]),
+				core.InOut(b[i]))
+		}
+		al.rt.Submit(trsv,
+			core.In(l.Block(i, i)),
+			core.InOut(b[i]))
+	}
+}
+
+// BlockVector splits a flat vector of n·m elements into n blocks of m,
+// copying the contents.
+func BlockVector(v []float32, n, m int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = make([]float32, m)
+		copy(out[i], v[i*m:(i+1)*m])
+	}
+	return out
+}
+
+// FlattenVector concatenates vector blocks back into a flat vector.
+func FlattenVector(blocks [][]float32) []float32 {
+	var out []float32
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+func TestSolveLowerMatchesFlat(t *testing.T) {
+	nb, m := 4, 12
+	dim := nb * m
+	spd := kernels.GenSPD(dim, 41)
+	// Reference: flat factor + flat forward substitution.
+	lflat := append([]float32(nil), spd...)
+	if !kernels.CholeskyFlat(lflat, dim) {
+		t.Fatalf("reference Cholesky failed")
+	}
+	rhs := kernels.GenMatrix(dim, 42)[:dim]
+	want := append([]float32(nil), rhs...)
+	kernels.TrsvFlat(lflat, want, dim)
+
+	// Tasked: factorization and solve composed without a barrier.
+	rt := core.New(core.Config{Workers: 8})
+	al := New(rt, kernels.Fast, m)
+	a := hypermatrix.FromFlat(spd, nb, m)
+	b := BlockVector(rhs, nb, m)
+	al.CholeskyDense(a)
+	al.SolveLower(a, b) // no barrier in between: §VII.D composition
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := FlattenVector(b)
+	if d := kernels.MaxAbsDiff(want, got); d > 1e-2 {
+		t.Fatalf("blocked solve off by %g", d)
+	}
+}
+
+// TestSolveOverlapsFactorization proves the §VII.D claim structurally:
+// the first solve task depends only on the first column of the Cholesky
+// graph, so it can run long before the factorization finishes.
+func TestSolveOverlapsFactorization(t *testing.T) {
+	nb, m := 6, 8
+	dim := nb * m
+	rec := &graph.Recorder{}
+	rt := core.New(core.Config{Workers: 1, Recorder: rec})
+	al := New(rt, kernels.Fast, m)
+	a := hypermatrix.FromFlat(kernels.GenSPD(dim, 43), nb, m)
+	b := BlockVector(kernels.GenMatrix(dim, 44)[:dim], nb, m)
+	al.CholeskyDense(a) // 56 tasks (Fig. 5)
+	al.SolveLower(a, b)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After only the first Cholesky column (task 1 = spotrf(A00) and
+	// tasks 2..6 = its trsm column), the first solve task (strsv on
+	// b[0], reading L[0][0]) must be ready: it is the task numbered 57
+	// (first task submitted after the 56 Cholesky tasks).
+	done := map[int64]bool{1: true}
+	ready := rec.ReadyAfter(done)
+	found := false
+	for _, id := range ready {
+		if id == 57 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("solve task 57 not ready after spotrf(A00); ready = %v", ready)
+	}
+}
+
+func TestBlockVectorRoundTrip(t *testing.T) {
+	v := kernels.GenMatrix(6, 45)[:24]
+	blocks := BlockVector(v, 4, 6)
+	if len(blocks) != 4 || len(blocks[2]) != 6 {
+		t.Fatalf("BlockVector shape wrong")
+	}
+	back := FlattenVector(blocks)
+	if d := kernels.MaxAbsDiff(v, back); d != 0 {
+		t.Fatalf("round trip changed data")
+	}
+	// Blocks must be copies, not aliases.
+	blocks[0][0] = 999
+	if v[0] == 999 {
+		t.Fatalf("BlockVector must copy")
+	}
+}
+
+func TestTrsvKernel(t *testing.T) {
+	m := 16
+	spd := kernels.GenSPD(m, 46)
+	if !kernels.CholeskyFlat(spd, m) {
+		t.Fatalf("factor failed")
+	}
+	x := kernels.GenMatrix(m, 47)[:m]
+	// b = L·x, then Trsv must recover x.
+	b := make([]float32, m)
+	for i := 0; i < m; i++ {
+		var s float32
+		for k := 0; k <= i; k++ {
+			s += spd[i*m+k] * x[k]
+		}
+		b[i] = s
+	}
+	kernels.Trsv(spd, b, m)
+	if d := kernels.MaxAbsDiff(x, b); d > 1e-3 {
+		t.Fatalf("Trsv off by %g", d)
+	}
+}
+
+func TestGemvKernel(t *testing.T) {
+	m := 8
+	a := kernels.GenMatrix(m, 48)
+	x := kernels.GenMatrix(m, 49)[:m]
+	y := make([]float32, m)
+	kernels.Gemv(a, x, y, m)
+	for i := 0; i < m; i++ {
+		var s float32
+		for k := 0; k < m; k++ {
+			s += a[i*m+k] * x[k]
+		}
+		if d := y[i] + s; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("Gemv row %d off by %g", i, d)
+		}
+	}
+}

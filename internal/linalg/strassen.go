@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+)
+
+// view is a square block-aligned window into a hyper-matrix, used to
+// address quadrants during Strassen's recursion.
+type view struct {
+	h    *hypermatrix.Matrix
+	r, c int // block offsets
+	n    int // size in blocks
+}
+
+func full(h *hypermatrix.Matrix) view { return view{h: h, r: 0, c: 0, n: h.N} }
+
+func (v view) quad(qr, qc int) view {
+	half := v.n / 2
+	return view{h: v.h, r: v.r + qr*half, c: v.c + qc*half, n: half}
+}
+
+func (v view) block(i, j int) []float32 { return v.h.Block(v.r+i, v.c+j) }
+
+// Strassen submits Strassen's sub-cubic matrix multiplication (§VI.C)
+// computing C = A·B on hyper-matrices whose block dimension is a power
+// of two.  The recursion runs at submission time on the main thread;
+// all block arithmetic becomes tasks.
+//
+// The two operand-sum temporaries of each recursion step are reused
+// across the seven recursive products, so every reuse is a fresh write
+// over data still being read by the previous product's tasks — the
+// "intensive renaming test case" the paper calls out: renaming is what
+// lets all seven products run concurrently anyway.
+func (al *Algos) Strassen(a, b, c *hypermatrix.Matrix) {
+	if a.N&(a.N-1) != 0 {
+		panic(fmt.Sprintf("linalg: Strassen needs a power-of-two block count, got %d", a.N))
+	}
+	al.strassen(full(a), full(b), full(c))
+}
+
+func (al *Algos) strassen(a, b, c view) {
+	if a.n == 1 {
+		al.rt.Submit(al.smul,
+			core.In(a.block(0, 0)),
+			core.In(b.block(0, 0)),
+			core.Out(c.block(0, 0)))
+		return
+	}
+	half := a.n / 2
+	a11, a12, a21, a22 := a.quad(0, 0), a.quad(0, 1), a.quad(1, 0), a.quad(1, 1)
+	b11, b12, b21, b22 := b.quad(0, 0), b.quad(0, 1), b.quad(1, 0), b.quad(1, 1)
+	c11, c12, c21, c22 := c.quad(0, 0), c.quad(0, 1), c.quad(1, 0), c.quad(1, 1)
+
+	// Reused operand-sum temporaries (the renaming stress) and the seven
+	// product temporaries.
+	s := full(hypermatrix.New(half, al.m))
+	t := full(hypermatrix.New(half, al.m))
+	var mprod [7]view
+	for i := range mprod {
+		mprod[i] = full(hypermatrix.New(half, al.m))
+	}
+
+	// M1 = (A11+A22)·(B11+B22)
+	al.addView(a11, a22, s)
+	al.addView(b11, b22, t)
+	al.strassen(s, t, mprod[0])
+	// M2 = (A21+A22)·B11
+	al.addView(a21, a22, s)
+	al.strassen(s, b11, mprod[1])
+	// M3 = A11·(B12−B22)
+	al.subView(b12, b22, t)
+	al.strassen(a11, t, mprod[2])
+	// M4 = A22·(B21−B11)
+	al.subView(b21, b11, t)
+	al.strassen(a22, t, mprod[3])
+	// M5 = (A11+A12)·B22
+	al.addView(a11, a12, s)
+	al.strassen(s, b22, mprod[4])
+	// M6 = (A21−A11)·(B11+B12)
+	al.subView(a21, a11, s)
+	al.addView(b11, b12, t)
+	al.strassen(s, t, mprod[5])
+	// M7 = (A12−A22)·(B21+B22)
+	al.subView(a12, a22, s)
+	al.addView(b21, b22, t)
+	al.strassen(s, t, mprod[6])
+
+	// C11 = M1 + M4 − M5 + M7
+	al.addView(mprod[0], mprod[3], c11)
+	al.subToView(mprod[4], c11)
+	al.addToView(mprod[6], c11)
+	// C12 = M3 + M5
+	al.addView(mprod[2], mprod[4], c12)
+	// C21 = M2 + M4
+	al.addView(mprod[1], mprod[3], c21)
+	// C22 = M1 − M2 + M3 + M6
+	al.subView(mprod[0], mprod[1], c22)
+	al.addToView(mprod[2], c22)
+	al.addToView(mprod[5], c22)
+}
+
+// addView submits Z = X + Y blockwise.
+func (al *Algos) addView(x, y, z view) {
+	for i := 0; i < x.n; i++ {
+		for j := 0; j < x.n; j++ {
+			al.rt.Submit(al.sadd,
+				core.In(x.block(i, j)), core.In(y.block(i, j)), core.Out(z.block(i, j)))
+		}
+	}
+}
+
+// subView submits Z = X − Y blockwise.
+func (al *Algos) subView(x, y, z view) {
+	for i := 0; i < x.n; i++ {
+		for j := 0; j < x.n; j++ {
+			al.rt.Submit(al.ssub,
+				core.In(x.block(i, j)), core.In(y.block(i, j)), core.Out(z.block(i, j)))
+		}
+	}
+}
+
+// addToView submits Z += X blockwise.
+func (al *Algos) addToView(x, z view) {
+	for i := 0; i < x.n; i++ {
+		for j := 0; j < x.n; j++ {
+			al.rt.Submit(al.saddTo,
+				core.In(x.block(i, j)), core.InOut(z.block(i, j)))
+		}
+	}
+}
+
+// subToView submits Z −= X blockwise.
+func (al *Algos) subToView(x, z view) {
+	for i := 0; i < x.n; i++ {
+		for j := 0; j < x.n; j++ {
+			al.rt.Submit(al.ssubTo,
+				core.In(x.block(i, j)), core.InOut(z.block(i, j)))
+		}
+	}
+}

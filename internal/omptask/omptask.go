@@ -1,0 +1,205 @@
+// Package omptask is an OpenMP-3.0-tasks-style runtime, the second
+// baseline model of the paper's Multisort and N-Queens comparisons
+// (§VI.D, §VI.E): a task pool without dependencies.
+//
+// "The original task pool proposal does not contemplate dependencies,
+// greatly limiting its effectiveness in case of their existence" (paper
+// §VII.B).  Synchronization is expressed with taskwait barriers, and —
+// like the paper's OpenMP N-Queens — any shared partial state must be
+// copied by hand at task creation.
+//
+// The pool is a single central FIFO queue, the structure of the early
+// Nanos taskqueue implementations; idle threads pull from it in order.
+package omptask
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// frame counts outstanding child tasks of one task region for taskwait.
+type frame struct {
+	pending atomic.Int64
+}
+
+// task is one queued deferred task.
+type task struct {
+	f  func(*Ctx)
+	fr *frame
+}
+
+// RT is an OpenMP-like task-pool runtime instance.
+type RT struct {
+	nworkers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	head    int
+	version uint64
+	closed  bool
+	// sleepers counts threads parked (or about to park); wakeups skip
+	// the broadcast entirely while it is zero.
+	sleepers atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New creates a runtime with the given thread count (including the
+// thread that calls Parallel).  Zero means GOMAXPROCS.
+func New(workers int) *RT {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &RT{nworkers: workers}
+	rt.cond = sync.NewCond(&rt.mu)
+	for w := 1; w < workers; w++ {
+		rt.wg.Add(1)
+		go rt.workerLoop(w)
+	}
+	return rt
+}
+
+// Ctx is the per-thread handle inside a parallel region.
+type Ctx struct {
+	rt   *RT
+	self int
+	fr   *frame
+}
+
+// Worker returns the executing thread's identity (0 = the Parallel
+// caller).
+func (c *Ctx) Worker() int { return c.self }
+
+// Task defers f to the pool as a child of the current task region —
+// "#pragma omp task".
+func (c *Ctx) Task(f func(*Ctx)) {
+	c.fr.pending.Add(1)
+	t := task{f: f, fr: c.fr}
+	c.rt.mu.Lock()
+	c.rt.queue = append(c.rt.queue, t)
+	c.rt.version++
+	c.rt.mu.Unlock()
+	c.rt.wake()
+}
+
+// Taskwait blocks until every task created by the current region has
+// finished, executing pool tasks meanwhile — "#pragma omp taskwait".
+func (c *Ctx) Taskwait() {
+	for c.fr.pending.Load() > 0 {
+		if t, ok := c.rt.pop(); ok {
+			c.rt.runTask(t, c.self)
+			continue
+		}
+		c.rt.waitChange(c.self, func() bool { return c.fr.pending.Load() == 0 })
+	}
+}
+
+// Parallel runs f as the single initial task of a parallel region
+// ("#pragma omp parallel" + "single"), returning when f and all its
+// descendant tasks have completed.
+func (rt *RT) Parallel(f func(*Ctx)) {
+	root := &frame{}
+	c := &Ctx{rt: rt, self: 0, fr: root}
+	f(c)
+	c.Taskwait()
+}
+
+// Close stops the worker threads.
+func (rt *RT) Close() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+	rt.wg.Wait()
+}
+
+func (rt *RT) pop() (task, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.head == len(rt.queue) {
+		if rt.head > 0 {
+			rt.queue = rt.queue[:0]
+			rt.head = 0
+		}
+		return task{}, false
+	}
+	t := rt.queue[rt.head]
+	rt.queue[rt.head] = task{}
+	rt.head++
+	return t, true
+}
+
+// runTask executes a pool task in its own region frame with an implicit
+// taskwait at the end, then releases the parent's count.
+func (rt *RT) runTask(t task, self int) {
+	child := &frame{}
+	c := &Ctx{rt: rt, self: self, fr: child}
+	t.f(c)
+	c.Taskwait()
+	if t.fr.pending.Add(-1) == 0 {
+		rt.bump()
+	}
+}
+
+func (rt *RT) bump() {
+	rt.mu.Lock()
+	rt.version++
+	rt.mu.Unlock()
+	rt.wake()
+}
+
+// wake broadcasts only when someone is parked.
+func (rt *RT) wake() {
+	if rt.sleepers.Load() > 0 {
+		rt.cond.Broadcast()
+	}
+}
+
+// waitChange parks until the version changes, the runtime closes, or
+// cancel reports true.  The sleeper declares itself before the final
+// queue recheck so a concurrent Task cannot be lost.
+func (rt *RT) waitChange(self int, cancel func() bool) {
+	rt.mu.Lock()
+	v := rt.version
+	rt.mu.Unlock()
+	rt.sleepers.Add(1)
+	defer rt.sleepers.Add(-1)
+	if cancel() {
+		return
+	}
+	if t, ok := rt.pop(); ok {
+		rt.runTask(t, self)
+		return
+	}
+	if cancel() {
+		return
+	}
+	rt.mu.Lock()
+	for rt.version == v && !rt.closed {
+		rt.cond.Wait()
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *RT) workerLoop(self int) {
+	defer rt.wg.Done()
+	for {
+		if t, ok := rt.pop(); ok {
+			rt.runTask(t, self)
+			continue
+		}
+		rt.sleepers.Add(1)
+		rt.mu.Lock()
+		for rt.head == len(rt.queue) && !rt.closed {
+			rt.cond.Wait()
+		}
+		closed := rt.closed && rt.head == len(rt.queue)
+		rt.mu.Unlock()
+		rt.sleepers.Add(-1)
+		if closed {
+			return
+		}
+	}
+}

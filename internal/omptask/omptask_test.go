@@ -1,0 +1,115 @@
+package omptask
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskwaitWaitsForChildren(t *testing.T) {
+	rt := New(4)
+	defer rt.Close()
+	var done atomic.Int32
+	rt.Parallel(func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Task(func(c *Ctx) { done.Add(1) })
+		}
+		c.Taskwait()
+		if got := done.Load(); got != 100 {
+			t.Errorf("after Taskwait %d/100 tasks done", got)
+		}
+	})
+}
+
+func TestNestedTasks(t *testing.T) {
+	rt := New(4)
+	defer rt.Close()
+	var leaves atomic.Int32
+	rt.Parallel(func(c *Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Task(func(c *Ctx) {
+				for j := 0; j < 8; j++ {
+					c.Task(func(c *Ctx) { leaves.Add(1) })
+				}
+				c.Taskwait()
+			})
+		}
+	})
+	if got := leaves.Load(); got != 64 {
+		t.Fatalf("leaves = %d, want 64", got)
+	}
+}
+
+func TestImplicitTaskwaitAtRegionEnd(t *testing.T) {
+	// Parallel must not return before deferred tasks complete even
+	// without an explicit Taskwait.
+	rt := New(4)
+	defer rt.Close()
+	var done atomic.Int32
+	rt.Parallel(func(c *Ctx) {
+		for i := 0; i < 50; i++ {
+			c.Task(func(c *Ctx) { done.Add(1) })
+		}
+	})
+	if got := done.Load(); got != 50 {
+		t.Fatalf("after Parallel %d/50 tasks done", got)
+	}
+}
+
+func fibTask(c *Ctx, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var a, b int64
+	c.Task(func(c *Ctx) { fibTask(c, n-1, &a) })
+	fibTask(c, n-2, &b)
+	c.Taskwait()
+	*out = a + b
+}
+
+func TestFibAcrossWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		rt := New(workers)
+		var out int64
+		rt.Parallel(func(c *Ctx) { fibTask(c, 18, &out) })
+		rt.Close()
+		if out != 2584 {
+			t.Fatalf("workers=%d: fib(18) = %d, want 2584", workers, out)
+		}
+	}
+}
+
+func TestWorkerIdentity(t *testing.T) {
+	rt := New(4)
+	defer rt.Close()
+	rt.Parallel(func(c *Ctx) {
+		if c.Worker() != 0 {
+			t.Errorf("Parallel caller must be worker 0, got %d", c.Worker())
+		}
+		var sawWorker atomic.Int32
+		for i := 0; i < 64; i++ {
+			c.Task(func(c *Ctx) {
+				if c.Worker() > 0 {
+					sawWorker.Store(1)
+				}
+			})
+		}
+		c.Taskwait()
+		// With 4 threads and 64 tasks, at least one should land on a
+		// dedicated worker (not strictly guaranteed, but overwhelmingly
+		// likely; tolerate the alternative).
+		_ = sawWorker.Load()
+	})
+}
+
+func TestParallelReusable(t *testing.T) {
+	rt := New(4)
+	defer rt.Close()
+	for round := 0; round < 5; round++ {
+		var out int64
+		rt.Parallel(func(c *Ctx) { fibTask(c, 12, &out) })
+		if out != 144 {
+			t.Fatalf("round %d: fib(12) = %d, want 144", round, out)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package sched implements the SMPSs ready-task scheduling machinery
+// (paper §III).
+//
+// There are two global ready lists — one for high-priority tasks and one
+// ("main") for normal tasks that became ready at submission time — plus
+// one ready list per worker holding tasks whose last input dependency was
+// removed by that worker.  Workers look for work in the order: high
+// priority list, own list (LIFO), main list (FIFO), then steal from the
+// other workers in creation order starting from the next one (FIFO).
+//
+// Consuming the own list in LIFO order walks the graph depth-first, so a
+// worker tends to run the consumer of data it just produced while that
+// data is still hot in its cache.  Stealing in FIFO order takes the task
+// that has been queued longest — the one whose inputs are most likely to
+// have been evicted from the victim's cache already — which is the same
+// policy as Cilk but with a locality motivation (paper §VII.D).
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// queue is a mutex-guarded deque of task nodes.  The owner pops from the
+// back (LIFO); thieves and FIFO consumers pop from the front.
+//
+// SMPSs tasks have a recommended granularity of hundreds of microseconds
+// (paper §I), so a plain mutex per queue is far below the noise floor; a
+// lock-free Chase–Lev deque would buy nothing here.
+type queue struct {
+	mu    sync.Mutex
+	items []*graph.Node
+	head  int
+}
+
+// pushBack appends a node at the back of the deque.
+func (q *queue) pushBack(n *graph.Node) {
+	q.mu.Lock()
+	q.items = append(q.items, n)
+	q.mu.Unlock()
+}
+
+// popBack removes and returns the most recently pushed node, or nil.
+func (q *queue) popBack() *graph.Node {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return nil
+	}
+	n := q.items[len(q.items)-1]
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	q.compact()
+	return n
+}
+
+// popFront removes and returns the oldest node, or nil.
+func (q *queue) popFront() *graph.Node {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return nil
+	}
+	n := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.compact()
+	return n
+}
+
+// compact reclaims the dead prefix once it dominates the backing array.
+// Callers hold q.mu.
+func (q *queue) compact() {
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+		return
+	}
+	if q.head > 64 && q.head > len(q.items)/2 {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
+// size returns the number of queued nodes.
+func (q *queue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}

@@ -1,0 +1,281 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Stats aggregates scheduler activity, mostly so tests and ablation
+// benchmarks can verify the locality policy is actually exercised.
+type Stats struct {
+	// PushHigh counts tasks queued on the high-priority list.
+	PushHigh int64
+	// PushOwn counts tasks queued directly on the releasing worker's list.
+	PushOwn int64
+	// PushMain counts tasks queued on the main ready list.
+	PushMain int64
+	// PopHigh, PopOwn, PopMain count where workers found their tasks.
+	PopHigh, PopOwn, PopMain int64
+	// Steals counts tasks taken from another worker's list.
+	Steals int64
+}
+
+// Policy decides where ready tasks queue and where a worker looks next.
+// Implementations must be safe for concurrent use.
+type Policy interface {
+	// Push queues a ready task.  releasedBy is the worker whose task
+	// completion made it ready, or graph.MainThread if it was ready at
+	// submission.
+	Push(n *graph.Node, releasedBy int)
+	// TryNext returns a task for worker self, or nil if none is
+	// available right now.
+	TryNext(self int) *graph.Node
+	// Len returns the total number of queued tasks (approximate under
+	// concurrency).
+	Len() int
+	// Stats returns a snapshot of the policy's counters.
+	Stats() Stats
+}
+
+// Locality is the scheduling policy of paper §III: high-priority list,
+// per-worker lists fed by dependency-releasing completions, main list for
+// tasks ready at submission, and FIFO work stealing in creation order.
+type Locality struct {
+	high queue
+	main queue
+	own  []queue
+
+	pushHigh, pushOwn, pushMain atomic.Int64
+	popHigh, popOwn, popMain    atomic.Int64
+	steals                      atomic.Int64
+}
+
+// NewLocality creates the paper's scheduler for nworkers workers
+// (including the main thread, which participates with identity 0 when it
+// blocks on a barrier).
+func NewLocality(nworkers int) *Locality {
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	return &Locality{own: make([]queue, nworkers)}
+}
+
+// Push implements Policy.
+func (s *Locality) Push(n *graph.Node, releasedBy int) {
+	switch {
+	case n.Priority:
+		// High-priority tasks are scheduled as soon as possible
+		// independently of any locality consideration (paper §III).
+		s.high.pushBack(n)
+		s.pushHigh.Add(1)
+	case releasedBy >= 0 && releasedBy < len(s.own):
+		// The releasing worker just produced one of this task's inputs;
+		// keep it local so the data is reused while hot.
+		s.own[releasedBy].pushBack(n)
+		s.pushOwn.Add(1)
+	default:
+		// Ready at submission: the main list is the distribution point
+		// for unexplored regions of the graph.
+		s.main.pushBack(n)
+		s.pushMain.Add(1)
+	}
+}
+
+// TryNext implements the lookup order of paper §III for worker self.
+func (s *Locality) TryNext(self int) *graph.Node {
+	if n := s.high.popFront(); n != nil {
+		s.popHigh.Add(1)
+		return n
+	}
+	if self >= 0 && self < len(s.own) {
+		if n := s.own[self].popBack(); n != nil { // own list in LIFO order
+			s.popOwn.Add(1)
+			return n
+		}
+	}
+	if n := s.main.popFront(); n != nil { // main list in FIFO order
+		s.popMain.Add(1)
+		return n
+	}
+	// Steal from other threads in creation order starting from the next
+	// one, FIFO, so the victim keeps the tasks whose data is hottest.
+	if self < 0 {
+		self = 0
+	}
+	for i := 1; i < len(s.own); i++ {
+		victim := (self + i) % len(s.own)
+		if n := s.own[victim].popFront(); n != nil {
+			s.steals.Add(1)
+			return n
+		}
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (s *Locality) Len() int {
+	total := s.high.size() + s.main.size()
+	for i := range s.own {
+		total += s.own[i].size()
+	}
+	return total
+}
+
+// Stats implements Policy.
+func (s *Locality) Stats() Stats {
+	return Stats{
+		PushHigh: s.pushHigh.Load(),
+		PushOwn:  s.pushOwn.Load(),
+		PushMain: s.pushMain.Load(),
+		PopHigh:  s.popHigh.Load(),
+		PopOwn:   s.popOwn.Load(),
+		PopMain:  s.popMain.Load(),
+		Steals:   s.steals.Load(),
+	}
+}
+
+// GlobalFIFO is the ablation policy: one central FIFO ready queue, no
+// locality lists, no stealing — the structure SuperMatrix used (paper
+// §VII.C).  High-priority tasks still jump the line.
+type GlobalFIFO struct {
+	high queue
+	main queue
+
+	pushHigh, pushMain atomic.Int64
+	popHigh, popMain   atomic.Int64
+}
+
+// NewGlobalFIFO creates the central-queue ablation policy.
+func NewGlobalFIFO() *GlobalFIFO { return &GlobalFIFO{} }
+
+// Push implements Policy.
+func (s *GlobalFIFO) Push(n *graph.Node, releasedBy int) {
+	if n.Priority {
+		s.high.pushBack(n)
+		s.pushHigh.Add(1)
+		return
+	}
+	s.main.pushBack(n)
+	s.pushMain.Add(1)
+}
+
+// TryNext implements Policy.
+func (s *GlobalFIFO) TryNext(self int) *graph.Node {
+	if n := s.high.popFront(); n != nil {
+		s.popHigh.Add(1)
+		return n
+	}
+	if n := s.main.popFront(); n != nil {
+		s.popMain.Add(1)
+		return n
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (s *GlobalFIFO) Len() int { return s.high.size() + s.main.size() }
+
+// Stats implements Policy.
+func (s *GlobalFIFO) Stats() Stats {
+	return Stats{
+		PushHigh: s.pushHigh.Load(),
+		PushMain: s.pushMain.Load(),
+		PopHigh:  s.popHigh.Load(),
+		PopMain:  s.popMain.Load(),
+	}
+}
+
+// Scheduler couples a Policy with sleep/wake machinery so idle workers
+// park instead of spinning.
+type Scheduler struct {
+	Policy
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	version uint64
+	closed  bool
+	// sleepers counts workers parked (or about to park) in Get; Push
+	// skips the lock and broadcast entirely while it is zero, the common
+	// case when the machine is saturated with ready tasks.
+	sleepers atomic.Int64
+}
+
+// NewScheduler wraps a policy with parking support.
+func NewScheduler(p Policy) *Scheduler {
+	s := &Scheduler{Policy: p}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push queues a ready task and wakes a parked worker.  While no worker
+// is parked, the wakeup path is a single atomic load.
+func (s *Scheduler) Push(n *graph.Node, releasedBy int) {
+	s.Policy.Push(n, releasedBy)
+	if s.sleepers.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Get returns the next task for worker self, parking until one arrives.
+// It returns nil when cancel() reports true (checked whenever the worker
+// is about to park or is woken) or after Close.
+func (s *Scheduler) Get(self int, cancel func() bool) *graph.Node {
+	for {
+		if n := s.TryNext(self); n != nil {
+			return n
+		}
+		s.mu.Lock()
+		v := s.version
+		s.mu.Unlock()
+		// Declare the sleeper before the final recheck: a Push after the
+		// recheck is then guaranteed to see sleepers > 0 and bump the
+		// version, so no wakeup is lost.
+		s.sleepers.Add(1)
+		if n := s.TryNext(self); n != nil {
+			s.sleepers.Add(-1)
+			return n
+		}
+		if cancel != nil && cancel() {
+			s.sleepers.Add(-1)
+			return nil
+		}
+		s.mu.Lock()
+		for s.version == v && !s.closed {
+			s.cond.Wait()
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		s.sleepers.Add(-1)
+		if closed {
+			// Drain whatever remains before giving up.
+			if n := s.TryNext(self); n != nil {
+				return n
+			}
+			return nil
+		}
+	}
+}
+
+// Kick wakes all parked workers so they re-evaluate their cancel
+// conditions (used when a barrier is satisfied).
+func (s *Scheduler) Kick() {
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Close wakes everyone and makes subsequent Gets return once the queues
+// drain.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func mkNode(id int64, prio bool) *graph.Node {
+	return &graph.Node{ID: id, Priority: prio}
+}
+
+func TestQueueFIFOAndLIFO(t *testing.T) {
+	var q queue
+	for i := int64(1); i <= 3; i++ {
+		q.pushBack(mkNode(i, false))
+	}
+	if n := q.popFront(); n.ID != 1 {
+		t.Fatalf("popFront = %d, want 1", n.ID)
+	}
+	if n := q.popBack(); n.ID != 3 {
+		t.Fatalf("popBack = %d, want 3", n.ID)
+	}
+	if n := q.popBack(); n.ID != 2 {
+		t.Fatalf("popBack = %d, want 2", n.ID)
+	}
+	if q.popBack() != nil || q.popFront() != nil {
+		t.Fatalf("empty queue must return nil")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	var q queue
+	const n = 1000
+	for i := int64(0); i < n; i++ {
+		q.pushBack(mkNode(i, false))
+	}
+	for i := int64(0); i < n; i++ {
+		got := q.popFront()
+		if got == nil || got.ID != i {
+			t.Fatalf("popFront #%d = %v", i, got)
+		}
+	}
+	if q.size() != 0 {
+		t.Fatalf("size = %d, want 0", q.size())
+	}
+	// Interleaved push/pop keeps working after compaction.
+	q.pushBack(mkNode(7, false))
+	if got := q.popFront(); got.ID != 7 {
+		t.Fatalf("after compaction popFront = %v", got)
+	}
+}
+
+func TestQueueOrderProperty(t *testing.T) {
+	// Property: popping everything from the front returns push order;
+	// popping everything from the back returns reverse push order.
+	f := func(raw []uint8) bool {
+		var q1, q2 queue
+		for i := range raw {
+			q1.pushBack(mkNode(int64(i), false))
+			q2.pushBack(mkNode(int64(i), false))
+		}
+		for i := range raw {
+			if q1.popFront().ID != int64(i) {
+				return false
+			}
+			if q2.popBack().ID != int64(len(raw)-1-i) {
+				return false
+			}
+		}
+		return q1.size() == 0 && q2.size() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalityHighPriorityFirst(t *testing.T) {
+	s := NewLocality(2)
+	s.Push(mkNode(1, false), graph.MainThread)
+	s.Push(mkNode(2, true), graph.MainThread)
+	if n := s.TryNext(0); n.ID != 2 {
+		t.Fatalf("high priority must be scheduled first, got %d", n.ID)
+	}
+	if n := s.TryNext(0); n.ID != 1 {
+		t.Fatalf("then the main list, got %d", n.ID)
+	}
+	st := s.Stats()
+	if st.PushHigh != 1 || st.PushMain != 1 || st.PopHigh != 1 || st.PopMain != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLocalityOwnListLIFO(t *testing.T) {
+	s := NewLocality(2)
+	// Worker 1 releases two tasks; it must consume them in LIFO order.
+	s.Push(mkNode(1, false), 1)
+	s.Push(mkNode(2, false), 1)
+	if n := s.TryNext(1); n.ID != 2 {
+		t.Fatalf("own list must be LIFO, got %d", n.ID)
+	}
+	if n := s.TryNext(1); n.ID != 1 {
+		t.Fatalf("own list second pop = %d, want 1", n.ID)
+	}
+	if st := s.Stats(); st.PushOwn != 2 || st.PopOwn != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLocalityStealFIFO(t *testing.T) {
+	s := NewLocality(2)
+	// Worker 1's list holds 1,2 (oldest first).  Worker 0 must steal the
+	// oldest (FIFO) to spare the victim's cache.
+	s.Push(mkNode(1, false), 1)
+	s.Push(mkNode(2, false), 1)
+	if n := s.TryNext(0); n.ID != 1 {
+		t.Fatalf("steal must be FIFO, got %d", n.ID)
+	}
+	if st := s.Stats(); st.Steals != 1 {
+		t.Fatalf("stats = %+v, want 1 steal", st)
+	}
+}
+
+func TestLocalityStealOrderStartsAtNextWorker(t *testing.T) {
+	s := NewLocality(4)
+	// Tasks on workers 2 and 3.  Worker 1 must check 2 before 3.
+	s.Push(mkNode(30, false), 3)
+	s.Push(mkNode(20, false), 2)
+	if n := s.TryNext(1); n.ID != 20 {
+		t.Fatalf("worker 1 must steal from worker 2 first, got %d", n.ID)
+	}
+	// Now only worker 3 has work; worker 1 wraps around past 2.
+	if n := s.TryNext(1); n.ID != 30 {
+		t.Fatalf("worker 1 must wrap to worker 3, got %d", n.ID)
+	}
+}
+
+func TestLocalityOwnBeforeMainBeforeSteal(t *testing.T) {
+	s := NewLocality(2)
+	s.Push(mkNode(1, false), graph.MainThread) // main list
+	s.Push(mkNode(2, false), 0)                // own list of worker 0
+	s.Push(mkNode(3, false), 1)                // worker 1's list
+	if n := s.TryNext(0); n.ID != 2 {
+		t.Fatalf("own list must beat main list, got %d", n.ID)
+	}
+	if n := s.TryNext(0); n.ID != 1 {
+		t.Fatalf("main list must beat stealing, got %d", n.ID)
+	}
+	if n := s.TryNext(0); n.ID != 3 {
+		t.Fatalf("finally steal, got %d", n.ID)
+	}
+}
+
+func TestLocalityMainThreadReleaseGoesToMainList(t *testing.T) {
+	s := NewLocality(2)
+	s.Push(mkNode(1, false), graph.MainThread)
+	if st := s.Stats(); st.PushMain != 1 || st.PushOwn != 0 {
+		t.Fatalf("stats = %+v, want main push", st)
+	}
+}
+
+func TestLocalityOutOfRangeWorkerFallsBackToMain(t *testing.T) {
+	s := NewLocality(2)
+	s.Push(mkNode(1, false), 99)
+	if st := s.Stats(); st.PushMain != 1 {
+		t.Fatalf("out-of-range releasedBy must use main list: %+v", st)
+	}
+	if n := s.TryNext(0); n == nil || n.ID != 1 {
+		t.Fatalf("task lost")
+	}
+}
+
+func TestLocalityLen(t *testing.T) {
+	s := NewLocality(2)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	s.Push(mkNode(1, true), graph.MainThread)
+	s.Push(mkNode(2, false), graph.MainThread)
+	s.Push(mkNode(3, false), 1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestGlobalFIFOOrder(t *testing.T) {
+	s := NewGlobalFIFO()
+	s.Push(mkNode(1, false), 0)
+	s.Push(mkNode(2, false), 1)
+	s.Push(mkNode(3, true), graph.MainThread)
+	if n := s.TryNext(0); n.ID != 3 {
+		t.Fatalf("high priority first, got %d", n.ID)
+	}
+	if n := s.TryNext(1); n.ID != 1 {
+		t.Fatalf("then FIFO, got %d", n.ID)
+	}
+	if n := s.TryNext(0); n.ID != 2 {
+		t.Fatalf("then FIFO, got %d", n.ID)
+	}
+	if s.TryNext(0) != nil {
+		t.Fatalf("empty must return nil")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestSchedulerGetBlocksUntilPush(t *testing.T) {
+	s := NewScheduler(NewLocality(2))
+	got := make(chan *graph.Node, 1)
+	go func() { got <- s.Get(0, nil) }()
+	select {
+	case n := <-got:
+		t.Fatalf("Get returned %v before any push", n)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Push(mkNode(42, false), graph.MainThread)
+	select {
+	case n := <-got:
+		if n.ID != 42 {
+			t.Fatalf("Get = %d, want 42", n.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Get did not wake after push")
+	}
+}
+
+func TestSchedulerGetCancel(t *testing.T) {
+	s := NewScheduler(NewLocality(1))
+	var stop atomic.Bool
+	got := make(chan *graph.Node, 1)
+	go func() { got <- s.Get(0, stop.Load) }()
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	s.Kick()
+	select {
+	case n := <-got:
+		if n != nil {
+			t.Fatalf("cancelled Get = %v, want nil", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("cancelled Get did not return")
+	}
+}
+
+func TestSchedulerCloseDrains(t *testing.T) {
+	s := NewScheduler(NewGlobalFIFO())
+	s.Push(mkNode(1, false), graph.MainThread)
+	s.Close()
+	if n := s.Get(0, nil); n == nil || n.ID != 1 {
+		t.Fatalf("Get after Close must drain remaining tasks, got %v", n)
+	}
+	if n := s.Get(0, nil); n != nil {
+		t.Fatalf("Get on closed empty scheduler = %v, want nil", n)
+	}
+}
+
+func TestSchedulerConcurrentProducersConsumers(t *testing.T) {
+	s := NewScheduler(NewLocality(4))
+	const total = 4000
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				n := s.Get(self, nil)
+				if n == nil {
+					return
+				}
+				consumed.Add(1)
+			}
+		}(w)
+	}
+	for i := 0; i < total; i++ {
+		s.Push(mkNode(int64(i), i%7 == 0), i%5-1)
+	}
+	for consumed.Load() < total {
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	wg.Wait()
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d, want %d", consumed.Load(), total)
+	}
+	st := s.Stats()
+	if st.PushHigh == 0 || st.PushOwn == 0 || st.PushMain == 0 {
+		t.Fatalf("expected a mix of destinations: %+v", st)
+	}
+}

@@ -1,0 +1,80 @@
+package supermatrix
+
+import (
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// Algorithm drivers expressing the paper's linear-algebra workloads under
+// the SuperMatrix model, used by the ablation benchmarks to compare the
+// two execution models on identical task graphs.  SuperMatrix itself is a
+// library of linear algebra routines (§VII.C: "composed of just one
+// library of routines"), so shipping the algorithms with the runtime is
+// faithful to the system being modeled.
+
+// Tasks builds the task-definition set for one kernel provider and block
+// size, shared by the drivers below.
+type Tasks struct {
+	M     int
+	Gemm  *TaskDef // C -= A·Bᵀ (Cholesky trailing update)
+	Syrk  *TaskDef
+	Trsm  *TaskDef
+	Potrf *TaskDef
+	MulNN *TaskDef // C += A·B (matrix multiply)
+}
+
+// NewTasks declares the task set over provider p with m×m blocks.
+func NewTasks(p kernels.Provider, m int) *Tasks {
+	return &Tasks{
+		M: m,
+		Gemm: NewTaskDef("sgemm_t", func(a *Args) {
+			p.GemmNT(a.F32(0), a.F32(1), a.F32(2), m)
+		}),
+		Syrk: NewTaskDef("ssyrk_t", func(a *Args) {
+			p.Syrk(a.F32(0), a.F32(1), m)
+		}),
+		Trsm: NewTaskDef("strsm_t", func(a *Args) {
+			p.Trsm(a.F32(0), a.F32(1), m)
+		}),
+		Potrf: NewTaskDef("spotrf_t", func(a *Args) {
+			if !p.Potrf(a.F32(0), m) {
+				panic("supermatrix: block not positive definite")
+			}
+		}),
+		MulNN: NewTaskDef("sgemm_nn_t", func(a *Args) {
+			p.GemmNN(a.F32(0), a.F32(1), a.F32(2), m)
+		}),
+	}
+}
+
+// Cholesky submits the left-looking blocked Cholesky of Fig. 4 to rt.
+// The caller runs it with rt.Execute.
+func Cholesky(rt *Runtime, ts *Tasks, h *hypermatrix.Matrix) {
+	n := h.N
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			for i := j + 1; i < n; i++ {
+				rt.Submit(ts.Gemm, In(h.Blocks[i][k]), In(h.Blocks[j][k]), InOut(h.Blocks[i][j]))
+			}
+		}
+		for i := 0; i < j; i++ {
+			rt.Submit(ts.Syrk, In(h.Blocks[j][i]), InOut(h.Blocks[j][j]))
+		}
+		rt.Submit(ts.Potrf, InOut(h.Blocks[j][j]))
+		for i := j + 1; i < n; i++ {
+			rt.Submit(ts.Trsm, In(h.Blocks[j][j]), InOut(h.Blocks[i][j]))
+		}
+	}
+}
+
+// Gemm submits the dense hyper-matrix multiplication of Fig. 1 (C += A·B).
+func Gemm(rt *Runtime, ts *Tasks, a, b, c *hypermatrix.Matrix) {
+	n := a.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				rt.Submit(ts.MulNN, In(a.Blocks[i][k]), In(b.Blocks[k][j]), InOut(c.Blocks[i][j]))
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package supermatrix
+
+import (
+	"testing"
+)
+
+// TestArgsAccessors covers the typed accessors and their panics.
+func TestArgsAccessors(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	if rt.Workers() != 2 {
+		t.Fatalf("Workers() = %d", rt.Workers())
+	}
+	data := make([]float32, 2)
+	def := NewTaskDef("acc", func(a *Args) {
+		if a.Len() != 3 {
+			panic("wrong arity")
+		}
+		if a.Worker() < 0 || a.Worker() >= 2 {
+			panic("bad worker")
+		}
+		_ = a.F32(0)
+		if a.Int(1) != 7 || a.Int(2) != 8 {
+			panic("bad ints")
+		}
+		mustPanic := func(f func()) {
+			panicked := false
+			func() {
+				defer func() { panicked = recover() != nil }()
+				f()
+			}()
+			if !panicked {
+				panic("accessor did not panic")
+			}
+		}
+		mustPanic(func() { a.Value(0) }) // data arg is not a value
+		mustPanic(func() { a.Data(1) })  // value arg is not data
+		mustPanic(func() { a.Int(0) })   // data arg is not an int
+	})
+	rt.Submit(def, InOut(data), Value(7), Value(int64(8)))
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteOnlyTaskGetsOwner: Out counts as a write for the block→core
+// assignment.
+func TestWriteOnlyTaskGetsOwner(t *testing.T) {
+	rt := New(Config{Workers: 3})
+	outs := make([][]float32, 9)
+	def := NewTaskDef("w", func(a *Args) { a.F32(0)[0] = 1 })
+	for i := range outs {
+		outs[i] = make([]float32, 1)
+		rt.Submit(def, Out(outs[i]))
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Owners != 9 || st.OwnerRuns != 9 || st.UnownedRuns != 0 {
+		t.Fatalf("owner accounting: %+v", st)
+	}
+}
+
+// TestReadOnlyTaskIsUnowned: tasks that write nothing run anywhere.
+func TestReadOnlyTaskIsUnowned(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	src := []float32{1}
+	def := NewTaskDef("r", func(a *Args) { _ = a.F32(0)[0] })
+	for i := 0; i < 5; i++ {
+		rt.Submit(def, In(src))
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.UnownedRuns != 5 || st.Owners != 0 {
+		t.Fatalf("unowned accounting: %+v", st)
+	}
+}

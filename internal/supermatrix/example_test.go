@@ -1,0 +1,30 @@
+package supermatrix_test
+
+import (
+	"fmt"
+
+	"repro/internal/supermatrix"
+)
+
+// The SuperMatrix model in one screen: Submit only develops the graph;
+// Execute stops the main flow until it has been fully consumed
+// (paper §VII.C).
+func Example() {
+	inc := supermatrix.NewTaskDef("inc", func(a *supermatrix.Args) {
+		a.F32(0)[0]++
+	})
+	x := make([]float32, 1)
+
+	rt := supermatrix.New(supermatrix.Config{Workers: 2})
+	for i := 0; i < 10; i++ {
+		rt.Submit(inc, supermatrix.InOut(x))
+	}
+	fmt.Println("before Execute:", x[0]) // the graph-first property
+	if err := rt.Execute(); err != nil {
+		panic(err)
+	}
+	fmt.Println("after Execute:", x[0])
+	// Output:
+	// before Execute: 0
+	// after Execute: 10
+}

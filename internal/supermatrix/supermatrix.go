@@ -1,0 +1,361 @@
+// Package supermatrix reproduces the SuperMatrix execution model that the
+// paper compares against in §VII.C, so the architectural claims of that
+// section can be measured rather than just cited:
+//
+//   - "SuperMatrix first develops the whole graph, and then stops the main
+//     flow execution until the graph has been fully consumed" — Submit
+//     only builds the graph; nothing executes until Execute, which blocks
+//     the main flow until the graph drains.
+//   - "SuperMatrix has a central ready queue" — there is one shared ready
+//     list; workers have no private deques and never steal.
+//   - "its locality approach is based on assigning each block to one core
+//     and run tasks that write to that block only on the assigned core.
+//     This assignment is performed independently of task dependencies" —
+//     every data object is bound to an owner core (round-robin at first
+//     write, i.e. block-cyclic in first-write order); a ready task that
+//     writes an owned block is runnable only on that owner.
+//   - "SuperMatrix does not support renaming" — WAR and WAW hazards become
+//     real edges (the dependency tracker runs with renaming disabled).
+//
+// The programming interface mirrors internal/core (task definitions,
+// In/Out/InOut/Value arguments) so the same algorithms can be expressed
+// under both models and compared head-to-head (the ablation benchmarks in
+// internal/bench do exactly that).
+package supermatrix
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataid"
+	"repro/internal/deps"
+	"repro/internal/graph"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Workers is the number of threads consuming the graph during
+	// Execute.  Zero means 1.
+	Workers int
+}
+
+// TaskDef declares a task type, mirroring core.TaskDef.
+type TaskDef struct {
+	// Name labels the task in errors and statistics.
+	Name string
+	// Fn is the task body; it receives accessors for the parameter
+	// storage bound at submission.
+	Fn func(*Args)
+}
+
+// NewTaskDef declares a task.
+func NewTaskDef(name string, fn func(*Args)) *TaskDef {
+	return &TaskDef{Name: name, Fn: fn}
+}
+
+// argKind distinguishes argument flavors.
+type argKind uint8
+
+const (
+	argData argKind = iota
+	argValue
+)
+
+// Arg is one bound task parameter.
+type Arg struct {
+	kind argKind
+	mode deps.Mode
+	data any
+}
+
+// In declares data the task only reads.
+func In(data any) Arg { return Arg{kind: argData, mode: deps.ModeIn, data: data} }
+
+// Out declares data the task completely overwrites.
+func Out(data any) Arg { return Arg{kind: argData, mode: deps.ModeOut, data: data} }
+
+// InOut declares data the task reads and writes.
+func InOut(data any) Arg { return Arg{kind: argData, mode: deps.ModeInOut, data: data} }
+
+// Value passes v by value without dependency analysis.
+func Value(v any) Arg { return Arg{kind: argValue, data: v} }
+
+// Args gives a task body access to its parameters.  SuperMatrix never
+// renames, so the storage is always exactly what the caller named.
+type Args struct {
+	rec    *taskRec
+	worker int
+}
+
+// Len returns the number of bound parameters.
+func (a *Args) Len() int { return len(a.rec.args) }
+
+// Worker returns the executing worker's identity (0..Workers-1).
+func (a *Args) Worker() int { return a.worker }
+
+// Data returns parameter i's storage.
+func (a *Args) Data(i int) any {
+	b := a.rec.args[i]
+	if b.kind != argData {
+		panic(fmt.Sprintf("supermatrix: argument %d of %s is not a data parameter", i, a.rec.def.Name))
+	}
+	return b.data
+}
+
+// F32 returns parameter i as a []float32.
+func (a *Args) F32(i int) []float32 { return a.Data(i).([]float32) }
+
+// Value returns parameter i's by-value payload.
+func (a *Args) Value(i int) any {
+	b := a.rec.args[i]
+	if b.kind != argValue {
+		panic(fmt.Sprintf("supermatrix: argument %d of %s is not a value parameter", i, a.rec.def.Name))
+	}
+	return b.data
+}
+
+// Int returns parameter i's value as an int.
+func (a *Args) Int(i int) int {
+	switch v := a.Value(i).(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case int32:
+		return int(v)
+	}
+	panic(fmt.Sprintf("supermatrix: argument %d of %s is not an integer", i, a.rec.def.Name))
+}
+
+// taskRec is the payload attached to each graph node.
+type taskRec struct {
+	def   *TaskDef
+	args  []Arg
+	owner int // owning core, or -1 when the task writes no owned block
+}
+
+// Stats aggregates runtime activity.
+type Stats struct {
+	// TasksSubmitted and TasksExecuted count task instances.
+	TasksSubmitted int64
+	TasksExecuted  int64
+	// Deps is the tracker's view.  FalseEdges counts the WAR/WAW hazards
+	// materialized as edges because SuperMatrix does not rename.
+	Deps deps.Stats
+	// OwnerRuns counts tasks executed on the core owning their first
+	// written block; UnownedRuns counts tasks with no written block.
+	OwnerRuns   int64
+	UnownedRuns int64
+	// Owners is the number of distinct block→core assignments made.
+	Owners int64
+}
+
+// Runtime is one SuperMatrix-model runtime instance.
+//
+// Like the system it models, it is strictly phase-based: the main flow
+// calls Submit repeatedly (building the whole graph without running
+// anything), then Execute (which consumes the graph to completion).
+// Submit must not be called concurrently with Execute.
+type Runtime struct {
+	cfg Config
+	g   *graph.Graph
+	tr  *deps.Tracker
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	owned  [][]*graph.Node // per-core ready lists (owner-bound tasks)
+	shared []*graph.Node   // ready tasks that write no owned block
+	owners map[uintptr]int
+	next   int // round-robin cursor for owner assignment
+
+	outstanding int64
+	submitted   int64
+	executed    int64
+	ownerRuns   int64
+	unownedRuns int64
+
+	firstErr error
+}
+
+// New creates a runtime.  No worker threads exist until Execute.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		owned:  make([][]*graph.Node, cfg.Workers),
+		owners: make(map[uintptr]int),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.g = graph.New(rt.onReady)
+	rt.tr = deps.NewTracker(rt.g)
+	rt.tr.DisableRenaming = true // SuperMatrix does not support renaming
+	return rt
+}
+
+// Workers returns the configured worker count.
+func (rt *Runtime) Workers() int { return rt.cfg.Workers }
+
+// Stats returns a snapshot of the runtime's counters.  Call it between
+// phases (not during Execute).
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return Stats{
+		TasksSubmitted: rt.submitted,
+		TasksExecuted:  rt.executed,
+		Deps:           rt.tr.Stats(),
+		OwnerRuns:      rt.ownerRuns,
+		UnownedRuns:    rt.unownedRuns,
+		Owners:         int64(len(rt.owners)),
+	}
+}
+
+// ownerOf returns the core owning the block at key, assigning one
+// round-robin on first sight.  Caller holds rt.mu.
+func (rt *Runtime) ownerOf(key uintptr) int {
+	if o, ok := rt.owners[key]; ok {
+		return o
+	}
+	o := rt.next % rt.cfg.Workers
+	rt.next++
+	rt.owners[key] = o
+	return o
+}
+
+// Submit adds one task invocation to the graph.  Nothing executes until
+// Execute is called: this is the "first develops the whole graph" half of
+// the SuperMatrix model.
+func (rt *Runtime) Submit(def *TaskDef, args ...Arg) {
+	rec := &taskRec{def: def, args: args, owner: -1}
+	node := rt.g.AddNode(0, def.Name, false, rec)
+	node.Payload = rec
+
+	rt.mu.Lock()
+	for _, a := range args {
+		if a.kind != argData {
+			continue
+		}
+		key := dataid.Key(a.data)
+		if a.mode.Writes() && rec.owner < 0 {
+			// Block→core assignment, independent of dependencies: the
+			// task runs on the core owning the first block it writes.
+			rec.owner = rt.ownerOf(key)
+		}
+	}
+	rt.submitted++
+	rt.outstanding++
+	rt.mu.Unlock()
+
+	for _, a := range args {
+		if a.kind != argData {
+			continue
+		}
+		rt.tr.Analyze(node, deps.Access{
+			Key:   dataid.Key(a.data),
+			Mode:  a.mode,
+			Data:  a.data,
+			Alloc: dataid.AllocLike(a.data),
+			Copy:  dataid.CopyInto,
+		})
+	}
+	rt.g.Seal(node)
+}
+
+// onReady queues a task whose dependencies are satisfied.  During the
+// Submit phase this only accumulates state; workers drain it in Execute.
+func (rt *Runtime) onReady(n *graph.Node, releasedBy int) {
+	rec := n.Payload.(*taskRec)
+	rt.mu.Lock()
+	if rec.owner >= 0 {
+		rt.owned[rec.owner] = append(rt.owned[rec.owner], n)
+	} else {
+		rt.shared = append(rt.shared, n)
+	}
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// Execute consumes the developed graph: it starts the configured workers,
+// blocks the main flow until every submitted task has completed, and
+// returns the first task failure (if any).  The runtime may then be used
+// for another Submit/Execute phase.
+func (rt *Runtime) Execute() error {
+	var wg sync.WaitGroup
+	for w := 0; w < rt.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			rt.workerLoop(self)
+		}(w)
+	}
+	wg.Wait()
+	rt.mu.Lock()
+	err := rt.firstErr
+	rt.mu.Unlock()
+	return err
+}
+
+// workerLoop pops ready tasks for worker self until the graph drains.
+// The lookup order is: tasks bound to this core (FIFO, the central queue
+// filtered by ownership), then unowned tasks.  There is no stealing.
+func (rt *Runtime) workerLoop(self int) {
+	for {
+		rt.mu.Lock()
+		for {
+			if rt.outstanding == 0 {
+				rt.mu.Unlock()
+				rt.cond.Broadcast()
+				return
+			}
+			if len(rt.owned[self]) > 0 || len(rt.shared) > 0 {
+				break
+			}
+			rt.cond.Wait()
+		}
+		var n *graph.Node
+		var owned bool
+		if q := rt.owned[self]; len(q) > 0 {
+			n, rt.owned[self] = q[0], q[1:]
+			owned = true
+		} else {
+			n, rt.shared = rt.shared[0], rt.shared[1:]
+		}
+		rt.mu.Unlock()
+
+		rt.exec(n, self, owned)
+	}
+}
+
+func (rt *Runtime) exec(n *graph.Node, self int, owned bool) {
+	rt.g.MarkRunning(n)
+	rec := n.Payload.(*taskRec)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rt.mu.Lock()
+				if rt.firstErr == nil {
+					rt.firstErr = fmt.Errorf("supermatrix: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r)
+				}
+				rt.mu.Unlock()
+			}
+		}()
+		rec.def.Fn(&Args{rec: rec, worker: self})
+	}()
+	rt.g.Complete(n, self)
+
+	rt.mu.Lock()
+	rt.executed++
+	if owned {
+		rt.ownerRuns++
+	} else {
+		rt.unownedRuns++
+	}
+	rt.outstanding--
+	done := rt.outstanding == 0
+	rt.mu.Unlock()
+	if done {
+		rt.cond.Broadcast()
+	}
+}

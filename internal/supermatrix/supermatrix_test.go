@@ -1,0 +1,260 @@
+package supermatrix
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+)
+
+// TestGraphFirstExecution checks the defining SuperMatrix property the
+// paper contrasts with SMPSs (§VII.C): nothing runs while the graph is
+// being developed; everything runs during Execute.
+func TestGraphFirstExecution(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	var ran atomic.Int64
+	def := NewTaskDef("probe", func(a *Args) { ran.Add(1) })
+	data := make([]float32, 8)
+	for i := 0; i < 100; i++ {
+		rt.Submit(def, InOut(data))
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d tasks ran before Execute; SuperMatrix develops the whole graph first", got)
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("Execute ran %d of 100 tasks", got)
+	}
+}
+
+// TestNoRenaming checks that WAW/WAR hazards become real edges: a chain
+// of writers to one block must serialize, and the tracker must report
+// false edges rather than renames.
+func TestNoRenaming(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	data := make([]float32, 4)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 32; i++ {
+		i := i
+		def := NewTaskDef("writer", func(a *Args) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.F32(0)[0] = float32(i)
+		})
+		rt.Submit(def, Out(data))
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("writers ran out of order at %d: %v", i, order)
+		}
+	}
+	if data[0] != 31 {
+		t.Fatalf("final value %v, want 31", data[0])
+	}
+	st := rt.Stats()
+	if st.Deps.Renames != 0 {
+		t.Fatalf("SuperMatrix renamed %d times; it must not rename", st.Deps.Renames)
+	}
+	if st.Deps.FalseEdges == 0 {
+		t.Fatalf("expected materialized WAW edges, got none")
+	}
+}
+
+// TestOwnerAffinity checks the block→core assignment: every task writing
+// a given block must execute on the same worker, across the whole run.
+func TestOwnerAffinity(t *testing.T) {
+	const workers = 4
+	const blocks = 16
+	rt := New(Config{Workers: workers})
+	datas := make([][]float32, blocks)
+	for i := range datas {
+		datas[i] = make([]float32, 4)
+	}
+	var mu sync.Mutex
+	ranOn := make(map[int]map[int]bool) // block → set of workers
+	def := NewTaskDef("touch", func(a *Args) {
+		b := a.Int(1)
+		mu.Lock()
+		if ranOn[b] == nil {
+			ranOn[b] = make(map[int]bool)
+		}
+		ranOn[b][a.Worker()] = true
+		mu.Unlock()
+	})
+	for round := 0; round < 8; round++ {
+		for b := 0; b < blocks; b++ {
+			rt.Submit(def, InOut(datas[b]), Value(b))
+		}
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[int]bool)
+	for b, set := range ranOn {
+		if len(set) != 1 {
+			t.Fatalf("block %d ran on %d distinct workers, want exactly 1", b, len(set))
+		}
+		for w := range set {
+			used[w] = true
+		}
+	}
+	if len(used) != workers {
+		t.Fatalf("round-robin assignment used %d of %d workers", len(used), workers)
+	}
+	st := rt.Stats()
+	if st.OwnerRuns != 8*blocks {
+		t.Fatalf("OwnerRuns = %d, want %d", st.OwnerRuns, 8*blocks)
+	}
+	if st.Owners != blocks {
+		t.Fatalf("Owners = %d, want %d", st.Owners, blocks)
+	}
+}
+
+// TestCholeskyMatchesReference factors an SPD matrix under the
+// SuperMatrix model and compares the factor against the sequential flat
+// Cholesky.
+func TestCholeskyMatchesReference(t *testing.T) {
+	const n, m = 6, 16
+	dim := n * m
+	spd := kernels.GenSPD(dim, 7)
+	want := append([]float32(nil), spd...)
+	if !kernels.CholeskyFlat(want, dim) {
+		t.Fatal("reference factorization failed")
+	}
+
+	h := hypermatrix.FromFlat(spd, n, m)
+	rt := New(Config{Workers: 4})
+	Cholesky(rt, NewTasks(kernels.Fast, m), h)
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	got := h.ToFlat()
+	for i := 0; i < dim; i++ {
+		for j := 0; j <= i; j++ {
+			g, w := got[i*dim+j], want[i*dim+j]
+			if diff := math.Abs(float64(g - w)); diff > 1e-3*(1+math.Abs(float64(w))) {
+				t.Fatalf("factor mismatch at (%d,%d): got %v want %v", i, j, g, w)
+			}
+		}
+	}
+	st := rt.Stats()
+	wantTasks := int64(n + n*(n-1)/2 + n*(n-1)/2 + n*(n-1)*(n-2)/6)
+	if st.TasksExecuted != wantTasks {
+		t.Fatalf("executed %d tasks, want %d", st.TasksExecuted, wantTasks)
+	}
+}
+
+// TestGemmMatchesReference multiplies under the SuperMatrix model and
+// compares against the sequential flat GEMM.
+func TestGemmMatchesReference(t *testing.T) {
+	const n, m = 4, 8
+	dim := n * m
+	af := kernels.GenMatrix(dim, 1)
+	bf := kernels.GenMatrix(dim, 2)
+	want := make([]float32, dim*dim)
+	kernels.GemmFlat(af, bf, want, dim)
+
+	a := hypermatrix.FromFlat(af, n, m)
+	b := hypermatrix.FromFlat(bf, n, m)
+	c := hypermatrix.New(n, m)
+	rt := New(Config{Workers: 3})
+	Gemm(rt, NewTasks(kernels.Fast, m), a, b, c)
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.ToFlat()
+	for i := range want {
+		if diff := math.Abs(float64(got[i] - want[i])); diff > 1e-2*(1+math.Abs(float64(want[i]))) {
+			t.Fatalf("product mismatch at %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPanicPropagation checks that a panicking task surfaces as an error
+// from Execute and does not wedge the workers.
+func TestPanicPropagation(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	data := make([]float32, 4)
+	boom := NewTaskDef("boom", func(a *Args) { panic("kaboom") })
+	fine := NewTaskDef("fine", func(a *Args) { a.F32(0)[0]++ })
+	rt.Submit(fine, InOut(data))
+	rt.Submit(boom, InOut(data))
+	rt.Submit(fine, InOut(data))
+	err := rt.Execute()
+	if err == nil {
+		t.Fatal("Execute returned nil after a task panicked")
+	}
+}
+
+// TestMultiPhase checks that the runtime supports repeated Submit/Execute
+// phases (SuperMatrix resumes the main flow after the graph is consumed).
+func TestMultiPhase(t *testing.T) {
+	rt := New(Config{Workers: 3})
+	data := make([]float32, 1)
+	inc := NewTaskDef("inc", func(a *Args) { a.F32(0)[0]++ })
+	for phase := 0; phase < 3; phase++ {
+		for i := 0; i < 10; i++ {
+			rt.Submit(inc, InOut(data))
+		}
+		if err := rt.Execute(); err != nil {
+			t.Fatal(err)
+		}
+		if want := float32(10 * (phase + 1)); data[0] != want {
+			t.Fatalf("after phase %d data = %v, want %v", phase, data[0], want)
+		}
+	}
+}
+
+// TestValueArgs checks by-value parameter passing.
+func TestValueArgs(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	data := make([]float32, 4)
+	def := NewTaskDef("set", func(a *Args) {
+		a.F32(0)[a.Int(1)] = float32(a.Int(2))
+	})
+	for i := 0; i < 4; i++ {
+		rt.Submit(def, InOut(data), Value(i), Value(i*10))
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if v != float32(i*10) {
+			t.Fatalf("data[%d] = %v, want %v", i, v, i*10)
+		}
+	}
+}
+
+// TestReadersShareVersion checks that pure readers of one block do not
+// serialize against each other (read-read never orders, §II).
+func TestReadersShareVersion(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	src := []float32{42}
+	outs := make([][]float32, 16)
+	def := NewTaskDef("read", func(a *Args) { a.F32(1)[0] = a.F32(0)[0] })
+	for i := range outs {
+		outs[i] = make([]float32, 1)
+		rt.Submit(def, In(src), Out(outs[i]))
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o[0] != 42 {
+			t.Fatalf("reader %d saw %v", i, o[0])
+		}
+	}
+	if st := rt.Stats(); st.Deps.TrueEdges != 0 {
+		t.Fatalf("independent readers created %d true edges", st.Deps.TrueEdges)
+	}
+}

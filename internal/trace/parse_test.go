@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPRVRoundTrip writes a trace, parses it back, and checks the
+// summary survives: same kind counts, same worker task counts.
+func TestPRVRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Emit(0, EvCreate, 3, "gemm", 1)
+	tr.Emit(1, EvStart, 3, "gemm", 1)
+	tr.Emit(1, EvEnd, 3, "gemm", 1)
+	tr.Emit(2, EvStart, 4, "potrf", 2)
+	tr.Emit(2, EvEnd, 4, "potrf", 2)
+	tr.Emit(0, EvRename, 3, "gemm", 5)
+	tr.Emit(0, EvBarrier, -1, "", 0)
+	tr.Emit(0, EvBarrierDone, -1, "", 0)
+
+	var prv, pcf strings.Builder
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ParsePCF(strings.NewReader(pcf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[3] != "gemm" || labels[4] != "potrf" {
+		t.Fatalf("pcf labels = %v", labels)
+	}
+
+	back, err := ParsePRV(strings.NewReader(prv.String()), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := back.Summarize()
+	if sum.Renames != 1 {
+		t.Fatalf("round-trip renames = %d, want 1", sum.Renames)
+	}
+	kinds := map[string]int{}
+	for _, k := range sum.Kinds {
+		kinds[k.Label] = k.Count
+	}
+	if kinds["gemm"] != 1 || kinds["potrf"] != 1 {
+		t.Fatalf("round-trip kinds = %v", kinds)
+	}
+	if len(back.Events()) != len(tr.Events()) {
+		t.Fatalf("round-trip lost events: %d vs %d", len(back.Events()), len(tr.Events()))
+	}
+}
+
+func TestParsePRVWithoutLabels(t *testing.T) {
+	tr := New()
+	tr.Emit(0, EvStart, 7, "x", 1)
+	tr.Emit(0, EvEnd, 7, "x", 1)
+	var prv strings.Builder
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePRV(strings.NewReader(prv.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := back.Summarize()
+	if len(sum.Kinds) != 1 || sum.Kinds[0].Label != "kind7" {
+		t.Fatalf("placeholder label missing: %+v", sum.Kinds)
+	}
+}
+
+func TestParsePRVRejectsMalformed(t *testing.T) {
+	if _, err := ParsePRV(strings.NewReader("2:1:1:1:1:5\n"), nil); err == nil {
+		t.Fatalf("short event record must fail")
+	}
+	if _, err := ParsePRV(strings.NewReader("2:1:1:1:1:x:90000001:1\n"), nil); err == nil {
+		t.Fatalf("non-numeric field must fail")
+	}
+}
+
+func TestParsePRVSkipsForeignRecords(t *testing.T) {
+	src := "#Paraver (x):1_ns:1(1):1:1(1:1)\n" +
+		"1:1:1:1:1:0:100:1\n" + // state record: skipped
+		"2:1:1:1:1:50:12345:9\n" + // foreign event type: skipped
+		"2:1:1:1:1:60:90000001:1\n" +
+		"2:1:1:1:1:70:90000001:0\n"
+	back, err := ParsePRV(strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(back.Events()); got != 2 {
+		t.Fatalf("parsed %d events, want 2", got)
+	}
+}

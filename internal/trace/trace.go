@@ -1,0 +1,309 @@
+// Package trace implements the tracing support of the SMPSs toolset: the
+// tracing-enabled runtime "records events related to task creation and
+// execution for post-mortem analysis with the Paraver tool" (paper
+// §VII.C).
+//
+// Events are buffered per worker to keep tracing off the critical path
+// and can be exported either as a Paraver .prv trace or aggregated into a
+// per-task-kind summary.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventType classifies a trace event.
+type EventType uint8
+
+// Event types recorded by the runtime.
+const (
+	// EvCreate marks a task being added to the graph (main thread).
+	EvCreate EventType = iota
+	// EvStart marks a worker beginning a task body.
+	EvStart
+	// EvEnd marks a worker finishing a task body.
+	EvEnd
+	// EvRename marks the dependency tracker allocating a renamed
+	// instance for the task being analyzed.
+	EvRename
+	// EvBarrier marks the main thread entering a barrier.
+	EvBarrier
+	// EvBarrierDone marks the main thread leaving a barrier.
+	EvBarrierDone
+)
+
+// String returns a short name for the event type.
+func (e EventType) String() string {
+	switch e {
+	case EvCreate:
+		return "create"
+	case EvStart:
+		return "start"
+	case EvEnd:
+		return "end"
+	case EvRename:
+		return "rename"
+	case EvBarrier:
+		return "barrier"
+	case EvBarrierDone:
+		return "barrier_done"
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Event is one timestamped runtime occurrence.
+type Event struct {
+	// When is the time since the tracer was created.
+	When time.Duration
+	// Worker identifies the thread (0 = main, 1.. = workers).
+	Worker int
+	// Type is the event class.
+	Type EventType
+	// Kind is the task definition index (-1 when not applicable).
+	Kind int
+	// Label is the task definition name ("" when not applicable).
+	Label string
+	// TaskID is the task invocation number (0 when not applicable).
+	TaskID int64
+}
+
+// Tracer collects events from all runtime threads.  A nil *Tracer is
+// valid and records nothing, so the runtime can call it unconditionally.
+type Tracer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	buffers map[int][]Event
+}
+
+// New creates an empty tracer; the zero time reference is "now".
+func New() *Tracer {
+	return &Tracer{start: time.Now(), buffers: make(map[int][]Event)}
+}
+
+// Emit records one event.  Safe for concurrent use; a nil tracer drops
+// the event.
+func (t *Tracer) Emit(worker int, typ EventType, kind int, label string, taskID int64) {
+	if t == nil {
+		return
+	}
+	ev := Event{
+		When:   time.Since(t.start),
+		Worker: worker,
+		Type:   typ,
+		Kind:   kind,
+		Label:  label,
+		TaskID: taskID,
+	}
+	t.mu.Lock()
+	t.buffers[worker] = append(t.buffers[worker], ev)
+	t.mu.Unlock()
+}
+
+// Events returns all recorded events sorted by time.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var all []Event
+	for _, b := range t.buffers {
+		all = append(all, b...)
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].When < all[j].When })
+	return all
+}
+
+// Paraver event-type codes used in the .prv output, loosely following the
+// CellSs/SMPSs instrumentation convention of one code per semantic.
+const (
+	prvTaskKind = 90000001 // value = task kind + 1 at start, 0 at end
+	prvRename   = 90000002
+	prvBarrier  = 90000003
+	prvCreate   = 90000004
+)
+
+// WritePRV exports the trace in Paraver .prv format: a header line
+// followed by event records "2:cpu:appl:task:thread:time:type:value"
+// with times in nanoseconds.
+func (t *Tracer) WritePRV(w io.Writer) error {
+	events := t.Events()
+	var end time.Duration
+	if len(events) > 0 {
+		end = events[len(events)-1].When
+	}
+	maxWorker := 0
+	for _, ev := range events {
+		if ev.Worker > maxWorker {
+			maxWorker = ev.Worker
+		}
+	}
+	// Header: #Paraver (date):totalTime_ns:nNodes(nCPUs):nAppl:appl(nTasks(nThreads:node))
+	if _, err := fmt.Fprintf(w, "#Paraver (13/06/2026 at 00:00):%d_ns:1(%d):1:1(%d:1)\n",
+		end.Nanoseconds(), maxWorker+1, maxWorker+1); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		var typ, val int64
+		switch ev.Type {
+		case EvStart:
+			typ, val = prvTaskKind, int64(ev.Kind)+1
+		case EvEnd:
+			typ, val = prvTaskKind, 0
+		case EvRename:
+			typ, val = prvRename, 1
+		case EvBarrier:
+			typ, val = prvBarrier, 1
+		case EvBarrierDone:
+			typ, val = prvBarrier, 0
+		case EvCreate:
+			typ, val = prvCreate, int64(ev.Kind)+1
+		}
+		// cpu, appl, task are 1-based; thread is worker+1.
+		if _, err := fmt.Fprintf(w, "2:%d:1:1:%d:%d:%d:%d\n",
+			ev.Worker+1, ev.Worker+1, ev.When.Nanoseconds(), typ, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePCF exports the Paraver configuration file matching WritePRV: it
+// names the event types and maps each task-kind value to its label so
+// Paraver renders readable timelines.
+func (t *Tracer) WritePCF(w io.Writer) error {
+	// Collect kind → label from start events, in first-seen order.
+	labels := map[int]string{}
+	var order []int
+	for _, ev := range t.Events() {
+		if ev.Type != EvStart && ev.Type != EvCreate {
+			continue
+		}
+		if _, ok := labels[ev.Kind]; !ok {
+			labels[ev.Kind] = ev.Label
+			order = append(order, ev.Kind)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("DEFAULT_OPTIONS\n\nLEVEL               THREAD\nUNITS               NANOSEC\n\n")
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Task kind\nVALUES\n0      end\n", prvTaskKind)
+	for _, k := range order {
+		fmt.Fprintf(&b, "%d      %s\n", k+1, labels[k])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Renaming\nVALUES\n0      none\n1      renamed\n\n", prvRename)
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Barrier\nVALUES\n0      outside\n1      inside\n\n", prvBarrier)
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Task creation\n\n", prvCreate)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// KindSummary aggregates executions of one task definition.
+type KindSummary struct {
+	// Label is the task definition name.
+	Label string
+	// Count is the number of completed executions.
+	Count int
+	// Total is the summed body execution time.
+	Total time.Duration
+	// Mean is Total / Count.
+	Mean time.Duration
+}
+
+// WorkerSummary aggregates one thread's activity.
+type WorkerSummary struct {
+	// Worker is the thread identity (0 = main).
+	Worker int
+	// Tasks is the number of task bodies the thread executed.
+	Tasks int
+	// Busy is the summed task body time on this thread.
+	Busy time.Duration
+}
+
+// Summary is the aggregate view produced from a trace.
+type Summary struct {
+	// Span is the time from first to last event.
+	Span time.Duration
+	// Kinds summarizes per task definition, sorted by label.
+	Kinds []KindSummary
+	// Workers summarizes per thread, sorted by worker id.
+	Workers []WorkerSummary
+	// Renames is the number of rename events.
+	Renames int
+}
+
+// Summarize pairs start/end events per worker and aggregates busy time
+// per task kind and per worker.
+func (t *Tracer) Summarize() Summary {
+	events := t.Events()
+	var s Summary
+	if len(events) == 0 {
+		return s
+	}
+	s.Span = events[len(events)-1].When - events[0].When
+
+	type key struct{ worker int }
+	open := make(map[key]Event)
+	kinds := make(map[string]*KindSummary)
+	workers := make(map[int]*WorkerSummary)
+	for _, ev := range events {
+		switch ev.Type {
+		case EvStart:
+			open[key{ev.Worker}] = ev
+		case EvEnd:
+			st, ok := open[key{ev.Worker}]
+			if !ok {
+				continue
+			}
+			delete(open, key{ev.Worker})
+			d := ev.When - st.When
+			ks := kinds[st.Label]
+			if ks == nil {
+				ks = &KindSummary{Label: st.Label}
+				kinds[st.Label] = ks
+			}
+			ks.Count++
+			ks.Total += d
+			ws := workers[ev.Worker]
+			if ws == nil {
+				ws = &WorkerSummary{Worker: ev.Worker}
+				workers[ev.Worker] = ws
+			}
+			ws.Tasks++
+			ws.Busy += d
+		case EvRename:
+			s.Renames++
+		}
+	}
+	for _, ks := range kinds {
+		if ks.Count > 0 {
+			ks.Mean = ks.Total / time.Duration(ks.Count)
+		}
+		s.Kinds = append(s.Kinds, *ks)
+	}
+	sort.Slice(s.Kinds, func(i, j int) bool { return s.Kinds[i].Label < s.Kinds[j].Label })
+	for _, ws := range workers {
+		s.Workers = append(s.Workers, *ws)
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+	return s
+}
+
+// Format renders the summary as a fixed-width text report.
+func (s Summary) Format(w io.Writer) {
+	fmt.Fprintf(w, "trace span: %v, renames: %d\n", s.Span, s.Renames)
+	fmt.Fprintf(w, "%-16s %8s %14s %14s\n", "task", "count", "total", "mean")
+	for _, k := range s.Kinds {
+		fmt.Fprintf(w, "%-16s %8d %14v %14v\n", k.Label, k.Count, k.Total, k.Mean)
+	}
+	fmt.Fprintf(w, "%-16s %8s %14s\n", "worker", "tasks", "busy")
+	for _, ws := range s.Workers {
+		fmt.Fprintf(w, "%-16d %8d %14v\n", ws.Worker, ws.Tasks, ws.Busy)
+	}
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, EvStart, 1, "x", 1) // must not panic
+	if tr.Events() != nil {
+		t.Fatalf("nil tracer must have no events")
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	tr := New()
+	tr.Emit(1, EvStart, 0, "a", 1)
+	tr.Emit(0, EvStart, 0, "b", 2)
+	tr.Emit(1, EvEnd, 0, "a", 1)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].When < evs[i-1].When {
+			t.Fatalf("events not sorted")
+		}
+	}
+}
+
+func TestSummarizePairsStartEnd(t *testing.T) {
+	tr := New()
+	tr.Emit(0, EvCreate, 0, "gemm", 1)
+	tr.Emit(1, EvStart, 0, "gemm", 1)
+	tr.Emit(1, EvEnd, 0, "gemm", 1)
+	tr.Emit(2, EvStart, 1, "potrf", 2)
+	tr.Emit(2, EvEnd, 1, "potrf", 2)
+	tr.Emit(1, EvStart, 0, "gemm", 3)
+	tr.Emit(1, EvEnd, 0, "gemm", 3)
+	tr.Emit(0, EvRename, 0, "gemm", 4)
+
+	sum := tr.Summarize()
+	if sum.Renames != 1 {
+		t.Fatalf("renames = %d, want 1", sum.Renames)
+	}
+	if len(sum.Kinds) != 2 {
+		t.Fatalf("kinds = %+v", sum.Kinds)
+	}
+	// Sorted by label: gemm before potrf.
+	if sum.Kinds[0].Label != "gemm" || sum.Kinds[0].Count != 2 {
+		t.Fatalf("gemm summary = %+v", sum.Kinds[0])
+	}
+	if sum.Kinds[1].Label != "potrf" || sum.Kinds[1].Count != 1 {
+		t.Fatalf("potrf summary = %+v", sum.Kinds[1])
+	}
+	if len(sum.Workers) != 2 {
+		t.Fatalf("workers = %+v", sum.Workers)
+	}
+	if sum.Workers[0].Worker != 1 || sum.Workers[0].Tasks != 2 {
+		t.Fatalf("worker 1 summary = %+v", sum.Workers[0])
+	}
+	if sum.Kinds[0].Mean <= 0 {
+		t.Fatalf("mean must be positive")
+	}
+}
+
+func TestSummarizeIgnoresUnpairedEnd(t *testing.T) {
+	tr := New()
+	tr.Emit(0, EvEnd, 0, "x", 1) // end without start
+	sum := tr.Summarize()
+	if len(sum.Kinds) != 0 {
+		t.Fatalf("unpaired end must not create a kind: %+v", sum.Kinds)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	tr := New()
+	sum := tr.Summarize()
+	if sum.Span != 0 || len(sum.Kinds) != 0 || len(sum.Workers) != 0 {
+		t.Fatalf("empty summary = %+v", sum)
+	}
+}
+
+func TestWritePRVFormat(t *testing.T) {
+	tr := New()
+	tr.Emit(0, EvCreate, 2, "gemm", 1)
+	tr.Emit(1, EvStart, 2, "gemm", 1)
+	tr.Emit(1, EvEnd, 2, "gemm", 1)
+	tr.Emit(0, EvBarrier, -1, "", 0)
+	tr.Emit(0, EvBarrierDone, -1, "", 0)
+	tr.Emit(0, EvRename, 2, "gemm", 2)
+
+	var sb strings.Builder
+	if err := tr.WritePRV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver") {
+		t.Fatalf("missing Paraver header: %q", lines[0])
+	}
+	if len(lines) != 7 { // header + 6 event records
+		t.Fatalf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "2:") {
+			t.Fatalf("event record must start with '2:': %q", l)
+		}
+		if len(strings.Split(l, ":")) != 8 {
+			t.Fatalf("event record must have 8 fields: %q", l)
+		}
+	}
+	// Task-kind event value is kind+1 at start.
+	if !strings.Contains(out, ":90000001:3") {
+		t.Fatalf("start record missing kind value:\n%s", out)
+	}
+	// End record resets to 0.
+	if !strings.Contains(out, ":90000001:0") {
+		t.Fatalf("end record missing zero value:\n%s", out)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(w, EvStart, 0, "k", int64(i))
+				tr.Emit(w, EvEnd, 0, "k", int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 8000 {
+		t.Fatalf("got %d events, want 8000", got)
+	}
+	sum := tr.Summarize()
+	total := 0
+	for _, k := range sum.Kinds {
+		total += k.Count
+	}
+	if total != 4000 {
+		t.Fatalf("paired %d executions, want 4000", total)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	want := map[EventType]string{
+		EvCreate: "create", EvStart: "start", EvEnd: "end",
+		EvRename: "rename", EvBarrier: "barrier", EvBarrierDone: "barrier_done",
+		EventType(200): "event(200)",
+	}
+	for ev, s := range want {
+		if ev.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", ev, ev.String(), s)
+		}
+	}
+}
+
+func TestWritePCF(t *testing.T) {
+	tr := New()
+	tr.Emit(1, EvStart, 2, "gemm", 1)
+	tr.Emit(1, EvEnd, 2, "gemm", 1)
+	tr.Emit(1, EvStart, 5, "potrf", 2)
+	tr.Emit(1, EvEnd, 5, "potrf", 2)
+	var sb strings.Builder
+	if err := tr.WritePCF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"EVENT_TYPE", "Task kind", "3      gemm", "6      potrf", "Renaming", "Barrier"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pcf missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	tr := New()
+	tr.Emit(1, EvStart, 0, "gemm", 1)
+	tr.Emit(1, EvEnd, 0, "gemm", 1)
+	var sb strings.Builder
+	tr.Summarize().Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"trace span", "gemm", "worker"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted summary missing %q:\n%s", want, out)
+		}
+	}
+}

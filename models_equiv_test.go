@@ -1,0 +1,252 @@
+package repro_test
+
+// Cross-model equivalence: the same randomly generated task program must
+// produce bit-identical results under the SMPSs runtime (internal/core),
+// the CellSs-model runtime (internal/cellss), the SuperMatrix-model
+// runtime (internal/supermatrix) and a sequential interpreter.  The three
+// runtimes implement very different scheduling architectures (§VII);
+// dependency semantics are the part they must agree on.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cellss"
+	"repro/internal/core"
+	"repro/internal/supermatrix"
+)
+
+const (
+	equivBufs   = 12
+	equivBufLen = 8
+	equivOps    = 400
+)
+
+// equivOp is one random task invocation: distinct buffer indices with a
+// directionality each, plus a seed making the body unique.
+type equivOp struct {
+	bufs  []int
+	modes []int // 0 = in, 1 = out, 2 = inout
+	seed  float32
+}
+
+// genEquivProgram builds a random program.
+func genEquivProgram(seed int64) []equivOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]equivOp, equivOps)
+	for i := range ops {
+		n := 1 + rng.Intn(3)
+		perm := rng.Perm(equivBufs)[:n]
+		op := equivOp{bufs: perm, seed: float32(rng.Intn(1000))}
+		for range perm {
+			op.modes = append(op.modes, rng.Intn(3))
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// equivBody computes the task semantics on the effective storage: read
+// every input, then overwrite every output as a function of the inputs.
+func equivBody(op equivOp, data [][]float32) {
+	val := op.seed
+	for k, mode := range op.modes {
+		if mode == 0 || mode == 2 {
+			for _, v := range data[k] {
+				val += v
+			}
+		}
+	}
+	val = float32(int64(val) % 9973) // keep magnitudes bounded and exact
+	for k, mode := range op.modes {
+		if mode == 1 || mode == 2 {
+			for i := range data[k] {
+				data[k][i] = val + float32(i*(k+1))
+			}
+		}
+	}
+}
+
+func freshBuffers() [][]float32 {
+	bufs := make([][]float32, equivBufs)
+	for i := range bufs {
+		bufs[i] = make([]float32, equivBufLen)
+		for j := range bufs[i] {
+			bufs[i][j] = float32(i + j)
+		}
+	}
+	return bufs
+}
+
+// runSequential interprets the program directly.
+func runSequential(ops []equivOp) [][]float32 {
+	bufs := freshBuffers()
+	for _, op := range ops {
+		data := make([][]float32, len(op.bufs))
+		for k, b := range op.bufs {
+			data[k] = bufs[b]
+		}
+		equivBody(op, data)
+	}
+	return bufs
+}
+
+func checkEquiv(t *testing.T, model string, got, want [][]float32) {
+	t.Helper()
+	for b := range want {
+		for i := range want[b] {
+			if got[b][i] != want[b][i] {
+				t.Fatalf("%s: buffer %d element %d = %g, want %g", model, b, i, got[b][i], want[b][i])
+			}
+		}
+	}
+}
+
+func TestModelsEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		ops := genEquivProgram(seed)
+		want := runSequential(ops)
+
+		// SMPSs runtime.
+		{
+			bufs := freshBuffers()
+			rt := core.New(core.Config{Workers: 8})
+			for _, op := range ops {
+				op := op
+				def := core.NewTaskDef("op", func(a *core.Args) {
+					data := make([][]float32, len(op.bufs))
+					for k := range op.bufs {
+						data[k] = a.F32(k)
+					}
+					equivBody(op, data)
+				})
+				args := make([]core.Arg, len(op.bufs))
+				for k, b := range op.bufs {
+					switch op.modes[k] {
+					case 0:
+						args[k] = core.In(bufs[b])
+					case 1:
+						args[k] = core.Out(bufs[b])
+					default:
+						args[k] = core.InOut(bufs[b])
+					}
+				}
+				rt.Submit(def, args...)
+			}
+			if err := rt.Close(); err != nil {
+				t.Fatal(err)
+			}
+			checkEquiv(t, "smpss", bufs, want)
+		}
+
+		// CellSs-model runtime.
+		{
+			bufs := freshBuffers()
+			rt := cellss.New(cellss.Config{Workers: 8, Bundle: 3})
+			for _, op := range ops {
+				op := op
+				def := cellss.NewTaskDef("op", func(a *cellss.Args) {
+					data := make([][]float32, len(op.bufs))
+					for k := range op.bufs {
+						data[k] = a.F32(k)
+					}
+					equivBody(op, data)
+				})
+				args := make([]cellss.Arg, len(op.bufs))
+				for k, b := range op.bufs {
+					switch op.modes[k] {
+					case 0:
+						args[k] = cellss.In(bufs[b])
+					case 1:
+						args[k] = cellss.Out(bufs[b])
+					default:
+						args[k] = cellss.InOut(bufs[b])
+					}
+				}
+				rt.Submit(def, args...)
+			}
+			if err := rt.Close(); err != nil {
+				t.Fatal(err)
+			}
+			checkEquiv(t, "cellss", bufs, want)
+		}
+
+		// SuperMatrix-model runtime (no renaming: storage is always the
+		// user's, so results are visible right after Execute).
+		{
+			bufs := freshBuffers()
+			rt := supermatrix.New(supermatrix.Config{Workers: 8})
+			for _, op := range ops {
+				op := op
+				def := supermatrix.NewTaskDef("op", func(a *supermatrix.Args) {
+					data := make([][]float32, len(op.bufs))
+					for k := range op.bufs {
+						data[k] = a.F32(k)
+					}
+					equivBody(op, data)
+				})
+				args := make([]supermatrix.Arg, len(op.bufs))
+				for k, b := range op.bufs {
+					switch op.modes[k] {
+					case 0:
+						args[k] = supermatrix.In(bufs[b])
+					case 1:
+						args[k] = supermatrix.Out(bufs[b])
+					default:
+						args[k] = supermatrix.InOut(bufs[b])
+					}
+				}
+				rt.Submit(def, args...)
+			}
+			if err := rt.Execute(); err != nil {
+				t.Fatal(err)
+			}
+			checkEquiv(t, "supermatrix", bufs, want)
+		}
+	}
+}
+
+// TestModelsEquivalenceMultiPhase exercises the SuperMatrix phase
+// boundary and the CellSs barrier in the middle of a random program.
+func TestModelsEquivalenceMultiPhase(t *testing.T) {
+	ops := genEquivProgram(99)
+	half := len(ops) / 2
+	want := runSequential(ops)
+
+	bufs := freshBuffers()
+	rt := supermatrix.New(supermatrix.Config{Workers: 4})
+	submit := func(op equivOp) {
+		def := supermatrix.NewTaskDef("op", func(a *supermatrix.Args) {
+			data := make([][]float32, len(op.bufs))
+			for k := range op.bufs {
+				data[k] = a.F32(k)
+			}
+			equivBody(op, data)
+		})
+		args := make([]supermatrix.Arg, len(op.bufs))
+		for k, b := range op.bufs {
+			switch op.modes[k] {
+			case 0:
+				args[k] = supermatrix.In(bufs[b])
+			case 1:
+				args[k] = supermatrix.Out(bufs[b])
+			default:
+				args[k] = supermatrix.InOut(bufs[b])
+			}
+		}
+		rt.Submit(def, args...)
+	}
+	for _, op := range ops[:half] {
+		submit(op)
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[half:] {
+		submit(op)
+	}
+	if err := rt.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, "supermatrix-2phase", bufs, want)
+}
