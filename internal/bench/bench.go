@@ -236,6 +236,7 @@ var Registry = map[string]func(Config) *Result{
 	"fig16":             Fig16,
 	"ablation-rename":   AblationRenaming,
 	"ablation-sched":    AblationScheduler,
+	"ablation-tracker":  AblationTracker,
 	"ablation-regions":  AblationRegions,
 	"ablation-throttle": AblationThrottle,
 	"ext-models":        ExtModels,

@@ -1,0 +1,155 @@
+package core
+
+import "testing"
+
+// TestSubmitBatchMatchesSubmit runs the same dependent chain through
+// SubmitBatch and checks the final value: intra-batch dependencies must
+// resolve exactly like separate Submit calls.
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Close()
+	x := make([]float32, 8)
+	rt.SubmitBatch(
+		Call(fillDef, Out(x), Value(1.0)),
+		Call(scaleDef, InOut(x), Value(2.0)),
+		Call(scaleDef, InOut(x), Value(2.0)),
+		Call(scaleDef, InOut(x), Value(2.0)),
+	)
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 8 {
+		t.Fatalf("x[0] = %v, want 8 (1 × 2³)", x[0])
+	}
+	if st := rt.Stats(); st.Deps.TrueEdges != 3 {
+		t.Fatalf("edges = %d, want the 3-task chain", st.Deps.TrueEdges)
+	}
+}
+
+// TestBatchReuse drives the arena-backed Batch through several rounds,
+// including cross-object dependencies inside one round.
+func TestBatchReuse(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Close()
+	x := make([]float32, 8)
+	y := make([]float32, 8)
+	b := rt.NewBatch()
+	for round := 0; round < 3; round++ {
+		b.Add(fillDef, Out(x), Value(float64(round+1)))
+		b.Add(fillDef, Out(y), Value(0.0))
+		b.Add(axpyDef, In(x), InOut(y), Value(2.0)) // y = 2x
+		if b.Len() != 3 {
+			t.Fatalf("Len = %d, want 3", b.Len())
+		}
+		b.Submit()
+		if b.Len() != 0 {
+			t.Fatalf("batch not reset after Submit")
+		}
+		if err := rt.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		if want := float32(2 * (round + 1)); y[0] != want {
+			t.Fatalf("round %d: y[0] = %v, want %v", round, y[0], want)
+		}
+	}
+}
+
+// TestBatchRenaming checks WAR/WAW hazards inside one batch still go
+// through the renaming engine.
+func TestBatchRenaming(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Close()
+	x := make([]float32, 8)
+	y := make([]float32, 8)
+	b := rt.NewBatch()
+	b.Add(fillDef, Out(x), Value(1.0))
+	b.Add(fillDef, Out(y), Value(0.0))
+	b.Add(axpyDef, In(x), InOut(y), Value(1.0)) // reader of x
+	b.Add(fillDef, Out(x), Value(100.0))        // WAR: renames instead of waiting
+	b.Add(axpyDef, In(x), InOut(y), Value(1.0)) // y += 100
+	b.Submit()
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 101 {
+		t.Fatalf("y[0] = %v, want 101", y[0])
+	}
+	if x[0] != 100 {
+		t.Fatalf("x[0] = %v, want 100 (synced back after rename)", x[0])
+	}
+}
+
+// TestTrackerShardsConfig runs a workload at both extremes of the shard
+// knob and checks identical results and stats.
+func TestTrackerShardsConfig(t *testing.T) {
+	for _, shards := range []int{1, 16} {
+		rt := New(Config{Workers: 4, TrackerShards: shards})
+		x := make([]float32, 8)
+		rt.Submit(fillDef, Out(x), Value(1.0))
+		for i := 0; i < 10; i++ {
+			rt.Submit(scaleDef, InOut(x), Value(2.0))
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if x[0] != 1024 {
+			t.Fatalf("shards=%d: x[0] = %v, want 1024", shards, x[0])
+		}
+	}
+}
+
+// TestLegacyAblationConfig runs the pre-overhaul configuration (list
+// scheduler, condvar wakeup, per-arg analysis) end to end: the ablation
+// baseline must stay a working runtime, not a museum piece.
+func TestLegacyAblationConfig(t *testing.T) {
+	rt := New(Config{
+		Workers:           4,
+		Scheduler:         SchedLegacyLists,
+		TrackerShards:     1,
+		UnbatchedAnalysis: true,
+		LegacyWakeup:      true,
+	})
+	x := make([]float32, 8)
+	y := make([]float32, 8)
+	rt.Submit(fillDef, Out(x), Value(3.0))
+	rt.Submit(fillDef, Out(y), Value(1.0))
+	rt.Submit(axpyDef, In(x), InOut(y), Value(1.0))
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 4 {
+		t.Fatalf("y[0] = %v, want 4", y[0])
+	}
+}
+
+// TestWorkStealingStatsExercised checks the runtime actually drives the
+// new scheduler machinery under a fan-out workload: own-deque pushes and
+// pops must dominate, and nothing may be lost.
+func TestWorkStealingStatsExercised(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Close()
+	const (
+		chains = 16 // independent chains executed concurrently
+		depth  = 50
+	)
+	bufs := make([][]float32, chains)
+	b := rt.NewBatch()
+	for c := range bufs {
+		bufs[c] = make([]float32, 8)
+		b.Add(fillDef, Out(bufs[c]), Value(1.0))
+		for i := 0; i < depth; i++ {
+			b.Add(scaleDef, InOut(bufs[c]), Value(1.0))
+		}
+		b.Submit()
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.TasksExecuted != chains*(depth+1) {
+		t.Fatalf("executed %d, want %d", st.TasksExecuted, chains*(depth+1))
+	}
+	if st.Sched.PushOwn == 0 || st.Sched.PopOwn == 0 {
+		t.Fatalf("chain successors never used the own deques: %+v", st.Sched)
+	}
+}

@@ -23,6 +23,10 @@ const (
 	// SchedGlobalFIFO is the ablation policy: one central FIFO queue,
 	// the structure of SuperMatrix (paper §VII.C).
 	SchedGlobalFIFO
+	// SchedLegacyLists is the seed runtime's list-based locality policy
+	// (unbounded per-worker lists, single-task FIFO steals), kept so the
+	// scheduler-overhaul ablation measures against the real predecessor.
+	SchedLegacyLists
 )
 
 // DefaultGraphLimit is the open-task ceiling applied when Config.GraphLimit
@@ -46,6 +50,20 @@ type Config struct {
 	// tasks before Submit throttles.  Zero selects DefaultGraphLimit;
 	// negative disables throttling.
 	GraphLimit int
+	// TrackerShards sets the dependency tracker's lock-stripe count.
+	// Zero selects the default (one stripe per core, rounded up to a
+	// power of two); one degenerates to a single global mutex — the
+	// ablation baseline.
+	TrackerShards int
+	// UnbatchedAnalysis makes every parameter enter the dependency
+	// tracker through its own lock round-trip instead of one batched
+	// shard-lock pass per task — the pre-overhaul submission path, kept
+	// as an ablation so the batching win stays measurable.
+	UnbatchedAnalysis bool
+	// LegacyWakeup replaces the per-worker parking protocol with the
+	// seed's global mutex+condvar (broadcast on every push while anyone
+	// sleeps) — the pre-overhaul wake machinery, kept as an ablation.
+	LegacyWakeup bool
 	// MemoryLimit bounds the bytes of renamed storage belonging to
 	// tasks that have not completed yet; when exceeded, the submitting
 	// thread executes tasks until renamed memory is released — the
@@ -87,7 +105,7 @@ type Runtime struct {
 	cfg   Config
 	g     *graph.Graph
 	tr    *deps.Tracker
-	sc    *sched.Scheduler
+	sc    sched.Dispatcher
 	tracr *trace.Tracer
 
 	outstanding  atomic.Int64
@@ -103,6 +121,14 @@ type Runtime struct {
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	// Submission scratch reused across Submit/SubmitBatch calls to keep
+	// the per-task tracker entry allocation-free.  The SMPSs model is
+	// single-submitter (one main goroutine), so the buffers are never
+	// shared.
+	accBuf []deps.Access
+	resBuf []deps.Resolution
+	ixBuf  []int
 }
 
 // New creates and starts a runtime.  The caller must eventually call
@@ -120,15 +146,21 @@ func New(cfg Config) *Runtime {
 	switch cfg.Scheduler {
 	case SchedGlobalFIFO:
 		policy = sched.NewGlobalFIFO()
+	case SchedLegacyLists:
+		policy = sched.NewListLocality(cfg.Workers)
 	default:
 		policy = sched.NewLocality(cfg.Workers)
 	}
-	rt.sc = sched.NewScheduler(policy)
+	if cfg.LegacyWakeup {
+		rt.sc = sched.NewCondvarScheduler(policy)
+	} else {
+		rt.sc = sched.NewScheduler(policy, cfg.Workers)
+	}
 	rt.g = graph.New(func(n *graph.Node, by int) { rt.sc.Push(n, by) })
 	if cfg.Recorder != nil {
 		rt.g.Attach(cfg.Recorder)
 	}
-	rt.tr = deps.NewTracker(rt.g)
+	rt.tr = deps.NewTrackerShards(rt.g, cfg.TrackerShards)
 	rt.tr.DisableRenaming = cfg.DisableRenaming
 
 	// The main code runs on the main thread and the runtime creates as
@@ -182,10 +214,111 @@ func (rt *Runtime) Submit(def *TaskDef, args ...Arg) {
 	if rt.closed.Load() {
 		panic("core: Submit on closed runtime")
 	}
-	if rt.cfg.GraphLimit > 0 {
-		for rt.g.Open() >= int64(rt.cfg.GraphLimit) {
-			if !rt.helpOnce(func() bool { return rt.g.Open() < int64(rt.cfg.GraphLimit) }) {
-				break
+	rt.throttle()
+	rt.submitOne(def, args)
+}
+
+// TaskCall is one deferred task invocation: a definition plus its bound
+// arguments, the unit of SubmitBatch.
+type TaskCall struct {
+	Def  *TaskDef
+	Args []Arg
+}
+
+// Call builds a TaskCall for SubmitBatch.
+func Call(def *TaskDef, args ...Arg) TaskCall { return TaskCall{Def: def, Args: args} }
+
+// SubmitBatch submits a sequence of task invocations, equivalent to
+// calling Submit once per element but with the per-call overhead
+// amortized: the closed-runtime check happens once, the submission
+// scratch buffers stay warm, and each task enters the dependency tracker
+// through one batched shard-lock pass (AnalyzeBatch) instead of one lock
+// round-trip per parameter.  Producers with tight submission loops —
+// blocked linear algebra, parameter sweeps — use it to keep the main
+// thread ahead of the workers.
+//
+// Tasks are analyzed in slice order, so dependencies between tasks of
+// the same batch resolve exactly as they would across separate Submit
+// calls, and each task is released to the scheduler as soon as its own
+// analysis completes (earlier batch elements can be executing while
+// later ones are still being analyzed).
+func (rt *Runtime) SubmitBatch(calls ...TaskCall) {
+	if rt.closed.Load() {
+		panic("core: SubmitBatch on closed runtime")
+	}
+	for i := range calls {
+		rt.throttle()
+		rt.submitOne(calls[i].Def, calls[i].Args)
+	}
+}
+
+// batchCall is one recorded invocation inside a Batch: the definition
+// plus the span of the batch's argument arena holding its arguments.
+type batchCall struct {
+	def    *TaskDef
+	lo, hi int
+}
+
+// Batch accumulates task invocations and submits them in one go,
+// reusing its internal storage across rounds so a steady submission
+// loop allocates nothing per task.  It is the allocation-free form of
+// SubmitBatch: Call/TaskCall values each carry their own argument
+// slice, while Batch.Add copies arguments into one growing arena.
+//
+// A Batch belongs to the submitting thread (the SMPSs model is
+// single-submitter) and must not be shared.
+type Batch struct {
+	rt    *Runtime
+	calls []batchCall
+	args  []Arg
+}
+
+// NewBatch creates an empty reusable batch bound to the runtime.
+func (rt *Runtime) NewBatch() *Batch { return &Batch{rt: rt} }
+
+// Add records one task invocation in the batch.
+func (b *Batch) Add(def *TaskDef, args ...Arg) {
+	lo := len(b.args)
+	b.args = append(b.args, args...)
+	b.calls = append(b.calls, batchCall{def: def, lo: lo, hi: len(b.args)})
+}
+
+// Len returns the number of recorded invocations.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// Submit submits every recorded invocation in order and resets the
+// batch for reuse.  Semantics match SubmitBatch.
+func (b *Batch) Submit() {
+	rt := b.rt
+	if rt.closed.Load() {
+		panic("core: Batch.Submit on closed runtime")
+	}
+	for _, c := range b.calls {
+		rt.throttle()
+		rt.submitOne(c.def, b.args[c.lo:c.hi])
+	}
+	b.calls = b.calls[:0]
+	// Drop the data references so batch reuse does not pin user arrays.
+	for i := range b.args {
+		b.args[i] = Arg{}
+	}
+	b.args = b.args[:0]
+}
+
+// throttle blocks the submitting thread — executing tasks meanwhile —
+// while either of the paper's §III blocking conditions holds (graph size
+// limit, memory limit).  The graph limit applies hysteresis: once hit,
+// the submitter stays blocked until a quarter of the limit has drained,
+// so it does not bounce across the threshold (waking once per task
+// completion) while the workers chew at the boundary.
+func (rt *Runtime) throttle() {
+	if limit := int64(rt.cfg.GraphLimit); limit > 0 {
+		if rt.g.Open() >= limit {
+			low := limit - limit/4
+			for rt.g.Open() >= low {
+				if !rt.helpOnce(func() bool { return rt.g.Open() < low }) {
+					break
+				}
 			}
 		}
 	}
@@ -196,36 +329,65 @@ func (rt *Runtime) Submit(def *TaskDef, args ...Arg) {
 			}
 		}
 	}
+}
 
+// submitOne adds one task to the graph: all data parameters are resolved
+// through a single batched tracker entry, then the node is sealed.
+func (rt *Runtime) submitOne(def *TaskDef, args []Arg) {
 	node := rt.g.AddNode(def.kind, def.Name, def.HighPriority, nil)
 	rec := &taskRec{def: def, args: make([]boundArg, len(args))}
 	node.Payload = rec
-	for i, a := range args {
+	accs := rt.accBuf[:0]
+	ixs := rt.ixBuf[:0]
+	for i := range args {
+		a := &args[i]
 		switch a.kind {
 		case argValue, argOpaque:
 			rec.args[i] = boundArg{kind: a.kind, instance: a.value}
 		case argData:
-			acc := deps.Access{
+			accs = append(accs, deps.Access{
 				Key:    dataKey(a.data),
 				Mode:   a.mode,
 				Region: a.region,
 				Data:   a.data,
 				Alloc:  allocLike(a.data),
 				Copy:   copyInto,
-			}
-			res := rt.tr.Analyze(node, acc)
-			if res.Renamed {
-				rec.renamedBytes += byteSize(a.data)
-				rt.tracr.Emit(0, trace.EvRename, def.kind, def.Name, node.ID)
-			}
-			rec.args[i] = boundArg{
-				kind:     argData,
-				instance: res.Instance,
-				copyFrom: res.CopyFrom,
-				copyFn:   res.Copy,
-			}
+			})
+			ixs = append(ixs, i)
 		}
 	}
+	var ress []deps.Resolution
+	if rt.cfg.UnbatchedAnalysis {
+		ress = rt.resBuf[:0]
+		for j := range accs {
+			ress = append(ress, rt.tr.Analyze(node, accs[j]))
+		}
+	} else {
+		ress = rt.tr.AnalyzeBatch(node, accs, rt.resBuf[:0])
+	}
+	for j := range ress {
+		res := &ress[j]
+		i := ixs[j]
+		if res.Renamed {
+			rec.renamedBytes += byteSize(args[i].data)
+			rt.tracr.Emit(0, trace.EvRename, def.kind, def.Name, node.ID)
+		}
+		rec.args[i] = boundArg{
+			kind:     argData,
+			instance: res.Instance,
+			copyFrom: res.CopyFrom,
+			copyFn:   res.Copy,
+		}
+	}
+	// Return the scratch to the runtime and drop the data references the
+	// entries hold, so reuse does not pin user arrays.
+	for j := range accs {
+		accs[j] = deps.Access{}
+	}
+	for j := range ress {
+		ress[j] = deps.Resolution{}
+	}
+	rt.accBuf, rt.resBuf, rt.ixBuf = accs, ress, ixs
 	rt.submitted.Add(1)
 	rt.outstanding.Add(1)
 	rt.renamedBytes.Add(rec.renamedBytes)
@@ -261,9 +423,11 @@ func (rt *Runtime) exec(n *graph.Node, self int) {
 		rt.renamedBytes.Add(-rec.renamedBytes)
 	}
 	if rt.outstanding.Add(-1) == 0 || rt.waiters.Load() > 0 {
-		// Wake blocked Barrier/WaitOn callers so they re-check their
-		// conditions.
-		rt.sc.Kick()
+		// Wake the blocked Barrier/WaitOn/throttle caller so it re-checks
+		// its condition.  Only the main thread (worker 0) waits on cancel
+		// conditions, so the wake is targeted at it rather than
+		// broadcasting to every parked worker on every completion.
+		rt.sc.Wake(0)
 	}
 }
 

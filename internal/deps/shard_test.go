@@ -1,0 +1,151 @@
+package deps
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTrackerShardCount(t *testing.T) {
+	g := graph.New(func(n *graph.Node, by int) {})
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {64, 64}, {1000, 64},
+	}
+	for _, c := range cases {
+		if got := NewTrackerShards(g, c.in).Shards(); got != c.want {
+			t.Fatalf("NewTrackerShards(%d).Shards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := NewTrackerShards(g, 0).Shards(); got < 1 || got&(got-1) != 0 {
+		t.Fatalf("default shard count %d must be a positive power of two", got)
+	}
+}
+
+func TestShardOfCoversAllShards(t *testing.T) {
+	g := graph.New(func(n *graph.Node, by int) {})
+	tr := NewTrackerShards(g, 8)
+	// Keys mimicking 64-byte-aligned allocations must not all collapse
+	// onto one stripe.
+	seen := map[int]bool{}
+	for i := 0; i < 1024; i++ {
+		seen[tr.shardIndex(uintptr(0x10000+64*i))] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("aligned keys hit %d of 8 shards", len(seen))
+	}
+}
+
+// TestAnalyzeBatchSemantics checks that a batched entry resolves exactly
+// like per-access Analyze calls: same edges, same renaming decisions.
+func TestAnalyzeBatchSemantics(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		h := &harness{}
+		h.g = graph.New(func(n *graph.Node, by int) {
+			h.mu.Lock()
+			h.ready = append(h.ready, n.ID)
+			h.mu.Unlock()
+		})
+		h.tr = NewTrackerShards(h.g, shards)
+		x := make([]float32, 8)
+		y := make([]float32, 8)
+
+		// Writer of x, then a batched task reading x and writing y.
+		writer, _ := h.task(f32Access(x, ModeOut))
+		reader := h.g.AddNode(0, "r", false, nil)
+		res := h.tr.AnalyzeBatch(reader, []Access{
+			f32Access(x, ModeIn),
+			f32Access(y, ModeOut),
+		}, nil)
+		h.g.Seal(reader)
+		if len(res) != 2 {
+			t.Fatalf("shards=%d: got %d resolutions, want 2", shards, len(res))
+		}
+		if res[0].Renamed || res[1].Renamed {
+			t.Fatalf("shards=%d: nothing should rename here: %+v", shards, res)
+		}
+		if h.isReady(reader) {
+			t.Fatalf("shards=%d: reader became ready despite pending writer", shards)
+		}
+		h.g.Complete(writer, 1)
+		if !h.isReady(reader) {
+			t.Fatalf("shards=%d: completing the writer must release the reader", shards)
+		}
+		st := h.tr.Stats()
+		if st.TrueEdges != 1 || st.Objects != 2 {
+			t.Fatalf("shards=%d: stats = %+v, want 1 true edge over 2 objects", shards, st)
+		}
+	}
+}
+
+// TestAnalyzeBatchRenames checks the renaming engine fires identically
+// through the batched path: a WAW hazard inside one batch allocates a
+// fresh instance.
+func TestAnalyzeBatchRenames(t *testing.T) {
+	h := newHarness()
+	x := make([]float32, 8)
+	n := h.g.AddNode(0, "t", false, nil)
+	res := h.tr.AnalyzeBatch(n, []Access{f32Access(x, ModeOut)}, nil)
+	h.g.Seal(n)
+	n2 := h.g.AddNode(0, "t2", false, nil)
+	res2 := h.tr.AnalyzeBatch(n2, []Access{f32Access(x, ModeOut)}, nil)
+	h.g.Seal(n2)
+	if res[0].Renamed {
+		t.Fatalf("first write must not rename")
+	}
+	if !res2[0].Renamed {
+		t.Fatalf("second write over a pending one must rename")
+	}
+	if st := h.tr.Stats(); st.Renames != 1 {
+		t.Fatalf("stats = %+v, want 1 rename", st)
+	}
+}
+
+// TestTrackerStatsSumAcrossShards registers objects spread over many
+// stripes and checks the summed counters.
+func TestTrackerStatsSumAcrossShards(t *testing.T) {
+	g := graph.New(func(n *graph.Node, by int) {})
+	tr := NewTrackerShards(g, 16)
+	const objects = 256
+	bufs := make([][]float32, objects)
+	for i := range bufs {
+		bufs[i] = make([]float32, 4)
+		n := g.AddNode(0, "t", false, nil)
+		tr.Analyze(n, f32Access(bufs[i], ModeOut))
+		g.Seal(n)
+	}
+	if st := tr.Stats(); st.Objects != objects {
+		t.Fatalf("Objects = %d, want %d", st.Objects, objects)
+	}
+}
+
+// TestTrackerConcurrentAnalyze hammers disjoint objects from many
+// goroutines; run under -race it verifies the stripes actually isolate
+// concurrent submitters.
+func TestTrackerConcurrentAnalyze(t *testing.T) {
+	g := graph.New(func(n *graph.Node, by int) {})
+	tr := NewTrackerShards(g, 8)
+	const submitters, perSubmitter = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := make([]float32, 4)
+			y := make([]float32, 4)
+			for i := 0; i < perSubmitter; i++ {
+				n := g.AddNode(0, "t", false, nil)
+				tr.AnalyzeBatch(n, []Access{
+					f32Access(x, ModeIn),
+					f32Access(y, ModeInOut),
+				}, nil)
+				g.Seal(n)
+				g.Complete(n, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tr.Stats(); st.Objects != 2*submitters {
+		t.Fatalf("Objects = %d, want %d", st.Objects, 2*submitters)
+	}
+}

@@ -1,6 +1,8 @@
 package deps
 
 import (
+	"math/bits"
+	"runtime"
 	"sync"
 
 	"repro/internal/graph"
@@ -160,10 +162,41 @@ type Stats struct {
 	RegionObjects int64
 }
 
+// add accumulates o into s; keep it next to the struct so new counters
+// cannot be forgotten by the per-shard aggregation.
+func (s *Stats) add(o Stats) {
+	s.Objects += o.Objects
+	s.Renames += o.Renames
+	s.RenameCopies += o.RenameCopies
+	s.TrueEdges += o.TrueEdges
+	s.FalseEdges += o.FalseEdges
+	s.RegionObjects += o.RegionObjects
+}
+
+// shard is one lock stripe of the tracker: a mutex, the objects hashed
+// onto the stripe, and the stripe's share of the counters.  The trailing
+// padding keeps neighbouring shards off the same cache line so that
+// concurrent submitters do not false-share the mutexes.
+type shard struct {
+	mu      sync.Mutex
+	objects map[uintptr]*object
+	stats   Stats
+	_       [64]byte
+}
+
+// MaxShards caps the shard count so the batched-analysis lock set fits in
+// one machine word (the canonical-order lock pass walks a uint64 bitmask).
+const MaxShards = 64
+
 // Tracker performs dependency analysis for a single runtime instance.
 //
-// Methods are safe for concurrent use, although the SMPSs model funnels
-// all task submissions through the main thread.
+// The object table is split into power-of-two lock-striped shards keyed
+// by a hash of the data identity (the base address), so concurrent
+// submitters touching disjoint data proceed without serializing on a
+// single global mutex.  Single accesses lock exactly one shard;
+// AnalyzeBatch locks every shard the batch touches in canonical
+// (ascending-index) order, which keeps concurrent cross-shard
+// submissions deadlock-free.
 type Tracker struct {
 	g *graph.Graph
 
@@ -171,29 +204,68 @@ type Tracker struct {
 	// WAR/WAW edges.  Used by the ablation benchmarks.
 	DisableRenaming bool
 
-	mu      sync.Mutex
-	objects map[uintptr]*object
-	stats   Stats
+	shards []shard
+	shift  uint // 64 - log2(len(shards)), for Fibonacci hashing
 }
 
-// NewTracker creates a tracker that adds edges to g.
-func NewTracker(g *graph.Graph) *Tracker {
-	return &Tracker{g: g, objects: make(map[uintptr]*object)}
+// NewTracker creates a tracker that adds edges to g, with the default
+// shard count (enough stripes to cover the machine's parallelism).
+func NewTracker(g *graph.Graph) *Tracker { return NewTrackerShards(g, 0) }
+
+// NewTrackerShards creates a tracker with an explicit shard count,
+// rounded up to a power of two and clamped to [1, MaxShards].  n <= 0
+// selects the default; n == 1 degenerates to the single global mutex the
+// ablation benchmarks use as their baseline.
+func NewTrackerShards(g *graph.Graph, n int) *Tracker {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	n = 1 << bits.Len(uint(n-1)) // next power of two
+	t := &Tracker{g: g, shards: make([]shard, n), shift: uint(64 - bits.Len(uint(n-1)))}
+	for i := range t.shards {
+		t.shards[i].objects = make(map[uintptr]*object)
+	}
+	return t
 }
 
-// Stats returns a snapshot of the tracker's counters.
+// Shards returns the number of lock stripes.
+func (t *Tracker) Shards() int { return len(t.shards) }
+
+// shardIndex maps a data identity onto its stripe index.  Keys are base
+// addresses whose low bits carry no entropy (allocator alignment), so
+// Fibonacci hashing spreads them through the stripes via the
+// multiplier's high bits.
+func (t *Tracker) shardIndex(key uintptr) int {
+	return int(uint64(key) * 0x9E3779B97F4A7C15 >> t.shift)
+}
+
+func (t *Tracker) shardOf(key uintptr) *shard {
+	return &t.shards[t.shardIndex(key)]
+}
+
+// Stats returns a snapshot of the tracker's counters, summed across
+// shards.
 func (t *Tracker) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	var total Stats
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		s := sh.stats
+		sh.mu.Unlock()
+		total.add(s)
+	}
+	return total
 }
 
-func (t *Tracker) lookup(a Access) *object {
-	obj := t.objects[a.Key]
+func (sh *shard) lookup(a Access) *object {
+	obj := sh.objects[a.Key]
 	if obj == nil {
 		obj = &object{key: a.Key, cur: &version{instance: a.Data}, original: a.Data}
-		t.objects[a.Key] = obj
-		t.stats.Objects++
+		sh.objects[a.Key] = obj
+		sh.stats.Objects++
 	}
 	if obj.copier == nil && a.Copy != nil {
 		obj.copier = a.Copy
@@ -205,36 +277,68 @@ func (t *Tracker) lookup(a Access) *object {
 // dependency edges it implies.  It must be called after graph.AddNode and
 // before graph.Seal for the node.
 func (t *Tracker) Analyze(node *graph.Node, a Access) Resolution {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sh := t.shardOf(a.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return t.analyzeLocked(sh, node, a)
+}
 
-	obj := t.lookup(a)
+// AnalyzeBatch resolves every access of one task in submission order,
+// entering the tracker once: all shards the accesses hash onto are locked
+// up front in ascending index order (the canonical order that makes
+// concurrent cross-shard batches deadlock-free), the accesses analyzed,
+// and the shards released.  Results are appended to out and returned;
+// callers reuse out across batches to avoid per-task allocation.
+func (t *Tracker) AnalyzeBatch(node *graph.Node, accs []Access, out []Resolution) []Resolution {
+	if len(accs) == 0 {
+		return out
+	}
+	// Collect the shard set as a bitmask (len(shards) <= MaxShards = 64).
+	var mask uint64
+	for i := range accs {
+		mask |= 1 << uint(t.shardIndex(accs[i].Key))
+	}
+	for m := mask; m != 0; m &= m - 1 {
+		t.shards[bits.TrailingZeros64(m)].mu.Lock()
+	}
+	for i := range accs {
+		out = append(out, t.analyzeLocked(t.shardOf(accs[i].Key), node, accs[i]))
+	}
+	for m := mask; m != 0; m &= m - 1 {
+		t.shards[bits.TrailingZeros64(m)].mu.Unlock()
+	}
+	return out
+}
+
+// analyzeLocked dispatches one access; the caller holds sh.mu.
+func (t *Tracker) analyzeLocked(sh *shard, node *graph.Node, a Access) Resolution {
+	obj := sh.lookup(a)
 	if obj.regioned || !a.Region.IsFull() {
-		return t.analyzeRegion(node, obj, a)
+		return t.analyzeRegion(sh, node, obj, a)
 	}
 	switch a.Mode {
 	case ModeIn:
-		return t.analyzeIn(node, obj)
+		return t.analyzeIn(sh, node, obj)
 	case ModeOut:
-		return t.analyzeOut(node, obj, a)
+		return t.analyzeOut(sh, node, obj, a)
 	case ModeInOut:
-		return t.analyzeInOut(node, obj, a)
+		return t.analyzeInOut(sh, node, obj, a)
 	}
 	panic("deps: invalid access mode")
 }
 
-func (t *Tracker) analyzeIn(node *graph.Node, obj *object) Resolution {
+func (t *Tracker) analyzeIn(sh *shard, node *graph.Node, obj *object) Resolution {
 	v := obj.cur
 	if v.producerPending() {
 		t.g.AddEdge(v.producer, node)
-		t.stats.TrueEdges++
+		sh.stats.TrueEdges++
 	}
 	v.pruneReaders()
 	v.readers = append(v.readers, node)
 	return Resolution{Instance: v.instance}
 }
 
-func (t *Tracker) analyzeOut(node *graph.Node, obj *object, a Access) Resolution {
+func (t *Tracker) analyzeOut(sh *shard, node *graph.Node, obj *object, a Access) Resolution {
 	v := obj.cur
 	v.pruneReaders()
 	hazard := v.producerPending() || len(v.readers) > 0
@@ -244,36 +348,36 @@ func (t *Tracker) analyzeOut(node *graph.Node, obj *object, a Access) Resolution
 			// Ablation path: materialize the false dependencies.
 			if v.producerPending() {
 				t.g.AddEdge(v.producer, node) // WAW
-				t.stats.FalseEdges++
+				sh.stats.FalseEdges++
 			}
 			for _, r := range v.readers {
 				t.g.AddEdge(r, node) // WAR
-				t.stats.FalseEdges++
+				sh.stats.FalseEdges++
 			}
 		} else {
 			res.Instance = a.Alloc()
 			res.Renamed = true
 			obj.diverged = true
-			t.stats.Renames++
+			sh.stats.Renames++
 		}
 	}
 	obj.cur = &version{producer: node, instance: res.Instance}
 	return res
 }
 
-func (t *Tracker) analyzeInOut(node *graph.Node, obj *object, a Access) Resolution {
+func (t *Tracker) analyzeInOut(sh *shard, node *graph.Node, obj *object, a Access) Resolution {
 	v := obj.cur
 	v.pruneReaders()
 	res := Resolution{Instance: v.instance}
 	if v.producerPending() {
 		t.g.AddEdge(v.producer, node) // RAW: the task reads the old value
-		t.stats.TrueEdges++
+		sh.stats.TrueEdges++
 	}
 	if len(v.readers) > 0 {
 		if t.DisableRenaming {
 			for _, r := range v.readers {
 				t.g.AddEdge(r, node) // WAR
-				t.stats.FalseEdges++
+				sh.stats.FalseEdges++
 			}
 		} else {
 			// Rename: write into fresh storage seeded from the previous
@@ -284,8 +388,8 @@ func (t *Tracker) analyzeInOut(node *graph.Node, obj *object, a Access) Resoluti
 			res.Copy = a.Copy
 			res.Renamed = true
 			obj.diverged = true
-			t.stats.Renames++
-			t.stats.RenameCopies++
+			sh.stats.Renames++
+			sh.stats.RenameCopies++
 		}
 	}
 	obj.cur = &version{producer: node, instance: res.Instance}
@@ -295,9 +399,9 @@ func (t *Tracker) analyzeInOut(node *graph.Node, obj *object, a Access) Resoluti
 // analyzeRegion handles accesses on region-tracked objects: every
 // overlapping, still-incomplete earlier access where at least one side
 // writes becomes an edge.
-func (t *Tracker) analyzeRegion(node *graph.Node, obj *object, a Access) Resolution {
+func (t *Tracker) analyzeRegion(sh *shard, node *graph.Node, obj *object, a Access) Resolution {
 	if !obj.regioned {
-		t.flipToRegioned(obj)
+		t.flipToRegioned(sh, obj)
 	}
 	live := obj.hist[:0]
 	for _, h := range obj.hist {
@@ -313,9 +417,9 @@ func (t *Tracker) analyzeRegion(node *graph.Node, obj *object, a Access) Resolut
 		}
 		t.g.AddEdge(h.task, node)
 		if a.Mode.Reads() && h.mode.Writes() {
-			t.stats.TrueEdges++
+			sh.stats.TrueEdges++
 		} else {
-			t.stats.FalseEdges++
+			sh.stats.FalseEdges++
 		}
 	}
 	obj.hist = append(live, regionAccess{region: a.Region, mode: a.Mode, task: node})
@@ -324,9 +428,9 @@ func (t *Tracker) analyzeRegion(node *graph.Node, obj *object, a Access) Resolut
 
 // flipToRegioned converts a versioned object into region mode, seeding the
 // access history from the current version's pending producer and readers.
-func (t *Tracker) flipToRegioned(obj *object) {
+func (t *Tracker) flipToRegioned(sh *shard, obj *object) {
 	obj.regioned = true
-	t.stats.RegionObjects++
+	sh.stats.RegionObjects++
 	v := obj.cur
 	if v.producerPending() {
 		obj.hist = append(obj.hist, regionAccess{region: Full, mode: ModeOut, task: v.producer})
@@ -343,9 +447,10 @@ func (t *Tracker) flipToRegioned(obj *object) {
 // WaitOn primitive blocks (and helps execute tasks) until they are all
 // done, after which the main thread may safely read the region.
 func (t *Tracker) PendingWriters(key uintptr, r Region) []*graph.Node {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	obj := t.objects[key]
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj := sh.objects[key]
 	if obj == nil {
 		return nil
 	}
@@ -369,9 +474,10 @@ func (t *Tracker) PendingWriters(key uintptr, r Region) []*graph.Node {
 // or nil if the object was never tracked.  The main thread must WaitOn
 // the object first for the contents to be meaningful.
 func (t *Tracker) CurrentInstance(key uintptr) any {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	obj := t.objects[key]
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj := sh.objects[key]
 	if obj == nil {
 		return nil
 	}
@@ -384,13 +490,14 @@ func (t *Tracker) CurrentInstance(key uintptr) any {
 // called when no task touching the object is pending (after WaitOn or a
 // barrier).  It reports whether a copy was performed.
 func (t *Tracker) SyncObject(key uintptr) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	obj := t.objects[key]
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj := sh.objects[key]
 	if obj == nil {
 		return false
 	}
-	return t.syncLocked(obj)
+	return syncLocked(obj)
 }
 
 // SyncAll applies SyncObject to every tracked object and returns the
@@ -398,18 +505,21 @@ func (t *Tracker) SyncObject(key uintptr) bool {
 // as in SMPSs, renaming stays invisible: after a barrier the program sees
 // all results in the variables it named.
 func (t *Tracker) SyncAll() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
-	for _, obj := range t.objects {
-		if t.syncLocked(obj) {
-			n++
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, obj := range sh.objects {
+			if syncLocked(obj) {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-func (t *Tracker) syncLocked(obj *object) bool {
+func syncLocked(obj *object) bool {
 	if !obj.diverged {
 		return false
 	}
@@ -429,7 +539,8 @@ func (t *Tracker) syncLocked(obj *object) bool {
 // re-registers it with whatever storage the access names.  Used by
 // programs that recycle buffers for unrelated data.
 func (t *Tracker) Forget(key uintptr) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.objects, key)
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.objects, key)
 }

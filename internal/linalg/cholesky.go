@@ -15,29 +15,33 @@ import (
 //	  for i > j:         strsm_t(A[j][j], A[i][j])
 //
 // The dependency complexity is high even for few blocks (Fig. 5 shows
-// the 6×6 graph: 56 tasks), and the runtime extracts all of it.
+// the 6×6 graph: 56 tasks), and the runtime extracts all of it.  Each
+// j-step's tasks are submitted as one batch, so the O(n²) inner loops
+// enter the dependency tracker through the amortized SubmitBatch path.
 func (al *Algos) CholeskyDense(a *hypermatrix.Matrix) {
 	n := a.N
+	b := al.rt.NewBatch()
 	for j := 0; j < n; j++ {
 		for k := 0; k < j; k++ {
 			for i := j + 1; i < n; i++ {
-				al.rt.Submit(al.sgemmNT,
+				b.Add(al.sgemmNT,
 					core.In(a.Block(i, k)),
 					core.In(a.Block(j, k)),
 					core.InOut(a.Block(i, j)))
 			}
 		}
 		for i := 0; i < j; i++ {
-			al.rt.Submit(al.ssyrk,
+			b.Add(al.ssyrk,
 				core.In(a.Block(j, i)),
 				core.InOut(a.Block(j, j)))
 		}
-		al.rt.Submit(al.spotrf, core.InOut(a.Block(j, j)))
+		b.Add(al.spotrf, core.InOut(a.Block(j, j)))
 		for i := j + 1; i < n; i++ {
-			al.rt.Submit(al.strsm,
+			b.Add(al.strsm,
 				core.In(a.Block(j, j)),
 				core.InOut(a.Block(i, j)))
 		}
+		b.Submit()
 	}
 }
 
@@ -91,25 +95,27 @@ func (al *Algos) CholeskyFlat(aflat []float32, n int) {
 //	  for i, j > k: sgemm_sub_t(A[i][k], A[k][j], A[i][j])
 func (al *Algos) LU(a *hypermatrix.Matrix) {
 	n := a.N
+	b := al.rt.NewBatch()
 	for k := 0; k < n; k++ {
-		al.rt.Submit(al.sgetrf, core.InOut(a.Block(k, k)))
+		b.Add(al.sgetrf, core.InOut(a.Block(k, k)))
 		for j := k + 1; j < n; j++ {
-			al.rt.Submit(al.strsmLL,
+			b.Add(al.strsmLL,
 				core.In(a.Block(k, k)),
 				core.InOut(a.Block(k, j)))
 		}
 		for i := k + 1; i < n; i++ {
-			al.rt.Submit(al.strsmRU,
+			b.Add(al.strsmRU,
 				core.In(a.Block(k, k)),
 				core.InOut(a.Block(i, k)))
 		}
 		for i := k + 1; i < n; i++ {
 			for j := k + 1; j < n; j++ {
-				al.rt.Submit(al.sgemmSB,
+				b.Add(al.sgemmSB,
 					core.In(a.Block(i, k)),
 					core.In(a.Block(k, j)),
 					core.InOut(a.Block(i, j)))
 			}
 		}
+		b.Submit()
 	}
 }

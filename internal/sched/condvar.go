@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// ListLocality is the ready-list structure this runtime shipped with
+// before the work-stealing overhaul, kept as the measured baseline for
+// the scheduler ablation: unbounded mutex-guarded lists (one per worker
+// plus high-priority and main), every push wakes, and thieves take one
+// task per steal from the victim's front.  The Locality type replaces it
+// with bounded deques, steal-half and wake elision.
+type ListLocality struct {
+	high queue
+	main queue
+	own  []queue
+
+	pushHigh, pushOwn, pushMain atomic.Int64
+	popHigh, popOwn, popMain    atomic.Int64
+	steals                      atomic.Int64
+}
+
+// NewListLocality creates the legacy list-based policy for nworkers
+// workers.
+func NewListLocality(nworkers int) *ListLocality {
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	return &ListLocality{own: make([]queue, nworkers)}
+}
+
+// Push implements Policy.
+func (s *ListLocality) Push(n *graph.Node, releasedBy int) bool {
+	switch {
+	case n.Priority:
+		s.high.pushBack(n)
+		s.pushHigh.Add(1)
+	case releasedBy >= 0 && releasedBy < len(s.own):
+		s.own[releasedBy].pushBack(n)
+		s.pushOwn.Add(1)
+	default:
+		s.main.pushBack(n)
+		s.pushMain.Add(1)
+	}
+	return true
+}
+
+// TryNext implements Policy: high list, own list (LIFO), main list
+// (FIFO), then steal single tasks FIFO in creation order.
+func (s *ListLocality) TryNext(self int) *graph.Node {
+	if n := s.high.popFront(); n != nil {
+		s.popHigh.Add(1)
+		return n
+	}
+	if self < 0 || self >= len(s.own) {
+		self = 0
+	}
+	if n := s.own[self].popBack(); n != nil {
+		s.popOwn.Add(1)
+		return n
+	}
+	if n := s.main.popFront(); n != nil {
+		s.popMain.Add(1)
+		return n
+	}
+	for i := 1; i < len(s.own); i++ {
+		victim := (self + i) % len(s.own)
+		if n := s.own[victim].popFront(); n != nil {
+			s.steals.Add(1)
+			return n
+		}
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (s *ListLocality) Len() int {
+	total := s.high.size() + s.main.size()
+	for i := range s.own {
+		total += s.own[i].size()
+	}
+	return total
+}
+
+// Stats implements Policy.
+func (s *ListLocality) Stats() Stats {
+	return Stats{
+		PushHigh: s.pushHigh.Load(),
+		PushOwn:  s.pushOwn.Load(),
+		PushMain: s.pushMain.Load(),
+		PopHigh:  s.popHigh.Load(),
+		PopOwn:   s.popOwn.Load(),
+		PopMain:  s.popMain.Load(),
+		Steals:   s.steals.Load(),
+	}
+}
+
+// CondvarScheduler is the wake machinery this runtime shipped with before
+// the work-stealing overhaul, kept as the measured baseline for the
+// scheduler ablation: one global mutex+condvar, and a Broadcast on every
+// push while any worker sleeps.  Under a high rate of short tasks that is
+// a thundering herd — each push wakes every parked worker, all but one of
+// which find nothing and park again.  The Scheduler type replaces it with
+// per-worker one-token parkers.
+type CondvarScheduler struct {
+	Policy
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	version uint64
+	closed  bool
+	// sleepers counts workers parked (or about to park) in Get; Push
+	// skips the lock and broadcast entirely while it is zero.
+	sleepers atomic.Int64
+}
+
+// NewCondvarScheduler wraps a policy with the legacy global-condvar
+// parking.
+func NewCondvarScheduler(p Policy) *CondvarScheduler {
+	s := &CondvarScheduler{Policy: p}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push implements Dispatcher.
+func (s *CondvarScheduler) Push(n *graph.Node, releasedBy int) bool {
+	s.Policy.Push(n, releasedBy)
+	if s.sleepers.Load() == 0 {
+		return true
+	}
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return true
+}
+
+// Get implements Dispatcher.
+func (s *CondvarScheduler) Get(self int, cancel func() bool) *graph.Node {
+	for {
+		if n := s.TryNext(self); n != nil {
+			return n
+		}
+		s.mu.Lock()
+		v := s.version
+		s.mu.Unlock()
+		// Declare the sleeper before the final recheck: a Push after the
+		// recheck is then guaranteed to see sleepers > 0 and bump the
+		// version, so no wakeup is lost.
+		s.sleepers.Add(1)
+		if n := s.TryNext(self); n != nil {
+			s.sleepers.Add(-1)
+			return n
+		}
+		if cancel != nil && cancel() {
+			s.sleepers.Add(-1)
+			return nil
+		}
+		s.mu.Lock()
+		for s.version == v && !s.closed {
+			s.cond.Wait()
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		s.sleepers.Add(-1)
+		if closed {
+			// Drain whatever remains before giving up.
+			return s.TryNext(self)
+		}
+	}
+}
+
+// Wake implements Dispatcher.  The legacy design has no targeted wakeup;
+// any nudge is a broadcast.
+func (s *CondvarScheduler) Wake(w int) { s.Kick() }
+
+// Kick implements Dispatcher.
+func (s *CondvarScheduler) Kick() {
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Close implements Dispatcher.
+func (s *CondvarScheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -1,19 +1,23 @@
 // Package sched implements the SMPSs ready-task scheduling machinery
-// (paper §III).
+// (paper §III), rebuilt as a work-stealing scheduler.
 //
-// There are two global ready lists — one for high-priority tasks and one
-// ("main") for normal tasks that became ready at submission time — plus
-// one ready list per worker holding tasks whose last input dependency was
-// removed by that worker.  Workers look for work in the order: high
-// priority list, own list (LIFO), main list (FIFO), then steal from the
-// other workers in creation order starting from the next one (FIFO).
+// There are two shared lists — one for high-priority tasks and an
+// injector for tasks that became ready at submission time — plus one
+// *bounded* deque per worker holding tasks whose last input dependency
+// was removed by that worker (overflow spills to the injector).  Workers
+// look for work in the order: high-priority list, own deque (LIFO),
+// injector (FIFO), then steal the oldest half of another worker's deque
+// in creation order starting from the next one.
 //
-// Consuming the own list in LIFO order walks the graph depth-first, so a
+// Consuming the own deque in LIFO order walks the graph depth-first, so a
 // worker tends to run the consumer of data it just produced while that
-// data is still hot in its cache.  Stealing in FIFO order takes the task
-// that has been queued longest — the one whose inputs are most likely to
-// have been evicted from the victim's cache already — which is the same
-// policy as Cilk but with a locality motivation (paper §VII.D).
+// data is still hot in its cache.  Stealing in FIFO order takes the tasks
+// that have been queued longest — the ones whose inputs are most likely
+// to have been evicted from the victim's cache already — which is the
+// same policy as Cilk but with a locality motivation (paper §VII.D);
+// taking half the deque per steal amortizes the victim's lock across a
+// batch.  Idle workers park on per-worker one-token parkers: a push wakes
+// exactly one sleeper instead of broadcasting to all of them.
 package sched
 
 import (
@@ -22,12 +26,9 @@ import (
 	"repro/internal/graph"
 )
 
-// queue is a mutex-guarded deque of task nodes.  The owner pops from the
-// back (LIFO); thieves and FIFO consumers pop from the front.
-//
-// SMPSs tasks have a recommended granularity of hundreds of microseconds
-// (paper §I), so a plain mutex per queue is far below the noise floor; a
-// lock-free Chase–Lev deque would buy nothing here.
+// queue is a mutex-guarded unbounded deque of task nodes, used for the
+// shared high-priority and injector lists.  The owner pops from the back
+// (LIFO); thieves and FIFO consumers pop from the front.
 type queue struct {
 	mu    sync.Mutex
 	items []*graph.Node

@@ -12,14 +12,24 @@ import (
 type Stats struct {
 	// PushHigh counts tasks queued on the high-priority list.
 	PushHigh int64
-	// PushOwn counts tasks queued directly on the releasing worker's list.
+	// PushOwn counts tasks queued directly on the releasing worker's deque.
 	PushOwn int64
-	// PushMain counts tasks queued on the main ready list.
+	// PushMain counts tasks queued on the shared injector (ready at
+	// submission, or spilled from a full worker deque).
 	PushMain int64
 	// PopHigh, PopOwn, PopMain count where workers found their tasks.
 	PopHigh, PopOwn, PopMain int64
-	// Steals counts tasks taken from another worker's list.
+	// Steals counts tasks taken from another worker's deque.
 	Steals int64
+	// StealBatches counts steal operations (each moves up to half the
+	// victim's deque, so Steals/StealBatches is the mean batch size).
+	StealBatches int64
+	// Spills counts tasks that overflowed a bounded worker deque onto the
+	// injector.
+	Spills int64
+	// Parks and Unparks count workers going to sleep and being woken.
+	// They are tracked by the Scheduler wrapper, not the policy.
+	Parks, Unparks int64
 }
 
 // Policy decides where ready tasks queue and where a worker looks next.
@@ -27,8 +37,14 @@ type Stats struct {
 type Policy interface {
 	// Push queues a ready task.  releasedBy is the worker whose task
 	// completion made it ready, or graph.MainThread if it was ready at
-	// submission.
-	Push(n *graph.Node, releasedBy int)
+	// submission.  The return value reports whether a sleeping worker
+	// should be woken for the task: false means the task landed alone on
+	// the releasing worker's own deque, where that worker — by the
+	// single-submitter runtime's invariant the very goroutine making this
+	// call — will pop it on its next lookup, so waking a thief would only
+	// migrate the task away from its hot data (and, on a saturated
+	// machine, pay a context switch per task).
+	Push(n *graph.Node, releasedBy int) (wake bool)
 	// TryNext returns a task for worker self, or nil if none is
 	// available right now.
 	TryNext(self int) *graph.Node
@@ -39,86 +55,164 @@ type Policy interface {
 	Stats() Stats
 }
 
-// Locality is the scheduling policy of paper §III: high-priority list,
-// per-worker lists fed by dependency-releasing completions, main list for
-// tasks ready at submission, and FIFO work stealing in creation order.
+// Locality is the scheduling policy of paper §III, rebuilt for multi-core
+// throughput: a high-priority list, one *bounded* deque per worker fed by
+// dependency-releasing completions (consumed LIFO by the owner), a shared
+// injector queue for tasks ready at submission (and for deque overflow),
+// and steal-half work stealing in creation order — a thief takes the
+// oldest half of the victim's deque in one lock acquisition instead of
+// bouncing on the victim once per task.
 type Locality struct {
-	high queue
-	main queue
-	own  []queue
+	high   queue
+	inject queue
+	deques []deque
+	// stealBuf is per-worker scratch for grabHalf, sized so a steal can
+	// always move a full half-deque without allocating.
+	stealBuf [][]*graph.Node
 
 	pushHigh, pushOwn, pushMain atomic.Int64
 	popHigh, popOwn, popMain    atomic.Int64
-	steals                      atomic.Int64
+	steals, stealBatches        atomic.Int64
+	spills                      atomic.Int64
+	// highLen mirrors high's length so the wake-elision check on the
+	// self-push fast path costs one atomic load, not a queue lock.
+	highLen atomic.Int64
 }
 
 // NewLocality creates the paper's scheduler for nworkers workers
 // (including the main thread, which participates with identity 0 when it
 // blocks on a barrier).
 func NewLocality(nworkers int) *Locality {
+	return newLocalityCap(nworkers, defaultDequeCap)
+}
+
+// newLocalityCap is NewLocality with an explicit per-worker deque bound,
+// so tests can force overflow with few tasks.
+func newLocalityCap(nworkers, capacity int) *Locality {
 	if nworkers < 1 {
 		nworkers = 1
 	}
-	return &Locality{own: make([]queue, nworkers)}
+	s := &Locality{
+		deques:   make([]deque, nworkers),
+		stealBuf: make([][]*graph.Node, nworkers),
+	}
+	for i := range s.deques {
+		s.deques[i].init(capacity)
+		// Size the scratch from the deque's *rounded* capacity so a full
+		// half-deque steal never clamps.
+		s.stealBuf[i] = make([]*graph.Node, len(s.deques[i].buf)/2+1)
+	}
+	return s
 }
 
 // Push implements Policy.
-func (s *Locality) Push(n *graph.Node, releasedBy int) {
+func (s *Locality) Push(n *graph.Node, releasedBy int) bool {
 	switch {
 	case n.Priority:
 		// High-priority tasks are scheduled as soon as possible
 		// independently of any locality consideration (paper §III).
 		s.high.pushBack(n)
+		s.highLen.Add(1)
 		s.pushHigh.Add(1)
-	case releasedBy >= 0 && releasedBy < len(s.own):
+	case releasedBy >= 0 && releasedBy < len(s.deques):
 		// The releasing worker just produced one of this task's inputs;
-		// keep it local so the data is reused while hot.
-		s.own[releasedBy].pushBack(n)
-		s.pushOwn.Add(1)
+		// keep it local so the data is reused while hot.  A full deque
+		// spills to the injector, keeping per-worker memory bounded.
+		if size, ok := s.deques[releasedBy].pushBack(n); ok {
+			s.pushOwn.Add(1)
+			// A lone task on a dedicated worker's own deque needs no
+			// wakeup: the worker is the caller and pops it next.  The
+			// main thread (identity 0) is exempt — it may stop helping
+			// and go back to submitting, so its deque needs a thief.
+			// So is a push while high-priority work is pending: the
+			// caller's next lookup takes the high task first, and the
+			// lone successor would strand behind it with no wake.
+			return releasedBy == 0 || size > 1 || s.highLen.Load() > 0
+		}
+		s.inject.pushBack(n)
+		s.spills.Add(1)
+		s.pushMain.Add(1)
 	default:
-		// Ready at submission: the main list is the distribution point
+		// Ready at submission: the injector is the distribution point
 		// for unexplored regions of the graph.
-		s.main.pushBack(n)
+		s.inject.pushBack(n)
 		s.pushMain.Add(1)
 	}
+	return true
 }
 
-// TryNext implements the lookup order of paper §III for worker self.
+// TryNext implements the lookup order of paper §III for worker self:
+// high-priority list, own deque (LIFO), injector (FIFO), then steal half
+// of another worker's deque in creation order starting from the next one.
 func (s *Locality) TryNext(self int) *graph.Node {
 	if n := s.high.popFront(); n != nil {
+		s.highLen.Add(-1)
 		s.popHigh.Add(1)
 		return n
 	}
-	if self >= 0 && self < len(s.own) {
-		if n := s.own[self].popBack(); n != nil { // own list in LIFO order
-			s.popOwn.Add(1)
-			return n
-		}
+	if self < 0 || self >= len(s.deques) {
+		self = 0
 	}
-	if n := s.main.popFront(); n != nil { // main list in FIFO order
+	if n := s.deques[self].popBack(); n != nil {
+		s.popOwn.Add(1)
+		return n
+	}
+	if n := s.inject.popFront(); n != nil { // injector in FIFO order
 		s.popMain.Add(1)
 		return n
 	}
-	// Steal from other threads in creation order starting from the next
+	// Steal from other workers in creation order starting from the next
 	// one, FIFO, so the victim keeps the tasks whose data is hottest.
-	if self < 0 {
-		self = 0
+	//
+	// The main thread (identity 0) is a polite thief: it never takes the
+	// last queued task of a dedicated worker's deque, and it takes only
+	// one task per steal.  Only a worker itself pushes to its own deque,
+	// so a worker can never park with work queued — the owner is awake
+	// and about to pop that task, and the main thread (an optional
+	// helper) taking it would only migrate a dependency chain away from
+	// its hot cache one task at a time.  Capping the main thread's steal
+	// at one also keeps it from parking a batch on its own deque: the
+	// remainder of a steal bypasses the wake protocol, which is safe for
+	// a dedicated worker (it keeps polling until the deque drains) but
+	// not for the main thread, which may stop helping and go back to
+	// submitting while every worker sleeps.
+	minSize := 1
+	buf := s.stealBuf[self]
+	if self == 0 {
+		minSize = 2
+		buf = buf[:1]
 	}
-	for i := 1; i < len(s.own); i++ {
-		victim := (self + i) % len(s.own)
-		if n := s.own[victim].popFront(); n != nil {
-			s.steals.Add(1)
-			return n
+	for i := 1; i < len(s.deques); i++ {
+		victim := (self + i) % len(s.deques)
+		k := s.deques[victim].grabHalf(buf, minSize)
+		if k == 0 {
+			continue
 		}
+		s.steals.Add(int64(k))
+		s.stealBatches.Add(1)
+		n := buf[0]
+		// Keep the remainder on our own deque, pushed newest-first so the
+		// owner's LIFO pops replay them oldest-first (the FIFO order the
+		// steal promised).  Our deque is all-but-empty here, but a shrunken
+		// test capacity can still overflow — spill like Push does.
+		for j := k - 1; j >= 1; j-- {
+			if _, ok := s.deques[self].pushBack(buf[j]); !ok {
+				s.inject.pushBack(buf[j])
+				s.spills.Add(1)
+			}
+			buf[j] = nil
+		}
+		buf[0] = nil
+		return n
 	}
 	return nil
 }
 
 // Len implements Policy.
 func (s *Locality) Len() int {
-	total := s.high.size() + s.main.size()
-	for i := range s.own {
-		total += s.own[i].size()
+	total := s.high.size() + s.inject.size()
+	for i := range s.deques {
+		total += s.deques[i].size()
 	}
 	return total
 }
@@ -126,13 +220,15 @@ func (s *Locality) Len() int {
 // Stats implements Policy.
 func (s *Locality) Stats() Stats {
 	return Stats{
-		PushHigh: s.pushHigh.Load(),
-		PushOwn:  s.pushOwn.Load(),
-		PushMain: s.pushMain.Load(),
-		PopHigh:  s.popHigh.Load(),
-		PopOwn:   s.popOwn.Load(),
-		PopMain:  s.popMain.Load(),
-		Steals:   s.steals.Load(),
+		PushHigh:     s.pushHigh.Load(),
+		PushOwn:      s.pushOwn.Load(),
+		PushMain:     s.pushMain.Load(),
+		PopHigh:      s.popHigh.Load(),
+		PopOwn:       s.popOwn.Load(),
+		PopMain:      s.popMain.Load(),
+		Steals:       s.steals.Load(),
+		StealBatches: s.stealBatches.Load(),
+		Spills:       s.spills.Load(),
 	}
 }
 
@@ -151,14 +247,15 @@ type GlobalFIFO struct {
 func NewGlobalFIFO() *GlobalFIFO { return &GlobalFIFO{} }
 
 // Push implements Policy.
-func (s *GlobalFIFO) Push(n *graph.Node, releasedBy int) {
+func (s *GlobalFIFO) Push(n *graph.Node, releasedBy int) bool {
 	if n.Priority {
 		s.high.pushBack(n)
 		s.pushHigh.Add(1)
-		return
+		return true
 	}
 	s.main.pushBack(n)
 	s.pushMain.Add(1)
+	return true
 }
 
 // TryNext implements Policy.
@@ -187,95 +284,273 @@ func (s *GlobalFIFO) Stats() Stats {
 	}
 }
 
-// Scheduler couples a Policy with sleep/wake machinery so idle workers
-// park instead of spinning.
+// Dispatcher couples a Policy with sleep/wake machinery: pushes hand
+// ready tasks to parked workers, Get blocks until work (or cancellation)
+// arrives.  Two implementations exist: Scheduler, the per-worker parking
+// protocol, and CondvarScheduler, the seed's global condvar kept as the
+// ablation baseline.
+type Dispatcher interface {
+	Policy
+	// Get returns the next task for worker self, parking until one
+	// arrives; nil when cancel() reports true or after Close.
+	Get(self int, cancel func() bool) *graph.Node
+	// Wake nudges worker w to re-evaluate its cancel condition.
+	Wake(w int)
+	// Kick wakes every parked worker.
+	Kick()
+	// Close wakes everyone; subsequent Gets return nil once drained.
+	Close()
+}
+
+// Scheduler couples a Policy with per-worker parking so idle workers
+// sleep instead of spinning.
+//
+// The previous design used one global condvar and broadcast on every
+// push while anyone slept — at high submission rates with short tasks
+// that is a thundering herd: every push wakes every parked worker, all
+// but one of which find nothing and go back to sleep.  Here each worker
+// has its own one-token parker (a buffered channel) and an idle stack;
+// a push pops exactly one idle worker and hands it exactly one token.
 type Scheduler struct {
 	Policy
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	version uint64
-	closed  bool
-	// sleepers counts workers parked (or about to park) in Get; Push
-	// skips the lock and broadcast entirely while it is zero, the common
-	// case when the machine is saturated with ready tasks.
-	sleepers atomic.Int64
+	// parker[w] holds at most one wake token for worker w.
+	parker []chan struct{}
+
+	mu   sync.Mutex
+	idle []int // stack of worker ids currently announced idle
+	// inIdle[w] mirrors membership of the idle stack.  It is written
+	// under mu but readable lock-free: the invariant-guard in Push needs
+	// a racy "is that worker parked?" probe on the fast path.
+	inIdle []atomic.Bool
+	nidle  atomic.Int32
+
+	closed         atomic.Bool
+	parks, unparks atomic.Int64
 }
 
-// NewScheduler wraps a policy with parking support.
-func NewScheduler(p Policy) *Scheduler {
-	s := &Scheduler{Policy: p}
-	s.cond = sync.NewCond(&s.mu)
+// NewScheduler wraps a policy with parking support for nworkers workers
+// (worker identities 0..nworkers-1; identity 0 is the main thread when
+// it helps).
+func NewScheduler(p Policy, nworkers int) *Scheduler {
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	s := &Scheduler{
+		Policy: p,
+		parker: make([]chan struct{}, nworkers),
+		inIdle: make([]atomic.Bool, nworkers),
+		idle:   make([]int, 0, nworkers),
+	}
+	for i := range s.parker {
+		s.parker[i] = make(chan struct{}, 1)
+	}
 	return s
 }
 
-// Push queues a ready task and wakes a parked worker.  While no worker
-// is parked, the wakeup path is a single atomic load.
-func (s *Scheduler) Push(n *graph.Node, releasedBy int) {
-	s.Policy.Push(n, releasedBy)
-	if s.sleepers.Load() == 0 {
+// Push queues a ready task and unparks one idle worker when the policy
+// asks for one.  While no worker is parked, the wakeup path is a single
+// atomic load.
+func (s *Scheduler) Push(n *graph.Node, releasedBy int) bool {
+	if s.Policy.Push(n, releasedBy) {
+		s.unparkOne()
+		return true
+	}
+	// Elided wake: the contract says the releasing worker is awake and
+	// pops the task next.  Guard the invariant anyway — if that worker
+	// is in fact announced idle (a push from a goroutine that is not the
+	// owner, violating the contract), wake it rather than strand the
+	// task.  The probe is race-free where it matters: a hang requires
+	// the push to land after the owner's post-announce recheck, and that
+	// recheck's deque lock orders the announce's inIdle store before
+	// this load.
+	if releasedBy >= 0 && releasedBy < len(s.inIdle) && s.inIdle[releasedBy].Load() {
+		s.Wake(releasedBy)
+	}
+	return true
+}
+
+// unparkOne hands a wake token to one idle worker, if any is announced.
+func (s *Scheduler) unparkOne() {
+	if s.nidle.Load() == 0 {
 		return
 	}
 	s.mu.Lock()
-	s.version++
+	if len(s.idle) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	w := s.idle[len(s.idle)-1]
+	s.idle = s.idle[:len(s.idle)-1]
+	s.inIdle[w].Store(false)
+	s.nidle.Add(-1)
 	s.mu.Unlock()
-	s.cond.Broadcast()
+	s.token(w)
+	s.unparks.Add(1)
+}
+
+// token delivers worker w's wake token; the buffer of one absorbs
+// duplicates.
+func (s *Scheduler) token(w int) {
+	select {
+	case s.parker[w] <- struct{}{}:
+	default:
+	}
+}
+
+// announce puts worker self on the idle stack (idempotent).
+func (s *Scheduler) announce(self int) {
+	s.mu.Lock()
+	if !s.inIdle[self].Load() {
+		s.idle = append(s.idle, self)
+		s.inIdle[self].Store(true)
+		s.nidle.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// retire removes self from the idle stack after it found work (or is
+// giving up) on its own.  If a concurrent push already popped self to
+// target a wakeup at it, that wakeup is forwarded to another idle worker
+// so no push's wake is silently swallowed.
+func (s *Scheduler) retire(self int) {
+	s.mu.Lock()
+	found := false
+	for i, w := range s.idle {
+		if w == self {
+			s.idle = append(s.idle[:i], s.idle[i+1:]...)
+			s.inIdle[self].Store(false)
+			s.nidle.Add(-1)
+			found = true
+			break
+		}
+	}
+	next := -1
+	if !found && len(s.idle) > 0 {
+		next = s.idle[len(s.idle)-1]
+		s.idle = s.idle[:len(s.idle)-1]
+		s.inIdle[next].Store(false)
+		s.nidle.Add(-1)
+	}
+	s.mu.Unlock()
+	if next >= 0 {
+		s.token(next)
+		s.unparks.Add(1)
+	}
 }
 
 // Get returns the next task for worker self, parking until one arrives.
 // It returns nil when cancel() reports true (checked whenever the worker
 // is about to park or is woken) or after Close.
 func (s *Scheduler) Get(self int, cancel func() bool) *graph.Node {
+	if self < 0 || self >= len(s.parker) {
+		self = 0
+	}
+	ch := s.parker[self]
 	for {
 		if n := s.TryNext(self); n != nil {
 			return n
 		}
-		s.mu.Lock()
-		v := s.version
-		s.mu.Unlock()
-		// Declare the sleeper before the final recheck: a Push after the
-		// recheck is then guaranteed to see sleepers > 0 and bump the
-		// version, so no wakeup is lost.
-		s.sleepers.Add(1)
+		// Clear any stale token from an earlier targeted wakeup we never
+		// consumed, so it cannot cause an immediate spurious unpark.
+		select {
+		case <-ch:
+		default:
+		}
+		// Announce before the final recheck: a Push after the recheck is
+		// then guaranteed to see nidle > 0 and deliver a token, so no
+		// wakeup is lost.
+		s.announce(self)
 		if n := s.TryNext(self); n != nil {
-			s.sleepers.Add(-1)
+			s.retire(self)
 			return n
 		}
 		if cancel != nil && cancel() {
-			s.sleepers.Add(-1)
+			s.retire(self)
 			return nil
 		}
-		s.mu.Lock()
-		for s.version == v && !s.closed {
-			s.cond.Wait()
-		}
-		closed := s.closed
-		s.mu.Unlock()
-		s.sleepers.Add(-1)
-		if closed {
+		if s.closed.Load() {
+			s.retire(self)
 			// Drain whatever remains before giving up.
-			if n := s.TryNext(self); n != nil {
-				return n
-			}
+			return s.TryNext(self)
+		}
+		s.parks.Add(1)
+		<-ch
+		if s.closed.Load() {
+			return s.TryNext(self)
+		}
+		// Re-evaluate the cancel condition before looking for work: a
+		// targeted Wake usually means the condition the caller blocks on
+		// (barrier, graph limit) just changed, and going through TryNext
+		// first would make the waking main thread steal a task it no
+		// longer needs to help with.
+		if cancel != nil && cancel() {
 			return nil
 		}
 	}
+}
+
+// Wake delivers a targeted wakeup to worker w so it re-evaluates its
+// cancel condition.  The runtime uses it to nudge the main thread —
+// the only cancel-condition waiter — once per task completion while it
+// blocks, instead of broadcasting to every parked worker.
+func (s *Scheduler) Wake(w int) {
+	if w < 0 || w >= len(s.parker) {
+		return
+	}
+	s.mu.Lock()
+	idle := s.inIdle[w].Load()
+	if idle {
+		for i, id := range s.idle {
+			if id == w {
+				s.idle = append(s.idle[:i], s.idle[i+1:]...)
+				break
+			}
+		}
+		s.inIdle[w].Store(false)
+		s.nidle.Add(-1)
+	}
+	s.mu.Unlock()
+	if !idle {
+		// Not announced idle: the worker is either running (it will
+		// re-evaluate its condition on its own before parking) or already
+		// holds an in-flight token from unparkOne/Kick.  Delivering — and
+		// counting — another wake would only inflate the Unparks stat.
+		return
+	}
+	s.token(w)
+	s.unparks.Add(1)
 }
 
 // Kick wakes all parked workers so they re-evaluate their cancel
 // conditions (used when a barrier is satisfied).
 func (s *Scheduler) Kick() {
 	s.mu.Lock()
-	s.version++
+	woken := append([]int(nil), s.idle...)
+	s.idle = s.idle[:0]
+	for _, w := range woken {
+		s.inIdle[w].Store(false)
+	}
+	s.nidle.Store(0)
 	s.mu.Unlock()
-	s.cond.Broadcast()
+	for _, w := range woken {
+		s.token(w)
+		s.unparks.Add(1)
+	}
 }
 
 // Close wakes everyone and makes subsequent Gets return once the queues
 // drain.
 func (s *Scheduler) Close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.cond.Broadcast()
+	s.closed.Store(true)
+	s.Kick()
+}
+
+// Stats implements Policy, adding the wrapper's parking counters to the
+// policy's snapshot.
+func (s *Scheduler) Stats() Stats {
+	st := s.Policy.Stats()
+	st.Parks = s.parks.Load()
+	st.Unparks = s.unparks.Load()
+	return st
 }

@@ -141,17 +141,38 @@ func TestLocalityStealOrderStartsAtNextWorker(t *testing.T) {
 
 func TestLocalityOwnBeforeMainBeforeSteal(t *testing.T) {
 	s := NewLocality(2)
-	s.Push(mkNode(1, false), graph.MainThread) // main list
-	s.Push(mkNode(2, false), 0)                // own list of worker 0
-	s.Push(mkNode(3, false), 1)                // worker 1's list
-	if n := s.TryNext(0); n.ID != 2 {
-		t.Fatalf("own list must beat main list, got %d", n.ID)
+	s.Push(mkNode(1, false), graph.MainThread) // injector
+	s.Push(mkNode(2, false), 1)                // own deque of worker 1
+	s.Push(mkNode(3, false), 0)                // worker 0's deque
+	if n := s.TryNext(1); n.ID != 2 {
+		t.Fatalf("own deque must beat the injector, got %d", n.ID)
 	}
-	if n := s.TryNext(0); n.ID != 1 {
-		t.Fatalf("main list must beat stealing, got %d", n.ID)
+	if n := s.TryNext(1); n.ID != 1 {
+		t.Fatalf("injector must beat stealing, got %d", n.ID)
 	}
-	if n := s.TryNext(0); n.ID != 3 {
+	if n := s.TryNext(1); n.ID != 3 {
 		t.Fatalf("finally steal, got %d", n.ID)
+	}
+}
+
+func TestLocalityMainIsPoliteThief(t *testing.T) {
+	s := NewLocality(3)
+	// Worker 1 holds a single queued task.  Only a worker pushes to its
+	// own deque, so worker 1 is awake and about to pop it: the main
+	// thread (identity 0) must leave it alone...
+	s.Push(mkNode(1, false), 1)
+	if n := s.TryNext(0); n != nil {
+		t.Fatalf("main thread stole a worker's last task: %d", n.ID)
+	}
+	// ...while a dedicated worker may take it, and the main thread may
+	// steal once the victim holds two or more.
+	if n := s.TryNext(2); n == nil || n.ID != 1 {
+		t.Fatalf("worker 2 must steal the singleton, got %v", n)
+	}
+	s.Push(mkNode(2, false), 1)
+	s.Push(mkNode(3, false), 1)
+	if n := s.TryNext(0); n == nil || n.ID != 2 {
+		t.Fatalf("main thread must steal from a 2-deep deque, got %v", n)
 	}
 }
 
@@ -210,7 +231,7 @@ func TestGlobalFIFOOrder(t *testing.T) {
 }
 
 func TestSchedulerGetBlocksUntilPush(t *testing.T) {
-	s := NewScheduler(NewLocality(2))
+	s := NewScheduler(NewLocality(2), 2)
 	got := make(chan *graph.Node, 1)
 	go func() { got <- s.Get(0, nil) }()
 	select {
@@ -230,7 +251,7 @@ func TestSchedulerGetBlocksUntilPush(t *testing.T) {
 }
 
 func TestSchedulerGetCancel(t *testing.T) {
-	s := NewScheduler(NewLocality(1))
+	s := NewScheduler(NewLocality(1), 1)
 	var stop atomic.Bool
 	got := make(chan *graph.Node, 1)
 	go func() { got <- s.Get(0, stop.Load) }()
@@ -248,7 +269,7 @@ func TestSchedulerGetCancel(t *testing.T) {
 }
 
 func TestSchedulerCloseDrains(t *testing.T) {
-	s := NewScheduler(NewGlobalFIFO())
+	s := NewScheduler(NewGlobalFIFO(), 2)
 	s.Push(mkNode(1, false), graph.MainThread)
 	s.Close()
 	if n := s.Get(0, nil); n == nil || n.ID != 1 {
@@ -260,7 +281,7 @@ func TestSchedulerCloseDrains(t *testing.T) {
 }
 
 func TestSchedulerConcurrentProducersConsumers(t *testing.T) {
-	s := NewScheduler(NewLocality(4))
+	s := NewScheduler(NewLocality(4), 4)
 	const total = 4000
 	var consumed atomic.Int64
 	var wg sync.WaitGroup
@@ -277,8 +298,13 @@ func TestSchedulerConcurrentProducersConsumers(t *testing.T) {
 			}
 		}(w)
 	}
+	// The producer is not a worker goroutine, so it may only use the
+	// releasedBy identities whose pushes guarantee a wakeup: MainThread
+	// and the main-thread helper identity 0 (a releasedBy >= 1 push is,
+	// by the runtime's single-submitter invariant, made by that worker
+	// itself, which then pops the task without needing a wake).
 	for i := 0; i < total; i++ {
-		s.Push(mkNode(int64(i), i%7 == 0), i%5-1)
+		s.Push(mkNode(int64(i), i%7 == 0), i%2-1)
 	}
 	for consumed.Load() < total {
 		time.Sleep(time.Millisecond)
