@@ -29,7 +29,15 @@ func main() {
 	queensN := flag.Int("queens", 0, "N-Queens board size (default 13)")
 	quick := flag.Bool("quick", false, "tiny test-scale configuration")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	list := flag.Bool("list", false, "print the registered experiment IDs, one per line, and exit")
 	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
 
 	cfg := bench.Config{
 		Dim:        *dim,

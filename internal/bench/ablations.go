@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/hypermatrix"
 	"repro/internal/kernels"
@@ -14,111 +13,188 @@ import (
 // The ablations make the design decisions of DESIGN.md measurable: each
 // switches off one mechanism the paper argues for and reports the cost.
 
-// AblationRenaming compares renaming on/off for the two workloads the
-// paper identifies as renaming-bound: Strassen (§VI.C) and N-Queens
-// (§VI.E).  With renaming off, WAR/WAW hazards become real edges and the
-// graphs serialize.
+// renameConfigs are the three rename lifecycles the ablation compares:
+// the pooled memory manager (default), the seed lifecycle
+// (LegacyRenaming: fresh heap allocation per rename, superseded
+// versions to the GC), and renaming disabled (hazards become edges).
+var renameConfigs = []struct {
+	name string
+	cfg  core.Config
+}{
+	{"pooled", core.Config{}},
+	{"legacy", core.Config{LegacyRenaming: true}},
+	{"no-renaming", core.Config{DisableRenaming: true}},
+}
+
+// renameRun is one measured configuration: wall time plus the runtime
+// counters snapshotted after the final barrier (when live renamed bytes
+// must have drained to zero).
+type renameRun struct {
+	secs float64
+	st   core.Stats
+}
+
+// runRenameWorkload measures body once under rtCfg.  All configurations
+// run under the same bounded open-graph limit (the paper's §III graph
+// size limit, as any production configuration would): it keeps the
+// submitter a bounded window ahead of execution, which is what lets
+// superseded renamed storage recycle into later rounds instead of the
+// whole program being analyzed before a single task has completed.
+func runRenameWorkload(threads int, rtCfg core.Config, body func(rt *core.Runtime)) renameRun {
+	var out renameRun
+	withProcs(threads, func() {
+		rtCfg.Workers = threads
+		if rtCfg.GraphLimit == 0 {
+			rtCfg.GraphLimit = 256
+		}
+		rt := core.New(rtCfg)
+		out.secs = timeIt(func() {
+			body(rt)
+			if err := rt.Barrier(); err != nil {
+				panic(err)
+			}
+		})
+		out.st = rt.Stats()
+		rt.Close()
+	})
+	return out
+}
+
+// factorRounds runs `rounds` pipelined reset+factor passes over the
+// same matrix with no intermediate barriers: every round's block resets
+// arrive while the previous round's consumers may still be pending, so
+// each reset renames instead of waiting — the version-churn pattern of
+// the paper's §III renaming argument on a real factorization.
+func factorRounds(al *linalg.Algos, flat []float32, nb, block, rounds int, factor func(al *linalg.Algos, a *hypermatrix.Matrix)) {
+	a := hypermatrix.FromFlat(flat, nb, block)
+	src := hypermatrix.FromFlat(flat, nb, block)
+	for r := 0; r < rounds; r++ {
+		al.ResetFrom(a, src)
+		factor(al, a)
+	}
+}
+
+// choleskyChurnStats runs the pipelined reset+Cholesky workload under
+// rtCfg and returns its measurement.  Exposed to the acceptance test,
+// which asserts the pooled lifecycle allocates strictly fewer fresh
+// instances than the legacy one.
+func choleskyChurnStats(threads, dim, block, rounds int, rtCfg core.Config) renameRun {
+	flat := kernels.GenSPD(dim, 13)
+	nb := dim / block
+	return runRenameWorkload(threads, rtCfg, func(rt *core.Runtime) {
+		al := linalg.New(rt, kernels.Fast, block)
+		factorRounds(al, flat, nb, block, rounds,
+			func(al *linalg.Algos, a *hypermatrix.Matrix) { al.CholeskyDense(a) })
+	})
+}
+
+// AblationRenaming measures the version-lifecycle memory manager: the
+// size-classed recycling pool, eager refcount-driven reclamation and
+// copy elision against the seed rename lifecycle (LegacyRenaming) and
+// against renaming disabled, over pipelined blocked Cholesky and LU
+// rounds plus a synthetic version-churn loop.  The numbers to read are
+// in the notes: "fresh" is the count of real heap allocations the
+// renaming engine performed (PoolMisses under the pooled lifecycle,
+// Renames under the legacy one), and live renamed bytes after the final
+// barrier must be zero under the pooled lifecycle.
 func AblationRenaming(cfg Config) *Result {
 	cfg = cfg.Normalize()
 	start := time.Now()
 	r := &Result{
 		ID:     "ablation-rename",
-		Title:  "Renaming on/off (seconds, lower is better)",
+		Title:  "Rename lifecycle: pooled vs legacy vs disabled (seconds, lower is better)",
 		XLabel: "threads",
 		YLabel: "seconds",
 	}
-	dim, block := cfg.StrassenDim, cfg.StrassenBlock
-	n := dim / block
-	aflat := kernels.GenMatrix(dim, 11)
-	bflat := kernels.GenMatrix(dim, 12)
 	threads := cfg.MaxThreads
-
-	run := func(disable bool) (secs float64, renames, falseEdges int64) {
-		a := hypermatrix.FromFlat(aflat, n, block)
-		b := hypermatrix.FromFlat(bflat, n, block)
-		c := hypermatrix.New(n, block)
-		withProcs(threads, func() {
-			rt := core.New(core.Config{Workers: threads, DisableRenaming: disable})
-			al := linalg.New(rt, kernels.Fast, block)
-			secs = timeIt(func() {
-				al.Strassen(a, b, c)
-				if err := rt.Barrier(); err != nil {
-					panic(err)
-				}
-			})
-			st := rt.Stats()
-			renames, falseEdges = st.Deps.Renames, st.Deps.FalseEdges
-			rt.Close()
-		})
-		return
-	}
-	on := Series{Name: "strassen renaming"}
-	off := Series{Name: "strassen no-renaming"}
-	sOn, ren, _ := run(false)
-	sOff, _, fe := run(true)
-	on.add(float64(threads), sOn)
-	off.add(float64(threads), sOff)
-	r.Series = append(r.Series, on, off)
-	r.Notes = append(r.Notes,
-		fmt.Sprintf("renaming on: %d renames; off: %d false edges materialized", ren, fe))
-
-	qOn := Series{Name: "nqueens renaming"}
-	qOff := Series{Name: "nqueens no-renaming"}
-	want := apps.NQueensSeq(cfg.QueensN)
-	for _, disable := range []bool{false, true} {
-		var secs float64
-		withProcs(threads, func() {
-			rt := core.New(core.Config{Workers: threads, DisableRenaming: disable})
-			secs = timeIt(func() {
-				got, err := apps.NQueensSMPSs(rt, cfg.QueensN)
-				if err != nil {
-					panic(err)
-				}
-				if got != want {
-					panic("ablation-rename: wrong queens count")
-				}
-			})
-			rt.Close()
-		})
-		if disable {
-			qOff.add(float64(threads), secs)
-		} else {
-			qOn.add(float64(threads), secs)
-		}
-	}
-	r.Series = append(r.Series, qOn, qOff)
-
-	// Stream: the §II shared-temporary pattern.  One named work array;
-	// renaming decides whether blocks·iters steps are independent or a
-	// serial WAR chain.
-	nb, bm, iters := 128, 2048, 8
+	dim, block := cfg.Dim, cfg.Block
+	rounds := 4
 	if cfg.Quick {
-		nb, bm, iters = 8, 64, 2
+		rounds = 3
 	}
-	stOn := Series{Name: "stream renaming"}
-	stOff := Series{Name: "stream no-renaming"}
-	for _, disable := range []bool{false, true} {
-		v := apps.NewStreamVectors(nb, bm)
-		var secs float64
-		withProcs(threads, func() {
-			rt := core.New(core.Config{Workers: threads, DisableRenaming: disable})
-			secs = timeIt(func() {
-				if err := apps.StreamSMPSs(rt, v, 0.5, iters); err != nil {
-					panic(err)
-				}
-				if err := rt.Barrier(); err != nil {
-					panic(err)
-				}
-			})
-			rt.Close()
-		})
-		if disable {
-			stOff.add(float64(threads), secs)
-		} else {
-			stOn.add(float64(threads), secs)
+	nb := dim / block
+
+	note := func(wl, name string, cfg core.Config, run renameRun) {
+		st := run.st
+		// Fresh allocations: pool misses under the pooled lifecycle;
+		// every rename allocates under the legacy (or disabled) one.
+		fresh := st.PoolMisses
+		if cfg.LegacyRenaming || cfg.DisableRenaming {
+			fresh = st.Renames
 		}
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%s/%s: renames=%d fresh-allocs=%d pool-hits=%d elided=%d false-edges=%d live-bytes-after-barrier=%d",
+			wl, name, st.Renames, fresh, st.PoolHits, st.RenamesElided, st.Deps.FalseEdges, st.LiveRenamedBytes))
 	}
-	r.Series = append(r.Series, stOn, stOff)
+
+	// Blocked Cholesky, pipelined reset+factor rounds.
+	for _, c := range renameConfigs {
+		run := choleskyChurnStats(threads, dim, block, rounds, c.cfg)
+		s := Series{Name: "cholesky " + c.name}
+		s.add(float64(threads), run.secs)
+		r.Series = append(r.Series, s)
+		note("cholesky", c.name, c.cfg, run)
+	}
+
+	// Blocked LU (no pivoting), same churn structure.
+	luflat := kernels.GenSPD(dim, 17)
+	for _, c := range renameConfigs {
+		run := runRenameWorkload(threads, c.cfg, func(rt *core.Runtime) {
+			al := linalg.New(rt, kernels.Fast, block)
+			factorRounds(al, luflat, nb, block, rounds,
+				func(al *linalg.Algos, a *hypermatrix.Matrix) { al.LU(a) })
+		})
+		s := Series{Name: "lu " + c.name}
+		s.add(float64(threads), run.secs)
+		r.Series = append(r.Series, s)
+		note("lu", c.name, c.cfg, run)
+	}
+
+	// Synthetic version churn: every refill overwrites a buffer a
+	// pending reader still consumes, so each iteration renames (or,
+	// with renaming disabled, serializes on the WAR edge).  All buffers
+	// share one size class, the recycling pool's best case.
+	nObj, iters, blockLen := 64, 96, 4096
+	if cfg.Quick {
+		nObj, iters, blockLen = 8, 12, 512
+	}
+	consume := core.NewTaskDef("churn_consume_t", func(a *core.Args) {
+		x := a.F32(0)
+		s := float32(0)
+		for _, v := range x {
+			s += v
+		}
+		if s != s { // keep the reduction observable
+			panic("churn_consume_t: NaN in input")
+		}
+	})
+	refill := core.NewTaskDef("churn_refill_t", func(a *core.Args) {
+		x := a.F32(0)
+		for i := range x {
+			x[i] = float32(i)
+		}
+	})
+	for _, c := range renameConfigs {
+		run := runRenameWorkload(threads, c.cfg, func(rt *core.Runtime) {
+			bufs := make([][]float32, nObj)
+			for i := range bufs {
+				bufs[i] = make([]float32, blockLen)
+			}
+			batch := rt.NewBatch()
+			for it := 0; it < iters; it++ {
+				for o := range bufs {
+					batch.Add(consume, core.In(bufs[o]))
+					batch.Add(refill, core.Out(bufs[o]))
+				}
+				batch.Submit()
+			}
+		})
+		s := Series{Name: "churn " + c.name}
+		s.add(float64(threads), run.secs)
+		r.Series = append(r.Series, s)
+		note("churn", c.name, c.cfg, run)
+	}
+
 	r.Elapsed = time.Since(start)
 	return r
 }

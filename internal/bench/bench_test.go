@@ -3,6 +3,8 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // quickCfg is the seconds-scale configuration used to validate every
@@ -131,5 +133,46 @@ func TestFig14SpeedupSanity(t *testing.T) {
 		if last.Y < 0.5 {
 			t.Fatalf("series %q speedup at %g threads = %g; parallel run pathologically slow", s.Name, last.X, last.Y)
 		}
+	}
+}
+
+// TestAblationRenameAcceptance pins the PR's acceptance criterion on
+// the Cholesky churn workload: the pooled lifecycle must allocate
+// strictly fewer fresh instances than the legacy one (recycling and
+// elision replace allocations), and after the final barrier no renamed
+// byte may be live.
+func TestAblationRenameAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two quick-scale Cholesky churns")
+	}
+	// Workers: 1 makes the run fully deterministic (no worker goroutines;
+	// the main thread executes everything through the throttle window),
+	// so the counters are exact, not timing-dependent.  The open-graph
+	// limit sits between the per-round reset batch (64 tasks) and the
+	// full round (~248 tasks): previous-round resets have drained when
+	// the next round's resets are analyzed (dead hazards, elided in
+	// place) while the previous round's trailing factor tasks are still
+	// pending (live hazards, renamed through the pool).
+	const threads, dim, block, rounds = 1, 256, 32, 4
+	rtCfg := core.Config{GraphLimit: 128}
+	pooled := choleskyChurnStats(threads, dim, block, rounds, rtCfg)
+	rtCfg.LegacyRenaming = true
+	legacy := choleskyChurnStats(threads, dim, block, rounds, rtCfg)
+
+	if legacy.st.Renames == 0 {
+		t.Fatalf("legacy run produced no renames; churn workload broken: %+v", legacy.st)
+	}
+	if pooled.st.PoolHits == 0 {
+		t.Fatalf("pooled run never hit the pool: %+v", pooled.st)
+	}
+	if pooled.st.RenamesElided == 0 {
+		t.Fatalf("pooled run never elided a rename: %+v", pooled.st)
+	}
+	if pooled.st.PoolMisses >= legacy.st.Renames {
+		t.Fatalf("pooled lifecycle must allocate strictly fewer fresh instances: misses %d vs legacy renames %d",
+			pooled.st.PoolMisses, legacy.st.Renames)
+	}
+	if pooled.st.LiveRenamedBytes != 0 {
+		t.Fatalf("live renamed bytes after barrier = %d, want 0", pooled.st.LiveRenamedBytes)
 	}
 }

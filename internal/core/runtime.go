@@ -46,6 +46,12 @@ type Config struct {
 	// DisableRenaming turns off the renaming engine, materializing
 	// WAR/WAW hazards as real edges (ablation).
 	DisableRenaming bool
+	// LegacyRenaming restores the seed runtime's rename lifecycle: a
+	// fresh heap allocation per rename, superseded versions abandoned
+	// to the garbage collector, and renamed bytes accounted against
+	// the owning task instead of against live storage.  Kept as the
+	// measured baseline for the ablation-rename experiment.
+	LegacyRenaming bool
 	// GraphLimit bounds the number of open (submitted, not completed)
 	// tasks before Submit throttles.  Zero selects DefaultGraphLimit;
 	// negative disables throttling.
@@ -91,6 +97,19 @@ type Stats struct {
 	SyncBackCopies int64
 	// MainHelped counts tasks the main thread executed while blocked.
 	MainHelped int64
+
+	// Memory-manager view of the rename lifecycle.  Renames mirrors
+	// Deps.Renames for at-a-glance access; RenamesElided counts writes
+	// that proved their hazard dead and proceeded in place; PoolHits
+	// and PoolMisses split renames into recycled vs. freshly allocated
+	// instances (PoolMisses is the number of real allocations);
+	// LiveRenamedBytes is the renamed storage currently alive — zero
+	// after a barrier on a fully-drained graph.
+	Renames          int64
+	RenamesElided    int64
+	PoolHits         int64
+	PoolMisses       int64
+	LiveRenamedBytes int64
 }
 
 // Runtime is one SMPSs runtime instance: it owns the task graph, the
@@ -162,6 +181,14 @@ func New(cfg Config) *Runtime {
 	}
 	rt.tr = deps.NewTrackerShards(rt.g, cfg.TrackerShards)
 	rt.tr.DisableRenaming = cfg.DisableRenaming
+	rt.tr.LegacyRenaming = cfg.LegacyRenaming
+	// Reclaimed renamed storage wakes the main thread when it blocks on
+	// the memory limit — the parked wait's signal (paper §III).
+	rt.tr.SetReclaimHook(func() {
+		if rt.waiters.Load() > 0 {
+			rt.sc.Wake(0)
+		}
+	})
 
 	// The main code runs on the main thread and the runtime creates as
 	// many worker threads as necessary to fill out the rest of the
@@ -179,14 +206,32 @@ func (rt *Runtime) Workers() int { return rt.cfg.Workers }
 
 // Stats returns a snapshot of the runtime's counters.
 func (rt *Runtime) Stats() Stats {
+	d := rt.tr.Stats()
 	return Stats{
-		TasksSubmitted: rt.submitted.Load(),
-		TasksExecuted:  rt.executed.Load(),
-		Deps:           rt.tr.Stats(),
-		Sched:          rt.sc.Stats(),
-		SyncBackCopies: rt.syncCopies.Load(),
-		MainHelped:     rt.mainHelped.Load(),
+		TasksSubmitted:   rt.submitted.Load(),
+		TasksExecuted:    rt.executed.Load(),
+		Deps:             d,
+		Sched:            rt.sc.Stats(),
+		SyncBackCopies:   rt.syncCopies.Load(),
+		MainHelped:       rt.mainHelped.Load(),
+		Renames:          d.Renames,
+		RenamesElided:    d.RenamesElided,
+		PoolHits:         d.PoolHits,
+		PoolMisses:       d.PoolMisses,
+		LiveRenamedBytes: rt.liveRenamedBytes(),
 	}
+}
+
+// liveRenamedBytes returns the memory-limit gauge: bytes of renamed
+// storage alive right now.  Under LegacyRenaming the seed's per-task
+// accounting applies (bytes pinned by incomplete tasks); otherwise the
+// pool's acquire/release gauge, which also covers storage kept alive by
+// diverged objects after their tasks completed.
+func (rt *Runtime) liveRenamedBytes() int64 {
+	if rt.cfg.LegacyRenaming {
+		return rt.renamedBytes.Load()
+	}
+	return rt.tr.LiveRenamedBytes()
 }
 
 // Err returns the first task failure (panic) observed, or nil.
@@ -311,6 +356,15 @@ func (b *Batch) Submit() {
 // the submitter stays blocked until a quarter of the limit has drained,
 // so it does not bounce across the threshold (waking once per task
 // completion) while the workers chew at the boundary.
+//
+// The memory limit is a parked wait, not a spin: when no task is
+// available to help with, the main thread sleeps in the scheduler and is
+// woken either by a task completion or by the tracker's reclaim hook the
+// moment renamed storage returns to the pool.  If the limit is still
+// exceeded once every task has completed, the remaining live bytes
+// belong to idle diverged objects that no completion can ever release —
+// the runtime syncs them back (reclaiming their instances) and
+// proceeds, since the limit is a blocking condition, not a hard cap.
 func (rt *Runtime) throttle() {
 	if limit := int64(rt.cfg.GraphLimit); limit > 0 {
 		if rt.g.Open() >= limit {
@@ -322,11 +376,15 @@ func (rt *Runtime) throttle() {
 			}
 		}
 	}
-	if rt.cfg.MemoryLimit > 0 {
-		for rt.renamedBytes.Load() >= rt.cfg.MemoryLimit {
-			if !rt.helpOnce(func() bool { return rt.renamedBytes.Load() < rt.cfg.MemoryLimit }) {
+	if limit := rt.cfg.MemoryLimit; limit > 0 {
+		for rt.liveRenamedBytes() >= limit {
+			if rt.outstanding.Load() == 0 {
+				rt.syncCopies.Add(int64(rt.tr.SyncAll()))
 				break
 			}
+			rt.helpOnce(func() bool {
+				return rt.liveRenamedBytes() < limit || rt.outstanding.Load() == 0
+			})
 		}
 	}
 }
@@ -369,7 +427,12 @@ func (rt *Runtime) submitOne(def *TaskDef, args []Arg) {
 		res := &ress[j]
 		i := ixs[j]
 		if res.Renamed {
-			rec.renamedBytes += byteSize(args[i].data)
+			if rt.cfg.LegacyRenaming {
+				// Seed accounting: the bytes pin against the task and
+				// drain at its completion.  The pooled lifecycle
+				// accounts on acquire/release inside the tracker.
+				rec.renamedBytes += byteSize(args[i].data)
+			}
 			rt.tracr.Emit(0, trace.EvRename, def.kind, def.Name, node.ID)
 		}
 		rec.args[i] = boundArg{

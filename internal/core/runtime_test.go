@@ -343,7 +343,7 @@ func TestMemoryLimitThrottlesRenaming(t *testing.T) {
 	if st.MainHelped == 0 {
 		t.Fatalf("main thread never helped under the memory limit: %+v", st)
 	}
-	if got := rt.renamedBytes.Load(); got != 0 {
+	if got := rt.liveRenamedBytes(); got != 0 {
 		t.Fatalf("renamed-bytes accounting leaked %d bytes", got)
 	}
 }

@@ -1,0 +1,210 @@
+package deps
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataid"
+)
+
+// classKey identifies a size class of renamed storage: the concrete type
+// of the instance plus its length for slices — exactly the shape
+// Access.Alloc produces for a given exemplar, so any pooled instance of
+// a class is interchangeable with a fresh allocation.
+type classKey struct {
+	t reflect.Type
+	n int
+}
+
+// maxFreePerClass bounds how many idle instances one size class retains.
+// Overflow on release is dropped to the garbage collector, so a burst of
+// renames cannot pin its peak footprint forever.
+const maxFreePerClass = 64
+
+// PoolStats is a snapshot of pool activity.
+type PoolStats struct {
+	// Hits and Misses count acquisitions served from recycled storage
+	// vs. fresh Alloc() calls; Misses is the number of instances the
+	// renaming engine actually allocated.
+	Hits, Misses int64
+	// Releases counts instances returned to a free list; Drops counts
+	// instances released past the per-class bound and left to the GC.
+	Releases, Drops int64
+	// Forfeits counts instances that left pooled management without a
+	// release (an object flipping to region mode keeps its renamed
+	// storage as plain user-visible memory).
+	Forfeits int64
+	// LiveBytes is the renamed storage currently acquired and not yet
+	// released — the gauge the runtime's memory limit blocks on.
+	LiveBytes int64
+	// FreeBytes is the storage idling on the free lists.
+	FreeBytes int64
+}
+
+// classBucket is the free list of one size class.
+type classBucket struct {
+	mu   sync.Mutex
+	free []any
+}
+
+// Pool recycles the storage instances the renaming engine allocates.
+// The seed runtime called Alloc() for every rename and abandoned
+// superseded versions to the garbage collector; the pool instead keeps
+// reclaimed instances on per-class free lists so subsequent renames of
+// same-shaped data reuse warm storage.  Pooled instances are returned
+// with stale contents: an output rename overwrites completely by the
+// Out contract, and a renamed inout is seeded by its scheduled copy, so
+// no zeroing is ever needed.
+//
+// Acquire and release also carry the live-byte accounting: LiveBytes
+// tracks renamed storage between acquisition and reclamation, which is
+// what Config.MemoryLimit blocks on, and the reclaim hook gives the
+// blocked submitter a wakeup signal the seed's spin-help loop lacked.
+type Pool struct {
+	classes sync.Map // classKey -> *classBucket
+
+	hits, misses    atomic.Int64
+	releases, drops atomic.Int64
+	forfeits        atomic.Int64
+	liveBytes       atomic.Int64
+	freeBytes       atomic.Int64
+
+	// onReclaim, when non-nil, runs after every live-byte decrease.
+	// It must be set before the pool is first used and must not block.
+	onReclaim func()
+}
+
+// SetReclaimHook registers f to run whenever live renamed bytes
+// decrease (an instance is released or forfeited).  The runtime points
+// it at the scheduler wakeup for the memory-limit waiter.  It must be
+// called before any task is submitted.
+func (p *Pool) SetReclaimHook(f func()) { p.onReclaim = f }
+
+// LiveBytes returns the bytes of renamed storage currently acquired.
+func (p *Pool) LiveBytes() int64 { return p.liveBytes.Load() }
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Releases:  p.releases.Load(),
+		Drops:     p.drops.Load(),
+		Forfeits:  p.forfeits.Load(),
+		LiveBytes: p.liveBytes.Load(),
+		FreeBytes: p.freeBytes.Load(),
+	}
+}
+
+// classOf maps an exemplar (or instance) to its size class and byte
+// footprint.  The common slice element types bypass reflection.
+func classOf(data any) (classKey, int64) {
+	switch d := data.(type) {
+	case []float32:
+		return classKey{t: typF32, n: len(d)}, int64(len(d)) * 4
+	case []float64:
+		return classKey{t: typF64, n: len(d)}, int64(len(d)) * 8
+	case []int64:
+		return classKey{t: typI64, n: len(d)}, int64(len(d)) * 8
+	case []int32:
+		return classKey{t: typI32, n: len(d)}, int64(len(d)) * 4
+	case []int:
+		return classKey{t: typInt, n: len(d)}, int64(len(d)) * int64(intSize)
+	case []byte:
+		return classKey{t: typByte, n: len(d)}, int64(len(d))
+	}
+	v := reflect.ValueOf(data)
+	k := classKey{t: v.Type()}
+	if v.Kind() == reflect.Slice {
+		k.n = v.Len()
+	}
+	return k, dataid.ByteSize(data)
+}
+
+var (
+	typF32  = reflect.TypeOf([]float32(nil))
+	typF64  = reflect.TypeOf([]float64(nil))
+	typI64  = reflect.TypeOf([]int64(nil))
+	typI32  = reflect.TypeOf([]int32(nil))
+	typInt  = reflect.TypeOf([]int(nil))
+	typByte = reflect.TypeOf([]byte(nil))
+)
+
+const intSize = 32 << (^uint(0) >> 63) / 8 // bytes in an int
+
+func (p *Pool) bucket(key classKey, create bool) *classBucket {
+	if b, ok := p.classes.Load(key); ok {
+		return b.(*classBucket)
+	}
+	if !create {
+		return nil
+	}
+	b, _ := p.classes.LoadOrStore(key, &classBucket{})
+	return b.(*classBucket)
+}
+
+// acquire returns a storage instance shaped like a.Data — recycled when
+// the class has a free instance, freshly allocated via a.Alloc
+// otherwise — plus its accounted byte size.  The instance counts as
+// live until released (or forfeited).
+func (p *Pool) acquire(a *Access) (any, int64) {
+	key, bytes := classOf(a.Data)
+	var inst any
+	if b := p.bucket(key, false); b != nil {
+		b.mu.Lock()
+		if n := len(b.free); n > 0 {
+			inst = b.free[n-1]
+			b.free[n-1] = nil
+			b.free = b.free[:n-1]
+		}
+		b.mu.Unlock()
+	}
+	if inst != nil {
+		p.hits.Add(1)
+		p.freeBytes.Add(-bytes)
+	} else {
+		p.misses.Add(1)
+		inst = a.Alloc()
+	}
+	p.liveBytes.Add(bytes)
+	return inst, bytes
+}
+
+// release returns an instance to its class free list (or drops it to the
+// GC past the per-class bound), decrements the live gauge and fires the
+// reclaim hook.  Called from version reclamation on any goroutine.
+func (p *Pool) release(inst any, bytes int64) {
+	p.liveBytes.Add(-bytes)
+	key, _ := classOf(inst)
+	b := p.bucket(key, true)
+	kept := false
+	b.mu.Lock()
+	if len(b.free) < maxFreePerClass {
+		b.free = append(b.free, inst)
+		kept = true
+	}
+	b.mu.Unlock()
+	if kept {
+		p.releases.Add(1)
+		p.freeBytes.Add(bytes)
+	} else {
+		p.drops.Add(1)
+	}
+	if p.onReclaim != nil {
+		p.onReclaim()
+	}
+}
+
+// forfeit removes an instance from pooled management without recovering
+// it: the storage stays referenced (as an object's current contents)
+// but is no longer the memory manager's to recycle — it falls back to
+// the garbage collector, exactly like every renamed instance did in the
+// seed runtime.  Used when an object flips to region mode.
+func (p *Pool) forfeit(bytes int64) {
+	p.liveBytes.Add(-bytes)
+	p.forfeits.Add(1)
+	if p.onReclaim != nil {
+		p.onReclaim()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -86,15 +87,56 @@ type Resolution struct {
 
 // version is one single-assignment instance of an object.  Versions form
 // a chain: each write (out/inout) opens a new one.
+//
+// In the default (pooled) lifecycle each version is reference-counted:
+// refs holds one count while the version is the object's current
+// version, one while its producer is pending, one per live reader and
+// one per renamed-inout successor that still has to copy from it.
+// Completion observers on the graph nodes count the references down the
+// moment each task finishes; when a *retired* (superseded, synced or
+// forgotten) version drains to zero and owns pooled storage, that
+// storage returns to the tracker's recycling pool.  Under
+// LegacyRenaming none of this runs and superseded versions are
+// abandoned to the garbage collector, as in the seed runtime.
 type version struct {
 	// producer is the task writing this version; nil for the initial
 	// version (data that existed before any task wrote it).
 	producer *graph.Node
-	// readers are tasks reading this version; pruned lazily as they
-	// complete.
+	// readers are tasks reading this version.  The pooled lifecycle
+	// needs the list only to materialize WAR edges (DisableRenaming)
+	// and to seed a region flip; hazard detection uses nreaders.
 	readers []*graph.Node
 	// instance is the effective storage of this version.
 	instance any
+
+	// owned marks instance as pool-managed renamed storage; bytes is
+	// its accounted size.  An in-place write transfers ownership to the
+	// successor version (they share the instance).
+	owned bool
+	bytes int64
+
+	// refs counts the holds keeping the instance alive (see above).
+	refs atomic.Int32
+	// nreaders counts live readers only — the O(1) hazard probe that
+	// replaces the seed's lazy Done() scan over the reader list.
+	nreaders atomic.Int32
+	// retired marks the version no longer current: eligible for
+	// reclamation once refs drains to zero.
+	retired atomic.Bool
+	// reclaimed guards the pool release so it happens exactly once.
+	reclaimed atomic.Bool
+}
+
+// newVersion creates a version holding the current-version reference
+// plus, when a producer is given, the pending-producer reference.
+func newVersion(producer *graph.Node, instance any) *version {
+	v := &version{producer: producer, instance: instance}
+	n := int32(1)
+	if producer != nil {
+		n++
+	}
+	v.refs.Store(n)
+	return v
 }
 
 func (v *version) producerPending() bool {
@@ -109,6 +151,34 @@ func (v *version) pruneReaders() {
 		}
 	}
 	v.readers = live
+}
+
+// release drops one reference; the last reference of a retired version
+// reclaims its owned storage into the pool.  Runs without the shard
+// lock (completion observers call it from worker goroutines).
+func (v *version) release(p *Pool) {
+	if v.refs.Add(-1) == 0 && v.retired.Load() {
+		v.reclaim(p)
+	}
+}
+
+// retire marks the version no longer current and drops the
+// current-version reference.  Each version is retired exactly once —
+// when superseded by a write, synced back, or forgotten.
+func (v *version) retire(p *Pool) {
+	if v.retired.Swap(true) {
+		panic("deps: version retired twice")
+	}
+	if v.refs.Add(-1) == 0 {
+		v.reclaim(p)
+	}
+}
+
+func (v *version) reclaim(p *Pool) {
+	if !v.owned || v.reclaimed.Swap(true) {
+		return
+	}
+	p.release(v.instance, v.bytes)
 }
 
 // regionAccess is one entry in the access history of a region-tracked
@@ -148,11 +218,21 @@ type object struct {
 type Stats struct {
 	// Objects is the number of distinct base addresses ever tracked.
 	Objects int64
-	// Renames counts fresh instances allocated to break WAW/WAR hazards.
+	// Renames counts instances acquired (pooled or fresh) to break
+	// WAW/WAR hazards.
 	Renames int64
+	// RenamesElided counts writes that found the previous task-written
+	// version's hazard dead — producer complete, reader count drained —
+	// and proceeded in place, skipping the rename (and, for inout, the
+	// seed copy) entirely.
+	RenamesElided int64
 	// RenameCopies counts renamed inout parameters (each costs one
 	// content copy at task start).
 	RenameCopies int64
+	// PoolHits and PoolMisses count renames served from recycled
+	// storage vs. fresh Alloc() calls.  They live in the pool, not the
+	// shards; Tracker.Stats fills them into the summed snapshot.
+	PoolHits, PoolMisses int64
 	// TrueEdges counts read-after-write edges added.
 	TrueEdges int64
 	// FalseEdges counts WAR/WAW edges added; nonzero only for
@@ -167,7 +247,10 @@ type Stats struct {
 func (s *Stats) add(o Stats) {
 	s.Objects += o.Objects
 	s.Renames += o.Renames
+	s.RenamesElided += o.RenamesElided
 	s.RenameCopies += o.RenameCopies
+	s.PoolHits += o.PoolHits
+	s.PoolMisses += o.PoolMisses
 	s.TrueEdges += o.TrueEdges
 	s.FalseEdges += o.FalseEdges
 	s.RegionObjects += o.RegionObjects
@@ -204,6 +287,14 @@ type Tracker struct {
 	// WAR/WAW edges.  Used by the ablation benchmarks.
 	DisableRenaming bool
 
+	// LegacyRenaming restores the seed runtime's rename lifecycle: a
+	// fresh heap allocation per rename, hazard checks by lazy Done()
+	// scans over reader lists, and superseded versions abandoned to the
+	// garbage collector.  Kept as the measured baseline for the
+	// ablation-rename experiment.  Must be set before the first access.
+	LegacyRenaming bool
+
+	pool   Pool
 	shards []shard
 	shift  uint // 64 - log2(len(shards)), for Fibonacci hashing
 }
@@ -247,7 +338,7 @@ func (t *Tracker) shardOf(key uintptr) *shard {
 }
 
 // Stats returns a snapshot of the tracker's counters, summed across
-// shards.
+// shards and merged with the pool's hit/miss counters.
 func (t *Tracker) Stats() Stats {
 	var total Stats
 	for i := range t.shards {
@@ -257,13 +348,28 @@ func (t *Tracker) Stats() Stats {
 		sh.mu.Unlock()
 		total.add(s)
 	}
+	ps := t.pool.Stats()
+	total.PoolHits, total.PoolMisses = ps.Hits, ps.Misses
 	return total
 }
+
+// PoolStats returns a snapshot of the recycling pool's counters.
+func (t *Tracker) PoolStats() PoolStats { return t.pool.Stats() }
+
+// LiveRenamedBytes returns the bytes of renamed storage currently
+// acquired and not yet reclaimed — the runtime's memory-limit gauge.
+// Always zero under LegacyRenaming (the seed accounts per task instead).
+func (t *Tracker) LiveRenamedBytes() int64 { return t.pool.LiveBytes() }
+
+// SetReclaimHook registers f to run whenever renamed storage is
+// reclaimed (live bytes decrease).  The runtime points it at the
+// memory-limit waiter's wakeup.  Must be called before any access.
+func (t *Tracker) SetReclaimHook(f func()) { t.pool.SetReclaimHook(f) }
 
 func (sh *shard) lookup(a Access) *object {
 	obj := sh.objects[a.Key]
 	if obj == nil {
-		obj = &object{key: a.Key, cur: &version{instance: a.Data}, original: a.Data}
+		obj = &object{key: a.Key, cur: newVersion(nil, a.Data), original: a.Data}
 		sh.objects[a.Key] = obj
 		sh.stats.Objects++
 	}
@@ -273,14 +379,46 @@ func (sh *shard) lookup(a Access) *object {
 	return obj
 }
 
+// versionHold is one reference a task holds on a version until it
+// completes: a live-reader hold (counted in nreaders too) or a plain
+// lifetime hold (pending producer, renamed-inout copy source).  The
+// holds of one task are released together by a single completion
+// observer, so the hot submission path pays one closure and one
+// observer registration per task instead of one per access.
+type versionHold struct {
+	v      *version
+	reader bool
+}
+
+// registerHolds attaches the task's accumulated version holds to its
+// completion.  Called after the shard locks are released; the node
+// cannot complete before Seal, which the submitter calls later.
+func (t *Tracker) registerHolds(node *graph.Node, holds []versionHold) {
+	if len(holds) == 0 {
+		return
+	}
+	p := &t.pool
+	node.OnComplete(func() {
+		for _, h := range holds {
+			if h.reader {
+				h.v.nreaders.Add(-1)
+			}
+			h.v.release(p)
+		}
+	})
+}
+
 // Analyze resolves one parameter access for task node, adding the
 // dependency edges it implies.  It must be called after graph.AddNode and
 // before graph.Seal for the node.
 func (t *Tracker) Analyze(node *graph.Node, a Access) Resolution {
+	var holds []versionHold
 	sh := t.shardOf(a.Key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return t.analyzeLocked(sh, node, a)
+	res := t.analyzeLocked(sh, node, a, &holds)
+	sh.mu.Unlock()
+	t.registerHolds(node, holds)
+	return res
 }
 
 // AnalyzeBatch resolves every access of one task in submission order,
@@ -301,33 +439,158 @@ func (t *Tracker) AnalyzeBatch(node *graph.Node, accs []Access, out []Resolution
 	for m := mask; m != 0; m &= m - 1 {
 		t.shards[bits.TrailingZeros64(m)].mu.Lock()
 	}
+	var holds []versionHold
 	for i := range accs {
-		out = append(out, t.analyzeLocked(t.shardOf(accs[i].Key), node, accs[i]))
+		out = append(out, t.analyzeLocked(t.shardOf(accs[i].Key), node, accs[i], &holds))
 	}
 	for m := mask; m != 0; m &= m - 1 {
 		t.shards[bits.TrailingZeros64(m)].mu.Unlock()
 	}
+	t.registerHolds(node, holds)
 	return out
 }
 
-// analyzeLocked dispatches one access; the caller holds sh.mu.
-func (t *Tracker) analyzeLocked(sh *shard, node *graph.Node, a Access) Resolution {
+// analyzeLocked dispatches one access; the caller holds sh.mu.  holds
+// accumulates the version references the node acquires, registered as
+// one completion observer by the caller after the locks are released.
+func (t *Tracker) analyzeLocked(sh *shard, node *graph.Node, a Access, holds *[]versionHold) Resolution {
 	obj := sh.lookup(a)
 	if obj.regioned || !a.Region.IsFull() {
 		return t.analyzeRegion(sh, node, obj, a)
 	}
+	if t.LegacyRenaming {
+		switch a.Mode {
+		case ModeIn:
+			return t.analyzeInLegacy(sh, node, obj)
+		case ModeOut:
+			return t.analyzeOutLegacy(sh, node, obj, a)
+		case ModeInOut:
+			return t.analyzeInOutLegacy(sh, node, obj, a)
+		}
+		panic("deps: invalid access mode")
+	}
 	switch a.Mode {
 	case ModeIn:
-		return t.analyzeIn(sh, node, obj)
+		return t.analyzeIn(sh, node, obj, holds)
 	case ModeOut:
-		return t.analyzeOut(sh, node, obj, a)
+		return t.analyzeOut(sh, node, obj, a, holds)
 	case ModeInOut:
-		return t.analyzeInOut(sh, node, obj, a)
+		return t.analyzeInOut(sh, node, obj, a, holds)
 	}
 	panic("deps: invalid access mode")
 }
 
-func (t *Tracker) analyzeIn(sh *shard, node *graph.Node, obj *object) Resolution {
+func (t *Tracker) analyzeIn(sh *shard, node *graph.Node, obj *object, holds *[]versionHold) Resolution {
+	v := obj.cur
+	if v.producerPending() {
+		t.g.AddEdge(v.producer, node)
+		sh.stats.TrueEdges++
+	}
+	v.pruneReaders()
+	v.readers = append(v.readers, node)
+	v.nreaders.Add(1)
+	v.refs.Add(1)
+	*holds = append(*holds, versionHold{v: v, reader: true})
+	return Resolution{Instance: v.instance}
+}
+
+// supersede installs nv as the object's current version.  When the
+// write happened in place (instances shared), ownership of pooled
+// storage moves to nv; either way the old version is retired, so its
+// instance returns to the pool once its remaining consumers drain.
+func (t *Tracker) supersede(obj *object, v, nv *version, renamed bool, bytes int64) {
+	if renamed {
+		nv.owned, nv.bytes = true, bytes
+		obj.diverged = true
+	} else {
+		nv.owned, nv.bytes = v.owned, v.bytes
+		v.owned = false
+	}
+	obj.cur = nv
+	v.retire(&t.pool)
+}
+
+func (t *Tracker) analyzeOut(sh *shard, node *graph.Node, obj *object, a Access, holds *[]versionHold) Resolution {
+	v := obj.cur
+	hazard := v.producerPending() || v.nreaders.Load() > 0
+	res := Resolution{Instance: v.instance}
+	var bytes int64
+	renamed := false
+	if hazard {
+		if t.DisableRenaming {
+			// Ablation path: materialize the false dependencies.
+			if v.producerPending() {
+				t.g.AddEdge(v.producer, node) // WAW
+				sh.stats.FalseEdges++
+			}
+			v.pruneReaders()
+			for _, r := range v.readers {
+				t.g.AddEdge(r, node) // WAR
+				sh.stats.FalseEdges++
+			}
+		} else {
+			res.Instance, bytes = t.pool.acquire(&a)
+			res.Renamed, renamed = true, true
+			sh.stats.Renames++
+		}
+	} else if !t.DisableRenaming && v.producer != nil {
+		// Dead WAW: the previous version was task-written, but its
+		// producer has completed and every reader drained, so the
+		// overwrite proceeds in place — no rename, no fresh storage.
+		sh.stats.RenamesElided++
+	}
+	nv := newVersion(node, res.Instance)
+	*holds = append(*holds, versionHold{v: nv})
+	t.supersede(obj, v, nv, renamed, bytes)
+	return res
+}
+
+func (t *Tracker) analyzeInOut(sh *shard, node *graph.Node, obj *object, a Access, holds *[]versionHold) Resolution {
+	v := obj.cur
+	res := Resolution{Instance: v.instance}
+	if v.producerPending() {
+		t.g.AddEdge(v.producer, node) // RAW: the task reads the old value
+		sh.stats.TrueEdges++
+	}
+	var bytes int64
+	renamed := false
+	if v.nreaders.Load() > 0 {
+		if t.DisableRenaming {
+			v.pruneReaders()
+			for _, r := range v.readers {
+				t.g.AddEdge(r, node) // WAR
+				sh.stats.FalseEdges++
+			}
+		} else {
+			// Rename: write into acquired storage seeded from the
+			// previous version.  The RAW edge above guarantees the
+			// source is complete when the copy runs; the extra
+			// reference below guarantees the pool does not recycle the
+			// source instance before the copy has happened.
+			res.Instance, bytes = t.pool.acquire(&a)
+			res.CopyFrom = v.instance
+			res.Copy = a.Copy
+			res.Renamed, renamed = true, true
+			v.refs.Add(1)
+			*holds = append(*holds, versionHold{v: v})
+			sh.stats.Renames++
+			sh.stats.RenameCopies++
+		}
+	} else if !t.DisableRenaming && v.producer != nil && !v.producerPending() {
+		// Dead WAR/WAW: every reader of the task-written previous
+		// version drained and its producer completed — update in place,
+		// skipping both the rename and the inout seed copy.
+		sh.stats.RenamesElided++
+	}
+	nv := newVersion(node, res.Instance)
+	*holds = append(*holds, versionHold{v: nv})
+	t.supersede(obj, v, nv, renamed, bytes)
+	return res
+}
+
+// analyzeInLegacy is the seed runtime's read path: reader liveness by
+// lazy Done() scans, no reference counting.
+func (t *Tracker) analyzeInLegacy(sh *shard, node *graph.Node, obj *object) Resolution {
 	v := obj.cur
 	if v.producerPending() {
 		t.g.AddEdge(v.producer, node)
@@ -338,14 +601,15 @@ func (t *Tracker) analyzeIn(sh *shard, node *graph.Node, obj *object) Resolution
 	return Resolution{Instance: v.instance}
 }
 
-func (t *Tracker) analyzeOut(sh *shard, node *graph.Node, obj *object, a Access) Resolution {
+// analyzeOutLegacy is the seed runtime's output path: a fresh Alloc()
+// per rename, superseded versions left to the garbage collector.
+func (t *Tracker) analyzeOutLegacy(sh *shard, node *graph.Node, obj *object, a Access) Resolution {
 	v := obj.cur
 	v.pruneReaders()
 	hazard := v.producerPending() || len(v.readers) > 0
 	res := Resolution{Instance: v.instance}
 	if hazard {
 		if t.DisableRenaming {
-			// Ablation path: materialize the false dependencies.
 			if v.producerPending() {
 				t.g.AddEdge(v.producer, node) // WAW
 				sh.stats.FalseEdges++
@@ -361,11 +625,12 @@ func (t *Tracker) analyzeOut(sh *shard, node *graph.Node, obj *object, a Access)
 			sh.stats.Renames++
 		}
 	}
-	obj.cur = &version{producer: node, instance: res.Instance}
+	obj.cur = newVersion(node, res.Instance)
 	return res
 }
 
-func (t *Tracker) analyzeInOut(sh *shard, node *graph.Node, obj *object, a Access) Resolution {
+// analyzeInOutLegacy is the seed runtime's inout path.
+func (t *Tracker) analyzeInOutLegacy(sh *shard, node *graph.Node, obj *object, a Access) Resolution {
 	v := obj.cur
 	v.pruneReaders()
 	res := Resolution{Instance: v.instance}
@@ -380,9 +645,6 @@ func (t *Tracker) analyzeInOut(sh *shard, node *graph.Node, obj *object, a Acces
 				sh.stats.FalseEdges++
 			}
 		} else {
-			// Rename: write into fresh storage seeded from the previous
-			// version.  The RAW edge above guarantees the source is
-			// complete when the copy runs.
 			res.Instance = a.Alloc()
 			res.CopyFrom = v.instance
 			res.Copy = a.Copy
@@ -392,7 +654,7 @@ func (t *Tracker) analyzeInOut(sh *shard, node *graph.Node, obj *object, a Acces
 			sh.stats.RenameCopies++
 		}
 	}
-	obj.cur = &version{producer: node, instance: res.Instance}
+	obj.cur = newVersion(node, res.Instance)
 	return res
 }
 
@@ -440,6 +702,15 @@ func (t *Tracker) flipToRegioned(sh *shard, obj *object) {
 		obj.hist = append(obj.hist, regionAccess{region: Full, mode: ModeIn, task: r})
 	}
 	v.readers = nil
+	// Region mode keeps no per-access reference counts (renaming of
+	// partial objects is out of scope, exactly as in the 2008 runtime),
+	// so a diverged current version's storage cannot be recycled safely:
+	// forfeit it from pooled management and let the garbage collector
+	// handle it, as the seed did for every renamed instance.
+	if v.owned {
+		v.owned = false
+		t.pool.forfeit(v.bytes)
+	}
 }
 
 // PendingWriters returns the still-incomplete tasks that write data
@@ -497,29 +768,61 @@ func (t *Tracker) SyncObject(key uintptr) bool {
 	if obj == nil {
 		return false
 	}
-	return syncLocked(obj)
+	return t.syncLocked(obj)
 }
 
 // SyncAll applies SyncObject to every tracked object and returns the
 // number of copies performed.  The runtime calls it from Barrier so that,
 // as in SMPSs, renaming stays invisible: after a barrier the program sees
 // all results in the variables it named.
+//
+// It must only be called from the submitting thread with no pending
+// tasks.  The shard locks are held only to collect the diverged objects
+// and reset their version chains; the content copies — the expensive
+// part on large renamed data — run after each stripe's lock is
+// released, so SyncAll never holds a stripe for the duration of a
+// memcpy.  The superseded versions are retired only after their
+// contents have been copied out, so the pool cannot recycle a source
+// instance mid-copy.
 func (t *Tracker) SyncAll() int {
-	n := 0
+	type syncWork struct {
+		dst, src any
+		copier   func(dst, src any)
+		old      *version
+	}
+	var work []syncWork
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.Lock()
 		for _, obj := range sh.objects {
-			if syncLocked(obj) {
-				n++
+			if !obj.diverged {
+				continue
 			}
+			if obj.cur.producerPending() {
+				sh.mu.Unlock()
+				panic("deps: SyncAll called with a pending writer")
+			}
+			if obj.copier == nil {
+				sh.mu.Unlock()
+				panic("deps: diverged object has no copier")
+			}
+			old := obj.cur
+			work = append(work, syncWork{dst: obj.original, src: old.instance, copier: obj.copier, old: old})
+			obj.cur = newVersion(nil, obj.original)
+			obj.diverged = false
 		}
 		sh.mu.Unlock()
 	}
-	return n
+	for _, w := range work {
+		w.copier(w.dst, w.src)
+		if !t.LegacyRenaming {
+			w.old.retire(&t.pool)
+		}
+	}
+	return len(work)
 }
 
-func syncLocked(obj *object) bool {
+func (t *Tracker) syncLocked(obj *object) bool {
 	if !obj.diverged {
 		return false
 	}
@@ -530,17 +833,40 @@ func syncLocked(obj *object) bool {
 		panic("deps: diverged object has no copier")
 	}
 	obj.copier(obj.original, obj.cur.instance)
-	obj.cur = &version{instance: obj.original}
+	old := obj.cur
+	obj.cur = newVersion(nil, obj.original)
 	obj.diverged = false
+	if !t.LegacyRenaming {
+		// Any late readers of the superseded renamed instance still
+		// hold references; the pool gets the instance back only when
+		// the last of them completes.
+		old.retire(&t.pool)
+	}
 	return true
 }
 
-// Forget drops all tracking state for the object at key.  The next access
+// Forget drops all tracking state for the object at key; the next access
 // re-registers it with whatever storage the access names.  Used by
 // programs that recycle buffers for unrelated data.
+//
+// Contract: Forget does NOT sync renamed contents back — if the object
+// has diverged, the logically-current contents in renamed storage are
+// discarded and the user's original storage keeps whatever it last
+// held.  Call SyncObject (or WaitOn/Barrier) first if the contents
+// matter.  The object's current renamed instance is released back to
+// the recycling pool once its remaining consumers complete, so Forget
+// never leaks pool accounting; superseded versions already manage
+// themselves through their reference counts.
 func (t *Tracker) Forget(key uintptr) {
 	sh := t.shardOf(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	obj := sh.objects[key]
 	delete(sh.objects, key)
+	sh.mu.Unlock()
+	if obj == nil {
+		return
+	}
+	if !t.LegacyRenaming {
+		obj.cur.retire(&t.pool)
+	}
 }

@@ -85,6 +85,9 @@ type Node struct {
 
 	mu    sync.Mutex
 	succs []*Node
+	// hooks are the completion observers registered with OnComplete,
+	// fired exactly once by Complete.
+	hooks []func()
 	// npred is the total number of incoming true-dependency edges ever
 	// added (for statistics and DOT export of in-degree).
 	npred int32
@@ -98,6 +101,24 @@ func (n *Node) Done() bool { return n.State() == StateDone }
 
 // NumPredecessors returns the number of true-dependency edges into the node.
 func (n *Node) NumPredecessors() int { return int(atomic.LoadInt32(&n.npred)) }
+
+// OnComplete registers a completion observer: f runs exactly once, after
+// the node transitions to Done and its successors have been released.
+// The dependency tracker uses observers to count down version reference
+// counts the moment a consumer finishes, instead of rediscovering
+// completions with shard-wide Done() scans.  If the node has already
+// completed, f runs immediately on the calling goroutine.  Observers run
+// on the completing worker's goroutine and must not block.
+func (n *Node) OnComplete(f func()) {
+	n.mu.Lock()
+	if n.Done() {
+		n.mu.Unlock()
+		f()
+		return
+	}
+	n.hooks = append(n.hooks, f)
+	n.mu.Unlock()
+}
 
 // Graph is a dynamic task dependency graph.
 //
@@ -215,13 +236,19 @@ func (g *Graph) Complete(n *Node, worker int) {
 	n.mu.Lock()
 	n.state.Store(int32(StateDone))
 	succs := n.succs
-	n.succs = nil
+	hooks := n.hooks
+	n.succs, n.hooks = nil, nil
 	n.mu.Unlock()
 
 	for _, s := range succs {
 		if s.pending.Add(-1) == 0 {
 			g.fireReady(s, worker)
 		}
+	}
+	// Observers fire after successors are released: dependents launch
+	// first, memory bookkeeping second.
+	for _, f := range hooks {
+		f()
 	}
 	n.Payload = nil
 	g.open.Add(-1)

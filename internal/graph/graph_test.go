@@ -319,3 +319,48 @@ func TestMarkRunning(t *testing.T) {
 		t.Fatalf("node not done after Complete")
 	}
 }
+
+func TestOnCompleteFiresOnce(t *testing.T) {
+	g, _ := collectReady()
+	n := g.AddNode(0, "t", false, nil)
+	g.Seal(n)
+	var fired atomic.Int32
+	n.OnComplete(func() { fired.Add(1) })
+	n.OnComplete(func() { fired.Add(1) })
+	if fired.Load() != 0 {
+		t.Fatalf("observer fired before completion")
+	}
+	g.Complete(n, 0)
+	if fired.Load() != 2 {
+		t.Fatalf("observers fired %d times, want 2", fired.Load())
+	}
+}
+
+func TestOnCompleteAfterDoneRunsImmediately(t *testing.T) {
+	g, _ := collectReady()
+	n := g.AddNode(0, "t", false, nil)
+	g.Seal(n)
+	g.Complete(n, 0)
+	fired := false
+	n.OnComplete(func() { fired = true })
+	if !fired {
+		t.Fatalf("observer on a done node must run immediately")
+	}
+}
+
+func TestOnCompleteRunsAfterSuccessorRelease(t *testing.T) {
+	// Observers fire after successors are released, so a completion
+	// hook observes the dependent already made ready.
+	g, log := collectReady()
+	a := g.AddNode(0, "a", false, nil)
+	g.Seal(a)
+	b := g.AddNode(0, "b", false, nil)
+	g.AddEdge(a, b)
+	g.Seal(b)
+	sawReady := false
+	a.OnComplete(func() { sawReady = log.has(b.ID) })
+	g.Complete(a, 3)
+	if !sawReady {
+		t.Fatalf("observer must run after successors are released")
+	}
+}

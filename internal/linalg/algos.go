@@ -26,6 +26,7 @@ type Algos struct {
 	p  kernels.Provider
 	m  int
 
+	scopy   *core.TaskDef // b := a            (whole-block copy)
 	sgemmNN *core.TaskDef // c += a·b          (matrix multiplication)
 	sgemmNT *core.TaskDef // c -= a·bᵀ         (Cholesky trailing update)
 	ssyrk   *core.TaskDef // c -= a·aᵀ (lower)
@@ -56,6 +57,9 @@ type Algos struct {
 func New(rt *core.Runtime, p kernels.Provider, m int) *Algos {
 	al := &Algos{rt: rt, p: p, m: m}
 
+	al.scopy = core.NewTaskDef("scopy_t", func(a *core.Args) {
+		copy(a.F32(1), a.F32(0))
+	})
 	al.sgemmNN = core.NewTaskDef("sgemm_t", func(a *core.Args) {
 		p.GemmNN(a.F32(0), a.F32(1), a.F32(2), m)
 	})
@@ -136,6 +140,27 @@ func New(rt *core.Runtime, p kernels.Provider, m int) *Algos {
 	})
 	al.initQR()
 	return al
+}
+
+// ResetFrom submits one scopy task per block position, rewriting every
+// block of dst (output mode) from the pristine source src.  Both
+// matrices must have the same shape with all blocks present.
+//
+// Pipelined with a factorization — reset, factor, reset, factor —
+// without intermediate barriers, each reset's output write arrives
+// while consumers of the previous round's version may still be pending,
+// which is exactly the version-churn pattern the renaming engine (and
+// its recycling pool) exists for: the write renames instead of waiting,
+// and with pooling the superseded round's storage is recycled into the
+// next round's renames.  The ablation-rename experiment is built on it.
+func (al *Algos) ResetFrom(dst, src *hypermatrix.Matrix) {
+	b := al.rt.NewBatch()
+	for i := 0; i < dst.N; i++ {
+		for j := 0; j < dst.N; j++ {
+			b.Add(al.scopy, core.In(src.Block(i, j)), core.Out(dst.Block(i, j)))
+		}
+	}
+	b.Submit()
 }
 
 // Runtime returns the runtime the task set submits to.
