@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/kernels"
 )
 
 func main() {
@@ -27,10 +28,16 @@ func main() {
 	threads := flag.Int("threads", 0, "maximum thread count (default GOMAXPROCS)")
 	sortKeys := flag.Int("sortkeys", 0, "multisort input size (default 4M)")
 	queensN := flag.Int("queens", 0, "N-Queens board size (default 13)")
+	provider := flag.String("provider", "", "tile-kernel provider: tuned, goto or mkl (default tuned; experiments that sweep providers ignore it for the swept series)")
 	quick := flag.Bool("quick", false, "tiny test-scale configuration")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "print the registered experiment IDs, one per line, and exit")
 	flag.Parse()
+
+	if *provider != "" && kernels.ByName(*provider).Name != *provider {
+		fmt.Fprintf(os.Stderr, "smpssbench: unknown provider %q (known: %s)\n", *provider, strings.Join(kernels.Names(), ", "))
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -45,6 +52,7 @@ func main() {
 		MaxThreads: *threads,
 		SortKeys:   *sortKeys,
 		QueensN:    *queensN,
+		Provider:   *provider,
 		Quick:      *quick,
 	}
 

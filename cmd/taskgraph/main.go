@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -26,17 +27,23 @@ func main() {
 	n := flag.Int("n", 6, "hyper-matrix dimension in blocks")
 	m := flag.Int("m", 8, "block size in elements (graph shape is size-independent)")
 	algo := flag.String("algo", "cholesky", "algorithm: cholesky, lu, matmul, strassen, qr, sparselu, heat")
+	provider := flag.String("provider", "", "tile-kernel provider: tuned, goto or mkl (graph shape is provider-independent)")
 	out := flag.String("o", "", "output DOT file (default stdout)")
 	stats := flag.Bool("stats", false, "print statistics only, no DOT")
 	profile := flag.Bool("profile", false, "print the level-by-level parallelism histogram, no DOT")
 	flag.Parse()
+
+	if *provider != "" && kernels.ByName(*provider).Name != *provider {
+		fmt.Fprintf(os.Stderr, "taskgraph: unknown provider %q (known: %s)\n", *provider, strings.Join(kernels.Names(), ", "))
+		os.Exit(2)
+	}
 
 	rec := &graph.Recorder{}
 	// One worker: no task completes while the graph is being built, so
 	// every true dependency is recorded — the same full graph the paper
 	// plots.
 	rt := core.New(core.Config{Workers: 1, Recorder: rec})
-	al := linalg.New(rt, kernels.Fast, *m)
+	al := linalg.New(rt, kernels.ByName(*provider), *m)
 
 	switch *algo {
 	case "cholesky":

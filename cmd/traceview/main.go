@@ -25,9 +25,15 @@ func main() {
 	n := flag.Int("n", 8, "hyper-matrix dimension in blocks")
 	m := flag.Int("m", 64, "block size in elements")
 	threads := flag.Int("threads", 4, "worker threads (including main)")
+	provider := flag.String("provider", "", "tile-kernel provider: tuned, goto or mkl")
 	out := flag.String("o", "", "write a Paraver .prv trace to this file")
 	parse := flag.String("parse", "", "summarize an existing .prv instead of running (reads the matching .pcf if present)")
 	flag.Parse()
+
+	if *provider != "" && kernels.ByName(*provider).Name != *provider {
+		fmt.Fprintf(os.Stderr, "traceview: unknown provider %q (known: %s)\n", *provider, strings.Join(kernels.Names(), ", "))
+		os.Exit(2)
+	}
 
 	if *parse != "" {
 		summarizeFile(*parse)
@@ -36,7 +42,7 @@ func main() {
 
 	tr := trace.New()
 	rt := core.New(core.Config{Workers: *threads, Tracer: tr})
-	al := linalg.New(rt, kernels.Fast, *m)
+	al := linalg.New(rt, kernels.ByName(*provider), *m)
 	a := hypermatrix.FromFlat(kernels.GenSPD(*n**m, 1), *n, *m)
 	al.CholeskyDense(a)
 	if err := rt.Close(); err != nil {

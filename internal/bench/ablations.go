@@ -75,14 +75,14 @@ func factorRounds(al *linalg.Algos, flat []float32, nb, block, rounds int, facto
 }
 
 // choleskyChurnStats runs the pipelined reset+Cholesky workload under
-// rtCfg and returns its measurement.  Exposed to the acceptance test,
-// which asserts the pooled lifecycle allocates strictly fewer fresh
-// instances than the legacy one.
-func choleskyChurnStats(threads, dim, block, rounds int, rtCfg core.Config) renameRun {
+// rtCfg with the given tile provider and returns its measurement.
+// Exposed to the acceptance test, which asserts the pooled lifecycle
+// allocates strictly fewer fresh instances than the legacy one.
+func choleskyChurnStats(threads, dim, block, rounds int, rtCfg core.Config, p kernels.Provider) renameRun {
 	flat := kernels.GenSPD(dim, 13)
 	nb := dim / block
 	return runRenameWorkload(threads, rtCfg, func(rt *core.Runtime) {
-		al := linalg.New(rt, kernels.Fast, block)
+		al := linalg.New(rt, p, block)
 		factorRounds(al, flat, nb, block, rounds,
 			func(al *linalg.Algos, a *hypermatrix.Matrix) { al.CholeskyDense(a) })
 	})
@@ -129,7 +129,7 @@ func AblationRenaming(cfg Config) *Result {
 
 	// Blocked Cholesky, pipelined reset+factor rounds.
 	for _, c := range renameConfigs {
-		run := choleskyChurnStats(threads, dim, block, rounds, c.cfg)
+		run := choleskyChurnStats(threads, dim, block, rounds, c.cfg, cfg.provider())
 		s := Series{Name: "cholesky " + c.name}
 		s.add(float64(threads), run.secs)
 		r.Series = append(r.Series, s)
@@ -140,7 +140,7 @@ func AblationRenaming(cfg Config) *Result {
 	luflat := kernels.GenSPD(dim, 17)
 	for _, c := range renameConfigs {
 		run := runRenameWorkload(threads, c.cfg, func(rt *core.Runtime) {
-			al := linalg.New(rt, kernels.Fast, block)
+			al := linalg.New(rt, cfg.provider(), block)
 			factorRounds(al, luflat, nb, block, rounds,
 				func(al *linalg.Algos, a *hypermatrix.Matrix) { al.LU(a) })
 		})
@@ -225,7 +225,7 @@ func AblationScheduler(cfg Config) *Result {
 			var secs float64
 			withProcs(t, func() {
 				rt := core.New(core.Config{Workers: t, Scheduler: policy})
-				al := linalg.New(rt, kernels.Fast, cfg.Block)
+				al := linalg.New(rt, cfg.provider(), cfg.Block)
 				secs = timeIt(func() {
 					al.CholeskyDense(h)
 					if err := rt.Barrier(); err != nil {
@@ -412,13 +412,13 @@ func AblationThrottle(cfg Config) *Result {
 	flops := kernels.CholeskyFlops(cfg.Dim)
 	spd := kernels.GenSPD(cfg.Dim, 14)
 	nb := cfg.Dim / cfg.Block
-	s := Series{Name: "SMPSs+goto tiles"}
+	s := Series{Name: "SMPSs+" + cfg.provider().Name + " tiles"}
 	for _, limit := range []int{8, 64, 512, 4096, core.DefaultGraphLimit} {
 		h := hypermatrix.FromFlat(spd, nb, cfg.Block)
 		var secs float64
 		withProcs(cfg.MaxThreads, func() {
 			rt := core.New(core.Config{Workers: cfg.MaxThreads, GraphLimit: limit})
-			al := linalg.New(rt, kernels.Fast, cfg.Block)
+			al := linalg.New(rt, cfg.provider(), cfg.Block)
 			secs = timeIt(func() {
 				al.CholeskyDense(h)
 				if err := rt.Barrier(); err != nil {

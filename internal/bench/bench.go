@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sort"
 	"time"
+
+	"repro/internal/kernels"
 )
 
 // Point is one measurement: X is the swept parameter (block size or
@@ -155,9 +157,17 @@ type Config struct {
 	// HeatBlocks, HeatBlock and HeatSweeps size the heat extension
 	// experiment.
 	HeatBlocks, HeatBlock, HeatSweeps int
+	// Provider names the tile-kernel provider every experiment's SMPSs
+	// programs use ("tuned", "goto", "mkl"); empty selects "tuned".
+	// Experiments that sweep providers explicitly (the paper's paired
+	// series, ablation-kernels) ignore it for the swept series.
+	Provider string
 	// Quick selects the test-scale configuration.
 	Quick bool
 }
+
+// provider resolves the configured tile-kernel provider.
+func (c Config) provider() kernels.Provider { return kernels.ByName(c.Provider) }
 
 // Normalize fills defaults.
 func (c Config) Normalize() Config {
@@ -182,6 +192,9 @@ func (c Config) Normalize() Config {
 	def(&c.HeatBlocks, 16, 4)
 	def(&c.HeatBlock, 64, 8)
 	def(&c.HeatSweeps, 24, 4)
+	if c.Provider == "" {
+		c.Provider = "tuned"
+	}
 	return c
 }
 
@@ -234,6 +247,7 @@ var Registry = map[string]func(Config) *Result{
 	"fig14":             Fig14,
 	"fig15":             Fig15,
 	"fig16":             Fig16,
+	"ablation-kernels":  AblationKernels,
 	"ablation-rename":   AblationRenaming,
 	"ablation-sched":    AblationScheduler,
 	"ablation-tracker":  AblationTracker,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/kernels"
 )
 
 // quickCfg is the seconds-scale configuration used to validate every
@@ -155,9 +156,9 @@ func TestAblationRenameAcceptance(t *testing.T) {
 	// pending (live hazards, renamed through the pool).
 	const threads, dim, block, rounds = 1, 256, 32, 4
 	rtCfg := core.Config{GraphLimit: 128}
-	pooled := choleskyChurnStats(threads, dim, block, rounds, rtCfg)
+	pooled := choleskyChurnStats(threads, dim, block, rounds, rtCfg, kernels.Tuned)
 	rtCfg.LegacyRenaming = true
-	legacy := choleskyChurnStats(threads, dim, block, rounds, rtCfg)
+	legacy := choleskyChurnStats(threads, dim, block, rounds, rtCfg, kernels.Tuned)
 
 	if legacy.st.Renames == 0 {
 		t.Fatalf("legacy run produced no renames; churn workload broken: %+v", legacy.st)

@@ -45,7 +45,7 @@ func ExtModels(cfg Config) *Result {
 		var secs float64
 		withProcs(t, func() {
 			rt := core.New(core.Config{Workers: t})
-			al := linalg.New(rt, kernels.Fast, cfg.Block)
+			al := linalg.New(rt, cfg.provider(), cfg.Block)
 			secs = timeIt(func() {
 				al.CholeskyDense(h)
 				if err := rt.Barrier(); err != nil {
@@ -60,7 +60,7 @@ func ExtModels(cfg Config) *Result {
 		h = hypermatrix.FromFlat(spd, nb, cfg.Block)
 		withProcs(t, func() {
 			rt := cellss.New(cellss.Config{Workers: t})
-			ts := cellss.NewTasks(kernels.Fast, cfg.Block)
+			ts := cellss.NewTasks(cfg.provider(), cfg.Block)
 			secs = timeIt(func() {
 				cellss.Cholesky(rt, ts, h)
 				if err := rt.Barrier(); err != nil {
@@ -75,7 +75,7 @@ func ExtModels(cfg Config) *Result {
 		h = hypermatrix.FromFlat(spd, nb, cfg.Block)
 		withProcs(t, func() {
 			rt := supermatrix.New(supermatrix.Config{Workers: t})
-			ts := supermatrix.NewTasks(kernels.Fast, cfg.Block)
+			ts := supermatrix.NewTasks(cfg.provider(), cfg.Block)
 			secs = timeIt(func() {
 				supermatrix.Cholesky(rt, ts, h)
 				if err := rt.Execute(); err != nil {
@@ -124,7 +124,7 @@ func ExtQR(cfg Config) *Result {
 		var secs float64
 		withProcs(t, func() {
 			rt := core.New(core.Config{Workers: t})
-			al := linalg.New(rt, kernels.Fast, block)
+			al := linalg.New(rt, cfg.provider(), block)
 			secs = timeIt(func() {
 				al.QR(h)
 				if err := rt.Barrier(); err != nil {
@@ -286,7 +286,7 @@ func ExtBundle(cfg Config) *Result {
 		var meanBundle float64
 		withProcs(cfg.MaxThreads, func() {
 			rt := cellss.New(cellss.Config{Workers: cfg.MaxThreads, Bundle: bundle})
-			ts := cellss.NewTasks(kernels.Fast, cfg.Block)
+			ts := cellss.NewTasks(cfg.provider(), cfg.Block)
 			secs = timeIt(func() {
 				cellss.Cholesky(rt, ts, h)
 				if err := rt.Barrier(); err != nil {

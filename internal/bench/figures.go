@@ -86,7 +86,7 @@ func Fig11(cfg Config) *Result {
 	}
 	flops := kernels.CholeskyFlops(cfg.Dim)
 	spd := kernels.GenSPD(cfg.Dim, 2)
-	perCore := singleCoreGemmGflops(cfg.Block)
+	perCore := singleCoreGemmGflops(cfg.provider(), cfg.Block)
 	peak := Series{Name: "peak"}
 	series := map[string]*Series{}
 	for _, p := range kernels.Providers {
@@ -137,7 +137,7 @@ func Fig12(cfg Config) *Result {
 	flops := kernels.GemmFlops(cfg.Dim)
 	a := kernels.GenMatrix(cfg.Dim, 3)
 	b := kernels.GenMatrix(cfg.Dim, 4)
-	perCore := singleCoreGemmGflops(cfg.Block)
+	perCore := singleCoreGemmGflops(cfg.provider(), cfg.Block)
 	peak := Series{Name: "peak"}
 	series := map[string]*Series{}
 	for _, p := range kernels.Providers {
@@ -197,7 +197,7 @@ func Fig13(cfg Config) *Result {
 	n := dim / block
 	aflat := kernels.GenMatrix(dim, 5)
 	bflat := kernels.GenMatrix(dim, 6)
-	perCore := singleCoreGemmGflops(block)
+	perCore := singleCoreGemmGflops(cfg.provider(), block)
 	peak := Series{Name: "peak"}
 	for _, p := range kernels.Providers {
 		s := Series{Name: "SMPSs+" + p.Name + " tiles"}
@@ -229,18 +229,27 @@ func Fig13(cfg Config) *Result {
 	return r
 }
 
-// singleCoreGemmGflops measures the fast provider's single-core tile
+// singleCoreGemmGflops measures the given provider's single-core tile
 // GEMM rate, the basis of the linear-ideal "peak" series (the paper
 // plots the machine's theoretical peak; a pure-Go build has no published
 // peak, so the measured single-core kernel rate is the honest analogue).
-func singleCoreGemmGflops(block int) float64 {
+// The same measurement, over the same flop budget, anchors the raw-GEMM
+// sweep of ablation-kernels (gemmRate).
+func singleCoreGemmGflops(p kernels.Provider, block int) float64 {
+	return gemmRate(p, block, 1<<27)
+}
+
+// gemmRate times repeated tile GEMMs of the given block size, with the
+// repetition count calibrated to a fixed flop budget so small blocks
+// repeat enough to time stably.  Returns Gflop/s.
+func gemmRate(p kernels.Provider, block, budget int) float64 {
 	a := kernels.GenMatrix(block, 7)
 	b := kernels.GenMatrix(block, 8)
 	c := make([]float32, block*block)
-	reps := 1 + (1<<27)/(2*block*block*block)
+	reps := 1 + budget/(2*block*block*block)
 	secs := timeIt(func() {
 		for i := 0; i < reps; i++ {
-			kernels.Fast.GemmNN(a, b, c, block)
+			p.GemmNN(a, b, c, block)
 		}
 	})
 	return float64(reps) * kernels.GemmFlops(block) / secs / 1e9

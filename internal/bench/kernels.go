@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+)
+
+// AblationKernels measures the compute layer itself: every tile-kernel
+// provider swept across block sizes, first on the raw single-core tile
+// GEMM (the number the micro-kernel engine exists to move) and then
+// end to end through the runtime on full blocked Cholesky and LU
+// factorizations.  The notes record the factorization wall-clocks, the
+// deltas the tentpole is accountable for.
+func AblationKernels(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "ablation-kernels",
+		Title:  fmt.Sprintf("Tile providers × block sizes: raw GEMM and Cholesky/LU %d×%d at %d threads (Gflop/s)", cfg.Dim, cfg.Dim, cfg.MaxThreads),
+		XLabel: "block",
+		YLabel: "Gflop/s",
+	}
+
+	// Raw tile GEMM: one provider series across the block sweep, using
+	// the same budget-calibrated measurement as the figures' "peak"
+	// series (gemmRate).
+	rawBlocks := []int{32, 64, 128, 256}
+	budget := 1 << 27
+	if cfg.Quick {
+		rawBlocks = []int{16, 32, 64}
+		budget = 1 << 23
+	}
+	for _, p := range kernels.Providers {
+		s := Series{Name: "gemm " + p.Name}
+		for _, b := range rawBlocks {
+			s.add(float64(b), gemmRate(p, b, budget))
+		}
+		r.Series = append(r.Series, s)
+	}
+
+	// Full factorizations through the runtime: providers × block sizes
+	// on the same matrix, at the full thread count.
+	factBlocks := []int{64, 128, 256}
+	if cfg.Quick {
+		factBlocks = []int{16, 32}
+	}
+	spd := kernels.GenSPD(cfg.Dim, 23)
+	for _, algo := range []struct {
+		name   string
+		flops  float64
+		factor func(al *linalg.Algos, h *hypermatrix.Matrix)
+	}{
+		{"cholesky", kernels.CholeskyFlops(cfg.Dim),
+			func(al *linalg.Algos, h *hypermatrix.Matrix) { al.CholeskyDense(h) }},
+		{"lu", kernels.LUFlops(cfg.Dim),
+			func(al *linalg.Algos, h *hypermatrix.Matrix) { al.LU(h) }},
+	} {
+		for _, p := range kernels.Providers {
+			s := Series{Name: algo.name + " " + p.Name}
+			for _, block := range factBlocks {
+				if cfg.Dim%block != 0 {
+					continue
+				}
+				h := hypermatrix.FromFlat(spd, cfg.Dim/block, block)
+				var secs float64
+				withProcs(cfg.MaxThreads, func() {
+					rt := core.New(core.Config{Workers: cfg.MaxThreads})
+					al := linalg.New(rt, p, block)
+					secs = timeIt(func() {
+						algo.factor(al, h)
+						if err := rt.Barrier(); err != nil {
+							panic(err)
+						}
+					})
+					rt.Close()
+				})
+				s.add(float64(block), algo.flops/secs/1e9)
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"%s/%s block %d: %.3fs", algo.name, p.Name, block, secs))
+			}
+			r.Series = append(r.Series, s)
+		}
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}

@@ -141,6 +141,10 @@ type Runtime struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
+	// locals holds the worker-local registry slots: locals[w] is owned
+	// by the thread executing as worker w (see scratch.go).
+	locals [][]any
+
 	// Submission scratch reused across Submit/SubmitBatch calls to keep
 	// the per-task tracker entry allocation-free.  The SMPSs model is
 	// single-submitter (one main goroutine), so the buffers are never
@@ -160,6 +164,7 @@ func New(cfg Config) *Runtime {
 		cfg.GraphLimit = DefaultGraphLimit
 	}
 	rt := &Runtime{cfg: cfg, tracr: cfg.Tracer}
+	rt.locals = make([][]any, cfg.Workers)
 
 	var policy sched.Policy
 	switch cfg.Scheduler {
@@ -477,7 +482,7 @@ func (rt *Runtime) exec(n *graph.Node, self int) {
 				rt.setErr(fmt.Errorf("core: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r))
 			}
 		}()
-		rec.def.Fn(&Args{rec: rec, worker: self})
+		rec.def.Fn(&Args{rec: rec, rt: rt, worker: self})
 	}()
 	rt.tracr.Emit(self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
 	rt.g.Complete(n, self)
@@ -565,6 +570,9 @@ func (rt *Runtime) Close() error {
 	rt.closed.Store(true)
 	rt.sc.Close()
 	rt.wg.Wait()
+	// Workers are gone (wg.Wait is the happens-before edge for their
+	// slot writes); recycle worker-local values that support it.
+	rt.releaseLocals()
 	return err
 }
 

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkerLocalIdentity pins the registry contract: one instance per
+// worker identity, created once, stable across every task that worker
+// executes, never shared between workers.
+func TestWorkerLocalIdentity(t *testing.T) {
+	type scratch struct{ touched int64 }
+	var made atomic.Int64
+	key := NewLocalKey(func() any {
+		made.Add(1)
+		return &scratch{}
+	})
+
+	const workers, tasks = 4, 512
+	var mu sync.Mutex
+	perWorker := map[int]map[*scratch]bool{}
+
+	def := NewTaskDef("local_t", func(a *Args) {
+		s := a.Local(key).(*scratch)
+		s.touched++ // worker-private by contract: -race verifies
+		if s2 := a.Local(key).(*scratch); s2 != s {
+			panic("Local not stable within one task")
+		}
+		mu.Lock()
+		set := perWorker[a.Worker()]
+		if set == nil {
+			set = map[*scratch]bool{}
+			perWorker[a.Worker()] = set
+		}
+		set[s] = true
+		mu.Unlock()
+	})
+
+	rt := New(Config{Workers: workers})
+	bufs := make([][]float32, workers*2)
+	for i := range bufs {
+		bufs[i] = make([]float32, 4)
+	}
+	for i := 0; i < tasks; i++ {
+		rt.Submit(def, InOut(bufs[i%len(bufs)]))
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[*scratch]int{}
+	var total int64
+	for w, set := range perWorker {
+		if len(set) != 1 {
+			t.Fatalf("worker %d saw %d distinct instances, want 1", w, len(set))
+		}
+		for s := range set {
+			seen[s]++
+			total += s.touched
+		}
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("instance %p shared by %d workers", s, n)
+		}
+	}
+	if int(made.Load()) != len(perWorker) {
+		t.Fatalf("factory ran %d times for %d active workers", made.Load(), len(perWorker))
+	}
+	if total != tasks {
+		t.Fatalf("touch count %d, want %d", total, tasks)
+	}
+}
+
+// TestWorkerLocalReleasedOnClose pins the teardown contract: values
+// implementing Release() are released exactly once when the runtime
+// closes.
+func TestWorkerLocalReleasedOnClose(t *testing.T) {
+	var released atomic.Int64
+	key := NewLocalKey(func() any { return &releasable{n: &released} })
+	def := NewTaskDef("release_t", func(a *Args) { a.Local(key) })
+	rt := New(Config{Workers: 3})
+	buf := make([]float32, 4)
+	for i := 0; i < 64; i++ {
+		rt.Submit(def, InOut(buf))
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if released.Load() == 0 {
+		t.Fatalf("no worker-local value released at Close")
+	}
+	if released.Load() > 3 {
+		t.Fatalf("%d releases for at most 3 worker instances", released.Load())
+	}
+}
+
+type releasable struct{ n *atomic.Int64 }
+
+func (r *releasable) Release() { r.n.Add(1) }
+
+// TestWorkerLocalManyKeys grows the slot table past its initial size
+// and checks keys do not alias.
+func TestWorkerLocalManyKeys(t *testing.T) {
+	keys := make([]*LocalKey, 9)
+	for i := range keys {
+		i := i
+		keys[i] = NewLocalKey(func() any { return &i })
+	}
+	def := NewTaskDef("many_keys_t", func(a *Args) {
+		for i, k := range keys {
+			if got := *(a.Local(k).(*int)); got != i {
+				panic("key aliasing in worker-local registry")
+			}
+		}
+	})
+	rt := New(Config{Workers: 2})
+	buf := make([]float32, 4)
+	for i := 0; i < 32; i++ {
+		rt.Submit(def, InOut(buf))
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

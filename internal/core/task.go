@@ -67,6 +67,7 @@ type taskRec struct {
 // parameter rewriting the SMPSs compiler performs on task bodies.
 type Args struct {
 	rec    *taskRec
+	rt     *Runtime
 	worker int
 }
 

@@ -57,6 +57,12 @@ func parallelFor(parts, threads int, body func(part int)) {
 // provider's loop discipline, so both a "threaded Goto" and a "threaded
 // MKL" baseline series exist.
 func Gemm(a, b, c []float32, n, threads int, p kernels.Provider) {
+	if p.GemmNNS != nil {
+		// Packed provider: its discipline is the tile kernel itself, so
+		// the honest threaded baseline drives it over staged blocks.
+		gemmBlocked(a, b, c, n, threads, p)
+		return
+	}
 	parts := threads * 4 // over-partition for balance
 	if parts > n {
 		parts = n
@@ -66,13 +72,12 @@ func Gemm(a, b, c []float32, n, threads int, p kernels.Provider) {
 		lo := part * n / parts
 		hi := (part + 1) * n / parts
 		if fast {
+			// The streaming i-k-j discipline of gemmNNFast (and like it,
+			// no zero-skip on aik).
 			for i := lo; i < hi; i++ {
 				ci := c[i*n : i*n+n]
 				for k := 0; k < n; k++ {
 					aik := a[i*n+k]
-					if aik == 0 {
-						continue
-					}
 					bk := b[k*n : k*n+n]
 					for j := range ci {
 						ci[j] += aik * bk[j]
@@ -92,6 +97,72 @@ func Gemm(a, b, c []float32, n, threads int, p kernels.Provider) {
 			}
 		}
 	})
+}
+
+// gemmBlocked is the threaded baseline for providers built on a packed
+// micro-kernel engine (kernels.Tuned): C is partitioned into bm×bm
+// tiles, each row strip of tiles is one parallel part, and every tile
+// product goes through the provider's real square tile kernel over
+// staged contiguous copies — the structure of a threaded BLAS whose
+// serial kernels pack internally.  Tiles past the matrix edge are
+// zero-padded (exact: padded lanes contribute zero) and only the valid
+// window is written back.
+func gemmBlocked(a, b, c []float32, n, threads int, p kernels.Provider) {
+	bm := 256
+	if bm > n {
+		bm = n
+	}
+	nb := (n + bm - 1) / bm
+	parallelFor(nb, threads, func(bi int) {
+		// One staging set per strip, reused across every tile product.
+		ab := make([]float32, bm*bm)
+		bb := make([]float32, bm*bm)
+		cc := make([]float32, bm*bm)
+		ilo := bi * bm
+		for bj := 0; bj < nb; bj++ {
+			jlo := bj * bm
+			packTile(cc, c, n, ilo, jlo, bm)
+			for bk := 0; bk < nb; bk++ {
+				klo := bk * bm
+				packTile(ab, a, n, ilo, klo, bm)
+				packTile(bb, b, n, klo, jlo, bm)
+				p.GemmNN(ab, bb, cc, bm)
+			}
+			unpackTile(cc, c, n, ilo, jlo, bm)
+		}
+	})
+}
+
+// packTile copies the window of a at (rlo, clo) into the m×m buffer
+// dst, zero-padding rows and columns past the matrix edge.
+func packTile(dst, a []float32, n, rlo, clo, m int) {
+	w := m
+	if clo+w > n {
+		w = n - clo
+	}
+	rows := m
+	if rlo+rows > n {
+		rows = n - rlo
+	}
+	if rows < m || w < m { // edge tile: clear the padding lanes
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for r := 0; r < rows; r++ {
+		copy(dst[r*m:r*m+w], a[(rlo+r)*n+clo:(rlo+r)*n+clo+w])
+	}
+}
+
+// unpackTile writes the valid window of an m×m tile back into a.
+func unpackTile(src, a []float32, n, rlo, clo, m int) {
+	w := m
+	if clo+w > n {
+		w = n - clo
+	}
+	for r := 0; r < m && rlo+r < n; r++ {
+		copy(a[(rlo+r)*n+clo:(rlo+r)*n+clo+w], src[r*m:r*m+w])
+	}
 }
 
 // Cholesky factors the lower triangle of the flat n×n SPD matrix A in

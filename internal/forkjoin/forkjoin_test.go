@@ -23,6 +23,25 @@ func TestGemmMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestGemmBlockedPaddedTiles drives the packed provider's blocked
+// fork-join path across multiple tiles with a ragged edge (300 = 256 +
+// 44), so the zero-padded staging and valid-window write-back are
+// exercised, concurrently.
+func TestGemmBlockedPaddedTiles(t *testing.T) {
+	n := 300
+	a := kernels.GenMatrix(n, 4)
+	b := kernels.GenMatrix(n, 5)
+	want := make([]float32, n*n)
+	kernels.GemmFlat(a, b, want, n)
+	for _, threads := range []int{1, 4} {
+		got := make([]float32, n*n)
+		Gemm(a, b, got, n, threads, kernels.Tuned)
+		if d := kernels.MaxAbsDiff(want, got); d > 5e-3 {
+			t.Fatalf("threads=%d: blocked tuned GEMM off by %g", threads, d)
+		}
+	}
+}
+
 func TestCholeskyMatchesSequential(t *testing.T) {
 	n := 96
 	spd := kernels.GenSPD(n, 3)

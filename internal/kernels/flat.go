@@ -157,6 +157,13 @@ func GemmFlops(n int) float64 {
 	return 2 * fn * fn * fn
 }
 
+// LUFlops returns the 2n³/3 + O(n²) operation count conventionally
+// charged for an n×n LU factorization.
+func LUFlops(n int) float64 {
+	fn := float64(n)
+	return 2 * fn * fn * fn / 3
+}
+
 // StrassenFlops returns the operation count credited to Strassen's
 // algorithm on an n×n multiply with recursion cutoff at block size m:
 // each of the log2(n/m) levels multiplies 7 subproblems, so the credited

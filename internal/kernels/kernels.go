@@ -3,10 +3,14 @@
 // the paper uses as task bodies (§VI: "we have implemented the tasks
 // using highly tuned BLAS libraries").
 //
-// Blocks are dense M×M row-major []float32 slices.  Two providers are
+// Blocks are dense M×M row-major []float32 slices.  Three providers are
 // offered so every "SMPSs + Goto tiles" vs "SMPSs + MKL tiles" series
-// pair in the paper's figures has an analogue:
+// pair in the paper's figures has an analogue, plus a genuinely tuned
+// library in the role the paper's "highly tuned BLAS" actually played:
 //
+//   - Tuned: the packed, register-tiled micro-kernel engine (tuned.go)
+//     — panel packing, an mr×nr register accumulator tile, cache-depth
+//     k-chunking, and a crossover to streaming loops on small blocks.
 //   - Fast: register-blocked, vectorization-friendly loop orders (the
 //     stand-in for Goto BLAS).
 //   - Ref: straightforward textbook loops (the stand-in for MKL 9.1 in
@@ -22,7 +26,7 @@ import "math"
 // Provider is one implementation of the tile-kernel set.  All kernels
 // operate on M×M row-major blocks.
 type Provider struct {
-	// Name labels benchmark series ("goto" / "mkl").
+	// Name labels benchmark series ("tuned" / "goto" / "mkl").
 	Name string
 	// GemmNN computes C += A·B.
 	GemmNN func(a, b, c []float32, m int)
@@ -35,47 +39,72 @@ type Provider struct {
 	// Potrf factors the lower triangle of A in place (A = L·Lᵀ),
 	// returning false if A is not positive definite.
 	Potrf func(a []float32, m int) bool
+	// GemmSub computes C -= A·B (the trailing update of tiled LU).
+	GemmSub func(a, b, c []float32, m int)
 	// Add computes C = A + B; Sub computes C = A - B (Strassen).
 	Add func(a, b, c []float32, m int)
 	Sub func(a, b, c []float32, m int)
+
+	// GemmNNS, GemmNTS, SyrkS and GemmSubS are scratch-aware variants,
+	// non-nil only for providers that pack (Tuned).  The runtime path
+	// calls them with a per-worker Scratch (keyed off core's
+	// Args.Worker()) so packing buffers are reused without
+	// synchronization; the plain entry points above borrow from the
+	// shared scratch pool instead.
+	GemmNNS  func(s *Scratch, a, b, c []float32, m int)
+	GemmNTS  func(s *Scratch, a, b, c []float32, m int)
+	SyrkS    func(s *Scratch, a, c []float32, m int)
+	GemmSubS func(s *Scratch, a, b, c []float32, m int)
 }
 
-// Fast is the tuned provider (the "Goto BLAS" stand-in).
+// Fast is the loop-tuned provider (the "Goto BLAS" stand-in).
 var Fast = Provider{
-	Name:   "goto",
-	GemmNN: gemmNNFast,
-	GemmNT: gemmNTFast,
-	Syrk:   syrkFast,
-	Trsm:   trsmFast,
-	Potrf:  potrf,
-	Add:    addFast,
-	Sub:    subFast,
+	Name:    "goto",
+	GemmNN:  gemmNNFast,
+	GemmNT:  gemmNTFast,
+	Syrk:    syrkFast,
+	Trsm:    trsmFast,
+	Potrf:   potrf,
+	GemmSub: GemmSubNN,
+	Add:     addFast,
+	Sub:     subFast,
 }
 
 // Ref is the straightforward provider (the "MKL" stand-in).
 var Ref = Provider{
-	Name:   "mkl",
-	GemmNN: gemmNNRef,
-	GemmNT: gemmNTRef,
-	Syrk:   syrkRef,
-	Trsm:   trsmRef,
-	Potrf:  potrf,
-	Add:    addRef,
-	Sub:    subRef,
+	Name:    "mkl",
+	GemmNN:  gemmNNRef,
+	GemmNT:  gemmNTRef,
+	Syrk:    syrkRef,
+	Trsm:    trsmRef,
+	Potrf:   potrf,
+	GemmSub: gemmSubRef,
+	Add:     addRef,
+	Sub:     subRef,
 }
 
-// Providers lists both kernel providers in the order the paper plots
-// them.
-var Providers = []Provider{Fast, Ref}
+// Providers lists the kernel providers in plot order: the tuned engine
+// first, then the paper's goto/mkl stand-in pair.
+var Providers = []Provider{Tuned, Fast, Ref}
 
-// ByName returns the provider with the given name, defaulting to Fast.
+// ByName returns the provider with the given name, defaulting to Tuned.
 func ByName(name string) Provider {
 	for _, p := range Providers {
 		if p.Name == name {
 			return p
 		}
 	}
-	return Fast
+	return Tuned
+}
+
+// Names returns the provider names in plot order, for flag validation
+// and usage strings.
+func Names() []string {
+	names := make([]string, len(Providers))
+	for i, p := range Providers {
+		names[i] = p.Name
+	}
+	return names
 }
 
 // gemmNNRef: C += A·B, textbook i-j-k order (strided B access).
@@ -92,19 +121,32 @@ func gemmNNRef(a, b, c []float32, m int) {
 }
 
 // gemmNNFast: C += A·B in i-k-j order: the inner loop streams rows of B
-// and C, which the compiler vectorizes.
+// and C with unit stride.  Deliberately no zero-skip on aik: dense
+// inputs pay a mispredicted branch per trip to optimize a case only
+// contrived inputs hit (structurally sparse matrices go through
+// hypermatrix block sparsity instead, which skips whole absent blocks).
 func gemmNNFast(a, b, c []float32, m int) {
 	for i := 0; i < m; i++ {
 		ci := c[i*m : i*m+m]
 		for k := 0; k < m; k++ {
 			aik := a[i*m+k]
-			if aik == 0 {
-				continue
-			}
 			bk := b[k*m : k*m+m]
 			for j := range ci {
 				ci[j] += aik * bk[j]
 			}
+		}
+	}
+}
+
+// gemmSubRef: C -= A·B, textbook i-j-k order.
+func gemmSubRef(a, b, c []float32, m int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			var s float32
+			for k := 0; k < m; k++ {
+				s += a[i*m+k] * b[k*m+j]
+			}
+			c[i*m+j] -= s
 		}
 	}
 }

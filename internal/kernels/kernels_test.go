@@ -186,11 +186,11 @@ func TestAddSub(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	if ByName("goto").Name != "goto" || ByName("mkl").Name != "mkl" {
+	if ByName("goto").Name != "goto" || ByName("mkl").Name != "mkl" || ByName("tuned").Name != "tuned" {
 		t.Fatalf("ByName lookup broken")
 	}
-	if ByName("nonsense").Name != "goto" {
-		t.Fatalf("ByName default must be the fast provider")
+	if ByName("nonsense").Name != "tuned" {
+		t.Fatalf("ByName default must be the tuned provider")
 	}
 }
 

@@ -125,15 +125,15 @@ func abs32(v float32) float32 {
 }
 
 // GemmSubNN computes C -= A·B (the trailing update of tiled LU), using
-// the vectorization-friendly i-k-j order.
+// the streaming i-k-j order.  Like gemmNNFast, no zero-skip on aik:
+// structural sparsity is handled a level up by the hyper-matrix, which
+// skips absent blocks entirely, so an element test per inner-loop trip
+// only buys mispredictions on dense data.
 func GemmSubNN(a, b, c []float32, m int) {
 	for i := 0; i < m; i++ {
 		ci := c[i*m : i*m+m]
 		for k := 0; k < m; k++ {
 			aik := a[i*m+k]
-			if aik == 0 {
-				continue
-			}
 			bk := b[k*m : k*m+m]
 			for j := range ci {
 				ci[j] -= aik * bk[j]

@@ -19,6 +19,18 @@ import (
 	"repro/internal/kernels"
 )
 
+// kernelScratch keys each worker's packing buffers for providers with
+// scratch-aware kernels (kernels.Tuned): every worker grows its own
+// panel arena once and reuses it across all tasks it executes, so the
+// packed engine runs allocation- and synchronization-free inside the
+// runtime.
+var kernelScratch = core.NewLocalKey(func() any { return kernels.NewScratch() })
+
+// scratchOf returns the executing worker's kernel scratch.
+func scratchOf(a *core.Args) *kernels.Scratch {
+	return a.Local(kernelScratch).(*kernels.Scratch)
+}
+
 // Algos bundles a runtime, a kernel provider and a block size, and owns
 // the task definitions of Fig. 2 plus the block-copy tasks of Fig. 10.
 type Algos struct {
@@ -60,13 +72,28 @@ func New(rt *core.Runtime, p kernels.Provider, m int) *Algos {
 	al.scopy = core.NewTaskDef("scopy_t", func(a *core.Args) {
 		copy(a.F32(1), a.F32(0))
 	})
+	// The GEMM-class tasks route through the provider's scratch-aware
+	// variants when it has them, handing each call the executing
+	// worker's packing buffers.
 	al.sgemmNN = core.NewTaskDef("sgemm_t", func(a *core.Args) {
+		if p.GemmNNS != nil {
+			p.GemmNNS(scratchOf(a), a.F32(0), a.F32(1), a.F32(2), m)
+			return
+		}
 		p.GemmNN(a.F32(0), a.F32(1), a.F32(2), m)
 	})
 	al.sgemmNT = core.NewTaskDef("sgemm_nt_t", func(a *core.Args) {
+		if p.GemmNTS != nil {
+			p.GemmNTS(scratchOf(a), a.F32(0), a.F32(1), a.F32(2), m)
+			return
+		}
 		p.GemmNT(a.F32(0), a.F32(1), a.F32(2), m)
 	})
 	al.ssyrk = core.NewTaskDef("ssyrk_t", func(a *core.Args) {
+		if p.SyrkS != nil {
+			p.SyrkS(scratchOf(a), a.F32(0), a.F32(1), m)
+			return
+		}
 		p.Syrk(a.F32(0), a.F32(1), m)
 	})
 	al.strsm = core.NewTaskDef("strsm_t", func(a *core.Args) {
@@ -84,6 +111,10 @@ func New(rt *core.Runtime, p kernels.Provider, m int) *Algos {
 		c := a.F32(2)
 		for i := range c {
 			c[i] = 0
+		}
+		if p.GemmNNS != nil {
+			p.GemmNNS(scratchOf(a), a.F32(0), a.F32(1), c, m)
+			return
 		}
 		p.GemmNN(a.F32(0), a.F32(1), c, m)
 	})
@@ -120,7 +151,11 @@ func New(rt *core.Runtime, p kernels.Provider, m int) *Algos {
 		}
 	})
 	al.sgemmSB = core.NewTaskDef("sgemm_sub_t", func(a *core.Args) {
-		kernels.GemmSubNN(a.F32(0), a.F32(1), a.F32(2), m)
+		if p.GemmSubS != nil {
+			p.GemmSubS(scratchOf(a), a.F32(0), a.F32(1), a.F32(2), m)
+			return
+		}
+		p.GemmSub(a.F32(0), a.F32(1), a.F32(2), m)
 	})
 
 	// The flat matrix is always passed to these tasks as an opaque
