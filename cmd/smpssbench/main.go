@@ -28,6 +28,7 @@ func main() {
 	threads := flag.Int("threads", 0, "maximum thread count (default GOMAXPROCS)")
 	sortKeys := flag.Int("sortkeys", 0, "multisort input size (default 4M)")
 	queensN := flag.Int("queens", 0, "N-Queens board size (default 13)")
+	contexts := flag.Int("contexts", 0, "client count for ablation-multitenant (default 8)")
 	provider := flag.String("provider", "", "tile-kernel provider: tuned, goto or mkl (default tuned; experiments that sweep providers ignore it for the swept series)")
 	quick := flag.Bool("quick", false, "tiny test-scale configuration")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
@@ -52,6 +53,7 @@ func main() {
 		MaxThreads: *threads,
 		SortKeys:   *sortKeys,
 		QueensN:    *queensN,
+		Contexts:   *contexts,
 		Provider:   *provider,
 		Quick:      *quick,
 	}

@@ -157,6 +157,10 @@ type Config struct {
 	// HeatBlocks, HeatBlock and HeatSweeps size the heat extension
 	// experiment.
 	HeatBlocks, HeatBlock, HeatSweeps int
+	// Contexts is the client count for the multi-tenant experiment
+	// (ablation-multitenant): K concurrent clients share one pool vs
+	// run K independent runtimes.
+	Contexts int
 	// Provider names the tile-kernel provider every experiment's SMPSs
 	// programs use ("tuned", "goto", "mkl"); empty selects "tuned".
 	// Experiments that sweep providers explicitly (the paper's paired
@@ -192,6 +196,7 @@ func (c Config) Normalize() Config {
 	def(&c.HeatBlocks, 16, 4)
 	def(&c.HeatBlock, 64, 8)
 	def(&c.HeatSweeps, 24, 4)
+	def(&c.Contexts, 8, 4)
 	if c.Provider == "" {
 		c.Provider = "tuned"
 	}
@@ -240,24 +245,25 @@ func withProcs(n int, f func()) {
 
 // Registry maps experiment IDs to their runners.
 var Registry = map[string]func(Config) *Result{
-	"fig08":             Fig08,
-	"fig11":             Fig11,
-	"fig12":             Fig12,
-	"fig13":             Fig13,
-	"fig14":             Fig14,
-	"fig15":             Fig15,
-	"fig16":             Fig16,
-	"ablation-kernels":  AblationKernels,
-	"ablation-rename":   AblationRenaming,
-	"ablation-sched":    AblationScheduler,
-	"ablation-tracker":  AblationTracker,
-	"ablation-regions":  AblationRegions,
-	"ablation-throttle": AblationThrottle,
-	"ext-models":        ExtModels,
-	"ext-qr":            ExtQR,
-	"ext-sparselu":      ExtSparseLU,
-	"ext-heat":          ExtHeat,
-	"ext-bundle":        ExtBundle,
+	"fig08":                Fig08,
+	"fig11":                Fig11,
+	"fig12":                Fig12,
+	"fig13":                Fig13,
+	"fig14":                Fig14,
+	"fig15":                Fig15,
+	"fig16":                Fig16,
+	"ablation-kernels":     AblationKernels,
+	"ablation-multitenant": AblationMultitenant,
+	"ablation-rename":      AblationRenaming,
+	"ablation-sched":       AblationScheduler,
+	"ablation-tracker":     AblationTracker,
+	"ablation-regions":     AblationRegions,
+	"ablation-throttle":    AblationThrottle,
+	"ext-models":           ExtModels,
+	"ext-qr":               ExtQR,
+	"ext-sparselu":         ExtSparseLU,
+	"ext-heat":             ExtHeat,
+	"ext-bundle":           ExtBundle,
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -1,0 +1,269 @@
+// ablation-multitenant: the shared worker pool against per-client
+// runtimes.  K concurrent clients — a rotating mix of blocked Cholesky,
+// blocked LU and synthetic version churn — run either as K contexts on
+// one shared core.Pool (K submitters + one fairly-scheduled worker
+// team) or as K independent core.Runtime instances (K oversubscribed
+// worker teams).  The experiment reports aggregate wall-clock per
+// client count, with aggregate tasks/sec in the notes.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hypermatrix"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+)
+
+// mtWorkload sizes one client's program.
+type mtWorkload struct {
+	dim, block, rounds    int
+	churnObjs, churnIters int
+	churnLen              int
+	flatChol, flatLU      []float32
+	provider              kernels.Provider
+}
+
+// mtChurnConsume/mtChurnRefill are the synthetic version-churn tasks
+// (shared definitions: task kinds are global, contexts are not).
+var mtChurnConsume = core.NewTaskDef("mt_consume_t", func(a *core.Args) {
+	x := a.F32(0)
+	s := float32(0)
+	for _, v := range x {
+		s += v
+	}
+	if s != s {
+		panic("mt_consume_t: NaN in input")
+	}
+})
+
+var mtChurnRefill = core.NewTaskDef("mt_refill_t", func(a *core.Args) {
+	x := a.F32(0)
+	for i := range x {
+		x[i] = float32(i)
+	}
+})
+
+// runClient drives one client's whole program on its context and
+// returns the tasks it executed.  Even clients run the service-shaped
+// workload (version churn: request-sized buffers recycled round after
+// round), odd clients alternate blocked Cholesky and LU factorization
+// rounds, so the shared pool serves a heterogeneous tenant mix.
+func (w *mtWorkload) runClient(c *core.Context, k int) (int64, error) {
+	nb := w.dim / w.block
+	switch {
+	case k%4 == 1:
+		al := linalg.NewOn(c, w.provider, w.block)
+		factorRounds(al, w.flatChol, nb, w.block, w.rounds,
+			func(al *linalg.Algos, a *hypermatrix.Matrix) { al.CholeskyDense(a) })
+	case k%4 == 3:
+		al := linalg.NewOn(c, w.provider, w.block)
+		factorRounds(al, w.flatLU, nb, w.block, w.rounds,
+			func(al *linalg.Algos, a *hypermatrix.Matrix) { al.LU(a) })
+	default:
+		bufs := make([][]float32, w.churnObjs)
+		for i := range bufs {
+			bufs[i] = make([]float32, w.churnLen)
+		}
+		batch := c.NewBatch()
+		for it := 0; it < w.churnIters; it++ {
+			for o := range bufs {
+				batch.Add(mtChurnConsume, core.In(bufs[o]))
+				batch.Add(mtChurnRefill, core.Out(bufs[o]))
+			}
+			if err := batch.Submit(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return c.Stats().TasksExecuted, nil
+}
+
+// mtRun is one measured configuration: aggregate wall seconds and total
+// tasks executed across all clients.
+type mtRun struct {
+	secs  float64
+	tasks int64
+}
+
+// runShared runs K clients as contexts on one shared pool.  Pool
+// construction and Close sit inside the timed region, mirroring the
+// per-client runtime construction the independent baseline pays — the
+// comparison is infrastructure-inclusive on both sides.
+func (w *mtWorkload) runShared(clients, workers int) (mtRun, error) {
+	var out mtRun
+	var poolErr error
+	errs := make([]error, clients)
+	tasks := make([]int64, clients)
+	// The simulated machine is `workers` wide, exactly like the other
+	// ablations' thread sweeps (withProcs): the shared pool sizes its
+	// one worker team to the machine, while the independent baseline
+	// runs one machine-sized team per client.
+	withProcs(workers, func() {
+		out.secs = timeIt(func() {
+			pool, err := core.NewPool(core.PoolConfig{Workers: workers, MaxContexts: clients})
+			if err != nil {
+				poolErr = err
+				return
+			}
+			var wg sync.WaitGroup
+			for k := 0; k < clients; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					c, err := pool.NewContext(core.ContextConfig{GraphLimit: 256})
+					if err != nil {
+						errs[k] = err
+						return
+					}
+					tasks[k], errs[k] = w.runClient(c, k)
+					if err := c.Close(); errs[k] == nil && err != nil {
+						errs[k] = err
+					}
+				}(k)
+			}
+			wg.Wait()
+			poolErr = pool.Close()
+		})
+	})
+	if poolErr != nil {
+		return out, poolErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	for _, n := range tasks {
+		out.tasks += n
+	}
+	return out, nil
+}
+
+// runIndependent runs K clients as separate runtimes, each with its own
+// worker team — the status quo this PR's pool replaces.
+func (w *mtWorkload) runIndependent(clients, workers int) (mtRun, error) {
+	var out mtRun
+	errs := make([]error, clients)
+	tasks := make([]int64, clients)
+	withProcs(workers, func() {
+		out.secs = timeIt(func() {
+			var wg sync.WaitGroup
+			for k := 0; k < clients; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					rt := core.New(core.Config{Workers: workers, GraphLimit: 256})
+					tasks[k], errs[k] = w.runClient(rt.Context(), k)
+					if err := rt.Close(); errs[k] == nil && err != nil {
+						errs[k] = err
+					}
+				}(k)
+			}
+			wg.Wait()
+		})
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	for _, n := range tasks {
+		out.tasks += n
+	}
+	return out, nil
+}
+
+// clientSweep returns {1, 2, 4, ...} up to and including max.
+func clientSweep(max int) []int {
+	var out []int
+	for k := 1; k < max; k *= 2 {
+		out = append(out, k)
+	}
+	return append(out, max)
+}
+
+// AblationMultitenant measures multi-tenancy: K concurrent mixed
+// clients (Cholesky / LU / version churn) on one shared pool vs K
+// independent runtimes, sweeping K.  Lower wall-clock wins; the notes
+// carry aggregate tasks/sec.  Worker count per pool — and per
+// independent runtime, which is what makes the baseline oversubscribe —
+// is MaxThreads when set explicitly (-threads), else 8 (the paper-sized
+// team of the acceptance criterion).
+func AblationMultitenant(cfg Config) *Result {
+	explicitThreads := cfg.MaxThreads
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "ablation-multitenant",
+		Title:  "Shared pool vs independent runtimes, K mixed clients (seconds, lower is better)",
+		XLabel: "clients",
+		YLabel: "seconds",
+	}
+	workers := explicitThreads
+	if workers <= 0 {
+		workers = 8
+		if cfg.Quick {
+			workers = 4
+		}
+	}
+	w := &mtWorkload{
+		dim: 512, block: 32, rounds: 3,
+		churnObjs: 48, churnIters: 256, churnLen: 4096,
+		provider: cfg.provider(),
+	}
+	if cfg.Quick {
+		w.dim, w.block, w.rounds = 128, 32, 2
+		w.churnObjs, w.churnIters, w.churnLen = 8, 8, 512
+	}
+	w.flatChol = kernels.GenSPD(w.dim, 13)
+	w.flatLU = kernels.GenSPD(w.dim, 17)
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"%d workers per pool AND per independent runtime (K runtimes = K·%d worker goroutines); clients mix churn/cholesky/lu (2:1:1), dim %d block %d",
+		workers, workers, w.dim, w.block))
+
+	// Best-of-N per point, interleaved, like the other ablations: the
+	// modes differ by scheduling overhead, and a single short run on a
+	// loaded box is too noisy to rank them.
+	reps := 3
+	if cfg.Quick {
+		reps = 1
+	}
+	shared := Series{Name: "shared-pool"}
+	indep := Series{Name: "independent"}
+	for _, k := range clientSweep(cfg.Contexts) {
+		// Interleave the repetitions of the two modes so slow drift in
+		// background load lands on both alike.
+		var sr, ir mtRun
+		for i := 0; i < reps; i++ {
+			s, err := w.runShared(k, workers)
+			if err != nil {
+				panic(err)
+			}
+			if i == 0 || s.secs < sr.secs {
+				sr = s
+			}
+			m, err := w.runIndependent(k, workers)
+			if err != nil {
+				panic(err)
+			}
+			if i == 0 || m.secs < ir.secs {
+				ir = m
+			}
+		}
+		shared.add(float64(k), sr.secs)
+		indep.add(float64(k), ir.secs)
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"K=%d: shared %.3fs (%.0f tasks/s) vs independent %.3fs (%.0f tasks/s), best of %d",
+			k, sr.secs, float64(sr.tasks)/sr.secs, ir.secs, float64(ir.tasks)/ir.secs, reps))
+	}
+	r.Series = append(r.Series, shared, indep)
+	r.Elapsed = time.Since(start)
+	return r
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/deps"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// ContextConfig parameterizes one Context on a shared pool.  The fields
+// mirror the graph-state half of Config; worker-count and wakeup
+// machinery live in PoolConfig.
+type ContextConfig struct {
+	// Scheduler selects the context's scheduling policy; default
+	// SchedLocality.  Each context has its own policy instance, so
+	// tenants with different policies can share one pool.
+	Scheduler SchedulerKind
+	// DisableRenaming turns off the renaming engine, materializing
+	// WAR/WAW hazards as real edges (ablation).
+	DisableRenaming bool
+	// LegacyRenaming restores the seed runtime's rename lifecycle
+	// (ablation baseline; see Config.LegacyRenaming).
+	LegacyRenaming bool
+	// GraphLimit bounds the number of open (submitted, not completed)
+	// tasks before Submit throttles.  Zero selects DefaultGraphLimit;
+	// negative disables throttling.
+	GraphLimit int
+	// TrackerShards sets the dependency tracker's lock-stripe count
+	// (see Config.TrackerShards).
+	TrackerShards int
+	// UnbatchedAnalysis selects the per-parameter lock round-trip
+	// submission path (ablation; see Config.UnbatchedAnalysis).
+	UnbatchedAnalysis bool
+	// MemoryLimit bounds the bytes of live renamed storage belonging to
+	// this context; when exceeded, the submitting thread executes tasks
+	// until renamed memory is released (paper §III).  Zero disables the
+	// limit.  The limit is per-context even though the recycling store
+	// behind it is shared.
+	MemoryLimit int64
+	// Tracer, when non-nil, records task lifecycle events.  A tracer
+	// may be shared by several contexts; events carry the context id.
+	Tracer *trace.Tracer
+	// Recorder, when non-nil, retains the full task graph for export.
+	Recorder *graph.Recorder
+}
+
+// Context is one tenant of a shared Pool: a task graph, a dependency
+// tracker, barrier/WaitOn state, graph- and memory-limit throttling,
+// statistics and an optional tracer.  Contexts are independent — a
+// barrier in one context never waits on another context's tasks, and
+// counters never bleed between contexts — while their ready tasks are
+// served by the pool's workers under round-robin fair dispatch.
+//
+// The single-submitter contract: each Context belongs to exactly one
+// submitting goroutine.  All calls to Submit, SubmitBatch, Batch
+// methods, Barrier, WaitOn and Close must come from that goroutine;
+// task bodies run on the pool's workers and must not submit to any
+// context.  Different contexts may submit concurrently from different
+// goroutines — that is the point of the pool — but one context must
+// never be driven from two.
+type Context struct {
+	pool *Pool
+	cfg  ContextConfig
+	// slot is the submitter's worker identity (== the context's slot in
+	// the pool's context table, below MaxContexts).
+	slot int
+	// id is the context's stable trace identity, unique for the life of
+	// the pool (slots are recycled; ids are not).
+	id int
+
+	g     *graph.Graph
+	tr    *deps.Tracker
+	q     *sched.Client
+	tracr *trace.Tracer
+
+	outstanding  atomic.Int64
+	submitted    atomic.Int64
+	executed     atomic.Int64
+	mainHelped   atomic.Int64
+	syncCopies   atomic.Int64
+	waiters      atomic.Int64
+	renamedBytes atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+
+	closed atomic.Bool
+
+	// Submission scratch reused across Submit/SubmitBatch calls to keep
+	// the per-task tracker entry allocation-free.  Guarded by the
+	// single-submitter contract.
+	accBuf []deps.Access
+	resBuf []deps.Resolution
+	ixBuf  []int
+}
+
+// NewContext attaches a new context to the pool.  It returns a
+// ClosedError if the pool is closed and a ConfigError if every context
+// slot is in use.
+func (p *Pool) NewContext(cfg ContextConfig) (*Context, error) {
+	if cfg.GraphLimit == 0 {
+		cfg.GraphLimit = DefaultGraphLimit
+	}
+	c := &Context{pool: p, cfg: cfg, tracr: cfg.Tracer}
+	slot, err := p.attach(c)
+	if err != nil {
+		return nil, err
+	}
+	c.slot = slot
+	c.id = int(p.nextCtxID.Add(1)) - 1
+	c.q = p.mux.Attach(p.policyFor(cfg.Scheduler), slot)
+	c.g = graph.New(p.ready(c))
+	if cfg.Recorder != nil {
+		c.g.Attach(cfg.Recorder)
+	}
+	c.tr = deps.NewTrackerShards(c.g, cfg.TrackerShards)
+	c.tr.ShareStorage(p.store)
+	c.tr.DisableRenaming = cfg.DisableRenaming
+	c.tr.LegacyRenaming = cfg.LegacyRenaming
+	// Reclaimed renamed storage wakes this context's submitter when it
+	// blocks on the memory limit — the parked wait's signal (paper §III).
+	c.tr.SetReclaimHook(func() {
+		if c.waiters.Load() > 0 {
+			p.mux.Wake(c.slot)
+		}
+	})
+	return c, nil
+}
+
+// ID returns the context's stable identity within its pool (also the
+// context dimension of its trace events).
+func (c *Context) ID() int { return c.id }
+
+// Pool returns the pool the context is attached to.
+func (c *Context) Pool() *Pool { return c.pool }
+
+// Closed reports whether the context has been closed.
+func (c *Context) Closed() bool { return c.closed.Load() }
+
+// Err returns the first task failure (panic) observed, or nil.
+func (c *Context) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.firstErr
+}
+
+func (c *Context) setErr(err error) {
+	c.errMu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.errMu.Unlock()
+}
+
+// Stats returns a snapshot of this context's counters.  Everything in
+// it is per-context: the scheduler view is the context's own policy,
+// and the rename counters come from the context's tracker, so no other
+// tenant's activity appears here.  Pool-wide machinery counters
+// (parking, shared free storage) live on Pool.Stats.
+func (c *Context) Stats() Stats {
+	d := c.tr.Stats()
+	return Stats{
+		TasksSubmitted:   c.submitted.Load(),
+		TasksExecuted:    c.executed.Load(),
+		Deps:             d,
+		Sched:            c.q.Stats(),
+		SyncBackCopies:   c.syncCopies.Load(),
+		MainHelped:       c.mainHelped.Load(),
+		Renames:          d.Renames,
+		RenamesElided:    d.RenamesElided,
+		PoolHits:         d.PoolHits,
+		PoolMisses:       d.PoolMisses,
+		LiveRenamedBytes: c.liveRenamedBytes(),
+	}
+}
+
+// liveRenamedBytes returns the memory-limit gauge: bytes of renamed
+// storage alive in this context right now.  Under LegacyRenaming the
+// seed's per-task accounting applies (bytes pinned by incomplete
+// tasks); otherwise the tracker pool's acquire/release gauge, which
+// also covers storage kept alive by diverged objects after their tasks
+// completed.
+func (c *Context) liveRenamedBytes() int64 {
+	if c.cfg.LegacyRenaming {
+		return c.renamedBytes.Load()
+	}
+	return c.tr.LiveRenamedBytes()
+}
+
+// Submit invokes a task: the runtime analyzes each parameter's
+// directionality against the current state of its data, adds the task
+// to the context's graph with its true dependencies, and schedules it
+// on the shared pool as soon as they are satisfied.  Submit returns
+// immediately unless one of the paper's §III blocking conditions holds
+// (graph size limit, memory limit), in which case the calling thread
+// executes this context's tasks until the condition clears.
+//
+// Submitting to a closed context returns a ClosedError.
+func (c *Context) Submit(def *TaskDef, args ...Arg) error {
+	if c.closed.Load() {
+		return &ClosedError{Entity: "context", Op: "Submit"}
+	}
+	c.throttle()
+	c.submitOne(def, args)
+	return nil
+}
+
+// SubmitBatch submits a sequence of task invocations, equivalent to
+// calling Submit once per element but with the per-call overhead
+// amortized (see Runtime.SubmitBatch).  It returns a ClosedError — and
+// submits nothing — if the context is closed.
+func (c *Context) SubmitBatch(calls ...TaskCall) error {
+	if c.closed.Load() {
+		return &ClosedError{Entity: "context", Op: "SubmitBatch"}
+	}
+	for i := range calls {
+		c.throttle()
+		c.submitOne(calls[i].Def, calls[i].Args)
+	}
+	return nil
+}
+
+// NewBatch creates an empty reusable batch bound to the context.
+func (c *Context) NewBatch() *Batch { return &Batch{c: c} }
+
+// throttle blocks the submitting thread — executing this context's
+// tasks meanwhile — while either of the paper's §III blocking
+// conditions holds (graph size limit, memory limit).  The graph limit
+// applies hysteresis: once hit, the submitter stays blocked until a
+// quarter of the limit has drained, so it does not bounce across the
+// threshold while the workers chew at the boundary.
+//
+// The memory limit is a parked wait, not a spin: when no task is
+// available to help with, the submitter sleeps in the pool and is woken
+// either by one of its tasks completing or by the tracker's reclaim
+// hook the moment renamed storage returns to the store.  If the limit
+// is still exceeded once every task has completed, the remaining live
+// bytes belong to idle diverged objects that no completion can ever
+// release — the context syncs them back (reclaiming their instances)
+// and proceeds, since the limit is a blocking condition, not a hard cap.
+//
+// Throttling is per-context: a throttled tenant parks its own
+// submitter and never blocks the pool's workers, so it cannot starve
+// the other contexts.
+func (c *Context) throttle() {
+	if limit := int64(c.cfg.GraphLimit); limit > 0 {
+		if c.g.Open() >= limit {
+			low := limit - limit/4
+			for c.g.Open() >= low {
+				if !c.helpOnce(func() bool { return c.g.Open() < low }) {
+					break
+				}
+			}
+		}
+	}
+	if limit := c.cfg.MemoryLimit; limit > 0 {
+		for c.liveRenamedBytes() >= limit {
+			if c.outstanding.Load() == 0 {
+				c.syncCopies.Add(int64(c.tr.SyncAll()))
+				break
+			}
+			c.helpOnce(func() bool {
+				return c.liveRenamedBytes() < limit || c.outstanding.Load() == 0
+			})
+		}
+	}
+}
+
+// submitOne adds one task to the graph: all data parameters are resolved
+// through a single batched tracker entry, then the node is sealed.
+func (c *Context) submitOne(def *TaskDef, args []Arg) {
+	node := c.g.AddNode(def.kind, def.Name, def.HighPriority, nil)
+	rec := &taskRec{def: def, ctx: c, args: make([]boundArg, len(args))}
+	node.Payload = rec
+	accs := c.accBuf[:0]
+	ixs := c.ixBuf[:0]
+	for i := range args {
+		a := &args[i]
+		switch a.kind {
+		case argValue, argOpaque:
+			rec.args[i] = boundArg{kind: a.kind, instance: a.value}
+		case argData:
+			accs = append(accs, deps.Access{
+				Key:    dataKey(a.data),
+				Mode:   a.mode,
+				Region: a.region,
+				Data:   a.data,
+				Alloc:  allocLike(a.data),
+				Copy:   copyInto,
+			})
+			ixs = append(ixs, i)
+		}
+	}
+	var ress []deps.Resolution
+	if c.cfg.UnbatchedAnalysis {
+		ress = c.resBuf[:0]
+		for j := range accs {
+			ress = append(ress, c.tr.Analyze(node, accs[j]))
+		}
+	} else {
+		ress = c.tr.AnalyzeBatch(node, accs, c.resBuf[:0])
+	}
+	for j := range ress {
+		res := &ress[j]
+		i := ixs[j]
+		if res.Renamed {
+			if c.cfg.LegacyRenaming {
+				// Seed accounting: the bytes pin against the task and
+				// drain at its completion.  The pooled lifecycle
+				// accounts on acquire/release inside the tracker.
+				rec.renamedBytes += byteSize(args[i].data)
+			}
+			c.tracr.EmitCtx(c.id, c.slot, trace.EvRename, def.kind, def.Name, node.ID)
+		}
+		rec.args[i] = boundArg{
+			kind:     argData,
+			instance: res.Instance,
+			copyFrom: res.CopyFrom,
+			copyFn:   res.Copy,
+		}
+	}
+	// Return the scratch to the context and drop the data references the
+	// entries hold, so reuse does not pin user arrays.
+	for j := range accs {
+		accs[j] = deps.Access{}
+	}
+	for j := range ress {
+		ress[j] = deps.Resolution{}
+	}
+	c.accBuf, c.resBuf, c.ixBuf = accs, ress, ixs
+	c.submitted.Add(1)
+	c.outstanding.Add(1)
+	c.renamedBytes.Add(rec.renamedBytes)
+	c.tracr.EmitCtx(c.id, c.slot, trace.EvCreate, def.kind, def.Name, node.ID)
+	c.g.Seal(node)
+}
+
+// exec runs one task body on thread self.
+func (c *Context) exec(n *graph.Node, self int) {
+	c.g.MarkRunning(n)
+	rec := n.Payload.(*taskRec)
+	// Seed renamed inout parameters.  The RAW edge on the previous
+	// producer guarantees the source contents are final.
+	for i := range rec.args {
+		if b := &rec.args[i]; b.copyFrom != nil {
+			b.copyFn(b.instance, b.copyFrom)
+			b.copyFrom = nil
+		}
+	}
+	c.tracr.EmitCtx(c.id, self, trace.EvStart, n.Kind, rec.def.Name, n.ID)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.setErr(fmt.Errorf("core: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r))
+			}
+		}()
+		rec.def.Fn(&Args{rec: rec, ctx: c, worker: self})
+	}()
+	c.tracr.EmitCtx(c.id, self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
+	c.g.Complete(n, self)
+	c.executed.Add(1)
+	if rec.renamedBytes != 0 {
+		c.renamedBytes.Add(-rec.renamedBytes)
+	}
+	if c.outstanding.Add(-1) == 0 || c.waiters.Load() > 0 {
+		// Wake this context's blocked Barrier/WaitOn/throttle caller so
+		// it re-checks its condition.  Only the context's submitter waits
+		// on cancel conditions, so the wake targets its slot rather than
+		// broadcasting to every parked worker on every completion — and a
+		// completion in this context never wakes another tenant.
+		c.pool.mux.Wake(c.slot)
+	}
+}
+
+// helpOnce lets the submitter execute a single task of this context,
+// parking until one is available or until done() reports the blocking
+// condition cleared.  The restricted lookup never takes another
+// tenant's task: a barrier in this context must not stall behind a
+// long-running task body of a different context.  It returns false when
+// done() fired without work being found.
+func (c *Context) helpOnce(done func() bool) bool {
+	c.waiters.Add(1)
+	n := c.pool.mux.Get(c.slot, c.q, done)
+	c.waiters.Add(-1)
+	if n == nil {
+		return false
+	}
+	c.mainHelped.Add(1)
+	c.exec(n, c.slot)
+	return true
+}
+
+// Barrier blocks until every task submitted to this context has
+// completed, with the submitting thread behaving as a worker for this
+// context in the meantime (paper §III).  On return, any data whose
+// current contents live in renamed storage have been copied back to
+// the variables the program named, and the first task failure (if any)
+// is returned.  Other contexts on the pool are unaffected.
+func (c *Context) Barrier() error {
+	c.tracr.EmitCtx(c.id, c.slot, trace.EvBarrier, -1, "", 0)
+	for c.outstanding.Load() > 0 {
+		c.helpOnce(func() bool { return c.outstanding.Load() == 0 })
+	}
+	c.syncCopies.Add(int64(c.tr.SyncAll()))
+	c.tracr.EmitCtx(c.id, c.slot, trace.EvBarrierDone, -1, "", 0)
+	return c.Err()
+}
+
+// WaitOn blocks until all pending writers of data have completed,
+// helping to execute this context's tasks meanwhile, then makes the
+// current contents visible in data (copying back from renamed storage
+// if needed).
+func (c *Context) WaitOn(data any) error { return c.WaitOnRegion(data, deps.Full) }
+
+// WaitOnRegion is WaitOn restricted to a region of data.  Note that if
+// the object was renamed (whole-object writes), the sync-back copies the
+// entire object.
+func (c *Context) WaitOnRegion(data any, r Region) error {
+	key := dataKey(data)
+	pending := func() bool { return len(c.tr.PendingWriters(key, r)) == 0 }
+	for !pending() {
+		c.helpOnce(pending)
+	}
+	if c.tr.SyncObject(key) {
+		c.syncCopies.Add(1)
+	}
+	return c.Err()
+}
+
+// Close waits for all of this context's outstanding work (an implicit
+// barrier), then detaches the context from the pool, freeing its slot
+// for a future tenant.  The context must not be used afterwards; the
+// pool and its other contexts keep running.  Closing an already-closed
+// context is a no-op returning the first task error.
+func (c *Context) Close() error {
+	if c.closed.Load() {
+		return c.Err()
+	}
+	err := c.Barrier()
+	c.closed.Store(true)
+	c.pool.detach(c)
+	return err
+}

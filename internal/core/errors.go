@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// ClosedError is the typed error returned for operations against a
+// closed Pool or Context — submissions, barriers, context creation —
+// replacing the panic the single-runtime API keeps for compatibility.
+// Check for it with errors.As.
+type ClosedError struct {
+	// Entity is what was closed: "pool" or "context".
+	Entity string
+	// Op is the attempted operation, e.g. "Submit".
+	Op string
+}
+
+func (e *ClosedError) Error() string {
+	return fmt.Sprintf("core: %s on closed %s", e.Op, e.Entity)
+}
+
+// ConfigError is the typed error returned for invalid pool or context
+// sizing (negative worker counts, exhausted context slots, and the
+// like).
+type ConfigError struct {
+	// Field names the configuration field at fault.
+	Field string
+	// Value is the rejected value.
+	Value int
+	// Reason explains the constraint.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid %s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// maxPoolSlots bounds the pool's total worker-identity space
+// (MaxContexts + Workers); it exists to catch nonsense configurations,
+// not to limit reasonable ones.
+const maxPoolSlots = 4096
+
+// resolveWorkers is the one place worker counts are defaulted: any
+// non-positive count means "one per core", exactly as Config.Workers
+// always has.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// validatePool is the one place pool sizing is validated and defaulted:
+// Workers <= 0 selects one dedicated worker per core, MaxContexts == 0
+// selects DefaultMaxContexts, and negative or absurd values are
+// rejected with a ConfigError.
+func validatePool(cfg PoolConfig) (PoolConfig, error) {
+	if cfg.Workers < 0 {
+		return cfg, &ConfigError{Field: "Workers", Value: cfg.Workers, Reason: "worker count must be >= 0"}
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = resolveWorkers(0)
+	}
+	if cfg.MaxContexts < 0 {
+		return cfg, &ConfigError{Field: "MaxContexts", Value: cfg.MaxContexts, Reason: "context slots must be >= 0"}
+	}
+	if cfg.MaxContexts == 0 {
+		cfg.MaxContexts = DefaultMaxContexts
+	}
+	if cfg.MaxContexts+cfg.Workers > maxPoolSlots {
+		return cfg, &ConfigError{
+			Field: "MaxContexts", Value: cfg.MaxContexts,
+			Reason: fmt.Sprintf("MaxContexts + Workers exceeds %d worker identities", maxPoolSlots),
+		}
+	}
+	return cfg, nil
+}

@@ -1,11 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/deps"
 	"repro/internal/graph"
 	"repro/internal/sched"
@@ -83,6 +78,21 @@ type Config struct {
 	Recorder *graph.Recorder
 }
 
+// contextConfig extracts the per-context half of a Config.
+func (cfg Config) contextConfig() ContextConfig {
+	return ContextConfig{
+		Scheduler:         cfg.Scheduler,
+		DisableRenaming:   cfg.DisableRenaming,
+		LegacyRenaming:    cfg.LegacyRenaming,
+		GraphLimit:        cfg.GraphLimit,
+		TrackerShards:     cfg.TrackerShards,
+		UnbatchedAnalysis: cfg.UnbatchedAnalysis,
+		MemoryLimit:       cfg.MemoryLimit,
+		Tracer:            cfg.Tracer,
+		Recorder:          cfg.Recorder,
+	}
+}
+
 // Stats is a snapshot of runtime activity counters.
 type Stats struct {
 	// TasksSubmitted and TasksExecuted count task instances.
@@ -112,147 +122,68 @@ type Stats struct {
 	LiveRenamedBytes int64
 }
 
-// Runtime is one SMPSs runtime instance: it owns the task graph, the
-// dependency tracker, the worker threads and the scheduler.
+// Runtime is one private SMPSs runtime instance: the single-tenant view
+// of the Pool/Context split, kept as the original programming interface.
+// It owns a private pool (its dedicated workers) plus one context (the
+// task graph, dependency tracker and throttle state); everything it did
+// before the multi-tenant refactor it still does, with identical worker
+// numbering — main thread 0, dedicated workers 1..Workers-1.
 //
 // The SMPSs model is single-submitter: the main program (one goroutine)
 // calls Submit, Barrier and WaitOn; task bodies run on the runtime's
 // workers and must not submit tasks themselves (the paper's runtime
 // treats task calls inside tasks as plain function calls — do the same by
-// calling the body function directly).
+// calling the body function directly).  Programs that want many
+// concurrent submitters use a shared Pool with one Context per client
+// instead of many Runtimes.
 type Runtime struct {
-	cfg   Config
-	g     *graph.Graph
-	tr    *deps.Tracker
-	sc    sched.Dispatcher
-	tracr *trace.Tracer
-
-	outstanding  atomic.Int64
-	submitted    atomic.Int64
-	executed     atomic.Int64
-	mainHelped   atomic.Int64
-	syncCopies   atomic.Int64
-	waiters      atomic.Int64
-	renamedBytes atomic.Int64
-
-	errMu    sync.Mutex
-	firstErr error
-
-	closed atomic.Bool
-	wg     sync.WaitGroup
-
-	// locals holds the worker-local registry slots: locals[w] is owned
-	// by the thread executing as worker w (see scratch.go).
-	locals [][]any
-
-	// Submission scratch reused across Submit/SubmitBatch calls to keep
-	// the per-task tracker entry allocation-free.  The SMPSs model is
-	// single-submitter (one main goroutine), so the buffers are never
-	// shared.
-	accBuf []deps.Access
-	resBuf []deps.Resolution
-	ixBuf  []int
+	cfg  Config
+	pool *Pool
+	ctx  *Context
 }
 
 // New creates and starts a runtime.  The caller must eventually call
 // Close to release the worker goroutines.
 func New(cfg Config) *Runtime {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.GraphLimit == 0 {
-		cfg.GraphLimit = DefaultGraphLimit
-	}
-	rt := &Runtime{cfg: cfg, tracr: cfg.Tracer}
-	rt.locals = make([][]any, cfg.Workers)
-
-	var policy sched.Policy
-	switch cfg.Scheduler {
-	case SchedGlobalFIFO:
-		policy = sched.NewGlobalFIFO()
-	case SchedLegacyLists:
-		policy = sched.NewListLocality(cfg.Workers)
-	default:
-		policy = sched.NewLocality(cfg.Workers)
-	}
-	if cfg.LegacyWakeup {
-		rt.sc = sched.NewCondvarScheduler(policy)
-	} else {
-		rt.sc = sched.NewScheduler(policy, cfg.Workers)
-	}
-	rt.g = graph.New(func(n *graph.Node, by int) { rt.sc.Push(n, by) })
-	if cfg.Recorder != nil {
-		rt.g.Attach(cfg.Recorder)
-	}
-	rt.tr = deps.NewTrackerShards(rt.g, cfg.TrackerShards)
-	rt.tr.DisableRenaming = cfg.DisableRenaming
-	rt.tr.LegacyRenaming = cfg.LegacyRenaming
-	// Reclaimed renamed storage wakes the main thread when it blocks on
-	// the memory limit — the parked wait's signal (paper §III).
-	rt.tr.SetReclaimHook(func() {
-		if rt.waiters.Load() > 0 {
-			rt.sc.Wake(0)
-		}
+	cfg.Workers = resolveWorkers(cfg.Workers)
+	// One submitter slot (the main thread, worker 0) plus Workers-1
+	// dedicated workers reproduces the seed's thread layout exactly.
+	pool := newPool(PoolConfig{
+		Workers:      cfg.Workers - 1,
+		MaxContexts:  1,
+		LegacyWakeup: cfg.LegacyWakeup,
 	})
-
-	// The main code runs on the main thread and the runtime creates as
-	// many worker threads as necessary to fill out the rest of the
-	// cores (paper §III).  Worker identities 1..Workers-1; the main
-	// thread participates as worker 0 whenever it blocks.
-	for w := 1; w < cfg.Workers; w++ {
-		rt.wg.Add(1)
-		go rt.workerLoop(w)
+	ctx, err := pool.NewContext(cfg.contextConfig())
+	if err != nil {
+		// A fresh single-slot pool cannot refuse its first context.
+		panic(err)
 	}
-	return rt
+	return &Runtime{cfg: cfg, pool: pool, ctx: ctx}
 }
 
 // Workers returns the configured total thread count.
 func (rt *Runtime) Workers() int { return rt.cfg.Workers }
 
+// Context returns the runtime's single context, the handle shared-pool
+// programs use directly.
+func (rt *Runtime) Context() *Context { return rt.ctx }
+
 // Stats returns a snapshot of the runtime's counters.
 func (rt *Runtime) Stats() Stats {
-	d := rt.tr.Stats()
-	return Stats{
-		TasksSubmitted:   rt.submitted.Load(),
-		TasksExecuted:    rt.executed.Load(),
-		Deps:             d,
-		Sched:            rt.sc.Stats(),
-		SyncBackCopies:   rt.syncCopies.Load(),
-		MainHelped:       rt.mainHelped.Load(),
-		Renames:          d.Renames,
-		RenamesElided:    d.RenamesElided,
-		PoolHits:         d.PoolHits,
-		PoolMisses:       d.PoolMisses,
-		LiveRenamedBytes: rt.liveRenamedBytes(),
-	}
-}
-
-// liveRenamedBytes returns the memory-limit gauge: bytes of renamed
-// storage alive right now.  Under LegacyRenaming the seed's per-task
-// accounting applies (bytes pinned by incomplete tasks); otherwise the
-// pool's acquire/release gauge, which also covers storage kept alive by
-// diverged objects after their tasks completed.
-func (rt *Runtime) liveRenamedBytes() int64 {
-	if rt.cfg.LegacyRenaming {
-		return rt.renamedBytes.Load()
-	}
-	return rt.tr.LiveRenamedBytes()
+	st := rt.ctx.Stats()
+	// The pool is private, so its parking counters belong to this
+	// runtime's snapshot just as before the pool/context split.
+	ps := rt.pool.Stats()
+	st.Sched.Parks, st.Sched.Unparks = ps.Parks, ps.Unparks
+	return st
 }
 
 // Err returns the first task failure (panic) observed, or nil.
-func (rt *Runtime) Err() error {
-	rt.errMu.Lock()
-	defer rt.errMu.Unlock()
-	return rt.firstErr
-}
+func (rt *Runtime) Err() error { return rt.ctx.Err() }
 
-func (rt *Runtime) setErr(err error) {
-	rt.errMu.Lock()
-	if rt.firstErr == nil {
-		rt.firstErr = err
-	}
-	rt.errMu.Unlock()
-}
+// liveRenamedBytes is the context's memory-limit gauge (kept on the
+// wrapper for the white-box tests that probe it).
+func (rt *Runtime) liveRenamedBytes() int64 { return rt.ctx.liveRenamedBytes() }
 
 // Submit invokes a task: the runtime analyzes each parameter's
 // directionality against the current state of its data, adds the task to
@@ -261,22 +192,11 @@ func (rt *Runtime) setErr(err error) {
 // is reached, in which case the calling thread executes tasks until the
 // graph shrinks (paper §III: "a memory limit, or a graph size limit").
 func (rt *Runtime) Submit(def *TaskDef, args ...Arg) {
-	if rt.closed.Load() {
+	if rt.ctx.Closed() {
 		panic("core: Submit on closed runtime")
 	}
-	rt.throttle()
-	rt.submitOne(def, args)
+	rt.ctx.Submit(def, args...)
 }
-
-// TaskCall is one deferred task invocation: a definition plus its bound
-// arguments, the unit of SubmitBatch.
-type TaskCall struct {
-	Def  *TaskDef
-	Args []Arg
-}
-
-// Call builds a TaskCall for SubmitBatch.
-func Call(def *TaskDef, args ...Arg) TaskCall { return TaskCall{Def: def, Args: args} }
 
 // SubmitBatch submits a sequence of task invocations, equivalent to
 // calling Submit once per element but with the per-call overhead
@@ -293,14 +213,21 @@ func Call(def *TaskDef, args ...Arg) TaskCall { return TaskCall{Def: def, Args: 
 // analysis completes (earlier batch elements can be executing while
 // later ones are still being analyzed).
 func (rt *Runtime) SubmitBatch(calls ...TaskCall) {
-	if rt.closed.Load() {
+	if rt.ctx.Closed() {
 		panic("core: SubmitBatch on closed runtime")
 	}
-	for i := range calls {
-		rt.throttle()
-		rt.submitOne(calls[i].Def, calls[i].Args)
-	}
+	rt.ctx.SubmitBatch(calls...)
 }
+
+// TaskCall is one deferred task invocation: a definition plus its bound
+// arguments, the unit of SubmitBatch.
+type TaskCall struct {
+	Def  *TaskDef
+	Args []Arg
+}
+
+// Call builds a TaskCall for SubmitBatch.
+func Call(def *TaskDef, args ...Arg) TaskCall { return TaskCall{Def: def, Args: args} }
 
 // batchCall is one recorded invocation inside a Batch: the definition
 // plus the span of the batch's argument arena holding its arguments.
@@ -315,16 +242,25 @@ type batchCall struct {
 // SubmitBatch: Call/TaskCall values each carry their own argument
 // slice, while Batch.Add copies arguments into one growing arena.
 //
-// A Batch belongs to the submitting thread (the SMPSs model is
-// single-submitter) and must not be shared.
+// A Batch belongs to its context's submitting thread (the SMPSs model
+// is single-submitter) and must not be shared.
 type Batch struct {
-	rt    *Runtime
+	c     *Context
 	calls []batchCall
 	args  []Arg
+	// panicClosed preserves the Runtime API's historical behavior: a
+	// batch obtained from Runtime.NewBatch panics on Submit after Close
+	// (like Runtime.Submit), while a Context batch reports the typed
+	// ClosedError.
+	panicClosed bool
 }
 
 // NewBatch creates an empty reusable batch bound to the runtime.
-func (rt *Runtime) NewBatch() *Batch { return &Batch{rt: rt} }
+func (rt *Runtime) NewBatch() *Batch {
+	b := rt.ctx.NewBatch()
+	b.panicClosed = true
+	return b
+}
 
 // Add records one task invocation in the batch.
 func (b *Batch) Add(def *TaskDef, args ...Arg) {
@@ -337,15 +273,20 @@ func (b *Batch) Add(def *TaskDef, args ...Arg) {
 func (b *Batch) Len() int { return len(b.calls) }
 
 // Submit submits every recorded invocation in order and resets the
-// batch for reuse.  Semantics match SubmitBatch.
-func (b *Batch) Submit() {
-	rt := b.rt
-	if rt.closed.Load() {
+// batch for reuse.  Semantics match SubmitBatch, including the
+// ClosedError on a closed context (nothing is submitted then, but the
+// batch is still reset).
+func (b *Batch) Submit() error {
+	c := b.c
+	closed := c.Closed()
+	if closed && b.panicClosed {
 		panic("core: Batch.Submit on closed runtime")
 	}
-	for _, c := range b.calls {
-		rt.throttle()
-		rt.submitOne(c.def, b.args[c.lo:c.hi])
+	if !closed {
+		for _, call := range b.calls {
+			c.throttle()
+			c.submitOne(call.def, b.args[call.lo:call.hi])
+		}
 	}
 	b.calls = b.calls[:0]
 	// Drop the data references so batch reuse does not pin user arrays.
@@ -353,177 +294,10 @@ func (b *Batch) Submit() {
 		b.args[i] = Arg{}
 	}
 	b.args = b.args[:0]
-}
-
-// throttle blocks the submitting thread — executing tasks meanwhile —
-// while either of the paper's §III blocking conditions holds (graph size
-// limit, memory limit).  The graph limit applies hysteresis: once hit,
-// the submitter stays blocked until a quarter of the limit has drained,
-// so it does not bounce across the threshold (waking once per task
-// completion) while the workers chew at the boundary.
-//
-// The memory limit is a parked wait, not a spin: when no task is
-// available to help with, the main thread sleeps in the scheduler and is
-// woken either by a task completion or by the tracker's reclaim hook the
-// moment renamed storage returns to the pool.  If the limit is still
-// exceeded once every task has completed, the remaining live bytes
-// belong to idle diverged objects that no completion can ever release —
-// the runtime syncs them back (reclaiming their instances) and
-// proceeds, since the limit is a blocking condition, not a hard cap.
-func (rt *Runtime) throttle() {
-	if limit := int64(rt.cfg.GraphLimit); limit > 0 {
-		if rt.g.Open() >= limit {
-			low := limit - limit/4
-			for rt.g.Open() >= low {
-				if !rt.helpOnce(func() bool { return rt.g.Open() < low }) {
-					break
-				}
-			}
-		}
+	if closed {
+		return &ClosedError{Entity: "context", Op: "Batch.Submit"}
 	}
-	if limit := rt.cfg.MemoryLimit; limit > 0 {
-		for rt.liveRenamedBytes() >= limit {
-			if rt.outstanding.Load() == 0 {
-				rt.syncCopies.Add(int64(rt.tr.SyncAll()))
-				break
-			}
-			rt.helpOnce(func() bool {
-				return rt.liveRenamedBytes() < limit || rt.outstanding.Load() == 0
-			})
-		}
-	}
-}
-
-// submitOne adds one task to the graph: all data parameters are resolved
-// through a single batched tracker entry, then the node is sealed.
-func (rt *Runtime) submitOne(def *TaskDef, args []Arg) {
-	node := rt.g.AddNode(def.kind, def.Name, def.HighPriority, nil)
-	rec := &taskRec{def: def, args: make([]boundArg, len(args))}
-	node.Payload = rec
-	accs := rt.accBuf[:0]
-	ixs := rt.ixBuf[:0]
-	for i := range args {
-		a := &args[i]
-		switch a.kind {
-		case argValue, argOpaque:
-			rec.args[i] = boundArg{kind: a.kind, instance: a.value}
-		case argData:
-			accs = append(accs, deps.Access{
-				Key:    dataKey(a.data),
-				Mode:   a.mode,
-				Region: a.region,
-				Data:   a.data,
-				Alloc:  allocLike(a.data),
-				Copy:   copyInto,
-			})
-			ixs = append(ixs, i)
-		}
-	}
-	var ress []deps.Resolution
-	if rt.cfg.UnbatchedAnalysis {
-		ress = rt.resBuf[:0]
-		for j := range accs {
-			ress = append(ress, rt.tr.Analyze(node, accs[j]))
-		}
-	} else {
-		ress = rt.tr.AnalyzeBatch(node, accs, rt.resBuf[:0])
-	}
-	for j := range ress {
-		res := &ress[j]
-		i := ixs[j]
-		if res.Renamed {
-			if rt.cfg.LegacyRenaming {
-				// Seed accounting: the bytes pin against the task and
-				// drain at its completion.  The pooled lifecycle
-				// accounts on acquire/release inside the tracker.
-				rec.renamedBytes += byteSize(args[i].data)
-			}
-			rt.tracr.Emit(0, trace.EvRename, def.kind, def.Name, node.ID)
-		}
-		rec.args[i] = boundArg{
-			kind:     argData,
-			instance: res.Instance,
-			copyFrom: res.CopyFrom,
-			copyFn:   res.Copy,
-		}
-	}
-	// Return the scratch to the runtime and drop the data references the
-	// entries hold, so reuse does not pin user arrays.
-	for j := range accs {
-		accs[j] = deps.Access{}
-	}
-	for j := range ress {
-		ress[j] = deps.Resolution{}
-	}
-	rt.accBuf, rt.resBuf, rt.ixBuf = accs, ress, ixs
-	rt.submitted.Add(1)
-	rt.outstanding.Add(1)
-	rt.renamedBytes.Add(rec.renamedBytes)
-	rt.tracr.Emit(0, trace.EvCreate, def.kind, def.Name, node.ID)
-	rt.g.Seal(node)
-}
-
-// exec runs one task body on thread self.
-func (rt *Runtime) exec(n *graph.Node, self int) {
-	rt.g.MarkRunning(n)
-	rec := n.Payload.(*taskRec)
-	// Seed renamed inout parameters.  The RAW edge on the previous
-	// producer guarantees the source contents are final.
-	for i := range rec.args {
-		if b := &rec.args[i]; b.copyFrom != nil {
-			b.copyFn(b.instance, b.copyFrom)
-			b.copyFrom = nil
-		}
-	}
-	rt.tracr.Emit(self, trace.EvStart, n.Kind, rec.def.Name, n.ID)
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				rt.setErr(fmt.Errorf("core: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r))
-			}
-		}()
-		rec.def.Fn(&Args{rec: rec, rt: rt, worker: self})
-	}()
-	rt.tracr.Emit(self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
-	rt.g.Complete(n, self)
-	rt.executed.Add(1)
-	if rec.renamedBytes != 0 {
-		rt.renamedBytes.Add(-rec.renamedBytes)
-	}
-	if rt.outstanding.Add(-1) == 0 || rt.waiters.Load() > 0 {
-		// Wake the blocked Barrier/WaitOn/throttle caller so it re-checks
-		// its condition.  Only the main thread (worker 0) waits on cancel
-		// conditions, so the wake is targeted at it rather than
-		// broadcasting to every parked worker on every completion.
-		rt.sc.Wake(0)
-	}
-}
-
-// workerLoop is the body of each dedicated worker thread.
-func (rt *Runtime) workerLoop(self int) {
-	defer rt.wg.Done()
-	for {
-		n := rt.sc.Get(self, nil)
-		if n == nil {
-			return
-		}
-		rt.exec(n, self)
-	}
-}
-
-// helpOnce lets the main thread execute a single task, parking until one
-// is available or until done() reports the blocking condition cleared.
-// It returns false when done() fired without work being found.
-func (rt *Runtime) helpOnce(done func() bool) bool {
-	rt.waiters.Add(1)
-	n := rt.sc.Get(0, done)
-	rt.waiters.Add(-1)
-	if n == nil {
-		return false
-	}
-	rt.mainHelped.Add(1)
-	rt.exec(n, 0)
-	return true
+	return nil
 }
 
 // Barrier blocks until every submitted task has completed, with the main
@@ -531,48 +305,27 @@ func (rt *Runtime) helpOnce(done func() bool) bool {
 // any data whose current contents live in renamed storage have been
 // copied back to the variables the program named, and the first task
 // failure (if any) is returned.
-func (rt *Runtime) Barrier() error {
-	rt.tracr.Emit(0, trace.EvBarrier, -1, "", 0)
-	for rt.outstanding.Load() > 0 {
-		rt.helpOnce(func() bool { return rt.outstanding.Load() == 0 })
-	}
-	rt.syncCopies.Add(int64(rt.tr.SyncAll()))
-	rt.tracr.Emit(0, trace.EvBarrierDone, -1, "", 0)
-	return rt.Err()
-}
+func (rt *Runtime) Barrier() error { return rt.ctx.Barrier() }
 
 // WaitOn blocks until all pending writers of data have completed,
 // helping to execute tasks meanwhile, then makes the current contents
 // visible in data (copying back from renamed storage if needed).  It is
 // the equivalent of the CellSs/SMPSs wait-on primitive: after WaitOn the
 // main program may read data without a full barrier.
-func (rt *Runtime) WaitOn(data any) error { return rt.WaitOnRegion(data, deps.Full) }
+func (rt *Runtime) WaitOn(data any) error { return rt.ctx.WaitOn(data) }
 
 // WaitOnRegion is WaitOn restricted to a region of data.  Note that if
 // the object was renamed (whole-object writes), the sync-back copies the
 // entire object.
-func (rt *Runtime) WaitOnRegion(data any, r Region) error {
-	key := dataKey(data)
-	pending := func() bool { return len(rt.tr.PendingWriters(key, r)) == 0 }
-	for !pending() {
-		rt.helpOnce(pending)
-	}
-	if rt.tr.SyncObject(key) {
-		rt.syncCopies.Add(1)
-	}
-	return rt.Err()
-}
+func (rt *Runtime) WaitOnRegion(data any, r Region) error { return rt.ctx.WaitOnRegion(data, r) }
 
 // Close waits for all outstanding work (an implicit barrier), then stops
 // the worker threads.  The runtime must not be used afterwards.
 func (rt *Runtime) Close() error {
-	err := rt.Barrier()
-	rt.closed.Store(true)
-	rt.sc.Close()
-	rt.wg.Wait()
-	// Workers are gone (wg.Wait is the happens-before edge for their
-	// slot writes); recycle worker-local values that support it.
-	rt.releaseLocals()
+	err := rt.ctx.Close()
+	if perr := rt.pool.Close(); err == nil {
+		err = perr
+	}
 	return err
 }
 

@@ -2,15 +2,18 @@ package core
 
 import "sync/atomic"
 
-// Per-worker scratch registry.  Task bodies that need reusable thread-
-// private storage — the packed-kernel providers' panel buffers are the
-// motivating case — register a LocalKey once (package level) and fetch
-// the executing worker's instance through Args.Local.  Each worker
-// identity is a single thread (worker 0 is the submitting thread when
-// it blocks, 1..N-1 the dedicated workers), so slot access needs no
-// synchronization: a slot is only ever touched by the thread running
-// as that worker, the same single-submitter discipline the runtime's
-// submission scratch already relies on.
+// Per-worker scratch registry, owned by the Pool.  Task bodies that
+// need reusable thread-private storage — the packed-kernel providers'
+// panel buffers are the motivating case — register a LocalKey once
+// (package level) and fetch the executing worker's instance through
+// Args.Local.  Each worker identity is a single thread (slots below
+// MaxContexts are context submitters when they block, the rest the
+// dedicated workers), so slot access needs no synchronization: a slot
+// is only ever touched by the thread running as that worker, the same
+// single-submitter discipline the submission scratch already relies
+// on.  The registry is pool-wide: tasks of different contexts executed
+// by the same worker share that worker's scratch, which is exactly what
+// packing buffers want.
 
 // localKeys hands out one stable slot index per registered key.
 var localKeys atomic.Int64
@@ -35,29 +38,29 @@ func NewLocalKey(new func() any) *LocalKey {
 // instance, so state like grown scratch buffers is reused, and two
 // workers never share one.
 func (a *Args) Local(key *LocalKey) any {
-	return a.rt.local(a.worker, key)
+	return a.ctx.pool.local(a.worker, key)
 }
 
-// releaseLocals runs at Close, after every worker has stopped: values
-// implementing Release() hand their resources back (the kernel scratch
-// returns its packing arena to the size-classed pool, so benchmark
-// sweeps that build a runtime per measurement point reacquire warm
-// storage instead of growing fresh arenas every time).
-func (rt *Runtime) releaseLocals() {
-	for _, slots := range rt.locals {
+// releaseLocals runs at Pool.Close, after every worker has stopped:
+// values implementing Release() hand their resources back (the kernel
+// scratch returns its packing arena to the size-classed pool, so
+// benchmark sweeps that build a runtime per measurement point reacquire
+// warm storage instead of growing fresh arenas every time).
+func (p *Pool) releaseLocals() {
+	for _, slots := range p.locals {
 		for _, v := range slots {
 			if r, ok := v.(interface{ Release() }); ok {
 				r.Release()
 			}
 		}
 	}
-	rt.locals = nil
+	p.locals = nil
 }
 
-// local serves Args.Local.  rt.locals[w] is only touched by the thread
+// local serves Args.Local.  p.locals[w] is only touched by the thread
 // executing as worker w.
-func (rt *Runtime) local(w int, key *LocalKey) any {
-	slots := rt.locals[w]
+func (p *Pool) local(w int, key *LocalKey) any {
+	slots := p.locals[w]
 	if key.idx < len(slots) {
 		if v := slots[key.idx]; v != nil {
 			return v
@@ -68,6 +71,6 @@ func (rt *Runtime) local(w int, key *LocalKey) any {
 	}
 	v := key.new()
 	slots[key.idx] = v
-	rt.locals[w] = slots
+	p.locals[w] = slots
 	return v
 }

@@ -52,9 +52,12 @@ type boundArg struct {
 	copyFn   func(dst, src any)
 }
 
-// taskRec is the runtime payload attached to each graph node.
+// taskRec is the runtime payload attached to each graph node.  The
+// context pointer routes a task popped by a shared pool worker back to
+// its owning tenant's accounting.
 type taskRec struct {
 	def  *TaskDef
+	ctx  *Context
 	args []boundArg
 	// renamedBytes is the storage this task's renamed parameters pin
 	// until it completes (accounted against Config.MemoryLimit).
@@ -67,7 +70,7 @@ type taskRec struct {
 // parameter rewriting the SMPSs compiler performs on task bodies.
 type Args struct {
 	rec    *taskRec
-	rt     *Runtime
+	ctx    *Context
 	worker int
 }
 

@@ -17,9 +17,12 @@ type classKey struct {
 	n int
 }
 
-// maxFreePerClass bounds how many idle instances one size class retains.
-// Overflow on release is dropped to the garbage collector, so a burst of
-// renames cannot pin its peak footprint forever.
+// maxFreePerClass bounds how many idle instances one size class retains
+// in a private store.  Overflow on release is dropped to the garbage
+// collector, so a burst of renames cannot pin its peak footprint
+// forever.  A shared store scales the bound by its tenant count
+// (NewStorageShared): K contexts recycling through one store deserve
+// the free-list capacity K private runtimes would have had.
 const maxFreePerClass = 64
 
 // PoolStats is a snapshot of pool activity.
@@ -48,6 +51,90 @@ type classBucket struct {
 	free []any
 }
 
+// Storage is the size-classed recycling store behind one or more Pools:
+// per-class free lists of renamed instances plus the counters that
+// describe the lists themselves.  A Storage is safe for concurrent use
+// and — unlike the Pool front-ends, which carry per-context accounting —
+// may be shared: on a multi-tenant worker pool every context's tracker
+// releases into and acquires from one Storage, so storage freed by one
+// tenant's drained graph warms another tenant's renames, while each
+// tenant keeps its own hit/miss and live-byte books.
+type Storage struct {
+	classes sync.Map // classKey -> *classBucket
+
+	// maxFree is the per-class free-list bound.
+	maxFree int
+
+	releases, drops atomic.Int64
+	freeBytes       atomic.Int64
+}
+
+// NewStorage creates an empty store with the private per-class bound.
+func NewStorage() *Storage { return NewStorageShared(1) }
+
+// NewStorageShared creates a store sized for tenants concurrent
+// clients: the per-class free-list bound scales so K tenants sharing
+// one store keep the capacity K private stores would have had.
+func NewStorageShared(tenants int) *Storage {
+	if tenants < 1 {
+		tenants = 1
+	}
+	return &Storage{maxFree: tenants * maxFreePerClass}
+}
+
+// FreeBytes returns the storage idling on the free lists.
+func (s *Storage) FreeBytes() int64 { return s.freeBytes.Load() }
+
+func (s *Storage) bucket(key classKey, create bool) *classBucket {
+	if b, ok := s.classes.Load(key); ok {
+		return b.(*classBucket)
+	}
+	if !create {
+		return nil
+	}
+	b, _ := s.classes.LoadOrStore(key, &classBucket{})
+	return b.(*classBucket)
+}
+
+// take removes and returns a free instance of the class, or nil.
+func (s *Storage) take(key classKey, bytes int64) any {
+	b := s.bucket(key, false)
+	if b == nil {
+		return nil
+	}
+	var inst any
+	b.mu.Lock()
+	if n := len(b.free); n > 0 {
+		inst = b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+	}
+	b.mu.Unlock()
+	if inst != nil {
+		s.freeBytes.Add(-bytes)
+	}
+	return inst
+}
+
+// put returns an instance to its class free list, or drops it to the GC
+// past the per-class bound.
+func (s *Storage) put(key classKey, inst any, bytes int64) {
+	b := s.bucket(key, true)
+	kept := false
+	b.mu.Lock()
+	if len(b.free) < s.maxFree {
+		b.free = append(b.free, inst)
+		kept = true
+	}
+	b.mu.Unlock()
+	if kept {
+		s.releases.Add(1)
+		s.freeBytes.Add(bytes)
+	} else {
+		s.drops.Add(1)
+	}
+}
+
 // Pool recycles the storage instances the renaming engine allocates.
 // The seed runtime called Alloc() for every rename and abandoned
 // superseded versions to the garbage collector; the pool instead keeps
@@ -61,18 +148,39 @@ type classBucket struct {
 // tracks renamed storage between acquisition and reclamation, which is
 // what Config.MemoryLimit blocks on, and the reclaim hook gives the
 // blocked submitter a wakeup signal the seed's spin-help loop lacked.
+//
+// The free lists themselves live in a Storage.  By default each Pool
+// lazily creates a private one; Share installs a common Storage so
+// several trackers (one per context on a shared worker pool) recycle
+// instances across tenant boundaries while the accounting that must
+// stay per-tenant — hits, misses, live bytes, the reclaim hook — stays
+// on the Pool.
 type Pool struct {
-	classes sync.Map // classKey -> *classBucket
+	store     *Storage
+	storeOnce sync.Once
 
-	hits, misses    atomic.Int64
-	releases, drops atomic.Int64
-	forfeits        atomic.Int64
-	liveBytes       atomic.Int64
-	freeBytes       atomic.Int64
+	hits, misses atomic.Int64
+	forfeits     atomic.Int64
+	liveBytes    atomic.Int64
 
 	// onReclaim, when non-nil, runs after every live-byte decrease.
 	// It must be set before the pool is first used and must not block.
 	onReclaim func()
+}
+
+// Share installs st as the pool's backing store.  It must be called
+// before the pool's first acquire or release.
+func (p *Pool) Share(st *Storage) { p.store = st }
+
+// storage returns the backing store, creating a private one on first
+// use when none was shared.
+func (p *Pool) storage() *Storage {
+	p.storeOnce.Do(func() {
+		if p.store == nil {
+			p.store = NewStorage()
+		}
+	})
+	return p.store
 }
 
 // SetReclaimHook registers f to run whenever live renamed bytes
@@ -84,16 +192,19 @@ func (p *Pool) SetReclaimHook(f func()) { p.onReclaim = f }
 // LiveBytes returns the bytes of renamed storage currently acquired.
 func (p *Pool) LiveBytes() int64 { return p.liveBytes.Load() }
 
-// Stats returns a snapshot of the pool's counters.
+// Stats returns a snapshot of the pool's counters.  Hits, Misses,
+// Forfeits and LiveBytes are per-pool (per-context); Releases, Drops
+// and FreeBytes describe the backing Storage, which may be shared.
 func (p *Pool) Stats() PoolStats {
+	st := p.storage()
 	return PoolStats{
 		Hits:      p.hits.Load(),
 		Misses:    p.misses.Load(),
-		Releases:  p.releases.Load(),
-		Drops:     p.drops.Load(),
+		Releases:  st.releases.Load(),
+		Drops:     st.drops.Load(),
 		Forfeits:  p.forfeits.Load(),
 		LiveBytes: p.liveBytes.Load(),
-		FreeBytes: p.freeBytes.Load(),
+		FreeBytes: st.freeBytes.Load(),
 	}
 }
 
@@ -133,36 +244,15 @@ var (
 
 const intSize = 32 << (^uint(0) >> 63) / 8 // bytes in an int
 
-func (p *Pool) bucket(key classKey, create bool) *classBucket {
-	if b, ok := p.classes.Load(key); ok {
-		return b.(*classBucket)
-	}
-	if !create {
-		return nil
-	}
-	b, _ := p.classes.LoadOrStore(key, &classBucket{})
-	return b.(*classBucket)
-}
-
 // acquire returns a storage instance shaped like a.Data — recycled when
 // the class has a free instance, freshly allocated via a.Alloc
 // otherwise — plus its accounted byte size.  The instance counts as
 // live until released (or forfeited).
 func (p *Pool) acquire(a *Access) (any, int64) {
 	key, bytes := classOf(a.Data)
-	var inst any
-	if b := p.bucket(key, false); b != nil {
-		b.mu.Lock()
-		if n := len(b.free); n > 0 {
-			inst = b.free[n-1]
-			b.free[n-1] = nil
-			b.free = b.free[:n-1]
-		}
-		b.mu.Unlock()
-	}
+	inst := p.storage().take(key, bytes)
 	if inst != nil {
 		p.hits.Add(1)
-		p.freeBytes.Add(-bytes)
 	} else {
 		p.misses.Add(1)
 		inst = a.Alloc()
@@ -171,26 +261,14 @@ func (p *Pool) acquire(a *Access) (any, int64) {
 	return inst, bytes
 }
 
-// release returns an instance to its class free list (or drops it to the
-// GC past the per-class bound), decrements the live gauge and fires the
-// reclaim hook.  Called from version reclamation on any goroutine.
+// release returns an instance to the backing store's free list (or
+// drops it to the GC past the per-class bound), decrements the live
+// gauge and fires the reclaim hook.  Called from version reclamation on
+// any goroutine.
 func (p *Pool) release(inst any, bytes int64) {
 	p.liveBytes.Add(-bytes)
 	key, _ := classOf(inst)
-	b := p.bucket(key, true)
-	kept := false
-	b.mu.Lock()
-	if len(b.free) < maxFreePerClass {
-		b.free = append(b.free, inst)
-		kept = true
-	}
-	b.mu.Unlock()
-	if kept {
-		p.releases.Add(1)
-		p.freeBytes.Add(bytes)
-	} else {
-		p.drops.Add(1)
-	}
+	p.storage().put(key, inst, bytes)
 	if p.onReclaim != nil {
 		p.onReclaim()
 	}

@@ -356,6 +356,13 @@ func (t *Tracker) Stats() Stats {
 // PoolStats returns a snapshot of the recycling pool's counters.
 func (t *Tracker) PoolStats() PoolStats { return t.pool.Stats() }
 
+// ShareStorage points the tracker's rename pool at a shared size-classed
+// store, so several trackers — one per context on a shared worker pool —
+// recycle renamed instances across tenant boundaries.  Per-tenant
+// accounting (hits, misses, live bytes, the reclaim hook) stays with
+// this tracker.  Must be called before the first access.
+func (t *Tracker) ShareStorage(st *Storage) { t.pool.Share(st) }
+
 // LiveRenamedBytes returns the bytes of renamed storage currently
 // acquired and not yet reclaimed — the runtime's memory-limit gauge.
 // Always zero under LegacyRenaming (the seed accounts per task instead).

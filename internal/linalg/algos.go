@@ -31,10 +31,13 @@ func scratchOf(a *core.Args) *kernels.Scratch {
 	return a.Local(kernelScratch).(*kernels.Scratch)
 }
 
-// Algos bundles a runtime, a kernel provider and a block size, and owns
-// the task definitions of Fig. 2 plus the block-copy tasks of Fig. 10.
+// Algos bundles a submission context, a kernel provider and a block
+// size, and owns the task definitions of Fig. 2 plus the block-copy
+// tasks of Fig. 10.  It targets a core.Context so the same task
+// programs drive both a private Runtime and one tenant of a shared
+// multi-context pool.
 type Algos struct {
-	rt *core.Runtime
+	rt *core.Context
 	p  kernels.Provider
 	m  int
 
@@ -67,7 +70,14 @@ type Algos struct {
 // New builds the task set for the given runtime, kernel provider and
 // block size m.
 func New(rt *core.Runtime, p kernels.Provider, m int) *Algos {
-	al := &Algos{rt: rt, p: p, m: m}
+	return NewOn(rt.Context(), p, m)
+}
+
+// NewOn builds the task set against one context of a shared pool, the
+// entry point multi-tenant clients use (one Algos per context; the
+// single-submitter contract applies per context).
+func NewOn(c *core.Context, p kernels.Provider, m int) *Algos {
+	al := &Algos{rt: c, p: p, m: m}
 
 	al.scopy = core.NewTaskDef("scopy_t", func(a *core.Args) {
 		copy(a.F32(1), a.F32(0))
@@ -195,11 +205,28 @@ func (al *Algos) ResetFrom(dst, src *hypermatrix.Matrix) {
 			b.Add(al.scopy, core.In(src.Block(i, j)), core.Out(dst.Block(i, j)))
 		}
 	}
-	b.Submit()
+	flush(b)
 }
 
-// Runtime returns the runtime the task set submits to.
-func (al *Algos) Runtime() *core.Runtime { return al.rt }
+// Context returns the submission context the task set targets.
+func (al *Algos) Context() *core.Context { return al.rt }
+
+// submit forwards one task invocation to the context.  Submission can
+// only fail on a closed context — programmer misuse the pre-context API
+// surfaced as a panic — so keep failing loudly rather than silently
+// computing nothing.
+func (al *Algos) submit(def *core.TaskDef, args ...core.Arg) {
+	if err := al.rt.Submit(def, args...); err != nil {
+		panic(err)
+	}
+}
+
+// flush submits a batch with the same loud-failure contract as submit.
+func flush(b *core.Batch) {
+	if err := b.Submit(); err != nil {
+		panic(err)
+	}
+}
 
 // BlockSize returns the block dimension m.
 func (al *Algos) BlockSize() int { return al.m }

@@ -41,7 +41,7 @@ func (al *Algos) CholeskyDense(a *hypermatrix.Matrix) {
 				core.In(a.Block(j, j)),
 				core.InOut(a.Block(i, j)))
 		}
-		b.Submit()
+		flush(b)
 	}
 }
 
@@ -59,7 +59,7 @@ func (al *Algos) CholeskyFlat(aflat []float32, n int) {
 				al.getBlockOnce(i, k, aflat, dim, a)
 				al.getBlockOnce(j, k, aflat, dim, a)
 				al.getBlockOnce(i, j, aflat, dim, a)
-				al.rt.Submit(al.sgemmNT,
+				al.submit(al.sgemmNT,
 					core.In(a.Block(i, k)),
 					core.In(a.Block(j, k)),
 					core.InOut(a.Block(i, j)))
@@ -68,15 +68,15 @@ func (al *Algos) CholeskyFlat(aflat []float32, n int) {
 		for i := 0; i < j; i++ {
 			al.getBlockOnce(j, i, aflat, dim, a)
 			al.getBlockOnce(j, j, aflat, dim, a)
-			al.rt.Submit(al.ssyrk,
+			al.submit(al.ssyrk,
 				core.In(a.Block(j, i)),
 				core.InOut(a.Block(j, j)))
 		}
 		al.getBlockOnce(j, j, aflat, dim, a)
-		al.rt.Submit(al.spotrf, core.InOut(a.Block(j, j)))
+		al.submit(al.spotrf, core.InOut(a.Block(j, j)))
 		for i := j + 1; i < n; i++ {
 			al.getBlockOnce(i, j, aflat, dim, a)
-			al.rt.Submit(al.strsm,
+			al.submit(al.strsm,
 				core.In(a.Block(j, j)),
 				core.InOut(a.Block(i, j)))
 		}
@@ -116,6 +116,6 @@ func (al *Algos) LU(a *hypermatrix.Matrix) {
 					core.InOut(a.Block(i, j)))
 			}
 		}
-		b.Submit()
+		flush(b)
 	}
 }

@@ -75,7 +75,7 @@ func (al *Algos) LUPartialPivot(a []float32, n int, piv []int32) {
 		c1 := c0 + m - 1
 		// 1. Panel factorization over rows c0..dim-1 of this column
 		// block, producing the step's pivots.
-		al.rt.Submit(panel,
+		al.submit(panel,
 			core.InOutR(a, colRegion(c0, dim-1, c0, c1)),
 			core.OutR(piv, core.Interval(int64(c0), int64(c1))),
 			core.Value(c0))
@@ -85,7 +85,7 @@ func (al *Algos) LUPartialPivot(a []float32, n int, piv []int32) {
 				continue
 			}
 			j0 := j * m
-			al.rt.Submit(laswp,
+			al.submit(laswp,
 				core.InOutR(a, colRegion(c0, dim-1, j0, j0+m-1)),
 				core.InR(piv, core.Interval(int64(c0), int64(c1))),
 				core.Value(c0), core.Value(j0), core.Value(j0+m-1))
@@ -94,7 +94,7 @@ func (al *Algos) LUPartialPivot(a []float32, n int, piv []int32) {
 		// the panel.
 		for j := k + 1; j < nb; j++ {
 			j0 := j * m
-			al.rt.Submit(trsm,
+			al.submit(trsm,
 				core.InR(a, colRegion(c0, c1, c0, c1)),
 				core.InOutR(a, colRegion(c0, c1, j0, j0+m-1)),
 				core.Value(c0), core.Value(j0))
@@ -104,7 +104,7 @@ func (al *Algos) LUPartialPivot(a []float32, n int, piv []int32) {
 			i0 := i * m
 			for j := k + 1; j < nb; j++ {
 				j0 := j * m
-				al.rt.Submit(gemm,
+				al.submit(gemm,
 					core.InR(a, colRegion(i0, i0+m-1, c0, c1)),
 					core.InR(a, colRegion(c0, c1, j0, j0+m-1)),
 					core.InOutR(a, colRegion(i0, i0+m-1, j0, j0+m-1)),

@@ -17,7 +17,7 @@ func (al *Algos) MatMulDense(a, b, c *hypermatrix.Matrix) {
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			for k := 0; k < n; k++ {
-				al.rt.Submit(al.sgemmNN,
+				al.submit(al.sgemmNN,
 					core.In(a.Block(i, k)),
 					core.In(b.Block(k, j)),
 					core.InOut(c.Block(i, j)))
@@ -35,7 +35,7 @@ func (al *Algos) MatMulSparse(a, b, c *hypermatrix.Matrix) {
 		for j := 0; j < n; j++ {
 			for k := 0; k < n; k++ {
 				if a.Block(i, k) != nil && b.Block(k, j) != nil {
-					al.rt.Submit(al.sgemmNN,
+					al.submit(al.sgemmNN,
 						core.In(a.Block(i, k)),
 						core.In(b.Block(k, j)),
 						core.InOut(c.EnsureBlock(i, j)))
@@ -65,7 +65,7 @@ func (al *Algos) MatMulFlat(aflat, bflat, cflat []float32, n int) {
 				al.getBlockOnce(i, k, aflat, dim, a)
 				al.getBlockOnce(k, j, bflat, dim, b)
 				al.getBlockOnce(i, j, cflat, dim, c)
-				al.rt.Submit(al.sgemmNN,
+				al.submit(al.sgemmNN,
 					core.In(a.Block(i, k)),
 					core.In(b.Block(k, j)),
 					core.InOut(c.Block(i, j)))
@@ -83,7 +83,7 @@ func (al *Algos) getBlockOnce(i, j int, flat []float32, dim int, h *hypermatrix.
 		return
 	}
 	blk := h.EnsureBlock(i, j)
-	al.rt.Submit(al.getBlock,
+	al.submit(al.getBlock,
 		core.Opaque(flat),
 		core.Value(dim),
 		core.Value(i), core.Value(j),
@@ -98,7 +98,7 @@ func (al *Algos) putBackAll(h *hypermatrix.Matrix, flat []float32, dim int) {
 	for i := 0; i < h.N; i++ {
 		for j := 0; j < h.N; j++ {
 			if blk := h.Block(i, j); blk != nil {
-				al.rt.Submit(al.putBlock,
+				al.submit(al.putBlock,
 					core.Opaque(flat),
 					core.Value(dim),
 					core.Value(i), core.Value(j),

@@ -54,16 +54,16 @@ func (al *Algos) QR(a *hypermatrix.Matrix) *hypermatrix.Matrix {
 	n, m := a.N, al.m
 	t := hypermatrix.NewSparse(n, m)
 	for k := 0; k < n; k++ {
-		al.rt.Submit(al.sgeqrt, core.InOut(a.Blocks[k][k]), core.Out(t.EnsureBlock(k, k)))
+		al.submit(al.sgeqrt, core.InOut(a.Blocks[k][k]), core.Out(t.EnsureBlock(k, k)))
 		for j := k + 1; j < n; j++ {
-			al.rt.Submit(al.sunmqr,
+			al.submit(al.sunmqr,
 				core.In(a.Blocks[k][k]), core.In(t.Blocks[k][k]), core.InOut(a.Blocks[k][j]))
 		}
 		for i := k + 1; i < n; i++ {
-			al.rt.Submit(al.stsqrt,
+			al.submit(al.stsqrt,
 				core.InOut(a.Blocks[k][k]), core.InOut(a.Blocks[i][k]), core.Out(t.EnsureBlock(i, k)))
 			for j := k + 1; j < n; j++ {
-				al.rt.Submit(al.stsmqr,
+				al.submit(al.stsmqr,
 					core.InOut(a.Blocks[k][j]), core.InOut(a.Blocks[i][j]),
 					core.In(a.Blocks[i][k]), core.In(t.Blocks[i][k]))
 			}
@@ -82,12 +82,12 @@ func (al *Algos) ApplyQT(a, t, c *hypermatrix.Matrix) {
 	n := a.N
 	for k := 0; k < n; k++ {
 		for j := 0; j < n; j++ {
-			al.rt.Submit(al.sunmqr,
+			al.submit(al.sunmqr,
 				core.In(a.Blocks[k][k]), core.In(t.Blocks[k][k]), core.InOut(c.Blocks[k][j]))
 		}
 		for i := k + 1; i < n; i++ {
 			for j := 0; j < n; j++ {
-				al.rt.Submit(al.stsmqr,
+				al.submit(al.stsmqr,
 					core.InOut(c.Blocks[k][j]), core.InOut(c.Blocks[i][j]),
 					core.In(a.Blocks[i][k]), core.In(t.Blocks[i][k]))
 			}

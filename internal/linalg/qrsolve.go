@@ -53,10 +53,10 @@ func (al *Algos) QRSolve(a, t *hypermatrix.Matrix, b [][]float32) {
 
 	// y := Qᵀ·b, pipelined panel by panel behind the factorization.
 	for k := 0; k < n; k++ {
-		al.rt.Submit(ts.unmqrV,
+		al.submit(ts.unmqrV,
 			core.In(a.Blocks[k][k]), core.In(t.Blocks[k][k]), core.InOut(b[k]))
 		for i := k + 1; i < n; i++ {
-			al.rt.Submit(ts.tsmqrV,
+			al.submit(ts.tsmqrV,
 				core.InOut(b[k]), core.InOut(b[i]),
 				core.In(a.Blocks[i][k]), core.In(t.Blocks[i][k]))
 		}
@@ -65,9 +65,9 @@ func (al *Algos) QRSolve(a, t *hypermatrix.Matrix, b [][]float32) {
 	// Back substitution R·x = y, bottom block-row first.
 	for i := n - 1; i >= 0; i-- {
 		for j := i + 1; j < n; j++ {
-			al.rt.Submit(ts.gemv,
+			al.submit(ts.gemv,
 				core.In(a.Blocks[i][j]), core.In(b[j]), core.InOut(b[i]))
 		}
-		al.rt.Submit(ts.utrsv, core.In(a.Blocks[i][i]), core.InOut(b[i]))
+		al.submit(ts.utrsv, core.In(a.Blocks[i][i]), core.InOut(b[i]))
 	}
 }

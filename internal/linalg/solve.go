@@ -29,12 +29,12 @@ func (al *Algos) SolveLower(l *hypermatrix.Matrix, b [][]float32) {
 	n := l.N
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {
-			al.rt.Submit(gemv,
+			al.submit(gemv,
 				core.In(l.Block(i, j)),
 				core.In(b[j]),
 				core.InOut(b[i]))
 		}
-		al.rt.Submit(trsv,
+		al.submit(trsv,
 			core.In(l.Block(i, i)),
 			core.InOut(b[i]))
 	}

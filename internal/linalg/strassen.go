@@ -43,7 +43,7 @@ func (al *Algos) Strassen(a, b, c *hypermatrix.Matrix) {
 
 func (al *Algos) strassen(a, b, c view) {
 	if a.n == 1 {
-		al.rt.Submit(al.smul,
+		al.submit(al.smul,
 			core.In(a.block(0, 0)),
 			core.In(b.block(0, 0)),
 			core.Out(c.block(0, 0)))
@@ -106,7 +106,7 @@ func (al *Algos) strassen(a, b, c view) {
 func (al *Algos) addView(x, y, z view) {
 	for i := 0; i < x.n; i++ {
 		for j := 0; j < x.n; j++ {
-			al.rt.Submit(al.sadd,
+			al.submit(al.sadd,
 				core.In(x.block(i, j)), core.In(y.block(i, j)), core.Out(z.block(i, j)))
 		}
 	}
@@ -116,7 +116,7 @@ func (al *Algos) addView(x, y, z view) {
 func (al *Algos) subView(x, y, z view) {
 	for i := 0; i < x.n; i++ {
 		for j := 0; j < x.n; j++ {
-			al.rt.Submit(al.ssub,
+			al.submit(al.ssub,
 				core.In(x.block(i, j)), core.In(y.block(i, j)), core.Out(z.block(i, j)))
 		}
 	}
@@ -126,7 +126,7 @@ func (al *Algos) subView(x, y, z view) {
 func (al *Algos) addToView(x, z view) {
 	for i := 0; i < x.n; i++ {
 		for j := 0; j < x.n; j++ {
-			al.rt.Submit(al.saddTo,
+			al.submit(al.saddTo,
 				core.In(x.block(i, j)), core.InOut(z.block(i, j)))
 		}
 	}
@@ -136,7 +136,7 @@ func (al *Algos) addToView(x, z view) {
 func (al *Algos) subToView(x, z view) {
 	for i := 0; i < x.n; i++ {
 		for j := 0; j < x.n; j++ {
-			al.rt.Submit(al.ssubTo,
+			al.submit(al.ssubTo,
 				core.In(x.block(i, j)), core.InOut(z.block(i, j)))
 		}
 	}

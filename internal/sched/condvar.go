@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -96,99 +95,4 @@ func (s *ListLocality) Stats() Stats {
 		PopMain:  s.popMain.Load(),
 		Steals:   s.steals.Load(),
 	}
-}
-
-// CondvarScheduler is the wake machinery this runtime shipped with before
-// the work-stealing overhaul, kept as the measured baseline for the
-// scheduler ablation: one global mutex+condvar, and a Broadcast on every
-// push while any worker sleeps.  Under a high rate of short tasks that is
-// a thundering herd — each push wakes every parked worker, all but one of
-// which find nothing and park again.  The Scheduler type replaces it with
-// per-worker one-token parkers.
-type CondvarScheduler struct {
-	Policy
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	version uint64
-	closed  bool
-	// sleepers counts workers parked (or about to park) in Get; Push
-	// skips the lock and broadcast entirely while it is zero.
-	sleepers atomic.Int64
-}
-
-// NewCondvarScheduler wraps a policy with the legacy global-condvar
-// parking.
-func NewCondvarScheduler(p Policy) *CondvarScheduler {
-	s := &CondvarScheduler{Policy: p}
-	s.cond = sync.NewCond(&s.mu)
-	return s
-}
-
-// Push implements Dispatcher.
-func (s *CondvarScheduler) Push(n *graph.Node, releasedBy int) bool {
-	s.Policy.Push(n, releasedBy)
-	if s.sleepers.Load() == 0 {
-		return true
-	}
-	s.mu.Lock()
-	s.version++
-	s.mu.Unlock()
-	s.cond.Broadcast()
-	return true
-}
-
-// Get implements Dispatcher.
-func (s *CondvarScheduler) Get(self int, cancel func() bool) *graph.Node {
-	for {
-		if n := s.TryNext(self); n != nil {
-			return n
-		}
-		s.mu.Lock()
-		v := s.version
-		s.mu.Unlock()
-		// Declare the sleeper before the final recheck: a Push after the
-		// recheck is then guaranteed to see sleepers > 0 and bump the
-		// version, so no wakeup is lost.
-		s.sleepers.Add(1)
-		if n := s.TryNext(self); n != nil {
-			s.sleepers.Add(-1)
-			return n
-		}
-		if cancel != nil && cancel() {
-			s.sleepers.Add(-1)
-			return nil
-		}
-		s.mu.Lock()
-		for s.version == v && !s.closed {
-			s.cond.Wait()
-		}
-		closed := s.closed
-		s.mu.Unlock()
-		s.sleepers.Add(-1)
-		if closed {
-			// Drain whatever remains before giving up.
-			return s.TryNext(self)
-		}
-	}
-}
-
-// Wake implements Dispatcher.  The legacy design has no targeted wakeup;
-// any nudge is a broadcast.
-func (s *CondvarScheduler) Wake(w int) { s.Kick() }
-
-// Kick implements Dispatcher.
-func (s *CondvarScheduler) Kick() {
-	s.mu.Lock()
-	s.version++
-	s.mu.Unlock()
-	s.cond.Broadcast()
-}
-
-// Close implements Dispatcher.
-func (s *CondvarScheduler) Close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.cond.Broadcast()
 }

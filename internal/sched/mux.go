@@ -1,0 +1,564 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file is the multi-tenant dispatch layer: one shared set of worker
+// threads serving many independent task graphs.  Each runtime context
+// registers a Client — its own scheduling Policy plus in-flight
+// accounting — with a Mux, which multiplexes every client's ready tasks
+// over the pool's workers.  Workers scan the clients round-robin from a
+// per-worker cursor, so one context with a deep backlog cannot starve
+// the rest, while within a context the policy's locality order (high
+// list, own deque, injector, steal-half) is preserved unchanged.
+
+// Client is one context's share of a Mux: its scheduling policy, its
+// submitter's worker identity, and the count of tasks currently queued.
+// A Client belongs to exactly one context and is created by Mux.Attach.
+type Client struct {
+	policy Policy
+	slot   int
+
+	// queued counts tasks pushed but not yet popped — the per-context
+	// in-flight gauge.  Workers use it to skip empty clients without
+	// touching the policy's locks, and a context's barrier helper uses
+	// it to park instead of spinning on an empty queue.
+	queued atomic.Int64
+
+	// waiting marks the client's submitter parked in a restricted Get
+	// (helping only its own context).  Restricted waiters stay off the
+	// mux's global idle stack — a push to context B must never spend its
+	// only wakeup on context A's submitter, which would recheck A, find
+	// nothing, and park again while B's task strands.
+	waiting atomic.Bool
+}
+
+// Slot returns the worker identity of the client's submitter.
+func (c *Client) Slot() int { return c.slot }
+
+// Queued returns the client's in-flight task count (pushed, not yet
+// popped).  Approximate under concurrency.
+func (c *Client) Queued() int64 { return c.queued.Load() }
+
+// Stats returns the client's policy counters — per-context by
+// construction, so one tenant's scheduling activity never bleeds into
+// another's snapshot.
+func (c *Client) Stats() Stats { return c.policy.Stats() }
+
+// Mux dispatches ready tasks from many Clients to one shared set of
+// workers.  Two implementations exist: TokenMux, the per-worker parking
+// protocol, and CondvarMux, the seed's global condvar generalized to
+// many clients (the LegacyWakeup ablation).
+type Mux interface {
+	// Attach registers a context's policy; slot is its submitter's
+	// worker identity (used for targeted cancel-condition wakes).
+	Attach(p Policy, slot int) *Client
+	// Detach removes a client.  The caller must have drained the
+	// client's queue (a closing context barriers first).
+	Detach(c *Client)
+	// Push queues a ready task of client c.  releasedBy is the worker
+	// whose completion made it ready, or graph.MainThread.
+	Push(c *Client, n *graph.Node, releasedBy int)
+	// Get returns the next task for worker self, parking until one
+	// arrives; nil when cancel() reports true or after Close.  When
+	// only is non-nil the worker takes tasks exclusively from that
+	// client — the restricted mode a context's submitter uses while it
+	// blocks, so helping out never executes another tenant's work (and
+	// a barrier in one context never waits on another's task bodies).
+	Get(self int, only *Client, cancel func() bool) *graph.Node
+	// Wake nudges worker slot to re-evaluate its cancel condition.
+	Wake(slot int)
+	// Kick wakes every parked worker.
+	Kick()
+	// Close wakes everyone; subsequent Gets return nil once drained.
+	Close()
+	// Stats returns the mux-level parking counters.  Policy counters
+	// live on the clients.
+	Stats() Stats
+}
+
+// muxCursor is one worker's round-robin position over the client list,
+// padded so neighbouring workers' cursors do not false-share a line.
+type muxCursor struct {
+	v uint32
+	_ [60]byte
+}
+
+// muxBase carries the client registry and the fair-scan logic shared by
+// both Mux implementations.
+type muxBase struct {
+	// clients is a copy-on-write snapshot so the worker scan never takes
+	// a lock; cmu serializes Attach/Detach.
+	clients atomic.Pointer[[]*Client]
+	cmu     sync.Mutex
+	cursor  []muxCursor
+}
+
+func (b *muxBase) init(nslots int) {
+	empty := make([]*Client, 0)
+	b.clients.Store(&empty)
+	b.cursor = make([]muxCursor, nslots)
+}
+
+func (b *muxBase) attach(p Policy, slot int) *Client {
+	c := &Client{policy: p, slot: slot}
+	b.cmu.Lock()
+	old := *b.clients.Load()
+	next := make([]*Client, len(old)+1)
+	copy(next, old)
+	next[len(old)] = c
+	b.clients.Store(&next)
+	b.cmu.Unlock()
+	return c
+}
+
+func (b *muxBase) detach(c *Client) {
+	b.cmu.Lock()
+	old := *b.clients.Load()
+	next := make([]*Client, 0, len(old))
+	for _, x := range old {
+		if x != c {
+			next = append(next, x)
+		}
+	}
+	b.clients.Store(&next)
+	b.cmu.Unlock()
+}
+
+// tryNext finds a task for worker self.  Restricted lookups poll only
+// the given client; unrestricted lookups scan every client round-robin
+// starting at the worker's cursor, which then advances past the served
+// client so successive lookups rotate fairly across tenants.  With a
+// single attached client the scan degenerates to exactly the
+// single-runtime lookup.
+func (b *muxBase) tryNext(self int, only *Client) *graph.Node {
+	if only != nil {
+		if only.queued.Load() == 0 {
+			return nil
+		}
+		if n := only.policy.TryNext(self); n != nil {
+			only.queued.Add(-1)
+			return n
+		}
+		return nil
+	}
+	cs := *b.clients.Load()
+	if len(cs) == 0 {
+		return nil
+	}
+	start := int(b.cursor[self].v) % len(cs)
+	for i := 0; i < len(cs); i++ {
+		c := cs[(start+i)%len(cs)]
+		if c.queued.Load() == 0 {
+			continue
+		}
+		if n := c.policy.TryNext(self); n != nil {
+			c.queued.Add(-1)
+			b.cursor[self].v = uint32((start + i + 1) % len(cs))
+			return n
+		}
+	}
+	return nil
+}
+
+// TokenMux is the default Mux: the per-worker one-token parking protocol
+// of the work-stealing overhaul, extended with the client registry.  A
+// push hands exactly one token to one idle worker; a context's parked
+// submitter is tracked on its Client (not the idle stack) and woken
+// only by its own context's pushes and targeted Wakes.
+type TokenMux struct {
+	muxBase
+
+	// parker[w] holds at most one wake token for worker w.
+	parker []chan struct{}
+
+	mu   sync.Mutex
+	idle []int // stack of unrestricted workers currently announced idle
+	// inIdle[w] mirrors membership of the idle stack; readable lock-free
+	// for the elided-wake invariant guard in Push.
+	inIdle []atomic.Bool
+	nidle  atomic.Int32
+
+	closed         atomic.Bool
+	parks, unparks atomic.Int64
+}
+
+// NewTokenMux creates a mux for nslots worker identities (submitter
+// slots and dedicated workers combined).
+func NewTokenMux(nslots int) *TokenMux {
+	if nslots < 1 {
+		nslots = 1
+	}
+	m := &TokenMux{
+		parker: make([]chan struct{}, nslots),
+		inIdle: make([]atomic.Bool, nslots),
+		idle:   make([]int, 0, nslots),
+	}
+	m.muxBase.init(nslots)
+	for i := range m.parker {
+		m.parker[i] = make(chan struct{}, 1)
+	}
+	return m
+}
+
+// Attach implements Mux.
+func (m *TokenMux) Attach(p Policy, slot int) *Client { return m.attach(p, slot) }
+
+// Detach implements Mux.
+func (m *TokenMux) Detach(c *Client) { m.detach(c) }
+
+// Push implements Mux: the task is queued on the client's policy and, if
+// the policy asks for a wake, one idle worker is unparked and the
+// client's parked submitter (if any) is handed a token too — with zero
+// dedicated workers the submitter is the only thread that can execute.
+func (m *TokenMux) Push(c *Client, n *graph.Node, releasedBy int) {
+	c.queued.Add(1)
+	wake := c.policy.Push(n, releasedBy)
+	if !wake && len(*m.clients.Load()) > 1 {
+		// The policy elided the wake on the premise that the releasing
+		// worker pops this task on its very next lookup.  That holds
+		// only while this client is the pool's sole tenant: with
+		// several attached, the worker's round-robin scan may hand it
+		// another context's (arbitrarily long) task first, leaving the
+		// lone successor stranded with every other worker parked.
+		wake = true
+	}
+	if wake {
+		m.unparkOne()
+		if c.waiting.Load() {
+			// Targeted token for the client's parked submitter.  Not
+			// counted as an unpark: the one-slot buffer may drop it as a
+			// duplicate of an earlier completion wake, and only idle-stack
+			// pops keep Parks/Unparks comparable.
+			m.token(c.slot)
+		}
+		return
+	}
+	// Elided wake (sole tenant): the contract says the releasing worker
+	// is awake and pops the task next.  Guard the invariant anyway — if
+	// that worker is in fact parked (a push from a goroutine that is not
+	// the owner, violating the contract), wake it rather than strand the
+	// task.  A submitter-slot push never reaches here: every policy
+	// requests a wake for helper-slot releases.
+	if releasedBy >= 0 && releasedBy < len(m.inIdle) && m.inIdle[releasedBy].Load() {
+		m.Wake(releasedBy)
+	}
+}
+
+// unparkOne hands a wake token to one idle unrestricted worker.
+func (m *TokenMux) unparkOne() {
+	if m.nidle.Load() == 0 {
+		return
+	}
+	m.mu.Lock()
+	if len(m.idle) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	w := m.idle[len(m.idle)-1]
+	m.idle = m.idle[:len(m.idle)-1]
+	m.inIdle[w].Store(false)
+	m.nidle.Add(-1)
+	m.mu.Unlock()
+	m.token(w)
+	m.unparks.Add(1)
+}
+
+// token delivers worker w's wake token; the buffer of one absorbs
+// duplicates.
+func (m *TokenMux) token(w int) {
+	select {
+	case m.parker[w] <- struct{}{}:
+	default:
+	}
+}
+
+// announce puts worker self on the idle stack (idempotent).
+func (m *TokenMux) announce(self int) {
+	m.mu.Lock()
+	if !m.inIdle[self].Load() {
+		m.idle = append(m.idle, self)
+		m.inIdle[self].Store(true)
+		m.nidle.Add(1)
+	}
+	m.mu.Unlock()
+}
+
+// retire removes self from the idle stack after it found work (or is
+// giving up) on its own.  If a concurrent push already popped self to
+// target a wakeup at it, the wakeup is forwarded to another idle worker
+// so no push's wake is silently swallowed.
+func (m *TokenMux) retire(self int) {
+	m.mu.Lock()
+	found := false
+	for i, w := range m.idle {
+		if w == self {
+			m.idle = append(m.idle[:i], m.idle[i+1:]...)
+			m.inIdle[self].Store(false)
+			m.nidle.Add(-1)
+			found = true
+			break
+		}
+	}
+	next := -1
+	if !found && len(m.idle) > 0 {
+		next = m.idle[len(m.idle)-1]
+		m.idle = m.idle[:len(m.idle)-1]
+		m.inIdle[next].Store(false)
+		m.nidle.Add(-1)
+	}
+	m.mu.Unlock()
+	if next >= 0 {
+		m.token(next)
+		m.unparks.Add(1)
+	}
+}
+
+// leave undoes the idle announcement appropriate to the Get mode.
+func (m *TokenMux) leave(self int, only *Client) {
+	if only != nil {
+		only.waiting.Store(false)
+		return
+	}
+	m.retire(self)
+}
+
+// Get implements Mux.  The parking protocol is announce → recheck →
+// park: a push after the recheck is guaranteed to observe the
+// announcement (the idle stack for unrestricted workers, the client's
+// waiting flag for a restricted submitter) and deliver a token, so no
+// wakeup is lost.
+func (m *TokenMux) Get(self int, only *Client, cancel func() bool) *graph.Node {
+	if self < 0 || self >= len(m.parker) {
+		self = 0
+	}
+	ch := m.parker[self]
+	for {
+		if n := m.tryNext(self, only); n != nil {
+			return n
+		}
+		// Clear any stale token from an earlier targeted wakeup we never
+		// consumed, so it cannot cause an immediate spurious unpark.
+		select {
+		case <-ch:
+		default:
+		}
+		if only != nil {
+			only.waiting.Store(true)
+		} else {
+			m.announce(self)
+		}
+		if n := m.tryNext(self, only); n != nil {
+			m.leave(self, only)
+			return n
+		}
+		if cancel != nil && cancel() {
+			m.leave(self, only)
+			return nil
+		}
+		if m.closed.Load() {
+			m.leave(self, only)
+			// Drain whatever remains before giving up.
+			return m.tryNext(self, only)
+		}
+		if only == nil {
+			// Parks (and Unparks) describe the idle-stack protocol only:
+			// restricted submitters park outside it and their targeted
+			// tokens are deliberately uncounted, so the two gauges stay
+			// comparable.
+			m.parks.Add(1)
+		}
+		<-ch
+		if only != nil {
+			only.waiting.Store(false)
+		}
+		if m.closed.Load() {
+			return m.tryNext(self, only)
+		}
+		// Re-evaluate the cancel condition before looking for work: a
+		// targeted Wake usually means the condition the caller blocks on
+		// (barrier, graph limit) just changed, and going through tryNext
+		// first would make the waking submitter take a task it no longer
+		// needs to help with.
+		if cancel != nil && cancel() {
+			return nil
+		}
+	}
+}
+
+// Wake implements Mux: a targeted nudge so worker slot re-evaluates its
+// cancel condition.  An unrestricted idle worker is popped off the idle
+// stack; otherwise the token is delivered directly — that is how a
+// context's parked submitter (which never joins the idle stack) is
+// woken by its completions and its tracker's reclaim hook.
+func (m *TokenMux) Wake(slot int) {
+	if slot < 0 || slot >= len(m.parker) {
+		return
+	}
+	m.mu.Lock()
+	idle := m.inIdle[slot].Load()
+	if idle {
+		for i, id := range m.idle {
+			if id == slot {
+				m.idle = append(m.idle[:i], m.idle[i+1:]...)
+				break
+			}
+		}
+		m.inIdle[slot].Store(false)
+		m.nidle.Add(-1)
+	}
+	m.mu.Unlock()
+	m.token(slot)
+	if idle {
+		m.unparks.Add(1)
+	}
+}
+
+// Kick implements Mux: every parked worker — idle stack and restricted
+// submitters alike — re-evaluates its cancel condition.
+func (m *TokenMux) Kick() {
+	m.mu.Lock()
+	woken := append([]int(nil), m.idle...)
+	m.idle = m.idle[:0]
+	for _, w := range woken {
+		m.inIdle[w].Store(false)
+	}
+	m.nidle.Store(0)
+	m.mu.Unlock()
+	for _, w := range woken {
+		m.token(w)
+		m.unparks.Add(1)
+	}
+	for _, c := range *m.clients.Load() {
+		if c.waiting.Load() {
+			m.token(c.slot)
+		}
+	}
+}
+
+// Close implements Mux.
+func (m *TokenMux) Close() {
+	m.closed.Store(true)
+	m.Kick()
+}
+
+// Stats implements Mux: the parking counters.  These are pool-wide —
+// parking is shared machinery — so they are reported here rather than
+// on any client.
+func (m *TokenMux) Stats() Stats {
+	return Stats{Parks: m.parks.Load(), Unparks: m.unparks.Load()}
+}
+
+// CondvarMux is the legacy wake machinery generalized to many clients:
+// one global mutex+condvar and a Broadcast on every push while any
+// worker sleeps (the thundering herd the TokenMux replaces).  Kept so
+// the LegacyWakeup ablation measures the old protocol under the shared
+// pool too.
+type CondvarMux struct {
+	muxBase
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	version uint64
+	closed  bool
+	// sleepers counts workers parked (or about to park) in Get; Push
+	// skips the lock and broadcast entirely while it is zero.
+	sleepers atomic.Int64
+}
+
+// NewCondvarMux creates the legacy global-condvar mux for nslots worker
+// identities.
+func NewCondvarMux(nslots int) *CondvarMux {
+	if nslots < 1 {
+		nslots = 1
+	}
+	m := &CondvarMux{}
+	m.muxBase.init(nslots)
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Attach implements Mux.
+func (m *CondvarMux) Attach(p Policy, slot int) *Client { return m.attach(p, slot) }
+
+// Detach implements Mux.
+func (m *CondvarMux) Detach(c *Client) { m.detach(c) }
+
+// Push implements Mux.  The legacy protocol ignores the policy's wake
+// hint: every push broadcasts while anyone sleeps.
+func (m *CondvarMux) Push(c *Client, n *graph.Node, releasedBy int) {
+	c.queued.Add(1)
+	c.policy.Push(n, releasedBy)
+	if m.sleepers.Load() == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.version++
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Get implements Mux.
+func (m *CondvarMux) Get(self int, only *Client, cancel func() bool) *graph.Node {
+	if self < 0 || self >= len(m.cursor) {
+		self = 0
+	}
+	for {
+		if n := m.tryNext(self, only); n != nil {
+			return n
+		}
+		m.mu.Lock()
+		v := m.version
+		m.mu.Unlock()
+		// Declare the sleeper before the final recheck: a Push after the
+		// recheck is then guaranteed to see sleepers > 0 and bump the
+		// version, so no wakeup is lost.
+		m.sleepers.Add(1)
+		if n := m.tryNext(self, only); n != nil {
+			m.sleepers.Add(-1)
+			return n
+		}
+		if cancel != nil && cancel() {
+			m.sleepers.Add(-1)
+			return nil
+		}
+		m.mu.Lock()
+		for m.version == v && !m.closed {
+			m.cond.Wait()
+		}
+		closed := m.closed
+		m.mu.Unlock()
+		m.sleepers.Add(-1)
+		if closed {
+			// Drain whatever remains before giving up.
+			return m.tryNext(self, only)
+		}
+	}
+}
+
+// Wake implements Mux.  The legacy design has no targeted wakeup; any
+// nudge is a broadcast.
+func (m *CondvarMux) Wake(slot int) { m.Kick() }
+
+// Kick implements Mux.
+func (m *CondvarMux) Kick() {
+	m.mu.Lock()
+	m.version++
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Close implements Mux.
+func (m *CondvarMux) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Stats implements Mux; the legacy machinery keeps no parking counters.
+func (m *CondvarMux) Stats() Stats { return Stats{} }

@@ -1,0 +1,325 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestMuxRoundRobinAcrossClients pins fair dispatch: a worker draining
+// two clients' injectors alternates between them instead of emptying
+// one tenant's backlog first.
+func TestMuxRoundRobinAcrossClients(t *testing.T) {
+	m := NewTokenMux(2)
+	a := m.Attach(NewLocalityShared(2, 1), 0)
+	b := m.Attach(NewLocalityShared(2, 1), 0)
+	for i := int64(1); i <= 3; i++ {
+		m.Push(a, mkNode(i, false), graph.MainThread)
+		m.Push(b, mkNode(100+i, false), graph.MainThread)
+	}
+	var order []int64
+	for i := 0; i < 6; i++ {
+		n := m.tryNext(1, nil)
+		if n == nil {
+			t.Fatalf("lookup %d found nothing with %d+%d queued", i, a.Queued(), b.Queued())
+		}
+		order = append(order, n.ID)
+	}
+	// Alternation: consecutive pops never come from the same client.
+	for i := 1; i < len(order); i++ {
+		same := (order[i] < 100) == (order[i-1] < 100)
+		if same {
+			t.Fatalf("pops %v did not rotate across clients", order)
+		}
+	}
+	if a.Queued() != 0 || b.Queued() != 0 {
+		t.Fatalf("queued gauges not drained: a=%d b=%d", a.Queued(), b.Queued())
+	}
+}
+
+// TestMuxRestrictedGetIgnoresOtherClients pins barrier isolation at the
+// sched layer: a restricted Get serves only its own client and parks
+// through other tenants' pushes, waking for its own.
+func TestMuxRestrictedGetIgnoresOtherClients(t *testing.T) {
+	m := NewTokenMux(3)
+	a := m.Attach(NewLocalityShared(3, 2), 0)
+	b := m.Attach(NewLocalityShared(3, 2), 1)
+	m.Push(b, mkNode(200, false), graph.MainThread)
+
+	got := make(chan *graph.Node, 1)
+	go func() { got <- m.Get(0, a, nil) }()
+	select {
+	case n := <-got:
+		t.Fatalf("restricted Get returned another client's task %d", n.ID)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Push(a, mkNode(1, false), graph.MainThread)
+	select {
+	case n := <-got:
+		if n.ID != 1 {
+			t.Fatalf("restricted Get = %d, want 1", n.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("restricted Get did not wake for its own client's push")
+	}
+	// The other client's task is still there for an unrestricted worker.
+	if n := m.tryNext(2, nil); n == nil || n.ID != 200 {
+		t.Fatalf("client b's task lost: %v", n)
+	}
+}
+
+// TestMuxRestrictedWakeNotStolenByOtherWaiter reproduces the wake-loss
+// hazard the Client.waiting design avoids: with client a's submitter
+// parked restricted, a push to client b must still reach an
+// unrestricted worker (the restricted waiter must not swallow b's only
+// wakeup).
+func TestMuxRestrictedWakeNotStolenByOtherWaiter(t *testing.T) {
+	m := NewTokenMux(3)
+	a := m.Attach(NewLocalityShared(3, 2), 0)
+	b := m.Attach(NewLocalityShared(3, 2), 1)
+
+	restricted := make(chan *graph.Node, 1)
+	var stop atomic.Bool
+	go func() { restricted <- m.Get(0, a, stop.Load) }()
+	worker := make(chan *graph.Node, 1)
+	go func() { worker <- m.Get(2, nil, nil) }()
+	time.Sleep(20 * time.Millisecond) // let both park
+
+	m.Push(b, mkNode(7, false), graph.MainThread)
+	select {
+	case n := <-worker:
+		if n.ID != 7 {
+			t.Fatalf("worker got %d, want 7", n.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("push to client b never woke the unrestricted worker")
+	}
+	stop.Store(true)
+	m.Kick()
+	if n := <-restricted; n != nil {
+		t.Fatalf("cancelled restricted Get = %v, want nil", n)
+	}
+}
+
+// TestMuxDetachStopsDispatch checks a detached client's policy leaves
+// the scan and the remaining client keeps working.
+func TestMuxDetachStopsDispatch(t *testing.T) {
+	m := NewTokenMux(2)
+	a := m.Attach(NewLocalityShared(2, 1), 0)
+	b := m.Attach(NewLocalityShared(2, 1), 0)
+	m.Push(a, mkNode(1, false), graph.MainThread)
+	if n := m.tryNext(1, nil); n == nil || n.ID != 1 {
+		t.Fatalf("pre-detach lookup = %v", n)
+	}
+	m.Detach(a)
+	m.Push(b, mkNode(2, false), graph.MainThread)
+	if n := m.tryNext(1, nil); n == nil || n.ID != 2 {
+		t.Fatalf("post-detach lookup = %v, want client b's task", n)
+	}
+}
+
+// TestMuxConcurrentClientsStress drives two producer/consumer client
+// pairs plus attach/detach churn of a third; under -race this is the
+// mux's data-race canary.
+func TestMuxConcurrentClientsStress(t *testing.T) {
+	const (
+		workers = 4
+		slots   = 2 + workers
+		total   = 20000
+	)
+	m := NewTokenMux(slots)
+	a := m.Attach(NewLocalityShared(slots, 2), 0)
+	b := m.Attach(NewLocalityShared(slots, 2), 1)
+
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 2; w < slots; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				n := m.Get(self, nil, nil)
+				if n == nil {
+					return
+				}
+				consumed.Add(1)
+			}
+		}(w)
+	}
+	var pwg sync.WaitGroup
+	for i, c := range []*Client{a, b} {
+		pwg.Add(1)
+		go func(slot int, c *Client) {
+			defer pwg.Done()
+			for i := 0; i < total/2; i++ {
+				m.Push(c, mkNode(int64(i), i%101 == 0), graph.MainThread)
+			}
+		}(i, c)
+	}
+	// Churn a third client through attach/detach while the others run.
+	pwg.Add(1)
+	go func() {
+		defer pwg.Done()
+		for i := 0; i < 50; i++ {
+			c := m.Attach(NewLocalityShared(slots, 2), 1)
+			m.Push(c, mkNode(int64(1000+i), false), graph.MainThread)
+			for {
+				if n := m.tryNext(1, c); n != nil {
+					consumed.Add(1)
+					break
+				}
+				if c.Queued() == 0 {
+					break // an unrestricted worker took it (and counted it)
+				}
+				time.Sleep(time.Microsecond)
+			}
+			m.Detach(c)
+		}
+	}()
+	pwg.Wait()
+	deadline := time.Now().Add(30 * time.Second)
+	for consumed.Load() < total+50 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stress stalled at %d of %d", consumed.Load(), total+50)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	wg.Wait()
+	if got := consumed.Load(); got != total+50 {
+		t.Fatalf("consumed %d, want %d", got, total+50)
+	}
+}
+
+// TestCondvarMuxServesClients exercises the legacy-wakeup mux end to
+// end: blocking Get, cross-client dispatch, cancel and close-drain.
+func TestCondvarMuxServesClients(t *testing.T) {
+	m := NewCondvarMux(2)
+	a := m.Attach(NewListLocality(2), 0)
+	b := m.Attach(NewListLocality(2), 0)
+
+	got := make(chan *graph.Node, 1)
+	go func() { got <- m.Get(1, nil, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	m.Push(a, mkNode(1, false), graph.MainThread)
+	select {
+	case n := <-got:
+		if n.ID != 1 {
+			t.Fatalf("Get = %d, want 1", n.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("condvar mux never woke the worker")
+	}
+
+	m.Push(b, mkNode(2, false), graph.MainThread)
+	if n := m.Get(1, b, nil); n == nil || n.ID != 2 {
+		t.Fatalf("restricted Get on condvar mux = %v, want 2", n)
+	}
+
+	var stop atomic.Bool
+	go func() { got <- m.Get(1, nil, stop.Load) }()
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	m.Kick()
+	if n := <-got; n != nil {
+		t.Fatalf("cancelled Get = %v, want nil", n)
+	}
+
+	m.Push(a, mkNode(3, false), graph.MainThread)
+	m.Close()
+	if n := m.Get(0, nil, nil); n == nil || n.ID != 3 {
+		t.Fatalf("Get after Close must drain, got %v", n)
+	}
+	if n := m.Get(0, nil, nil); n != nil {
+		t.Fatalf("drained closed mux returned %v", n)
+	}
+}
+
+// TestSharedHelperMayTakeLastTask pins the multi-tenant politeness
+// rule: on a private runtime the main thread leaves a dedicated
+// worker's last queued task alone (it is about to be popped), but on a
+// shared pool the owner may be busy with another tenant for
+// arbitrarily long, so a context's submitter may take its own graph's
+// final task — a barrier must not wait out a neighbour's task body.
+func TestSharedHelperMayTakeLastTask(t *testing.T) {
+	private := NewLocality(3)
+	private.Push(mkNode(1, false), 2)
+	if n := private.TryNext(0); n != nil {
+		t.Fatalf("private main thread stole a worker's last task: %d", n.ID)
+	}
+	shared := NewLocalityShared(4, 2)
+	shared.Push(mkNode(1, false), 3)
+	if n := shared.TryNext(0); n == nil || n.ID != 1 {
+		t.Fatalf("shared-pool submitter must take the last task, got %v", n)
+	}
+	// Still one task per steal: a two-deep deque yields exactly one.
+	shared.Push(mkNode(2, false), 3)
+	shared.Push(mkNode(3, false), 3)
+	if n := shared.TryNext(1); n == nil || n.ID != 2 {
+		t.Fatalf("helper steal must be FIFO single-task, got %v", n)
+	}
+	if got := shared.Stats().Steals; got != 2 {
+		t.Fatalf("steals = %d, want 2 single-task steals", got)
+	}
+	// The victim keeps its newest task for its own LIFO pop.
+	if n := shared.TryNext(3); n == nil || n.ID != 3 {
+		t.Fatalf("victim's remaining task = %v, want 3", n)
+	}
+}
+
+// TestRestrictedGetReachesBusyWorkersDeque reproduces the barrier-stall
+// hazard at the mux level: context A's lone ready task sits on a
+// dedicated worker's deque (the worker is occupied elsewhere), and A's
+// restricted submitter must still be able to take it.
+func TestRestrictedGetReachesBusyWorkersDeque(t *testing.T) {
+	// A genuinely shared pool: two submitter slots (0, 1), one dedicated
+	// worker (2).  helpers == 1 would be a private runtime, where the
+	// polite-thief rule stays because there is no other tenant to get
+	// stuck behind.
+	m := NewTokenMux(3)
+	a := m.Attach(NewLocalityShared(3, 2), 0)
+	// Worker 2 released A's successor onto its own deque mid-task, then
+	// "got stuck" serving another tenant (never calls Get again here).
+	m.Push(a, mkNode(9, false), 2)
+	done := make(chan *graph.Node, 1)
+	go func() { done <- m.Get(0, a, nil) }()
+	select {
+	case n := <-done:
+		if n == nil || n.ID != 9 {
+			t.Fatalf("restricted Get = %v, want task 9", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("restricted submitter could not reach its own task on a busy worker's deque")
+	}
+}
+
+// TestMultiTenantSelfPushWakes pins the elision boundary: a lone
+// self-push on a dedicated worker's deque skips the wake only while its
+// client is the pool's sole tenant.  With a second client attached the
+// releasing worker's next lookup may serve the other tenant first, so
+// the push must wake a parked worker to cover the successor.
+func TestMultiTenantSelfPushWakes(t *testing.T) {
+	m := NewTokenMux(4)
+	a := m.Attach(NewLocalityShared(4, 2), 0)
+	m.Attach(NewLocalityShared(4, 2), 1)
+
+	got := make(chan *graph.Node, 1)
+	go func() { got <- m.Get(3, nil, nil) }()
+	time.Sleep(20 * time.Millisecond) // let worker 3 park
+
+	// Dedicated worker 2 releases a lone successor onto its own deque —
+	// the single-tenant elision case — while "stuck" elsewhere.
+	m.Push(a, mkNode(5, false), 2)
+	select {
+	case n := <-got:
+		if n == nil || n.ID != 5 {
+			t.Fatalf("woken worker got %v, want task 5", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("multi-tenant self-push elided its wake; successor stranded")
+	}
+	m.Close()
+}

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -69,6 +68,13 @@ type Locality struct {
 	// stealBuf is per-worker scratch for grabHalf, sized so a steal can
 	// always move a full half-deque without allocating.
 	stealBuf [][]*graph.Node
+	// helpers is the number of leading worker identities that belong to
+	// submitting threads (one per context on a shared pool; identity 0,
+	// the main thread, on a private runtime).  Helpers are optional
+	// executors — they may stop helping and go back to submitting at any
+	// moment — so their self-pushes never elide the wake and their
+	// steals stay polite (one task, never a victim's last).
+	helpers int
 
 	pushHigh, pushOwn, pushMain atomic.Int64
 	popHigh, popOwn, popMain    atomic.Int64
@@ -86,15 +92,30 @@ func NewLocality(nworkers int) *Locality {
 	return newLocalityCap(nworkers, defaultDequeCap)
 }
 
+// NewLocalityShared creates the policy for a shared worker pool with
+// nslots total worker identities, of which the first helpers are
+// context submitter slots (see Locality.helpers).
+func NewLocalityShared(nslots, helpers int) *Locality {
+	if helpers < 1 {
+		helpers = 1
+	}
+	return newLocalityFull(nslots, helpers, defaultDequeCap)
+}
+
 // newLocalityCap is NewLocality with an explicit per-worker deque bound,
 // so tests can force overflow with few tasks.
 func newLocalityCap(nworkers, capacity int) *Locality {
+	return newLocalityFull(nworkers, 1, capacity)
+}
+
+func newLocalityFull(nworkers, helpers, capacity int) *Locality {
 	if nworkers < 1 {
 		nworkers = 1
 	}
 	s := &Locality{
 		deques:   make([]deque, nworkers),
 		stealBuf: make([][]*graph.Node, nworkers),
+		helpers:  helpers,
 	}
 	for i := range s.deques {
 		s.deques[i].init(capacity)
@@ -122,12 +143,13 @@ func (s *Locality) Push(n *graph.Node, releasedBy int) bool {
 			s.pushOwn.Add(1)
 			// A lone task on a dedicated worker's own deque needs no
 			// wakeup: the worker is the caller and pops it next.  The
-			// main thread (identity 0) is exempt — it may stop helping
-			// and go back to submitting, so its deque needs a thief.
-			// So is a push while high-priority work is pending: the
-			// caller's next lookup takes the high task first, and the
-			// lone successor would strand behind it with no wake.
-			return releasedBy == 0 || size > 1 || s.highLen.Load() > 0
+			// helper slots (submitting threads) are exempt — they may
+			// stop helping and go back to submitting, so their deques
+			// need a thief.  So is a push while high-priority work is
+			// pending: the caller's next lookup takes the high task
+			// first, and the lone successor would strand behind it with
+			// no wake.
+			return releasedBy < s.helpers || size > 1 || s.highLen.Load() > 0
 		}
 		s.inject.pushBack(n)
 		s.spills.Add(1)
@@ -164,23 +186,28 @@ func (s *Locality) TryNext(self int) *graph.Node {
 	// Steal from other workers in creation order starting from the next
 	// one, FIFO, so the victim keeps the tasks whose data is hottest.
 	//
-	// The main thread (identity 0) is a polite thief: it never takes the
-	// last queued task of a dedicated worker's deque, and it takes only
-	// one task per steal.  Only a worker itself pushes to its own deque,
-	// so a worker can never park with work queued — the owner is awake
-	// and about to pop that task, and the main thread (an optional
-	// helper) taking it would only migrate a dependency chain away from
-	// its hot cache one task at a time.  Capping the main thread's steal
-	// at one also keeps it from parking a batch on its own deque: the
-	// remainder of a steal bypasses the wake protocol, which is safe for
-	// a dedicated worker (it keeps polling until the deque drains) but
-	// not for the main thread, which may stop helping and go back to
-	// submitting while every worker sleeps.
+	// Helper slots (submitting threads) steal one task per steal: the
+	// remainder of a steal batch bypasses the wake protocol, which is
+	// safe for a dedicated worker (it keeps polling until the deque
+	// drains) but not for a helper, which may stop helping and go back
+	// to submitting while every worker sleeps.
+	//
+	// On a private runtime (helpers == 1) the main thread additionally
+	// never takes the *last* queued task of a dedicated worker's deque:
+	// only a worker pushes to its own deque, so the owner is awake and
+	// about to pop it, and the main thread taking it would only migrate
+	// a dependency chain away from its hot cache.  On a shared pool that
+	// courtesy is dropped — the owner may be awake but serving another
+	// tenant's task for arbitrarily long, and a barrier-blocked
+	// submitter restricted to this context must be able to take its own
+	// graph's final task rather than wait out a neighbour's task body.
 	minSize := 1
 	buf := s.stealBuf[self]
-	if self == 0 {
-		minSize = 2
+	if self < s.helpers {
 		buf = buf[:1]
+		if s.helpers == 1 {
+			minSize = 2
+		}
 	}
 	for i := 1; i < len(s.deques); i++ {
 		victim := (self + i) % len(s.deques)
@@ -284,273 +311,66 @@ func (s *GlobalFIFO) Stats() Stats {
 	}
 }
 
-// Dispatcher couples a Policy with sleep/wake machinery: pushes hand
-// ready tasks to parked workers, Get blocks until work (or cancellation)
-// arrives.  Two implementations exist: Scheduler, the per-worker parking
-// protocol, and CondvarScheduler, the seed's global condvar kept as the
-// ablation baseline.
-type Dispatcher interface {
-	Policy
-	// Get returns the next task for worker self, parking until one
-	// arrives; nil when cancel() reports true or after Close.
-	Get(self int, cancel func() bool) *graph.Node
-	// Wake nudges worker w to re-evaluate its cancel condition.
-	Wake(w int)
-	// Kick wakes every parked worker.
-	Kick()
-	// Close wakes everyone; subsequent Gets return nil once drained.
-	Close()
-}
-
-// Scheduler couples a Policy with per-worker parking so idle workers
-// sleep instead of spinning.
-//
-// The previous design used one global condvar and broadcast on every
-// push while anyone slept — at high submission rates with short tasks
-// that is a thundering herd: every push wakes every parked worker, all
-// but one of which find nothing and go back to sleep.  Here each worker
-// has its own one-token parker (a buffered channel) and an idle stack;
-// a push pops exactly one idle worker and hands it exactly one token.
+// Scheduler couples a single Policy with the TokenMux parking protocol:
+// the single-tenant view of the shared-pool dispatch machinery, kept as
+// the package's reference harness (and exercised hard by the tests in
+// this package).  A private core.Runtime is exactly this shape — one
+// pool, one client — just built from the Pool/Context layer above.
 type Scheduler struct {
-	Policy
-
-	// parker[w] holds at most one wake token for worker w.
-	parker []chan struct{}
-
-	mu   sync.Mutex
-	idle []int // stack of worker ids currently announced idle
-	// inIdle[w] mirrors membership of the idle stack.  It is written
-	// under mu but readable lock-free: the invariant-guard in Push needs
-	// a racy "is that worker parked?" probe on the fast path.
-	inIdle []atomic.Bool
-	nidle  atomic.Int32
-
-	closed         atomic.Bool
-	parks, unparks atomic.Int64
+	mux *TokenMux
+	c   *Client
 }
 
 // NewScheduler wraps a policy with parking support for nworkers workers
 // (worker identities 0..nworkers-1; identity 0 is the main thread when
 // it helps).
 func NewScheduler(p Policy, nworkers int) *Scheduler {
-	if nworkers < 1 {
-		nworkers = 1
-	}
-	s := &Scheduler{
-		Policy: p,
-		parker: make([]chan struct{}, nworkers),
-		inIdle: make([]atomic.Bool, nworkers),
-		idle:   make([]int, 0, nworkers),
-	}
-	for i := range s.parker {
-		s.parker[i] = make(chan struct{}, 1)
-	}
-	return s
+	m := NewTokenMux(nworkers)
+	return &Scheduler{mux: m, c: m.Attach(p, 0)}
 }
 
 // Push queues a ready task and unparks one idle worker when the policy
 // asks for one.  While no worker is parked, the wakeup path is a single
 // atomic load.
 func (s *Scheduler) Push(n *graph.Node, releasedBy int) bool {
-	if s.Policy.Push(n, releasedBy) {
-		s.unparkOne()
-		return true
-	}
-	// Elided wake: the contract says the releasing worker is awake and
-	// pops the task next.  Guard the invariant anyway — if that worker
-	// is in fact announced idle (a push from a goroutine that is not the
-	// owner, violating the contract), wake it rather than strand the
-	// task.  The probe is race-free where it matters: a hang requires
-	// the push to land after the owner's post-announce recheck, and that
-	// recheck's deque lock orders the announce's inIdle store before
-	// this load.
-	if releasedBy >= 0 && releasedBy < len(s.inIdle) && s.inIdle[releasedBy].Load() {
-		s.Wake(releasedBy)
-	}
+	s.mux.Push(s.c, n, releasedBy)
 	return true
 }
 
-// unparkOne hands a wake token to one idle worker, if any is announced.
-func (s *Scheduler) unparkOne() {
-	if s.nidle.Load() == 0 {
-		return
+// TryNext returns a task for worker self without parking, or nil.
+func (s *Scheduler) TryNext(self int) *graph.Node {
+	if self < 0 || self >= len(s.mux.cursor) {
+		self = 0
 	}
-	s.mu.Lock()
-	if len(s.idle) == 0 {
-		s.mu.Unlock()
-		return
-	}
-	w := s.idle[len(s.idle)-1]
-	s.idle = s.idle[:len(s.idle)-1]
-	s.inIdle[w].Store(false)
-	s.nidle.Add(-1)
-	s.mu.Unlock()
-	s.token(w)
-	s.unparks.Add(1)
+	return s.mux.tryNext(self, nil)
 }
 
-// token delivers worker w's wake token; the buffer of one absorbs
-// duplicates.
-func (s *Scheduler) token(w int) {
-	select {
-	case s.parker[w] <- struct{}{}:
-	default:
-	}
-}
-
-// announce puts worker self on the idle stack (idempotent).
-func (s *Scheduler) announce(self int) {
-	s.mu.Lock()
-	if !s.inIdle[self].Load() {
-		s.idle = append(s.idle, self)
-		s.inIdle[self].Store(true)
-		s.nidle.Add(1)
-	}
-	s.mu.Unlock()
-}
-
-// retire removes self from the idle stack after it found work (or is
-// giving up) on its own.  If a concurrent push already popped self to
-// target a wakeup at it, that wakeup is forwarded to another idle worker
-// so no push's wake is silently swallowed.
-func (s *Scheduler) retire(self int) {
-	s.mu.Lock()
-	found := false
-	for i, w := range s.idle {
-		if w == self {
-			s.idle = append(s.idle[:i], s.idle[i+1:]...)
-			s.inIdle[self].Store(false)
-			s.nidle.Add(-1)
-			found = true
-			break
-		}
-	}
-	next := -1
-	if !found && len(s.idle) > 0 {
-		next = s.idle[len(s.idle)-1]
-		s.idle = s.idle[:len(s.idle)-1]
-		s.inIdle[next].Store(false)
-		s.nidle.Add(-1)
-	}
-	s.mu.Unlock()
-	if next >= 0 {
-		s.token(next)
-		s.unparks.Add(1)
-	}
-}
+// Len returns the number of queued tasks.
+func (s *Scheduler) Len() int { return s.c.policy.Len() }
 
 // Get returns the next task for worker self, parking until one arrives.
 // It returns nil when cancel() reports true (checked whenever the worker
 // is about to park or is woken) or after Close.
 func (s *Scheduler) Get(self int, cancel func() bool) *graph.Node {
-	if self < 0 || self >= len(s.parker) {
-		self = 0
-	}
-	ch := s.parker[self]
-	for {
-		if n := s.TryNext(self); n != nil {
-			return n
-		}
-		// Clear any stale token from an earlier targeted wakeup we never
-		// consumed, so it cannot cause an immediate spurious unpark.
-		select {
-		case <-ch:
-		default:
-		}
-		// Announce before the final recheck: a Push after the recheck is
-		// then guaranteed to see nidle > 0 and deliver a token, so no
-		// wakeup is lost.
-		s.announce(self)
-		if n := s.TryNext(self); n != nil {
-			s.retire(self)
-			return n
-		}
-		if cancel != nil && cancel() {
-			s.retire(self)
-			return nil
-		}
-		if s.closed.Load() {
-			s.retire(self)
-			// Drain whatever remains before giving up.
-			return s.TryNext(self)
-		}
-		s.parks.Add(1)
-		<-ch
-		if s.closed.Load() {
-			return s.TryNext(self)
-		}
-		// Re-evaluate the cancel condition before looking for work: a
-		// targeted Wake usually means the condition the caller blocks on
-		// (barrier, graph limit) just changed, and going through TryNext
-		// first would make the waking main thread steal a task it no
-		// longer needs to help with.
-		if cancel != nil && cancel() {
-			return nil
-		}
-	}
+	return s.mux.Get(self, nil, cancel)
 }
 
 // Wake delivers a targeted wakeup to worker w so it re-evaluates its
-// cancel condition.  The runtime uses it to nudge the main thread —
-// the only cancel-condition waiter — once per task completion while it
-// blocks, instead of broadcasting to every parked worker.
-func (s *Scheduler) Wake(w int) {
-	if w < 0 || w >= len(s.parker) {
-		return
-	}
-	s.mu.Lock()
-	idle := s.inIdle[w].Load()
-	if idle {
-		for i, id := range s.idle {
-			if id == w {
-				s.idle = append(s.idle[:i], s.idle[i+1:]...)
-				break
-			}
-		}
-		s.inIdle[w].Store(false)
-		s.nidle.Add(-1)
-	}
-	s.mu.Unlock()
-	if !idle {
-		// Not announced idle: the worker is either running (it will
-		// re-evaluate its condition on its own before parking) or already
-		// holds an in-flight token from unparkOne/Kick.  Delivering — and
-		// counting — another wake would only inflate the Unparks stat.
-		return
-	}
-	s.token(w)
-	s.unparks.Add(1)
-}
+// cancel condition.
+func (s *Scheduler) Wake(w int) { s.mux.Wake(w) }
 
 // Kick wakes all parked workers so they re-evaluate their cancel
-// conditions (used when a barrier is satisfied).
-func (s *Scheduler) Kick() {
-	s.mu.Lock()
-	woken := append([]int(nil), s.idle...)
-	s.idle = s.idle[:0]
-	for _, w := range woken {
-		s.inIdle[w].Store(false)
-	}
-	s.nidle.Store(0)
-	s.mu.Unlock()
-	for _, w := range woken {
-		s.token(w)
-		s.unparks.Add(1)
-	}
-}
+// conditions.
+func (s *Scheduler) Kick() { s.mux.Kick() }
 
 // Close wakes everyone and makes subsequent Gets return once the queues
 // drain.
-func (s *Scheduler) Close() {
-	s.closed.Store(true)
-	s.Kick()
-}
+func (s *Scheduler) Close() { s.mux.Close() }
 
-// Stats implements Policy, adding the wrapper's parking counters to the
-// policy's snapshot.
+// Stats returns the policy's snapshot plus the mux's parking counters.
 func (s *Scheduler) Stats() Stats {
-	st := s.Policy.Stats()
-	st.Parks = s.parks.Load()
-	st.Unparks = s.unparks.Load()
+	st := s.c.policy.Stats()
+	ms := s.mux.Stats()
+	st.Parks, st.Unparks = ms.Parks, ms.Unparks
 	return st
 }

@@ -19,9 +19,10 @@ func ParsePRV(r io.Reader, labels map[int]string) (*Tracer, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
-	// openKind tracks the running task kind per worker so end records
-	// (value 0) can be attributed.
-	openKind := map[int]int{}
+	// openKind tracks the running task kind per (context, worker) so end
+	// records (value 0) can be attributed.
+	type openKey struct{ ctx, worker int }
+	openKind := map[openKey]int{}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -45,21 +46,22 @@ func ParsePRV(r io.Reader, labels map[int]string) (*Tracer, error) {
 			}
 			nums[i] = v
 		}
+		ctx := int(nums[2]) - 1    // task carries ctx+1 in WritePRV
 		worker := int(nums[3]) - 1 // thread is worker+1 in WritePRV
 		when := time.Duration(nums[4])
 		typ := nums[5]
 		val := nums[6]
 
-		ev := Event{When: when, Worker: worker, Kind: -1}
+		ev := Event{When: when, Ctx: ctx, Worker: worker, Kind: -1}
 		switch typ {
 		case prvTaskKind:
 			if val > 0 {
 				ev.Type = EvStart
 				ev.Kind = int(val - 1)
-				openKind[worker] = ev.Kind
+				openKind[openKey{ctx, worker}] = ev.Kind
 			} else {
 				ev.Type = EvEnd
-				ev.Kind = openKind[worker]
+				ev.Kind = openKind[openKey{ctx, worker}]
 			}
 			ev.Label = labelFor(labels, ev.Kind)
 		case prvRename:
@@ -77,9 +79,10 @@ func ParsePRV(r io.Reader, labels map[int]string) (*Tracer, error) {
 		default:
 			continue // foreign event type
 		}
-		t.mu.Lock()
-		t.buffers[worker] = append(t.buffers[worker], ev)
-		t.mu.Unlock()
+		s := &t.bufs[worker&(stripes-1)]
+		s.mu.Lock()
+		s.evs = append(s.evs, ev)
+		s.mu.Unlock()
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -60,6 +60,11 @@ func (e EventType) String() string {
 type Event struct {
 	// When is the time since the tracer was created.
 	When time.Duration
+	// Ctx identifies the runtime context the event belongs to (0 when
+	// the tracer serves a single private runtime).  On a shared worker
+	// pool several contexts may record into one tracer; the context
+	// dimension keeps their timelines separable in Paraver.
+	Ctx int
 	// Worker identifies the thread (0 = main, 1.. = workers).
 	Worker int
 	// Type is the event class.
@@ -72,37 +77,63 @@ type Event struct {
 	TaskID int64
 }
 
+// stripes is the number of independent event buffers.  Emits hash by
+// worker identity, so concurrent threads append under different locks;
+// a power of two keeps the index a mask.
+const stripes = 64
+
+// stripe is one event buffer with its own lock, padded to a full
+// 64-byte cache line (8-byte mutex + 24-byte slice header + 32 pad) so
+// neighbouring stripes' mutexes do not share a line.
+type stripe struct {
+	mu  sync.Mutex
+	evs []Event
+	_   [32]byte
+}
+
 // Tracer collects events from all runtime threads.  A nil *Tracer is
 // valid and records nothing, so the runtime can call it unconditionally.
+//
+// Events are buffered per worker stripe: concurrent emitters from
+// different workers take different locks, so one shared tracer across a
+// pool's workers and contexts is not a serialization point.  Merging
+// and time-sorting happen at read time (Events, WritePRV, Summarize).
 type Tracer struct {
 	start time.Time
 
-	mu      sync.Mutex
-	buffers map[int][]Event
+	bufs [stripes]stripe
 }
 
 // New creates an empty tracer; the zero time reference is "now".
 func New() *Tracer {
-	return &Tracer{start: time.Now(), buffers: make(map[int][]Event)}
+	return &Tracer{start: time.Now()}
 }
 
-// Emit records one event.  Safe for concurrent use; a nil tracer drops
-// the event.
+// Emit records one event for context 0.  Safe for concurrent use; a nil
+// tracer drops the event.
 func (t *Tracer) Emit(worker int, typ EventType, kind int, label string, taskID int64) {
+	t.EmitCtx(0, worker, typ, kind, label, taskID)
+}
+
+// EmitCtx records one event tagged with its runtime context.  Safe for
+// concurrent use; a nil tracer drops the event.
+func (t *Tracer) EmitCtx(ctx, worker int, typ EventType, kind int, label string, taskID int64) {
 	if t == nil {
 		return
 	}
 	ev := Event{
 		When:   time.Since(t.start),
+		Ctx:    ctx,
 		Worker: worker,
 		Type:   typ,
 		Kind:   kind,
 		Label:  label,
 		TaskID: taskID,
 	}
-	t.mu.Lock()
-	t.buffers[worker] = append(t.buffers[worker], ev)
-	t.mu.Unlock()
+	s := &t.bufs[worker&(stripes-1)]
+	s.mu.Lock()
+	s.evs = append(s.evs, ev)
+	s.mu.Unlock()
 }
 
 // Events returns all recorded events sorted by time.
@@ -110,12 +141,13 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
 	var all []Event
-	for _, b := range t.buffers {
-		all = append(all, b...)
+	for i := range t.bufs {
+		s := &t.bufs[i]
+		s.mu.Lock()
+		all = append(all, s.evs...)
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].When < all[j].When })
 	return all
 }
@@ -138,16 +170,32 @@ func (t *Tracer) WritePRV(w io.Writer) error {
 	if len(events) > 0 {
 		end = events[len(events)-1].When
 	}
-	maxWorker := 0
+	maxWorker, maxCtx := 0, 0
 	for _, ev := range events {
 		if ev.Worker > maxWorker {
 			maxWorker = ev.Worker
 		}
+		if ev.Ctx > maxCtx {
+			maxCtx = ev.Ctx
+		}
 	}
-	// Header: #Paraver (date):totalTime_ns:nNodes(nCPUs):nAppl:appl(nTasks(nThreads:node))
-	if _, err := fmt.Fprintf(w, "#Paraver (13/06/2026 at 00:00):%d_ns:1(%d):1:1(%d:1)\n",
-		end.Nanoseconds(), maxWorker+1, maxWorker+1); err != nil {
+	// Header: #Paraver (date):totalTime_ns:nNodes(nCPUs):nAppl:appl(nTasks(nThreads:node),...)
+	// One Paraver "task" per runtime context, each with every worker
+	// thread, matching the task field the event records carry — so a
+	// tracer shared by several contexts still writes a self-consistent
+	// trace.
+	if _, err := fmt.Fprintf(w, "#Paraver (13/06/2026 at 00:00):%d_ns:1(%d):1:%d(",
+		end.Nanoseconds(), maxWorker+1, maxCtx+1); err != nil {
 		return err
+	}
+	for c := 0; c <= maxCtx; c++ {
+		sep := ","
+		if c == maxCtx {
+			sep = ")\n"
+		}
+		if _, err := fmt.Fprintf(w, "%d:1%s", maxWorker+1, sep); err != nil {
+			return err
+		}
 	}
 	for _, ev := range events {
 		var typ, val int64
@@ -165,9 +213,11 @@ func (t *Tracer) WritePRV(w io.Writer) error {
 		case EvCreate:
 			typ, val = prvCreate, int64(ev.Kind)+1
 		}
-		// cpu, appl, task are 1-based; thread is worker+1.
-		if _, err := fmt.Fprintf(w, "2:%d:1:1:%d:%d:%d:%d\n",
-			ev.Worker+1, ev.Worker+1, ev.When.Nanoseconds(), typ, val); err != nil {
+		// cpu, appl, task are 1-based; the task field carries the runtime
+		// context (ctx+1) so a shared tracer's tenants stay separable in
+		// Paraver; thread is worker+1.
+		if _, err := fmt.Fprintf(w, "2:%d:1:%d:%d:%d:%d:%d\n",
+			ev.Worker+1, ev.Ctx+1, ev.Worker+1, ev.When.Nanoseconds(), typ, val); err != nil {
 			return err
 		}
 	}
@@ -248,20 +298,20 @@ func (t *Tracer) Summarize() Summary {
 	}
 	s.Span = events[len(events)-1].When - events[0].When
 
-	type key struct{ worker int }
+	type key struct{ ctx, worker int }
 	open := make(map[key]Event)
 	kinds := make(map[string]*KindSummary)
 	workers := make(map[int]*WorkerSummary)
 	for _, ev := range events {
 		switch ev.Type {
 		case EvStart:
-			open[key{ev.Worker}] = ev
+			open[key{ev.Ctx, ev.Worker}] = ev
 		case EvEnd:
-			st, ok := open[key{ev.Worker}]
+			st, ok := open[key{ev.Ctx, ev.Worker}]
 			if !ok {
 				continue
 			}
-			delete(open, key{ev.Worker})
+			delete(open, key{ev.Ctx, ev.Worker})
 			d := ev.When - st.When
 			ks := kinds[st.Label]
 			if ks == nil {

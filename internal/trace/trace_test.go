@@ -193,3 +193,63 @@ func TestSummaryFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentEmitStripes hammers Emit from many goroutines (the
+// shared-tracer pattern of a multi-tenant pool) and checks nothing is
+// lost; under -race it verifies the striped buffers need no global lock.
+func TestConcurrentEmitStripes(t *testing.T) {
+	tr := New()
+	const workers, events = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				tr.EmitCtx(w%4, w, EvStart, 1, "k", int64(i))
+				tr.EmitCtx(w%4, w, EvEnd, 1, "k", int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := tr.Events()
+	if len(got) != 2*workers*events {
+		t.Fatalf("recorded %d events, want %d", len(got), 2*workers*events)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].When < got[i-1].When {
+			t.Fatalf("events not time-sorted at %d", i)
+		}
+	}
+	sum := tr.Summarize()
+	if n := sum.Kinds[0].Count; n != workers*events {
+		t.Fatalf("summary paired %d executions, want %d", n, workers*events)
+	}
+}
+
+// TestPRVRoundTripKeepsContext checks the context dimension survives
+// the Paraver write/parse cycle via the task field.
+func TestPRVRoundTripKeepsContext(t *testing.T) {
+	tr := New()
+	tr.EmitCtx(0, 1, EvStart, 3, "gemm", 1)
+	tr.EmitCtx(0, 1, EvEnd, 3, "gemm", 1)
+	tr.EmitCtx(2, 1, EvStart, 3, "gemm", 2)
+	tr.EmitCtx(2, 1, EvEnd, 3, "gemm", 2)
+	var prv strings.Builder
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePRV(strings.NewReader(prv.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCtx := map[int]int{}
+	for _, ev := range back.Events() {
+		if ev.Type == EvStart {
+			perCtx[ev.Ctx]++
+		}
+	}
+	if perCtx[0] != 1 || perCtx[2] != 1 {
+		t.Fatalf("contexts after round trip = %v, want one start in ctx 0 and ctx 2", perCtx)
+	}
+}
