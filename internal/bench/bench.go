@@ -253,6 +253,7 @@ var Registry = map[string]func(Config) *Result{
 	"fig15":                Fig15,
 	"fig16":                Fig16,
 	"ablation-kernels":     AblationKernels,
+	"ablation-locality":    AblationLocality,
 	"ablation-multitenant": AblationMultitenant,
 	"ablation-rename":      AblationRenaming,
 	"ablation-sched":       AblationScheduler,

@@ -177,3 +177,30 @@ func TestAblationRenameAcceptance(t *testing.T) {
 		t.Fatalf("live renamed bytes after barrier = %d, want 0", pooled.st.LiveRenamedBytes)
 	}
 }
+
+// TestAblationLocalityAcceptance pins the locality-layer criteria on
+// the quick-scale pipelined Cholesky: the chaining configuration must
+// actually chain (nonzero ChainHits), the baseline must not touch the
+// locality machinery at all, and both must execute the same task count
+// (chaining reorders nothing, it only relocates execution).
+func TestAblationLocalityAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two quick-scale Cholesky churns")
+	}
+	const threads, dim, block, rounds = 2, 256, 32, 3
+	base := choleskyChurnStats(threads, dim, block, rounds,
+		core.Config{}, kernels.Tuned)
+	chain := choleskyChurnStats(threads, dim, block, rounds,
+		core.Config{Locality: core.LocalityConfig{Affinity: true, ChainDepth: 4}}, kernels.Tuned)
+
+	if base.st.Sched.ChainHits != 0 || base.st.Sched.AffinityPushes != 0 {
+		t.Fatalf("baseline exercised the locality layer: %+v", base.st.Sched)
+	}
+	if chain.st.Sched.ChainHits == 0 {
+		t.Fatalf("pipelined Cholesky never chained a successor: %+v", chain.st.Sched)
+	}
+	if chain.st.TasksExecuted != base.st.TasksExecuted {
+		t.Fatalf("locality layer changed the task count: %d vs %d",
+			chain.st.TasksExecuted, base.st.TasksExecuted)
+	}
+}

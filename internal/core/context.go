@@ -19,6 +19,10 @@ type ContextConfig struct {
 	// SchedLocality.  Each context has its own policy instance, so
 	// tenants with different policies can share one pool.
 	Scheduler SchedulerKind
+	// Locality gates this context's locality layer (affinity hints and
+	// successor chaining; see Config.Locality).  Per-context: tenants
+	// with and without it coexist on one pool.
+	Locality LocalityConfig
 	// DisableRenaming turns off the renaming engine, materializing
 	// WAR/WAW hazards as real edges (ablation).
 	DisableRenaming bool
@@ -84,6 +88,7 @@ type Context struct {
 	syncCopies   atomic.Int64
 	waiters      atomic.Int64
 	renamedBytes atomic.Int64
+	chainHits    atomic.Int64
 
 	errMu    sync.Mutex
 	firstErr error
@@ -121,6 +126,7 @@ func (p *Pool) NewContext(cfg ContextConfig) (*Context, error) {
 	c.tr.ShareStorage(p.store)
 	c.tr.DisableRenaming = cfg.DisableRenaming
 	c.tr.LegacyRenaming = cfg.LegacyRenaming
+	c.tr.AffinityHints = cfg.Locality.Affinity
 	// Reclaimed renamed storage wakes this context's submitter when it
 	// blocks on the memory limit — the parked wait's signal (paper §III).
 	c.tr.SetReclaimHook(func() {
@@ -163,11 +169,15 @@ func (c *Context) setErr(err error) {
 // (parking, shared free storage) live on Pool.Stats.
 func (c *Context) Stats() Stats {
 	d := c.tr.Stats()
+	sc := c.q.Stats()
+	// Chained tasks never touch the policy's queues; the runtime counts
+	// them and folds the gauge into the scheduler view.
+	sc.ChainHits = c.chainHits.Load()
 	return Stats{
 		TasksSubmitted:   c.submitted.Load(),
 		TasksExecuted:    c.executed.Load(),
 		Deps:             d,
-		Sched:            c.q.Stats(),
+		Sched:            sc,
 		SyncBackCopies:   c.syncCopies.Load(),
 		MainHelped:       c.mainHelped.Load(),
 		Renames:          d.Renames,
@@ -339,40 +349,69 @@ func (c *Context) submitOne(def *TaskDef, args []Arg) {
 	c.g.Seal(node)
 }
 
-// exec runs one task body on thread self.
+// exec runs one task body on thread self, then — with successor
+// chaining enabled — keeps running successors inline for as long as
+// each completion releases exactly one ready task, up to
+// Locality.ChainDepth per popped task.  A chained successor consumes
+// the operands its predecessor just produced while they are still in
+// this worker's cache, and pays no queue, wake, or steal traffic; it
+// never entered the scheduler, so no thief can ever claim it.  Chains
+// yield to queued high-priority work.
 func (c *Context) exec(n *graph.Node, self int) {
-	c.g.MarkRunning(n)
-	rec := n.Payload.(*taskRec)
-	// Seed renamed inout parameters.  The RAW edge on the previous
-	// producer guarantees the source contents are final.
-	for i := range rec.args {
-		if b := &rec.args[i]; b.copyFrom != nil {
-			b.copyFn(b.instance, b.copyFrom)
-			b.copyFrom = nil
+	chained := 0
+	for {
+		if self == c.slot {
+			// Only this context's submitter executes under its own slot
+			// (restricted lookups never serve other tenants), so this is
+			// the helped-while-blocked gauge — counted per task, so a
+			// chaining helper reports every link it ran.
+			c.mainHelped.Add(1)
 		}
-	}
-	c.tracr.EmitCtx(c.id, self, trace.EvStart, n.Kind, rec.def.Name, n.ID)
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				c.setErr(fmt.Errorf("core: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r))
+		c.g.MarkRunning(n)
+		rec := n.Payload.(*taskRec)
+		// Seed renamed inout parameters.  The RAW edge on the previous
+		// producer guarantees the source contents are final.
+		for i := range rec.args {
+			if b := &rec.args[i]; b.copyFrom != nil {
+				b.copyFn(b.instance, b.copyFrom)
+				b.copyFrom = nil
 			}
+		}
+		c.tracr.EmitCtx(c.id, self, trace.EvStart, n.Kind, rec.def.Name, n.ID)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.setErr(fmt.Errorf("core: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r))
+				}
+			}()
+			rec.def.Fn(&Args{rec: rec, ctx: c, worker: self})
 		}()
-		rec.def.Fn(&Args{rec: rec, ctx: c, worker: self})
-	}()
-	c.tracr.EmitCtx(c.id, self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
-	c.g.Complete(n, self)
-	c.executed.Add(1)
-	if rec.renamedBytes != 0 {
-		c.renamedBytes.Add(-rec.renamedBytes)
-	}
-	if c.outstanding.Add(-1) == 0 || c.waiters.Load() > 0 {
-		// Wake this context's blocked Barrier/WaitOn/throttle caller so
-		// it re-checks its condition.  Only the context's submitter waits
-		// on cancel conditions, so the wake targets its slot rather than
-		// broadcasting to every parked worker on every completion — and a
-		// completion in this context never wakes another tenant.
-		c.pool.mux.Wake(c.slot)
+		c.tracr.EmitCtx(c.id, self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
+		var next *graph.Node
+		if chained < c.cfg.Locality.ChainDepth && !c.q.HighPending() {
+			next = c.g.CompleteChain(n, self)
+		} else {
+			c.g.Complete(n, self)
+		}
+		c.executed.Add(1)
+		if rec.renamedBytes != 0 {
+			c.renamedBytes.Add(-rec.renamedBytes)
+		}
+		if c.outstanding.Add(-1) == 0 || c.waiters.Load() > 0 {
+			// Wake this context's blocked Barrier/WaitOn/throttle caller so
+			// it re-checks its condition.  Only the context's submitter waits
+			// on cancel conditions, so the wake targets its slot rather than
+			// broadcasting to every parked worker on every completion — and a
+			// completion in this context never wakes another tenant.
+			c.pool.mux.Wake(c.slot)
+		}
+		if next == nil {
+			return
+		}
+		chained++
+		c.chainHits.Add(1)
+		c.tracr.EmitCtx(c.id, self, trace.EvChain, next.Kind, next.Label, next.ID)
+		n = next
 	}
 }
 
@@ -389,8 +428,7 @@ func (c *Context) helpOnce(done func() bool) bool {
 	if n == nil {
 		return false
 	}
-	c.mainHelped.Add(1)
-	c.exec(n, c.slot)
+	c.exec(n, c.slot) // counts MainHelped per task executed, chains included
 	return true
 }
 

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChainHitsDeterministic pins successor chaining on the smallest
+// interesting graph: a 3-task inout chain at Workers: 1.  The submitter
+// pops the head from the injector at the barrier and each completion
+// releases exactly one successor, so both links chain inline —
+// ChainHits is exactly 2 at any chain-depth budget ≥ 2.
+func TestChainHitsDeterministic(t *testing.T) {
+	rt := New(Config{Workers: 1, Locality: LocalityConfig{ChainDepth: 4}})
+	defer rt.Close()
+	x := make([]float32, 8)
+	rt.Submit(fillDef, Out(x), Value(1.0))
+	rt.Submit(scaleDef, InOut(x), Value(2.0))
+	rt.Submit(scaleDef, InOut(x), Value(3.0))
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 6 {
+		t.Fatalf("x[0] = %v, want 6", x[0])
+	}
+	if st := rt.Stats(); st.Sched.ChainHits != 2 {
+		t.Fatalf("ChainHits = %d, want 2 (3-task chain, one pop)", st.Sched.ChainHits)
+	}
+}
+
+// TestChainDepthBounded: with ChainDepth 1 a 5-task chain must re-enter
+// the scheduler after every chained link — pop, chain, pop, chain, pop
+// — so exactly 2 of the 4 links chain.
+func TestChainDepthBounded(t *testing.T) {
+	rt := New(Config{Workers: 1, Locality: LocalityConfig{ChainDepth: 1}})
+	defer rt.Close()
+	x := make([]float32, 8)
+	rt.Submit(fillDef, Out(x), Value(1.0))
+	for i := 0; i < 4; i++ {
+		rt.Submit(scaleDef, InOut(x), Value(2.0))
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 16 {
+		t.Fatalf("x[0] = %v, want 16", x[0])
+	}
+	st := rt.Stats()
+	if st.Sched.ChainHits != 2 {
+		t.Fatalf("ChainHits = %d, want 2 under depth bound 1", st.Sched.ChainHits)
+	}
+	if st.TasksExecuted != 5 {
+		t.Fatalf("executed %d, want 5", st.TasksExecuted)
+	}
+}
+
+// TestChainDisabledByDefault: the zero-value Locality config is the
+// baseline — no chaining, no affinity pushes.
+func TestChainDisabledByDefault(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	defer rt.Close()
+	x := make([]float32, 8)
+	rt.Submit(fillDef, Out(x), Value(1.0))
+	rt.Submit(scaleDef, InOut(x), Value(2.0))
+	rt.Submit(scaleDef, InOut(x), Value(2.0))
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.Sched.ChainHits != 0 || st.Sched.AffinityPushes != 0 {
+		t.Fatalf("baseline config exercised the locality layer: %+v", st.Sched)
+	}
+}
+
+// TestAffinityHintsStats pins the affinity path end to end at
+// Workers: 1: after a barrier the producer has completed on worker 0,
+// so the next writer over the same data is ready at submission with a
+// hint and must land on deque 0 instead of the injector.
+func TestAffinityHintsStats(t *testing.T) {
+	rt := New(Config{Workers: 1, Locality: LocalityConfig{Affinity: true}})
+	defer rt.Close()
+	x := make([]float32, 8)
+	rt.Submit(fillDef, Out(x), Value(1.0))
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Submit(scaleDef, InOut(x), Value(2.0))
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 {
+		t.Fatalf("x[0] = %v, want 2", x[0])
+	}
+	st := rt.Stats()
+	if st.Sched.AffinityPushes != 1 {
+		t.Fatalf("AffinityPushes = %d, want 1 (hinted scale task)", st.Sched.AffinityPushes)
+	}
+	if st.Sched.AffinityMisses != 0 {
+		t.Fatalf("AffinityMisses = %d, want 0", st.Sched.AffinityMisses)
+	}
+}
+
+// TestChainInvariantUnderRace is the chaining safety test the locality
+// layer must pass under -race with real parallelism (the CI race job
+// runs it at GOMAXPROCS=4): a chained successor bypasses the queues, so
+// it must never also be claimed by a thief.  Every task CASes a
+// per-instance "ran" flag — a double execution (chain + steal of the
+// same node) trips it — and a per-chain busy flag proves two tasks of
+// one inout chain never overlap.
+func TestChainInvariantUnderRace(t *testing.T) {
+	const (
+		chains = 16
+		depth  = 50
+	)
+	rt := New(Config{Workers: 8, Locality: LocalityConfig{Affinity: true, ChainDepth: 4}})
+	defer rt.Close()
+
+	ran := make([]atomic.Bool, chains*(depth+1))
+	busy := make([]atomic.Bool, chains)
+	step := NewTaskDef("chain_step_t", func(a *Args) {
+		x := a.F32(0)
+		id, chain := a.Int(1), a.Int(2)
+		if !busy[chain].CompareAndSwap(false, true) {
+			panic("two tasks of one chain ran concurrently")
+		}
+		if !ran[id].CompareAndSwap(false, true) {
+			panic("task executed twice (chained and stolen)")
+		}
+		x[0]++
+		busy[chain].Store(false)
+	})
+
+	bufs := make([][]float32, chains)
+	b := rt.NewBatch()
+	for c := 0; c < chains; c++ {
+		bufs[c] = make([]float32, 8)
+		for i := 0; i <= depth; i++ {
+			b.Add(step, InOut(bufs[c]), Value(c*(depth+1)+i), Value(c))
+		}
+	}
+	b.Submit()
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	for c := range bufs {
+		if got := bufs[c][0]; got != depth+1 {
+			t.Fatalf("chain %d ran %v steps, want %d", c, got, depth+1)
+		}
+	}
+	st := rt.Stats()
+	if st.TasksExecuted != chains*(depth+1) {
+		t.Fatalf("executed %d, want %d", st.TasksExecuted, chains*(depth+1))
+	}
+	if st.Sched.ChainHits == 0 {
+		t.Fatalf("dependent chains at depth 4 never chained: %+v", st.Sched)
+	}
+}
+
+// BenchmarkChainDepth sweeps the successor-chaining depth on a
+// chain-heavy workload; the CI race job runs it at -benchtime=1x as a
+// smoke test that every depth configuration survives the race detector.
+func BenchmarkChainDepth(b *testing.B) {
+	for _, depth := range []int{0, 1, 4, 16} {
+		b.Run("d"+strconv.Itoa(depth), func(b *testing.B) {
+			rt := New(Config{Workers: 4, Locality: LocalityConfig{Affinity: depth > 0, ChainDepth: depth}})
+			defer rt.Close()
+			const chains, length = 8, 64
+			bufs := make([][]float32, chains)
+			for c := range bufs {
+				bufs[c] = make([]float32, 256)
+			}
+			batch := rt.NewBatch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for c := range bufs {
+					batch.Add(fillDef, Out(bufs[c]), Value(1.0))
+					for k := 0; k < length; k++ {
+						batch.Add(scaleDef, InOut(bufs[c]), Value(1.0))
+					}
+				}
+				batch.Submit()
+				if err := rt.Barrier(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,29 @@ const (
 	SchedLegacyLists
 )
 
+// LocalityConfig gates the scheduler's locality layer: the paper's
+// cache-affinity placement (§III) rebuilt on top of the work-stealing
+// mux instead of the seed's locality lists.  The zero value keeps the
+// plain work-stealing behavior as the measured baseline.
+type LocalityConfig struct {
+	// Affinity records, at dependency-analysis time, the worker that
+	// last wrote each accessed version; a task that is ready at
+	// submission is then pushed to that worker's deque — where its
+	// operands are plausibly still cache-hot — instead of the shared
+	// injector, and a push wakes the hinted worker when it is parked.
+	// Tasks released by a completion are unaffected (they already land
+	// on the releasing worker's deque).
+	Affinity bool
+	// ChainDepth bounds inline successor chaining: when a completing
+	// task releases exactly one ready successor, the executing worker
+	// runs it directly — bypassing the deques, the wake protocol, and
+	// any thief — keeping the produced operands in cache.  At most
+	// ChainDepth successors chain per task popped from the scheduler;
+	// zero or negative disables chaining.  Chains yield to queued
+	// high-priority work.
+	ChainDepth int
+}
+
 // DefaultGraphLimit is the open-task ceiling applied when Config.GraphLimit
 // is zero.  When the graph grows past it, the submitting thread behaves as
 // a worker until the graph shrinks — the paper's "graph size limit"
@@ -38,6 +61,9 @@ type Config struct {
 	Workers int
 	// Scheduler selects the scheduling policy; default SchedLocality.
 	Scheduler SchedulerKind
+	// Locality gates the scheduler's locality layer (affinity hints and
+	// successor chaining); the zero value keeps plain work stealing.
+	Locality LocalityConfig
 	// DisableRenaming turns off the renaming engine, materializing
 	// WAR/WAW hazards as real edges (ablation).
 	DisableRenaming bool
@@ -82,6 +108,7 @@ type Config struct {
 func (cfg Config) contextConfig() ContextConfig {
 	return ContextConfig{
 		Scheduler:         cfg.Scheduler,
+		Locality:          cfg.Locality,
 		DisableRenaming:   cfg.DisableRenaming,
 		LegacyRenaming:    cfg.LegacyRenaming,
 		GraphLimit:        cfg.GraphLimit,

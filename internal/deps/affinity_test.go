@@ -1,0 +1,65 @@
+package deps
+
+import "testing"
+
+// TestAffinityHintRecorded checks the tracker's side of the locality
+// layer: with AffinityHints on, a task whose operand's producer has
+// already completed carries that producer's worker identity as its
+// placement hint; a pending producer records nothing (its completion
+// places the successor via releasedBy instead).
+func TestAffinityHintRecorded(t *testing.T) {
+	h := newHarness()
+	h.tr.AffinityHints = true
+	x := make([]float32, 4)
+	w, _ := h.task(f32Access(x, ModeOut))
+
+	// Producer still pending: no hint.
+	early, _ := h.task(f32Access(x, ModeIn))
+	if got := early.Affinity(); got != -1 {
+		t.Fatalf("reader of a pending producer got hint %d, want none", got)
+	}
+
+	h.g.Complete(w, 5)
+
+	reader, _ := h.task(f32Access(x, ModeIn))
+	if got := reader.Affinity(); got != 5 {
+		t.Fatalf("reader hint = %d, want producer's worker 5", got)
+	}
+	writer, _ := h.task(f32Access(x, ModeInOut))
+	if got := writer.Affinity(); got != 5 {
+		t.Fatalf("inout hint = %d, want producer's worker 5", got)
+	}
+}
+
+// TestAffinityHintGated checks the default-off gate: without
+// AffinityHints no node ever carries a hint, so the scheduler's
+// behavior is bit-identical to the pre-locality baseline.
+func TestAffinityHintGated(t *testing.T) {
+	h := newHarness()
+	x := make([]float32, 4)
+	w, _ := h.task(f32Access(x, ModeOut))
+	h.g.Complete(w, 5)
+	reader, _ := h.task(f32Access(x, ModeIn))
+	if got := reader.Affinity(); got != -1 {
+		t.Fatalf("gated tracker recorded hint %d", got)
+	}
+}
+
+// TestTrueEdgesDeterministic pins the accounting fix: the RAW counter
+// reflects the logical dependency chain — it must not change when a
+// producer completes before its consumer is analyzed (the timing race
+// that used to force edge-count assertions onto Workers: 1).
+func TestTrueEdgesDeterministic(t *testing.T) {
+	h := newHarness()
+	x := make([]float32, 4)
+	w, _ := h.task(f32Access(x, ModeOut))
+	h.g.Complete(w, 0) // producer done before the consumers are analyzed
+	r, _ := h.task(f32Access(x, ModeIn))
+	if !h.isReady(r) {
+		t.Fatalf("reader of a completed producer must be ready at seal")
+	}
+	h.task(f32Access(x, ModeInOut))
+	if st := h.tr.Stats(); st.TrueEdges != 2 {
+		t.Fatalf("TrueEdges = %d, want the 2 logical RAW deps regardless of timing", st.TrueEdges)
+	}
+}

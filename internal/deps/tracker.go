@@ -233,7 +233,14 @@ type Stats struct {
 	// storage vs. fresh Alloc() calls.  They live in the pool, not the
 	// shards; Tracker.Stats fills them into the summed snapshot.
 	PoolHits, PoolMisses int64
-	// TrueEdges counts read-after-write edges added.
+	// TrueEdges counts read-after-write dependencies discovered at
+	// analysis time.  For version-tracked objects a dependency whose
+	// producer already completed adds no graph edge (it is already
+	// satisfied) but still counts, so the counter is a deterministic
+	// property of the submission order at any worker count — not of
+	// completion timing.  Region-tracked objects keep only live history
+	// (completed accesses are pruned), so their share of the counter
+	// remains timing-dependent.
 	TrueEdges int64
 	// FalseEdges counts WAR/WAW edges added; nonzero only for
 	// region-tracked objects or when renaming is disabled.
@@ -293,6 +300,15 @@ type Tracker struct {
 	// garbage collector.  Kept as the measured baseline for the
 	// ablation-rename experiment.  Must be set before the first access.
 	LegacyRenaming bool
+
+	// AffinityHints makes analysis record on each task node the worker
+	// that produced the version it accesses, when that producer has
+	// already completed: the scheduler's cue for placing a task that is
+	// ready at submission on the deque whose owner's cache plausibly
+	// still holds its operands (core.Config.Locality).  A still-pending
+	// producer needs no hint — its completion routes the successor
+	// through the releasing worker.
+	AffinityHints bool
 
 	pool   Pool
 	shards []shard
@@ -487,12 +503,37 @@ func (t *Tracker) analyzeLocked(sh *shard, node *graph.Node, a Access, holds *[]
 	panic("deps: invalid access mode")
 }
 
-func (t *Tracker) analyzeIn(sh *shard, node *graph.Node, obj *object, holds *[]versionHold) Resolution {
-	v := obj.cur
+// hintAffinity records on node the worker that executed the producer of
+// the version an access touches, when that producer has already
+// completed.  The last qualifying access wins; tasks with a pending
+// producer are released by its completion and placed by releasedBy
+// instead.
+func (t *Tracker) hintAffinity(node *graph.Node, v *version) {
+	if !t.AffinityHints || v.producer == nil || !v.producer.Done() {
+		return
+	}
+	node.SetAffinity(v.producer.ExecutedBy())
+}
+
+// trueDep accounts one read-after-write dependency of node on the
+// producer of v (nil-producer versions are pre-existing data).  The
+// physical edge is added only while the producer is pending; the
+// counter increments either way, keeping Stats.TrueEdges deterministic
+// at any worker count.  Callers hold the shard lock.
+func (t *Tracker) trueDep(sh *shard, node *graph.Node, v *version) {
+	if v.producer == nil {
+		return
+	}
+	sh.stats.TrueEdges++
 	if v.producerPending() {
 		t.g.AddEdge(v.producer, node)
-		sh.stats.TrueEdges++
 	}
+}
+
+func (t *Tracker) analyzeIn(sh *shard, node *graph.Node, obj *object, holds *[]versionHold) Resolution {
+	v := obj.cur
+	t.trueDep(sh, node, v)
+	t.hintAffinity(node, v)
 	v.pruneReaders()
 	v.readers = append(v.readers, node)
 	v.nreaders.Add(1)
@@ -546,6 +587,14 @@ func (t *Tracker) analyzeOut(sh *shard, node *graph.Node, obj *object, a Access,
 		// overwrite proceeds in place — no rename, no fresh storage.
 		sh.stats.RenamesElided++
 	}
+	if !renamed {
+		// The write lands in the previous version's storage, so the
+		// producer's worker cache hint is real.  A renamed write
+		// targets fresh pooled storage the hinted worker never touched
+		// — no hint (a renamed *inout* still hints: its seed copy
+		// reads the hinted worker's hot data).
+		t.hintAffinity(node, v)
+	}
 	nv := newVersion(node, res.Instance)
 	*holds = append(*holds, versionHold{v: nv})
 	t.supersede(obj, v, nv, renamed, bytes)
@@ -555,10 +604,8 @@ func (t *Tracker) analyzeOut(sh *shard, node *graph.Node, obj *object, a Access,
 func (t *Tracker) analyzeInOut(sh *shard, node *graph.Node, obj *object, a Access, holds *[]versionHold) Resolution {
 	v := obj.cur
 	res := Resolution{Instance: v.instance}
-	if v.producerPending() {
-		t.g.AddEdge(v.producer, node) // RAW: the task reads the old value
-		sh.stats.TrueEdges++
-	}
+	t.trueDep(sh, node, v) // RAW: the task reads the old value
+	t.hintAffinity(node, v)
 	var bytes int64
 	renamed := false
 	if v.nreaders.Load() > 0 {
@@ -599,10 +646,8 @@ func (t *Tracker) analyzeInOut(sh *shard, node *graph.Node, obj *object, a Acces
 // lazy Done() scans, no reference counting.
 func (t *Tracker) analyzeInLegacy(sh *shard, node *graph.Node, obj *object) Resolution {
 	v := obj.cur
-	if v.producerPending() {
-		t.g.AddEdge(v.producer, node)
-		sh.stats.TrueEdges++
-	}
+	t.trueDep(sh, node, v)
+	t.hintAffinity(node, v)
 	v.pruneReaders()
 	v.readers = append(v.readers, node)
 	return Resolution{Instance: v.instance}
@@ -632,6 +677,9 @@ func (t *Tracker) analyzeOutLegacy(sh *shard, node *graph.Node, obj *object, a A
 			sh.stats.Renames++
 		}
 	}
+	if !res.Renamed {
+		t.hintAffinity(node, v) // in-place write only; see analyzeOut
+	}
 	obj.cur = newVersion(node, res.Instance)
 	return res
 }
@@ -641,10 +689,8 @@ func (t *Tracker) analyzeInOutLegacy(sh *shard, node *graph.Node, obj *object, a
 	v := obj.cur
 	v.pruneReaders()
 	res := Resolution{Instance: v.instance}
-	if v.producerPending() {
-		t.g.AddEdge(v.producer, node) // RAW: the task reads the old value
-		sh.stats.TrueEdges++
-	}
+	t.trueDep(sh, node, v) // RAW: the task reads the old value
+	t.hintAffinity(node, v)
 	if len(v.readers) > 0 {
 		if t.DisableRenaming {
 			for _, r := range v.readers {

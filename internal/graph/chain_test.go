@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"testing"
+)
+
+// chainHarness builds a graph whose readiness callback logs node IDs,
+// for the successor-chaining contract tests.
+type chainHarness struct {
+	g     *Graph
+	fired []int64
+}
+
+func newChainHarness() *chainHarness {
+	h := &chainHarness{}
+	h.g = New(func(n *Node, by int) { h.fired = append(h.fired, n.ID) })
+	return h
+}
+
+func (h *chainHarness) node(prio bool, preds ...*Node) *Node {
+	n := h.g.AddNode(0, "t", prio, nil)
+	for _, p := range preds {
+		h.g.AddEdge(p, n)
+	}
+	h.g.Seal(n)
+	return n
+}
+
+func (h *chainHarness) firedID(id int64) bool {
+	for _, f := range h.fired {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCompleteChainExactlyOne pins the chaining contract: a completion
+// that releases exactly one non-priority successor returns it in the
+// Ready state without firing the readiness callback — the task never
+// enters a queue, so no thief can observe it.
+func TestCompleteChainExactlyOne(t *testing.T) {
+	h := newChainHarness()
+	a := h.node(false)
+	b := h.node(false, a)
+	h.fired = nil
+	got := h.g.CompleteChain(a, 3)
+	if got != b {
+		t.Fatalf("CompleteChain = %v, want successor b", got)
+	}
+	if b.State() != StateReady {
+		t.Fatalf("chained successor state = %v, want ready", b.State())
+	}
+	if h.firedID(b.ID) {
+		t.Fatalf("chained successor must bypass the readiness callback")
+	}
+	if a.ExecutedBy() != 3 {
+		t.Fatalf("ExecutedBy = %d, want 3", a.ExecutedBy())
+	}
+}
+
+// TestCompleteChainFanOut: releasing two successors means real
+// parallelism is available — both must go to the scheduler.
+func TestCompleteChainFanOut(t *testing.T) {
+	h := newChainHarness()
+	a := h.node(false)
+	b := h.node(false, a)
+	c := h.node(false, a)
+	h.fired = nil
+	if got := h.g.CompleteChain(a, 0); got != nil {
+		t.Fatalf("fan-out completion chained %v, want nil", got)
+	}
+	if !h.firedID(b.ID) || !h.firedID(c.ID) {
+		t.Fatalf("fan-out successors not both released: fired %v", h.fired)
+	}
+}
+
+// TestCompleteChainSkipsPriority: a high-priority successor must reach
+// the scheduler's high-priority lane, never an inline chain.
+func TestCompleteChainSkipsPriority(t *testing.T) {
+	h := newChainHarness()
+	a := h.node(false)
+	b := h.node(true, a)
+	h.fired = nil
+	if got := h.g.CompleteChain(a, 0); got != nil {
+		t.Fatalf("priority successor chained as %v, want nil", got)
+	}
+	if !h.firedID(b.ID) {
+		t.Fatalf("priority successor was not released to the scheduler")
+	}
+}
+
+// TestCompleteChainSuccessorStillPending: a successor with another
+// incomplete predecessor is not released, so nothing chains.
+func TestCompleteChainSuccessorStillPending(t *testing.T) {
+	h := newChainHarness()
+	a := h.node(false)
+	other := h.node(false)
+	b := h.node(false, a, other)
+	if got := h.g.CompleteChain(a, 0); got != nil {
+		t.Fatalf("pending successor chained as %v, want nil", got)
+	}
+	if h.firedID(b.ID) {
+		t.Fatalf("successor released with a predecessor still pending")
+	}
+	// The remaining predecessor's completion may chain it.
+	if got := h.g.CompleteChain(other, 1); got != b {
+		t.Fatalf("final predecessor did not chain the successor: %v", got)
+	}
+}
+
+// TestAffinityZeroValue pins the bias encoding: a zero-value Node (the
+// scheduler tests build literals) carries no hint, and SetAffinity
+// round-trips worker identities including 0.
+func TestAffinityZeroValue(t *testing.T) {
+	var n Node
+	if got := n.Affinity(); got != -1 {
+		t.Fatalf("zero-value affinity = %d, want -1", got)
+	}
+	if got := n.ExecutedBy(); got != -1 {
+		t.Fatalf("zero-value executedBy = %d, want -1", got)
+	}
+	n.SetAffinity(0)
+	if got := n.Affinity(); got != 0 {
+		t.Fatalf("affinity after SetAffinity(0) = %d, want 0", got)
+	}
+	n.SetAffinity(-1) // no-op: negative identities are "no hint"
+	if got := n.Affinity(); got != 0 {
+		t.Fatalf("SetAffinity(-1) overwrote the hint: %d", got)
+	}
+}

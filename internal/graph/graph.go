@@ -83,6 +83,19 @@ type Node struct {
 	pending atomic.Int32
 	state   atomic.Int32
 
+	// executedBy records, biased by +1 so the zero value means "not
+	// executed", the worker identity that completed the task.  It is
+	// written by Complete immediately before the Done state store, so
+	// any thread that observes Done also observes the worker id — the
+	// dependency tracker reads it to compute affinity hints.
+	executedBy int32
+	// affinity is the scheduler placement hint, biased by +1 so the
+	// zero value means "no hint": the worker that last wrote one of the
+	// task's operands.  Written by the submitting thread during
+	// analysis (before Seal) and read by the scheduling policy when the
+	// node becomes ready.
+	affinity int32
+
 	mu    sync.Mutex
 	succs []*Node
 	// hooks are the completion observers registered with OnComplete,
@@ -101,6 +114,23 @@ func (n *Node) Done() bool { return n.State() == StateDone }
 
 // NumPredecessors returns the number of true-dependency edges into the node.
 func (n *Node) NumPredecessors() int { return int(atomic.LoadInt32(&n.npred)) }
+
+// ExecutedBy returns the worker identity that completed the task, or
+// MainThread if the task has not completed.  Meaningful only after
+// Done() reports true.
+func (n *Node) ExecutedBy() int { return int(n.executedBy) - 1 }
+
+// SetAffinity records a scheduler placement hint: the worker whose
+// cache plausibly holds the task's operands.  Must be called before
+// Seal (the hint is published by the node's readiness transition).
+func (n *Node) SetAffinity(worker int) {
+	if worker >= 0 {
+		n.affinity = int32(worker) + 1
+	}
+}
+
+// Affinity returns the placement hint set by SetAffinity, or -1.
+func (n *Node) Affinity() int { return int(n.affinity) - 1 }
 
 // OnComplete registers a completion observer: f runs exactly once, after
 // the node transitions to Done and its successors have been released.
@@ -233,6 +263,26 @@ func (g *Graph) MarkRunning(n *Node) { n.state.Store(int32(StateRunning)) }
 // releasedBy = worker, implementing the SMPSs policy that a task made
 // ready by a worker lands on that worker's own ready list.
 func (g *Graph) Complete(n *Node, worker int) {
+	g.complete(n, worker, false)
+}
+
+// CompleteChain is Complete for a worker prepared to run one released
+// successor inline (the scheduler's successor chaining).  When the
+// completion releases exactly one successor and it is not
+// high-priority, that node is returned in the Ready state *without*
+// firing the readiness callback: it never enters a queue, so no thief
+// can ever claim it, and the caller must execute it.  In every other
+// case (zero released, several released, or a high-priority successor)
+// it behaves exactly like Complete and returns nil.
+func (g *Graph) CompleteChain(n *Node, worker int) *Node {
+	return g.complete(n, worker, true)
+}
+
+func (g *Graph) complete(n *Node, worker int, chain bool) *Node {
+	// Publish the executing worker before the Done store: a reader that
+	// observes Done (the tracker's affinity-hint probe) is guaranteed to
+	// see the worker id.
+	n.executedBy = int32(worker) + 1
 	n.mu.Lock()
 	n.state.Store(int32(StateDone))
 	succs := n.succs
@@ -240,10 +290,29 @@ func (g *Graph) Complete(n *Node, worker int) {
 	n.succs, n.hooks = nil, nil
 	n.mu.Unlock()
 
+	// kept is the candidate for inline chaining: the first non-priority
+	// successor this completion released, withheld from the readiness
+	// callback until a second release proves the completion fans out.
+	var kept *Node
 	for _, s := range succs {
-		if s.pending.Add(-1) == 0 {
-			g.fireReady(s, worker)
+		if s.pending.Add(-1) != 0 {
+			continue
 		}
+		if chain && kept == nil && !s.Priority {
+			kept = s
+			continue
+		}
+		if kept != nil {
+			// A second successor became ready: chaining would hide
+			// parallelism, so both go to the scheduler.
+			g.fireReady(kept, worker)
+			kept = nil
+		}
+		chain = false
+		g.fireReady(s, worker)
+	}
+	if kept != nil {
+		kept.state.Store(int32(StateReady))
 	}
 	// Observers fire after successors are released: dependents launch
 	// first, memory bookkeeping second.
@@ -252,4 +321,5 @@ func (g *Graph) Complete(n *Node, worker int) {
 	}
 	n.Payload = nil
 	g.open.Add(-1)
+	return kept
 }

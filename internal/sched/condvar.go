@@ -31,6 +31,10 @@ func NewListLocality(nworkers int) *ListLocality {
 	return &ListLocality{own: make([]queue, nworkers)}
 }
 
+// HighPending reports whether high-priority work is queued, so
+// successor chaining yields to it under this policy too.
+func (s *ListLocality) HighPending() bool { return s.high.size() > 0 }
+
 // Push implements Policy.
 func (s *ListLocality) Push(n *graph.Node, releasedBy int) bool {
 	switch {

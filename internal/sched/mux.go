@@ -49,6 +49,17 @@ func (c *Client) Queued() int64 { return c.queued.Load() }
 // another's snapshot.
 func (c *Client) Stats() Stats { return c.policy.Stats() }
 
+// HighPending reports whether the client's policy has high-priority
+// work queued; policies without a high-priority lane report false.  The
+// runtime's successor chaining consults it so an inline chain never
+// outruns a waiting high-priority task.
+func (c *Client) HighPending() bool {
+	if hp, ok := c.policy.(interface{ HighPending() bool }); ok {
+		return hp.HighPending()
+	}
+	return false
+}
+
 // Mux dispatches ready tasks from many Clients to one shared set of
 // workers.  Two implementations exist: TokenMux, the per-worker parking
 // protocol, and CondvarMux, the seed's global condvar generalized to
@@ -96,6 +107,27 @@ type muxBase struct {
 	clients atomic.Pointer[[]*Client]
 	cmu     sync.Mutex
 	cursor  []muxCursor
+	// active counts clients with at least one queued task (maintained on
+	// the queued gauge's 0↔1 crossings).  The wake-elision override
+	// reads it: a lone self-push is safe to elide exactly while no other
+	// tenant has queued work the releasing worker's round-robin scan
+	// could serve first.
+	active atomic.Int64
+}
+
+// enqueue bumps the client's in-flight gauge, tracking the
+// zero-crossing in the active-client count.
+func (b *muxBase) enqueue(c *Client) {
+	if c.queued.Add(1) == 1 {
+		b.active.Add(1)
+	}
+}
+
+// dequeue is enqueue's inverse, called when a lookup pops a task.
+func (b *muxBase) dequeue(c *Client) {
+	if c.queued.Add(-1) == 0 {
+		b.active.Add(-1)
+	}
 }
 
 func (b *muxBase) init(nslots int) {
@@ -141,7 +173,7 @@ func (b *muxBase) tryNext(self int, only *Client) *graph.Node {
 			return nil
 		}
 		if n := only.policy.TryNext(self); n != nil {
-			only.queued.Add(-1)
+			b.dequeue(only)
 			return n
 		}
 		return nil
@@ -157,7 +189,7 @@ func (b *muxBase) tryNext(self int, only *Client) *graph.Node {
 			continue
 		}
 		if n := c.policy.TryNext(self); n != nil {
-			c.queued.Add(-1)
+			b.dequeue(c)
 			b.cursor[self].v = uint32((start + i + 1) % len(cs))
 			return n
 		}
@@ -216,19 +248,33 @@ func (m *TokenMux) Detach(c *Client) { m.detach(c) }
 // client's parked submitter (if any) is handed a token too — with zero
 // dedicated workers the submitter is the only thread that can execute.
 func (m *TokenMux) Push(c *Client, n *graph.Node, releasedBy int) {
-	c.queued.Add(1)
+	m.enqueue(c)
 	wake := c.policy.Push(n, releasedBy)
-	if !wake && len(*m.clients.Load()) > 1 {
+	if !wake && m.active.Load() > 1 {
 		// The policy elided the wake on the premise that the releasing
 		// worker pops this task on its very next lookup.  That holds
-		// only while this client is the pool's sole tenant: with
-		// several attached, the worker's round-robin scan may hand it
-		// another context's (arbitrarily long) task first, leaving the
-		// lone successor stranded with every other worker parked.
+		// only while this client is the only one with queued work: if
+		// another tenant has tasks in flight, the worker's round-robin
+		// scan may hand it that context's (arbitrarily long) task
+		// first, leaving the lone successor stranded with every other
+		// worker parked.  The active-client gauge makes the check
+		// precise — a pool with many *attached* but idle tenants keeps
+		// the single-runtime elision.  (If a second tenant's push races
+		// this load, at most one of the two elides: the active counter
+		// is a single atomic, so the later pusher observes both
+		// clients active and wakes.)
 		wake = true
 	}
 	if wake {
-		m.unparkOne()
+		// A task carrying an affinity hint wakes the hinted worker when
+		// it is parked — the wake-to-data counterpart of the hinted
+		// push.  If the hinted worker is not idle (or loses the race to
+		// a concurrent unpark), fall back to the LIFO idle stack so the
+		// push's wake is never swallowed.
+		if h := n.Affinity(); h < 0 || h >= len(m.inIdle) ||
+			!m.inIdle[h].Load() || !m.wakeIdle(h) {
+			m.unparkOne()
+		}
 		if c.waiting.Load() {
 			// Targeted token for the client's parked submitter.  Not
 			// counted as an unpark: the one-slot buffer may drop it as a
@@ -390,15 +436,12 @@ func (m *TokenMux) Get(self int, only *Client, cancel func() bool) *graph.Node {
 	}
 }
 
-// Wake implements Mux: a targeted nudge so worker slot re-evaluates its
-// cancel condition.  An unrestricted idle worker is popped off the idle
-// stack; otherwise the token is delivered directly — that is how a
-// context's parked submitter (which never joins the idle stack) is
-// woken by its completions and its tracker's reclaim hook.
-func (m *TokenMux) Wake(slot int) {
-	if slot < 0 || slot >= len(m.parker) {
-		return
-	}
+// wakeIdle pops worker slot off the idle stack and delivers its token,
+// reporting whether the worker was actually idle.  The affinity wake
+// uses the report to fall back to unparkOne when the hinted worker was
+// concurrently claimed — a push's wake must never be swallowed by a
+// token buffered at a busy worker.
+func (m *TokenMux) wakeIdle(slot int) bool {
 	m.mu.Lock()
 	idle := m.inIdle[slot].Load()
 	if idle {
@@ -412,9 +455,24 @@ func (m *TokenMux) Wake(slot int) {
 		m.nidle.Add(-1)
 	}
 	m.mu.Unlock()
-	m.token(slot)
 	if idle {
+		m.token(slot)
 		m.unparks.Add(1)
+	}
+	return idle
+}
+
+// Wake implements Mux: a targeted nudge so worker slot re-evaluates its
+// cancel condition.  An unrestricted idle worker is popped off the idle
+// stack; otherwise the token is delivered directly — that is how a
+// context's parked submitter (which never joins the idle stack) is
+// woken by its completions and its tracker's reclaim hook.
+func (m *TokenMux) Wake(slot int) {
+	if slot < 0 || slot >= len(m.parker) {
+		return
+	}
+	if !m.wakeIdle(slot) {
+		m.token(slot)
 	}
 }
 
@@ -491,7 +549,7 @@ func (m *CondvarMux) Detach(c *Client) { m.detach(c) }
 // Push implements Mux.  The legacy protocol ignores the policy's wake
 // hint: every push broadcasts while anyone sleeps.
 func (m *CondvarMux) Push(c *Client, n *graph.Node, releasedBy int) {
-	c.queued.Add(1)
+	m.enqueue(c)
 	c.policy.Push(n, releasedBy)
 	if m.sleepers.Load() == 0 {
 		return

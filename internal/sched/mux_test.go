@@ -296,19 +296,36 @@ func TestRestrictedGetReachesBusyWorkersDeque(t *testing.T) {
 	}
 }
 
+// stickyPolicy is a test double whose queued tasks can never be popped
+// — the mux-level model of a tenant whose work is perpetually "being
+// handled elsewhere".  It keeps the client's queued gauge (and so the
+// mux's active-client count) pinned above zero.
+type stickyPolicy struct{ n atomic.Int64 }
+
+func (p *stickyPolicy) Push(node *graph.Node, by int) bool { p.n.Add(1); return true }
+func (p *stickyPolicy) TryNext(self int) *graph.Node       { return nil }
+func (p *stickyPolicy) Len() int                           { return int(p.n.Load()) }
+func (p *stickyPolicy) Stats() Stats                       { return Stats{} }
+
 // TestMultiTenantSelfPushWakes pins the elision boundary: a lone
 // self-push on a dedicated worker's deque skips the wake only while its
-// client is the pool's sole tenant.  With a second client attached the
-// releasing worker's next lookup may serve the other tenant first, so
-// the push must wake a parked worker to cover the successor.
+// client is the only one with queued work.  With a second tenant
+// *active* the releasing worker's next round-robin lookup may serve
+// that tenant's (arbitrarily long) task first, so the push must wake a
+// parked worker to cover the successor.
 func TestMultiTenantSelfPushWakes(t *testing.T) {
 	m := NewTokenMux(4)
 	a := m.Attach(NewLocalityShared(4, 2), 0)
-	m.Attach(NewLocalityShared(4, 2), 1)
+	b := m.Attach(&stickyPolicy{}, 1)
+	// Tenant B has queued work no lookup can claim, so the pool stays
+	// genuinely multi-active while worker 3 parks.
+	m.Push(b, mkNode(100, false), graph.MainThread)
 
 	got := make(chan *graph.Node, 1)
 	go func() { got <- m.Get(3, nil, nil) }()
-	time.Sleep(20 * time.Millisecond) // let worker 3 park
+	for m.Stats().Parks == 0 {
+		time.Sleep(time.Millisecond) // let worker 3 park
+	}
 
 	// Dedicated worker 2 releases a lone successor onto its own deque —
 	// the single-tenant elision case — while "stuck" elsewhere.
@@ -319,7 +336,43 @@ func TestMultiTenantSelfPushWakes(t *testing.T) {
 			t.Fatalf("woken worker got %v, want task 5", n)
 		}
 	case <-time.After(2 * time.Second):
-		t.Fatalf("multi-tenant self-push elided its wake; successor stranded")
+		t.Fatalf("multi-active self-push elided its wake; successor stranded")
 	}
 	m.Close()
+}
+
+// TestIdleTenantKeepsWakeElision is the other side of the boundary:
+// attaching a second tenant that has no work in flight must not cost
+// the first tenant its lone-self-push wake elision (the PR that
+// introduced the mux disabled it for any >1-client pool).  The parked
+// worker must stay parked — the releasing worker pops the successor
+// itself on its next lookup.
+func TestIdleTenantKeepsWakeElision(t *testing.T) {
+	m := NewTokenMux(4)
+	a := m.Attach(NewLocalityShared(4, 2), 0)
+	m.Attach(NewLocalityShared(4, 2), 1) // attached but idle
+
+	got := make(chan *graph.Node, 1)
+	go func() { got <- m.Get(3, nil, nil) }()
+	for m.Stats().Parks == 0 {
+		time.Sleep(time.Millisecond) // let worker 3 park
+	}
+
+	// Lone self-push by dedicated worker 2: with the only other tenant
+	// idle, the single-runtime elision applies.
+	m.Push(a, mkNode(7, false), 2)
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case n := <-got:
+		t.Fatalf("idle-tenant pool woke a thief for a lone self-push (task %d)", n.ID)
+	default:
+	}
+	if up := m.Stats().Unparks; up != 0 {
+		t.Fatalf("lone self-push unparked %d workers with the other tenant idle", up)
+	}
+	// Cleanup: Close wakes worker 3, which drains the elided task.
+	m.Close()
+	if n := <-got; n == nil || n.ID != 7 {
+		t.Fatalf("drain after Close = %v, want task 7", n)
+	}
 }

@@ -26,6 +26,18 @@ type Stats struct {
 	// Spills counts tasks that overflowed a bounded worker deque onto the
 	// injector.
 	Spills int64
+	// AffinityPushes counts ready-at-submission tasks placed on the
+	// deque of the worker that last wrote one of their operands (the
+	// locality layer's affinity hints) instead of the shared injector.
+	AffinityPushes int64
+	// AffinityMisses counts affinity-hinted tasks that fell back to the
+	// injector because the hinted deque was full.
+	AffinityMisses int64
+	// ChainHits counts successors a completing worker ran inline
+	// (successor chaining), bypassing the queues and wake protocol
+	// entirely.  Tracked by the runtime, not the policy: a chained task
+	// never enters a queue.
+	ChainHits int64
 	// Parks and Unparks count workers going to sleep and being woken.
 	// They are tracked by the Scheduler wrapper, not the policy.
 	Parks, Unparks int64
@@ -76,14 +88,20 @@ type Locality struct {
 	// steals stay polite (one task, never a victim's last).
 	helpers int
 
-	pushHigh, pushOwn, pushMain atomic.Int64
-	popHigh, popOwn, popMain    atomic.Int64
-	steals, stealBatches        atomic.Int64
-	spills                      atomic.Int64
+	pushHigh, pushOwn, pushMain    atomic.Int64
+	popHigh, popOwn, popMain       atomic.Int64
+	steals, stealBatches           atomic.Int64
+	spills                         atomic.Int64
+	affinityPushes, affinityMisses atomic.Int64
 	// highLen mirrors high's length so the wake-elision check on the
 	// self-push fast path costs one atomic load, not a queue lock.
 	highLen atomic.Int64
 }
+
+// HighPending reports whether high-priority work is queued.  The
+// runtime's successor chaining checks it so an inline chain never makes
+// a worker skip over a waiting high-priority task.
+func (s *Locality) HighPending() bool { return s.highLen.Load() > 0 }
 
 // NewLocality creates the paper's scheduler for nworkers workers
 // (including the main thread, which participates with identity 0 when it
@@ -155,8 +173,26 @@ func (s *Locality) Push(n *graph.Node, releasedBy int) bool {
 		s.spills.Add(1)
 		s.pushMain.Add(1)
 	default:
-		// Ready at submission: the injector is the distribution point
-		// for unexplored regions of the graph.
+		// Ready at submission.  With an affinity hint — the tracker saw
+		// this task's operands last written by a worker that has already
+		// completed — the task goes to that worker's deque, where the
+		// data is plausibly still cache-hot (paper §III's locality lists,
+		// rebuilt on the stealing substrate: the task stays stealable if
+		// the hinted worker is busy).  Hints to helper slots are honored
+		// only when the pool has no dedicated workers (a Workers: 1
+		// runtime, where the submitter is the only executor): otherwise
+		// the task would sit in a deque no dedicated worker owns and
+		// cost a forced steal instead of a direct injector pop.
+		// Unhinted tasks take the injector, the distribution point for
+		// unexplored regions of the graph.
+		if h := n.Affinity(); h >= 0 && h < len(s.deques) &&
+			(h >= s.helpers || len(s.deques) == s.helpers) {
+			if _, ok := s.deques[h].pushBack(n); ok {
+				s.affinityPushes.Add(1)
+				return true
+			}
+			s.affinityMisses.Add(1)
+		}
 		s.inject.pushBack(n)
 		s.pushMain.Add(1)
 	}
@@ -247,15 +283,17 @@ func (s *Locality) Len() int {
 // Stats implements Policy.
 func (s *Locality) Stats() Stats {
 	return Stats{
-		PushHigh:     s.pushHigh.Load(),
-		PushOwn:      s.pushOwn.Load(),
-		PushMain:     s.pushMain.Load(),
-		PopHigh:      s.popHigh.Load(),
-		PopOwn:       s.popOwn.Load(),
-		PopMain:      s.popMain.Load(),
-		Steals:       s.steals.Load(),
-		StealBatches: s.stealBatches.Load(),
-		Spills:       s.spills.Load(),
+		PushHigh:       s.pushHigh.Load(),
+		PushOwn:        s.pushOwn.Load(),
+		PushMain:       s.pushMain.Load(),
+		PopHigh:        s.popHigh.Load(),
+		PopOwn:         s.popOwn.Load(),
+		PopMain:        s.popMain.Load(),
+		Steals:         s.steals.Load(),
+		StealBatches:   s.stealBatches.Load(),
+		Spills:         s.spills.Load(),
+		AffinityPushes: s.affinityPushes.Load(),
+		AffinityMisses: s.affinityMisses.Load(),
 	}
 }
 
@@ -272,6 +310,10 @@ type GlobalFIFO struct {
 
 // NewGlobalFIFO creates the central-queue ablation policy.
 func NewGlobalFIFO() *GlobalFIFO { return &GlobalFIFO{} }
+
+// HighPending reports whether high-priority work is queued, so
+// successor chaining yields to it under this policy too.
+func (s *GlobalFIFO) HighPending() bool { return s.high.size() > 0 }
 
 // Push implements Policy.
 func (s *GlobalFIFO) Push(n *graph.Node, releasedBy int) bool {

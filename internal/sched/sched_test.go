@@ -319,3 +319,37 @@ func TestSchedulerConcurrentProducersConsumers(t *testing.T) {
 		t.Fatalf("expected a mix of destinations: %+v", st)
 	}
 }
+
+// TestAffinityPushPlacement pins the hint-honoring rules: a hint to a
+// dedicated worker lands on that worker's deque; a hint to a helper
+// slot falls back to the injector while dedicated workers exist (the
+// task would otherwise cost a forced steal); and on a pool with no
+// dedicated workers (a Workers: 1 runtime) the helper hint is honored —
+// the submitter is the only executor.
+func TestAffinityPushPlacement(t *testing.T) {
+	s := NewLocalityShared(4, 1) // slot 0: helper, slots 1-3: dedicated
+	hinted := mkNode(1, false)
+	hinted.SetAffinity(2)
+	s.Push(hinted, graph.MainThread)
+	if st := s.Stats(); st.AffinityPushes != 1 || st.PushMain != 0 {
+		t.Fatalf("dedicated-worker hint not honored: %+v", st)
+	}
+	if n := s.deques[2].popBack(); n == nil || n.ID != 1 {
+		t.Fatalf("hinted task not on deque 2: %v", n)
+	}
+
+	toHelper := mkNode(2, false)
+	toHelper.SetAffinity(0)
+	s.Push(toHelper, graph.MainThread)
+	if st := s.Stats(); st.AffinityPushes != 1 || st.PushMain != 1 {
+		t.Fatalf("helper-slot hint must fall back to the injector: %+v", st)
+	}
+
+	solo := NewLocality(1) // no dedicated workers at all
+	n3 := mkNode(3, false)
+	n3.SetAffinity(0)
+	solo.Push(n3, graph.MainThread)
+	if st := solo.Stats(); st.AffinityPushes != 1 {
+		t.Fatalf("solo-executor pool must honor the helper hint: %+v", st)
+	}
+}

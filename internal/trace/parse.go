@@ -76,6 +76,10 @@ func ParsePRV(r io.Reader, labels map[int]string) (*Tracer, error) {
 			ev.Type = EvCreate
 			ev.Kind = int(val - 1)
 			ev.Label = labelFor(labels, ev.Kind)
+		case prvChain:
+			ev.Type = EvChain
+			ev.Kind = int(val - 1)
+			ev.Label = labelFor(labels, ev.Kind)
 		default:
 			continue // foreign event type
 		}

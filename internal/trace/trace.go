@@ -35,6 +35,12 @@ const (
 	EvBarrier
 	// EvBarrierDone marks the main thread leaving a barrier.
 	EvBarrierDone
+	// EvChain marks a worker running a successor inline (the locality
+	// layer's successor chaining): the task identified by the event ran
+	// immediately after its predecessor on the same worker, bypassing
+	// the scheduler's queues.  Emitted just before the chained task's
+	// EvStart.
+	EvChain
 )
 
 // String returns a short name for the event type.
@@ -52,6 +58,8 @@ func (e EventType) String() string {
 		return "barrier"
 	case EvBarrierDone:
 		return "barrier_done"
+	case EvChain:
+		return "chain"
 	}
 	return fmt.Sprintf("event(%d)", uint8(e))
 }
@@ -159,6 +167,7 @@ const (
 	prvRename   = 90000002
 	prvBarrier  = 90000003
 	prvCreate   = 90000004
+	prvChain    = 90000005 // value = task kind + 1 of the chained task
 )
 
 // WritePRV exports the trace in Paraver .prv format: a header line
@@ -212,6 +221,8 @@ func (t *Tracer) WritePRV(w io.Writer) error {
 			typ, val = prvBarrier, 0
 		case EvCreate:
 			typ, val = prvCreate, int64(ev.Kind)+1
+		case EvChain:
+			typ, val = prvChain, int64(ev.Kind)+1
 		}
 		// cpu, appl, task are 1-based; the task field carries the runtime
 		// context (ctx+1) so a shared tracer's tenants stay separable in
@@ -250,6 +261,7 @@ func (t *Tracer) WritePCF(w io.Writer) error {
 	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Renaming\nVALUES\n0      none\n1      renamed\n\n", prvRename)
 	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Barrier\nVALUES\n0      outside\n1      inside\n\n", prvBarrier)
 	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Task creation\n\n", prvCreate)
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Successor chain\n\n", prvChain)
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -264,6 +276,10 @@ type KindSummary struct {
 	Total time.Duration
 	// Mean is Total / Count.
 	Mean time.Duration
+	// Truncated counts executions whose start was recorded but whose
+	// end never was — a context that closed (or a trace snapshotted)
+	// mid-execution.  They are excluded from Count/Total/Mean.
+	Truncated int
 }
 
 // WorkerSummary aggregates one thread's activity.
@@ -286,10 +302,22 @@ type Summary struct {
 	Workers []WorkerSummary
 	// Renames is the number of rename events.
 	Renames int
+	// Chained is the number of successor-chain events (tasks run inline
+	// by the completing worker, bypassing the scheduler's queues).
+	Chained int
+	// Truncated is the number of task starts with no matching end — a
+	// context that closed mid-trace, or a trace snapshotted while tasks
+	// were executing.  Instead of silently unbalancing later pairings
+	// (or vanishing), each such start is flushed into its kind's
+	// Truncated count.
+	Truncated int
 }
 
-// Summarize pairs start/end events per worker and aggregates busy time
-// per task kind and per worker.
+// Summarize pairs start/end events per (context, worker) and aggregates
+// busy time per task kind and per worker.  Start events that never see
+// their end — a context closed mid-trace, or the trace snapshotted
+// while tasks run — are flushed as explicit truncations rather than
+// dropped or mis-paired with a later task's end.
 func (t *Tracer) Summarize() Summary {
 	events := t.Events()
 	var s Summary
@@ -301,11 +329,30 @@ func (t *Tracer) Summarize() Summary {
 	type key struct{ ctx, worker int }
 	open := make(map[key]Event)
 	kinds := make(map[string]*KindSummary)
+	kindFor := func(label string) *KindSummary {
+		ks := kinds[label]
+		if ks == nil {
+			ks = &KindSummary{Label: label}
+			kinds[label] = ks
+		}
+		return ks
+	}
+	truncate := func(st Event) {
+		kindFor(st.Label).Truncated++
+		s.Truncated++
+	}
 	workers := make(map[int]*WorkerSummary)
 	for _, ev := range events {
 		switch ev.Type {
 		case EvStart:
-			open[key{ev.Ctx, ev.Worker}] = ev
+			k := key{ev.Ctx, ev.Worker}
+			if prev, ok := open[k]; ok {
+				// Two starts with no end between them: the first one's
+				// end was lost.  Flush it as truncated so it cannot be
+				// mis-paired with this task's end.
+				truncate(prev)
+			}
+			open[k] = ev
 		case EvEnd:
 			st, ok := open[key{ev.Ctx, ev.Worker}]
 			if !ok {
@@ -313,11 +360,7 @@ func (t *Tracer) Summarize() Summary {
 			}
 			delete(open, key{ev.Ctx, ev.Worker})
 			d := ev.When - st.When
-			ks := kinds[st.Label]
-			if ks == nil {
-				ks = &KindSummary{Label: st.Label}
-				kinds[st.Label] = ks
-			}
+			ks := kindFor(st.Label)
 			ks.Count++
 			ks.Total += d
 			ws := workers[ev.Worker]
@@ -329,7 +372,13 @@ func (t *Tracer) Summarize() Summary {
 			ws.Busy += d
 		case EvRename:
 			s.Renames++
+		case EvChain:
+			s.Chained++
 		}
+	}
+	// Whatever is still open at the end of the trace never terminated.
+	for _, st := range open {
+		truncate(st)
 	}
 	for _, ks := range kinds {
 		if ks.Count > 0 {
@@ -347,10 +396,21 @@ func (t *Tracer) Summarize() Summary {
 
 // Format renders the summary as a fixed-width text report.
 func (s Summary) Format(w io.Writer) {
-	fmt.Fprintf(w, "trace span: %v, renames: %d\n", s.Span, s.Renames)
+	fmt.Fprintf(w, "trace span: %v, renames: %d", s.Span, s.Renames)
+	if s.Chained > 0 {
+		fmt.Fprintf(w, ", chained: %d", s.Chained)
+	}
+	if s.Truncated > 0 {
+		fmt.Fprintf(w, ", truncated: %d", s.Truncated)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-16s %8s %14s %14s\n", "task", "count", "total", "mean")
 	for _, k := range s.Kinds {
-		fmt.Fprintf(w, "%-16s %8d %14v %14v\n", k.Label, k.Count, k.Total, k.Mean)
+		fmt.Fprintf(w, "%-16s %8d %14v %14v", k.Label, k.Count, k.Total, k.Mean)
+		if k.Truncated > 0 {
+			fmt.Fprintf(w, " (+%d truncated)", k.Truncated)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%-16s %8s %14s\n", "worker", "tasks", "busy")
 	for _, ws := range s.Workers {

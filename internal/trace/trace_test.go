@@ -253,3 +253,84 @@ func TestPRVRoundTripKeepsContext(t *testing.T) {
 		t.Fatalf("contexts after round trip = %v, want one start in ctx 0 and ctx 2", perCtx)
 	}
 }
+
+// TestSummarizeFlushesTruncatedStarts pins the mid-trace-close
+// contract: a context that stops emitting between a start and its end
+// (or a trace snapshotted while tasks run) must surface as an explicit
+// truncation — not vanish, and not unbalance the pairing of later
+// events on the same (context, worker) key.
+func TestSummarizeFlushesTruncatedStarts(t *testing.T) {
+	tr := New()
+	// Context 7 closes mid-execution: start without end.
+	tr.EmitCtx(7, 1, EvStart, 0, "orphan", 1)
+	// Same worker, different context: its pairing must be unaffected.
+	tr.EmitCtx(0, 1, EvStart, 1, "gemm", 2)
+	tr.EmitCtx(0, 1, EvEnd, 1, "gemm", 2)
+	// Lost end inside one context: two starts back to back — the first
+	// flushes as truncated, the second pairs with the end that follows.
+	tr.EmitCtx(0, 2, EvStart, 1, "gemm", 3)
+	tr.EmitCtx(0, 2, EvStart, 1, "gemm", 4)
+	tr.EmitCtx(0, 2, EvEnd, 1, "gemm", 4)
+
+	sum := tr.Summarize()
+	if sum.Truncated != 2 {
+		t.Fatalf("Truncated = %d, want 2 (orphan start + lost end)", sum.Truncated)
+	}
+	byLabel := map[string]KindSummary{}
+	for _, k := range sum.Kinds {
+		byLabel[k.Label] = k
+	}
+	if k := byLabel["gemm"]; k.Count != 2 || k.Truncated != 1 {
+		t.Fatalf("gemm = %+v, want 2 completed + 1 truncated", k)
+	}
+	if k := byLabel["orphan"]; k.Count != 0 || k.Truncated != 1 {
+		t.Fatalf("orphan = %+v, want 0 completed + 1 truncated", k)
+	}
+
+	var sb strings.Builder
+	sum.Format(&sb)
+	if !strings.Contains(sb.String(), "truncated") {
+		t.Fatalf("formatted summary hides the truncation marker:\n%s", sb.String())
+	}
+}
+
+// TestChainEventRoundTrip: the successor-chain dimension survives
+// summary counting and the Paraver write/parse cycle.
+func TestChainEventRoundTrip(t *testing.T) {
+	tr := New()
+	tr.EmitCtx(0, 1, EvStart, 3, "gemm", 1)
+	tr.EmitCtx(0, 1, EvEnd, 3, "gemm", 1)
+	tr.EmitCtx(0, 1, EvChain, 3, "gemm", 2)
+	tr.EmitCtx(0, 1, EvStart, 3, "gemm", 2)
+	tr.EmitCtx(0, 1, EvEnd, 3, "gemm", 2)
+	if sum := tr.Summarize(); sum.Chained != 1 || sum.Truncated != 0 {
+		t.Fatalf("summary = chained %d truncated %d, want 1 and 0", sum.Chained, sum.Truncated)
+	}
+	var prv strings.Builder
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePRV(strings.NewReader(prv.String()), map[int]string{3: "gemm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chains int
+	for _, ev := range back.Events() {
+		if ev.Type == EvChain {
+			chains++
+			if ev.Kind != 3 || ev.Label != "gemm" {
+				t.Fatalf("chain event lost its kind: %+v", ev)
+			}
+		}
+	}
+	if chains != 1 {
+		t.Fatalf("chain events after round trip = %d, want 1", chains)
+	}
+	var pcf strings.Builder
+	if err := tr.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pcf.String(), "Successor chain") {
+		t.Fatalf("PCF missing the successor-chain event type")
+	}
+}
