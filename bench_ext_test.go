@@ -95,7 +95,7 @@ func BenchmarkExtSparseLUSMPSs(b *testing.B) {
 		h := input.Clone()
 		rt := core.New(core.Config{})
 		b.StartTimer()
-		if err := apps.SparseLUSMPSs(rt, h); err != nil {
+		if err := apps.SparseLUSMPSs(rt.Context(), h); err != nil {
 			b.Fatal(err)
 		}
 		if err := rt.Close(); err != nil {
@@ -139,7 +139,7 @@ func BenchmarkExtHeatSMPSs(b *testing.B) {
 		h := grid.Clone()
 		rt := core.New(core.Config{})
 		b.StartTimer()
-		if err := apps.HeatSMPSsGS(rt, h, bc, sweeps); err != nil {
+		if err := apps.HeatSMPSsGS(rt.Context(), h, bc, sweeps); err != nil {
 			b.Fatal(err)
 		}
 		if err := rt.Close(); err != nil {

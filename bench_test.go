@@ -218,7 +218,7 @@ func BenchmarkFig14MultisortSMPSs(b *testing.B) {
 		d := append([]int64(nil), orig...)
 		rt := core.New(core.Config{})
 		b.StartTimer()
-		if err := apps.MultisortSMPSs(rt, d, apps.DefaultSortConfig); err != nil {
+		if err := apps.MultisortSMPSs(rt.Context(), d, apps.DefaultSortConfig); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -255,7 +255,7 @@ func BenchmarkFig15NQueensSMPSs(b *testing.B) {
 		b.StopTimer()
 		rt := core.New(core.Config{})
 		b.StartTimer()
-		if _, err := apps.NQueensSMPSs(rt, bN); err != nil {
+		if _, err := apps.NQueensSMPSs(rt.Context(), bN); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -287,7 +287,7 @@ func BenchmarkFig16NQueens1ThreadSMPSs(b *testing.B) {
 		b.StopTimer()
 		rt := core.New(core.Config{Workers: 1})
 		b.StartTimer()
-		if _, err := apps.NQueensSMPSs(rt, bN); err != nil {
+		if _, err := apps.NQueensSMPSs(rt.Context(), bN); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -367,9 +367,9 @@ func BenchmarkAblationRegions(b *testing.B) {
 				b.StartTimer()
 				var err error
 				if coarse {
-					err = apps.MultisortSMPSsCoarse(rt, d, apps.DefaultSortConfig)
+					err = apps.MultisortSMPSsCoarse(rt.Context(), d, apps.DefaultSortConfig)
 				} else {
-					err = apps.MultisortSMPSs(rt, d, apps.DefaultSortConfig)
+					err = apps.MultisortSMPSs(rt.Context(), d, apps.DefaultSortConfig)
 				}
 				if err != nil {
 					b.Fatal(err)

@@ -13,6 +13,7 @@
 // Usage:
 //
 //	cssc -pkg tasks -typedef ELM=int64 -o tasks_gen.go decls.css
+//	cssc -ctx -pkg tasks -o tasks_gen.go decls.css
 //	cssc -translate -o program_css.c program.c
 package main
 
@@ -30,6 +31,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	corePath := flag.String("core", "repro/internal/core", "import path of the runtime package")
 	typedefs := flag.String("typedef", "", "comma-separated C=Go type mappings, e.g. ELM=int64,real=float32")
+	ctxTarget := flag.Bool("ctx", false, "emit multi-tenant wrappers taking a *core.Context instead of a *core.Runtime")
 	translate := flag.Bool("translate", false, "C-to-C mode: rewrite an annotated program into C99 + runtime calls")
 	flag.Parse()
 
@@ -78,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	code, err := cssc.Generate(tasks, cssc.Options{Package: *pkg, CorePath: *corePath, Typedefs: tds})
+	code, err := cssc.Generate(tasks, cssc.Options{Package: *pkg, CorePath: *corePath, Typedefs: tds, Contexts: *ctxTarget})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -67,13 +67,13 @@ func main() {
 		al.QR(a)
 	case "sparselu":
 		h := apps.GenSparseLU(*n, *m, 0.4, 4)
-		if err := apps.SparseLUSMPSs(rt, h); err != nil {
+		if err := apps.SparseLUSMPSs(rt.Context(), h); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	case "heat":
 		h := hypermatrix.New(*n, *m)
-		if err := apps.HeatSMPSsGS(rt, h, apps.HeatBC{Top: 1}, 2); err != nil {
+		if err := apps.HeatSMPSsGS(rt.Context(), h, apps.HeatBC{Top: 1}, 2); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -9,13 +9,13 @@
 // starts in the top-left corner while sweep s is still finishing in the
 // bottom-right, parallelism that barrier-per-sweep models cannot express.
 //
-//	go run ./examples/heat
+//	go run ./examples/heat [-n blocks] [-m block] [-sweeps k]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"runtime"
 	"time"
 
 	"repro/internal/apps"
@@ -23,40 +23,51 @@ import (
 	"repro/internal/hypermatrix"
 )
 
-const (
-	n      = 16 // blocks per dimension
-	m      = 64 // elements per block dimension
-	sweeps = 24
-)
-
 func main() {
-	workers := runtime.GOMAXPROCS(0)
+	n := flag.Int("n", 16, "blocks per dimension")
+	m := flag.Int("m", 64, "elements per block dimension")
+	sweeps := flag.Int("sweeps", 24, "Gauss-Seidel sweeps")
+	flag.Parse()
+
 	bc := apps.HeatBC{Top: 1} // hot top edge, cold elsewhere
-	grid := hypermatrix.New(n, m)
+	grid := hypermatrix.New(*n, *m)
+
+	// One tenant context on a shared worker pool.
+	pool, err := core.NewPool(core.PoolConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	workers := pool.Workers()
 
 	fmt.Printf("heat %d×%d grid (%d×%d blocks), %d Gauss-Seidel sweeps, %d workers\n",
-		n*m, n*m, n, n, sweeps, workers)
+		*n**m, *n**m, *n, *n, *sweeps, workers)
 	fmt.Printf("  initial residual: %.4g\n", apps.HeatResidual(grid, bc))
 
 	// Sequential reference.
 	seq := grid.Clone()
 	t0 := time.Now()
-	apps.HeatSeqGS(seq, bc, sweeps)
+	apps.HeatSeqGS(seq, bc, *sweeps)
 	seqTime := time.Since(t0)
 
 	// SMPSs wavefront.
 	mine := grid.Clone()
-	rt := core.New(core.Config{Workers: workers})
-	t0 = time.Now()
-	if err := apps.HeatSMPSsGS(rt, mine, bc, sweeps); err != nil {
+	ctx, err := pool.NewContext(core.ContextConfig{})
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := rt.Barrier(); err != nil {
+	t0 = time.Now()
+	if err := apps.HeatSMPSsGS(ctx, mine, bc, *sweeps); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.Barrier(); err != nil {
 		log.Fatal(err)
 	}
 	par := time.Since(t0)
-	st := rt.Stats()
-	if err := rt.Close(); err != nil {
+	st := ctx.Stats()
+	if err := ctx.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -71,12 +82,12 @@ func main() {
 	fmt.Printf("  smpss:      %8v   speedup ×%.2f\n", par, seqTime.Seconds()/par.Seconds())
 	fmt.Printf("  %d tasks, %d true edges, %d renames (across-sweep pipelining), result exact\n",
 		st.TasksExecuted, st.Deps.TrueEdges, st.Deps.Renames)
-	fmt.Printf("  residual after %d sweeps: %.4g\n", sweeps, apps.HeatResidual(mine, bc))
+	fmt.Printf("  residual after %d sweeps: %.4g\n", *sweeps, apps.HeatResidual(mine, bc))
 
 	// Convergence comparison: Jacobi needs explicit double-buffering (no
 	// renaming help) and converges slower per sweep.
 	jac := grid.Clone()
-	jres := apps.HeatSeqJacobi(jac, bc, sweeps)
+	jres := apps.HeatSeqJacobi(jac, bc, *sweeps)
 	fmt.Printf("  Jacobi residual after the same %d sweeps: %.4g (Gauss-Seidel wins per sweep)\n",
-		sweeps, apps.HeatResidual(jres, bc))
+		*sweeps, apps.HeatResidual(jres, bc))
 }

@@ -55,7 +55,7 @@ func main() {
 	sm := clone(orig)
 	srt := core.New(core.Config{})
 	t0 = time.Now()
-	if err := apps.MultisortSMPSs(srt, sm, cfg); err != nil {
+	if err := apps.MultisortSMPSs(srt.Context(), sm, cfg); err != nil {
 		log.Fatal(err)
 	}
 	report("smpss (regions):", t0, seqTime, sm)

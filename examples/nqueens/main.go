@@ -46,7 +46,7 @@ func main() {
 
 	srt := core.New(core.Config{})
 	t0 = time.Now()
-	got, err := apps.NQueensSMPSs(srt, *n)
+	got, err := apps.NQueensSMPSs(srt.Context(), *n)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,18 @@ func main() {
 	b := hypermatrix.FromFlat(kernels.GenMatrix(dim, 2), n, m)
 	c := hypermatrix.New(n, m)
 
-	rt := core.New(core.Config{}) // one worker per core
+	// The program runs as one tenant of a shared worker pool: the pool
+	// owns the workers, the context owns this program's task graph.  A
+	// second program could attach its own context to the same pool and
+	// run concurrently (see examples/multitenant).
+	pool, err := core.NewPool(core.PoolConfig{}) // one worker per core
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, err := pool.NewContext(core.ContextConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 
 	// Paper Fig. 1 — any loop order is correct; the runtime extracts the
@@ -44,7 +55,7 @@ func main() {
 	// batch, the amortized path for submission-heavy loops: the batch
 	// reuses its argument storage and each task enters the dependency
 	// tracker in a single pass.
-	batch := rt.NewBatch()
+	batch := ctx.NewBatch()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			for k := 0; k < n; k++ {
@@ -56,7 +67,7 @@ func main() {
 			batch.Submit()
 		}
 	}
-	if err := rt.Barrier(); err != nil {
+	if err := ctx.Barrier(); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -66,14 +77,17 @@ func main() {
 	kernels.GemmFlat(a.ToFlat(), b.ToFlat(), want, dim)
 	diff := kernels.MaxAbsDiff(want, c.ToFlat())
 
-	st := rt.Stats()
+	st := ctx.Stats()
 	fmt.Printf("multiplied %d×%d floats as %d tasks on %d threads in %v\n",
-		dim, dim, st.TasksExecuted, rt.Workers(), elapsed)
+		dim, dim, st.TasksExecuted, pool.Workers(), elapsed)
 	fmt.Printf("gflop/s: %.2f   max |Δ| vs sequential: %g\n",
 		kernels.GemmFlops(dim)/elapsed.Seconds()/1e9, diff)
 	fmt.Printf("dependency edges: %d (every C block is a chain of %d gemms)\n",
 		st.Deps.TrueEdges, n)
-	if err := rt.Close(); err != nil {
+	if err := ctx.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
 		log.Fatal(err)
 	}
 }

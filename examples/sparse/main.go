@@ -37,16 +37,26 @@ func main() {
 	want := make([]float32, dim*dim)
 	kernels.GemmFlat(a.ToFlat(), b.ToFlat(), want, dim)
 
-	rt := core.New(core.Config{})
-	al := linalg.New(rt, kernels.Fast, m)
+	// One tenant context on a shared pool — the multi-tenant hosting
+	// every frontend uses now (see examples/multitenant for several
+	// contexts sharing one pool).
+	pool, err := core.NewPool(core.PoolConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, err := pool.NewContext(core.ContextConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	al := linalg.NewOn(ctx, kernels.Fast, m)
 	c := hypermatrix.NewSparse(n, m)
 	start := time.Now()
 	al.MatMulSparse(a, b, c) // Fig. 3
-	if err := rt.Barrier(); err != nil {
+	if err := ctx.Barrier(); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	st := rt.Stats()
+	st := ctx.Stats()
 
 	fmt.Printf("sparse multiply %d×%d blocks at density %.0f%%:\n", n, n, density*100)
 	fmt.Printf("  A has %d/%d blocks, B has %d/%d, C materialized %d\n",
@@ -54,7 +64,10 @@ func main() {
 	fmt.Printf("  %d sgemm tasks (dense would need %d) in %v\n",
 		st.TasksExecuted, n*n*n, elapsed)
 	fmt.Printf("  max |Δ| vs dense reference: %g\n", kernels.MaxAbsDiff(want, c.ToFlat()))
-	if err := rt.Close(); err != nil {
+	if err := ctx.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
 		log.Fatal(err)
 	}
 }

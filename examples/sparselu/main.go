@@ -57,7 +57,7 @@ func main() {
 	mine := input.Clone()
 	rt := core.New(core.Config{Workers: workers})
 	t0 = time.Now()
-	if err := apps.SparseLUSMPSs(rt, mine); err != nil {
+	if err := apps.SparseLUSMPSs(rt.Context(), mine); err != nil {
 		log.Fatal(err)
 	}
 	if err := rt.Barrier(); err != nil {

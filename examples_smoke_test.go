@@ -1,0 +1,40 @@
+package repro_test
+
+// Race smoke for the examples that run as tenants of a shared
+// core.Pool (quickstart, multitenant, sparse, heat).  Each is built and
+// run under the race detector at a deliberately small problem size, so
+// the example programs — the documentation the README points at —
+// cannot silently rot as the runtime underneath them moves.  Skipped
+// under -short: building with -race per example is the expensive part.
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRaceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example race smoke skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"quickstart", nil},
+		{"multitenant", nil},
+		{"sparse", nil},
+		{"heat", []string{"-n", "4", "-m", "16", "-sweeps", "4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"run", "-race", "./examples/" + tc.name}, tc.args...)
+			cmd := exec.Command("go", args...)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run -race ./examples/%s failed: %v\n%s", tc.name, err, out)
+			}
+			t.Logf("%s", out)
+		})
+	}
+}

@@ -115,7 +115,7 @@ func TestMultisortSMPSs(t *testing.T) {
 		rt := core.New(core.Config{Workers: workers})
 		orig := randKeys(20000, 4)
 		data := append([]int64(nil), orig...)
-		if err := MultisortSMPSs(rt, data, smallSort); err != nil {
+		if err := MultisortSMPSs(rt.Context(), data, smallSort); err != nil {
 			t.Fatal(err)
 		}
 		if err := rt.Close(); err != nil {
@@ -134,7 +134,7 @@ func TestMultisortSMPSsCoarse(t *testing.T) {
 		rt := core.New(core.Config{Workers: workers})
 		orig := randKeys(5000, 14)
 		data := append([]int64(nil), orig...)
-		if err := MultisortSMPSsCoarse(rt, data, smallSort); err != nil {
+		if err := MultisortSMPSsCoarse(rt.Context(), data, smallSort); err != nil {
 			t.Fatal(err)
 		}
 		if err := rt.Close(); err != nil {
@@ -151,7 +151,7 @@ func TestMultisortSMPSsSmallInput(t *testing.T) {
 	rt := core.New(core.Config{Workers: 2})
 	orig := randKeys(50, 5)
 	data := append([]int64(nil), orig...)
-	if err := MultisortSMPSs(rt, data, smallSort); err != nil {
+	if err := MultisortSMPSs(rt.Context(), data, smallSort); err != nil {
 		t.Fatal(err)
 	}
 	rt.Close()
@@ -183,7 +183,7 @@ func TestMultisortAgreementProperty(t *testing.T) {
 
 		srt := core.New(core.Config{Workers: 4})
 		sm := append([]int64(nil), orig...)
-		if err := MultisortSMPSs(srt, sm, smallSort); err != nil {
+		if err := MultisortSMPSs(srt.Context(), sm, smallSort); err != nil {
 			return false
 		}
 		srt.Close()
@@ -239,7 +239,7 @@ func TestNQueensOMP(t *testing.T) {
 func TestNQueensSMPSs(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		rt := core.New(core.Config{Workers: workers})
-		got, err := NQueensSMPSs(rt, 9)
+		got, err := NQueensSMPSs(rt.Context(), 9)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +258,7 @@ func TestNQueensSMPSs(t *testing.T) {
 func TestNQueensSMPSsLargerBoard(t *testing.T) {
 	rt := core.New(core.Config{Workers: 8})
 	defer rt.Close()
-	got, err := NQueensSMPSs(rt, 11)
+	got, err := NQueensSMPSs(rt.Context(), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestNQueensSmallBoards(t *testing.T) {
 	// root immediately becomes one tail task.
 	rt := core.New(core.Config{Workers: 2})
 	defer rt.Close()
-	got, err := NQueensSMPSs(rt, 4)
+	got, err := NQueensSMPSs(rt.Context(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestAllModelsAgreeOnQueens(t *testing.T) {
 	if got := NQueensOMP(ort, n); got != want {
 		t.Fatalf("omp: %d, want %d", got, want)
 	}
-	got, err := NQueensSMPSs(srt, n)
+	got, err := NQueensSMPSs(srt.Context(), n)
 	if err != nil {
 		t.Fatal(err)
 	}

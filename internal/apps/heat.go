@@ -142,7 +142,7 @@ func HeatSeqGS(h *hypermatrix.Matrix, bc HeatBC, sweeps int) {
 // dependency tracker derives the wavefront; renaming lets sweep s+1 start
 // in the top-left corner while sweep s is still finishing in the
 // bottom-right.
-func HeatSMPSsGS(rt *core.Runtime, h *hypermatrix.Matrix, bc HeatBC, sweeps int) error {
+func HeatSMPSsGS(ctx *core.Context, h *hypermatrix.Matrix, bc HeatBC, sweeps int) error {
 	m := h.M
 	gs := core.NewTaskDef("heat_gs", func(a *core.Args) {
 		get := func(i int) []float32 {
@@ -177,11 +177,11 @@ func HeatSMPSsGS(rt *core.Runtime, h *hypermatrix.Matrix, bc HeatBC, sweeps int)
 					}
 					args = append(args, core.In(nb))
 				}
-				rt.Submit(gs, args...)
+				ctx.Submit(gs, args...)
 			}
 		}
 	}
-	return rt.Err()
+	return ctx.Err()
 }
 
 // HeatSeqJacobi runs sweeps Jacobi sweeps sequentially, double-buffering
@@ -204,7 +204,7 @@ func HeatSeqJacobi(h *hypermatrix.Matrix, bc HeatBC, sweeps int) *hypermatrix.Ma
 // double-buffering makes every sweep embarrassingly parallel, at the cost
 // of the slower convergence Jacobi is known for.  Returns the grid
 // holding the result (valid after a barrier).
-func HeatSMPSsJacobi(rt *core.Runtime, h *hypermatrix.Matrix, bc HeatBC, sweeps int) (*hypermatrix.Matrix, error) {
+func HeatSMPSsJacobi(ctx *core.Context, h *hypermatrix.Matrix, bc HeatBC, sweeps int) (*hypermatrix.Matrix, error) {
 	m := h.M
 	jac := core.NewTaskDef("heat_jacobi", func(a *core.Args) {
 		get := func(i int) []float32 {
@@ -236,12 +236,12 @@ func HeatSMPSsJacobi(rt *core.Runtime, h *hypermatrix.Matrix, bc HeatBC, sweeps 
 					}
 					args = append(args, core.In(nb))
 				}
-				rt.Submit(jac, args...)
+				ctx.Submit(jac, args...)
 			}
 		}
 		cur, next = next, cur
 	}
-	return cur, rt.Err()
+	return cur, ctx.Err()
 }
 
 // HeatResidual returns the maximum absolute 4-point stencil residual

@@ -51,7 +51,7 @@ func TestHeatSMPSsGSMatchesSeq(t *testing.T) {
 	HeatSeqGS(ref, testBC, sweeps)
 
 	rt := core.New(core.Config{Workers: 8})
-	if err := HeatSMPSsGS(rt, mine, testBC, sweeps); err != nil {
+	if err := HeatSMPSsGS(rt.Context(), mine, testBC, sweeps); err != nil {
 		t.Fatal(err)
 	}
 	if err := rt.Close(); err != nil {
@@ -74,7 +74,7 @@ func TestHeatSMPSsJacobiMatchesSeq(t *testing.T) {
 		want := HeatSeqJacobi(ref, testBC, sweeps)
 
 		rt := core.New(core.Config{Workers: 6})
-		res, err := HeatSMPSsJacobi(rt, mine, testBC, sweeps)
+		res, err := HeatSMPSsJacobi(rt.Context(), mine, testBC, sweeps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestHeatWavefrontParallelism(t *testing.T) {
 	const n, m, sweeps = 6, 4, 4
 	rt := core.New(core.Config{Workers: 8})
 	h := heatGrid(n, m)
-	if err := HeatSMPSsGS(rt, h, testBC, sweeps); err != nil {
+	if err := HeatSMPSsGS(rt.Context(), h, testBC, sweeps); err != nil {
 		t.Fatal(err)
 	}
 	if err := rt.Close(); err != nil {

@@ -257,7 +257,7 @@ func ompMerge(c *omptask.Ctx, a, b, dest []int64, cfg SortConfig) {
 // overlap freely through their region dependencies.
 
 type smpssSorter struct {
-	rt       *core.Runtime
+	ctx      *core.Context
 	data     []int64
 	tmp      []int64
 	cfg      SortConfig
@@ -269,20 +269,20 @@ type smpssSorter struct {
 
 // MultisortSMPSs sorts data on the SMPSs runtime using array-region
 // dependencies.
-func MultisortSMPSs(rt *core.Runtime, data []int64, cfg SortConfig) error {
-	return multisortSMPSs(rt, data, cfg, false)
+func MultisortSMPSs(ctx *core.Context, data []int64, cfg SortConfig) error {
+	return multisortSMPSs(ctx, data, cfg, false)
 }
 
 // MultisortSMPSsCoarse is the regions-off ablation: every task declares
 // whole-array directionality, which is all the 2008 runtime could
 // express without representants (§V.B).  The resulting dependency chains
 // serialize the sort, quantifying what the array-region extension buys.
-func MultisortSMPSsCoarse(rt *core.Runtime, data []int64, cfg SortConfig) error {
-	return multisortSMPSs(rt, data, cfg, true)
+func MultisortSMPSsCoarse(ctx *core.Context, data []int64, cfg SortConfig) error {
+	return multisortSMPSs(ctx, data, cfg, true)
 }
 
-func multisortSMPSs(rt *core.Runtime, data []int64, cfg SortConfig, coarse bool) error {
-	s := &smpssSorter{rt: rt, data: data, tmp: make([]int64, len(data)), cfg: cfg, coarse: coarse}
+func multisortSMPSs(ctx *core.Context, data []int64, cfg SortConfig, coarse bool) error {
+	s := &smpssSorter{ctx: ctx, data: data, tmp: make([]int64, len(data)), cfg: cfg, coarse: coarse}
 	// #pragma css task inout(data{i..j}) input(i, j)
 	s.seqquick = core.NewTaskDef("seqquick", func(a *core.Args) {
 		d := a.I64(0)
@@ -305,7 +305,7 @@ func multisortSMPSs(rt *core.Runtime, data []int64, cfg SortConfig, coarse bool)
 		copy(dst[lo:hi+1], src[lo:hi+1])
 	})
 	s.sort(0, len(data)-1)
-	return rt.Barrier()
+	return ctx.Barrier()
 }
 
 // region returns the dependency region for [lo..hi]: the precise
@@ -338,7 +338,7 @@ func (s *smpssSorter) sort(lo, hi int) {
 			end = hi
 		}
 		runs = append(runs, run{at, end})
-		s.rt.Submit(s.seqquick,
+		s.ctx.Submit(s.seqquick,
 			core.InOutR(s.data, s.region(at, end)),
 			core.Value(at), core.Value(end))
 	}
@@ -382,7 +382,7 @@ func (s *smpssSorter) copyRun(src, dst []int64, lo, hi int) {
 	if s.coarse {
 		destArg = core.InOut(dst)
 	}
-	s.rt.Submit(s.seqcopy,
+	s.ctx.Submit(s.seqcopy,
 		core.InR(src, s.region(lo, hi)),
 		destArg,
 		core.Value(lo), core.Value(hi))
@@ -392,10 +392,10 @@ func (s *smpssSorter) copyRun(src, dst []int64, lo, hi int) {
 // dest starting at dlo, submitting leaf seqmerge tasks.
 func (s *smpssSorter) merge(src, dest []int64, lo1, hi1, lo2, hi2, dlo int) {
 	// The split points require reading sorted source data.
-	if err := s.rt.WaitOnRegion(src, s.region(lo1, hi1)); err != nil {
+	if err := s.ctx.WaitOnRegion(src, s.region(lo1, hi1)); err != nil {
 		return
 	}
-	if err := s.rt.WaitOnRegion(src, s.region(lo2, hi2)); err != nil {
+	if err := s.ctx.WaitOnRegion(src, s.region(lo2, hi2)); err != nil {
 		return
 	}
 	s.mergeRec(src, dest, lo1, hi1, lo2, hi2, dlo)
@@ -449,5 +449,5 @@ func (s *smpssSorter) submitLeafMerge(src, dest []int64, lo1, hi1, lo2, hi2, dlo
 		// Second source region present.
 		args = append(args, core.InR(src, s.region(lo2, hi2)))
 	}
-	s.rt.Submit(s.seqmerge, args...)
+	s.ctx.Submit(s.seqmerge, args...)
 }

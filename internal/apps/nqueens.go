@@ -162,7 +162,7 @@ func ompQueens(c *omptask.Ctx, board []int32, row, n int, total *atomic.Int64) {
 // exactly the values the tracked version chain carries on this path.
 
 // NQueensSMPSs counts solutions on the SMPSs runtime.
-func NQueensSMPSs(rt *core.Runtime, n int) (int64, error) {
+func NQueensSMPSs(ctx *core.Context, n int) (int64, error) {
 	board := make([]int32, n)  // tracked object flowing through tasks
 	shadow := make([]int32, n) // main-thread pruning mirror
 
@@ -186,19 +186,19 @@ func NQueensSMPSs(rt *core.Runtime, n int) (int64, error) {
 		if row >= spawnDepth(n) {
 			cell := make([]int64, 1)
 			cells = append(cells, cell)
-			rt.Submit(tail, core.In(board), core.Out(cell), core.Value(row))
+			ctx.Submit(tail, core.In(board), core.Out(cell), core.Value(row))
 			return
 		}
 		for col := int32(0); col < int32(n); col++ {
 			if queensOK(shadow, row, col) {
 				shadow[row] = col
-				rt.Submit(place, core.InOut(board), core.Value(row), core.Value(int(col)))
+				ctx.Submit(place, core.InOut(board), core.Value(row), core.Value(int(col)))
 				explore(row + 1)
 			}
 		}
 	}
 	explore(0)
-	if err := rt.Barrier(); err != nil {
+	if err := ctx.Barrier(); err != nil {
 		return 0, err
 	}
 	var total int64

@@ -98,7 +98,7 @@ func SparseLUSeq(h *hypermatrix.Matrix) bool {
 // allocation is a main-flow decision exactly like Fig. 3's alloc_block;
 // the freshly allocated block is zero, so the first bmod touching it may
 // declare it inout without a prior producer.
-func SparseLUSMPSs(rt *core.Runtime, h *hypermatrix.Matrix) error {
+func SparseLUSMPSs(ctx *core.Context, h *hypermatrix.Matrix) error {
 	n, m := h.N, h.M
 
 	lu0 := core.NewHighPriorityTaskDef("lu0", func(a *core.Args) {
@@ -123,15 +123,15 @@ func SparseLUSMPSs(rt *core.Runtime, h *hypermatrix.Matrix) error {
 			h.EnsureBlock(k, k)
 		}
 		diag := h.Blocks[k][k]
-		rt.Submit(lu0, core.InOut(diag))
+		ctx.Submit(lu0, core.InOut(diag))
 		for j := k + 1; j < n; j++ {
 			if h.Blocks[k][j] != nil {
-				rt.Submit(fwd, core.In(diag), core.InOut(h.Blocks[k][j]))
+				ctx.Submit(fwd, core.In(diag), core.InOut(h.Blocks[k][j]))
 			}
 		}
 		for i := k + 1; i < n; i++ {
 			if h.Blocks[i][k] != nil {
-				rt.Submit(bdiv, core.In(diag), core.InOut(h.Blocks[i][k]))
+				ctx.Submit(bdiv, core.In(diag), core.InOut(h.Blocks[i][k]))
 			}
 		}
 		for i := k + 1; i < n; i++ {
@@ -142,13 +142,13 @@ func SparseLUSMPSs(rt *core.Runtime, h *hypermatrix.Matrix) error {
 				if h.Blocks[k][j] == nil {
 					continue
 				}
-				rt.Submit(bmod,
+				ctx.Submit(bmod,
 					core.In(h.Blocks[i][k]), core.In(h.Blocks[k][j]),
 					core.InOut(h.EnsureBlock(i, j)))
 			}
 		}
 	}
-	return rt.Err()
+	return ctx.Err()
 }
 
 // SparseLUOMP3 factors h in place under the task-pool model: without

@@ -32,7 +32,7 @@ func TestSparseLUSMPSsMatchesSeq(t *testing.T) {
 		}
 
 		rt := core.New(core.Config{Workers: 8})
-		if err := SparseLUSMPSs(rt, mine); err != nil {
+		if err := SparseLUSMPSs(rt.Context(), mine); err != nil {
 			t.Fatal(err)
 		}
 		if err := rt.Close(); err != nil {
@@ -91,7 +91,7 @@ func TestSparseLUDense(t *testing.T) {
 	h := GenSparseLU(5, 8, 1.0, 19)
 	orig := h.ToFlat()
 	rt := core.New(core.Config{Workers: 4})
-	if err := SparseLUSMPSs(rt, h); err != nil {
+	if err := SparseLUSMPSs(rt.Context(), h); err != nil {
 		t.Fatal(err)
 	}
 	if err := rt.Close(); err != nil {
@@ -113,7 +113,7 @@ func TestSparseLUDense(t *testing.T) {
 func TestSparseLUPipelining(t *testing.T) {
 	h := GenSparseLU(8, 4, 0.5, 23)
 	rt := core.New(core.Config{Workers: 4})
-	if err := SparseLUSMPSs(rt, h); err != nil {
+	if err := SparseLUSMPSs(rt.Context(), h); err != nil {
 		t.Fatal(err)
 	}
 	if err := rt.Close(); err != nil {

@@ -66,7 +66,7 @@ func StreamSeq(v *StreamVectors, scale float32, iters int) {
 
 // StreamSMPSs runs the same sweeps as tasks sharing the single temporary
 // t; automatic renaming removes every false dependency on it.
-func StreamSMPSs(rt *core.Runtime, v *StreamVectors, scale float32, iters int) error {
+func StreamSMPSs(ctx *core.Context, v *StreamVectors, scale float32, iters int) error {
 	m := v.M
 	add := core.NewTaskDef("stream_add", func(a *core.Args) {
 		x, y, t := a.F32(0), a.F32(1), a.F32(2)
@@ -84,9 +84,9 @@ func StreamSMPSs(rt *core.Runtime, v *StreamVectors, scale float32, iters int) e
 	t := make([]float32, m) // the one temporary the program names
 	for it := 0; it < iters; it++ {
 		for blk := range v.A {
-			rt.Submit(add, core.In(v.A[blk]), core.In(v.B[blk]), core.Out(t))
-			rt.Submit(axpy, core.In(t), core.InOut(v.C[blk]), core.Value(scale))
+			ctx.Submit(add, core.In(v.A[blk]), core.In(v.B[blk]), core.Out(t))
+			ctx.Submit(axpy, core.In(t), core.InOut(v.C[blk]), core.Value(scale))
 		}
 	}
-	return rt.Err()
+	return ctx.Err()
 }

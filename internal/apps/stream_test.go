@@ -15,7 +15,7 @@ func TestStreamMatchesSeq(t *testing.T) {
 
 	mine := NewStreamVectors(nb, m)
 	rt := core.New(core.Config{Workers: 8})
-	if err := StreamSMPSs(rt, mine, 0.5, iters); err != nil {
+	if err := StreamSMPSs(rt.Context(), mine, 0.5, iters); err != nil {
 		t.Fatal(err)
 	}
 	if err := rt.Close(); err != nil {
@@ -40,7 +40,7 @@ func TestStreamRenamesTheTemporary(t *testing.T) {
 	// add after the first deterministically finds its predecessor's
 	// axpy reader still pending and must rename.
 	rt := core.New(core.Config{Workers: 1})
-	if err := StreamSMPSs(rt, v, 2, iters); err != nil {
+	if err := StreamSMPSs(rt.Context(), v, 2, iters); err != nil {
 		t.Fatal(err)
 	}
 	if err := rt.Close(); err != nil {
@@ -64,7 +64,7 @@ func TestStreamWithoutRenamingSerializes(t *testing.T) {
 
 	v := NewStreamVectors(nb, m)
 	rt := core.New(core.Config{Workers: 4, DisableRenaming: true})
-	if err := StreamSMPSs(rt, v, 1.5, iters); err != nil {
+	if err := StreamSMPSs(rt.Context(), v, 1.5, iters); err != nil {
 		t.Fatal(err)
 	}
 	if err := rt.Close(); err != nil {

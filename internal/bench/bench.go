@@ -254,6 +254,7 @@ var Registry = map[string]func(Config) *Result{
 	"fig16":                Fig16,
 	"ablation-kernels":     AblationKernels,
 	"ablation-locality":    AblationLocality,
+	"ablation-models":      AblationModels,
 	"ablation-multitenant": AblationMultitenant,
 	"ablation-rename":      AblationRenaming,
 	"ablation-sched":       AblationScheduler,

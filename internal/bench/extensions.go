@@ -174,7 +174,7 @@ func ExtSparseLU(cfg Config) *Result {
 		withProcs(t, func() {
 			rt := core.New(core.Config{Workers: t})
 			secs = timeIt(func() {
-				if err := apps.SparseLUSMPSs(rt, h); err != nil {
+				if err := apps.SparseLUSMPSs(rt.Context(), h); err != nil {
 					panic(err)
 				}
 				if err := rt.Barrier(); err != nil {
@@ -232,7 +232,7 @@ func ExtHeat(cfg Config) *Result {
 		withProcs(t, func() {
 			rt := core.New(core.Config{Workers: t})
 			secs = timeIt(func() {
-				if err := apps.HeatSMPSsGS(rt, h, bc, sweeps); err != nil {
+				if err := apps.HeatSMPSsGS(rt.Context(), h, bc, sweeps); err != nil {
 					panic(err)
 				}
 				if err := rt.Barrier(); err != nil {

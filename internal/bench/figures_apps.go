@@ -50,7 +50,7 @@ func multisortSecs(model string, threads int, orig []int64, cfg apps.SortConfig)
 		case "smpss":
 			rt := core.New(core.Config{Workers: threads})
 			secs = timeIt(func() {
-				if err := apps.MultisortSMPSs(rt, data, cfg); err != nil {
+				if err := apps.MultisortSMPSs(rt.Context(), data, cfg); err != nil {
 					panic(err)
 				}
 			})
@@ -58,7 +58,7 @@ func multisortSecs(model string, threads int, orig []int64, cfg apps.SortConfig)
 		case "smpss-coarse":
 			rt := core.New(core.Config{Workers: threads})
 			secs = timeIt(func() {
-				if err := apps.MultisortSMPSsCoarse(rt, data, cfg); err != nil {
+				if err := apps.MultisortSMPSsCoarse(rt.Context(), data, cfg); err != nil {
 					panic(err)
 				}
 			})
@@ -130,7 +130,7 @@ func queensSecs(model string, threads, n int, want int64) float64 {
 			rt := core.New(core.Config{Workers: threads})
 			secs = timeIt(func() {
 				var err error
-				got, err = apps.NQueensSMPSs(rt, n)
+				got, err = apps.NQueensSMPSs(rt.Context(), n)
 				if err != nil {
 					panic(err)
 				}

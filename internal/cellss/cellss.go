@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/dataid"
 	"repro/internal/deps"
 	"repro/internal/graph"
@@ -163,19 +164,37 @@ type Stats struct {
 	BundledTasks int64
 	// SyncBackCopies counts renamed objects copied back at barriers.
 	SyncBackCopies int64
+	// LiveRenamedBytes is the renamed storage currently alive in this
+	// runtime's tracker — zero after a barrier on a drained graph.
+	LiveRenamedBytes int64
 }
 
 // Runtime is one CellSs-model runtime instance.
+//
+// Since the shared-pool re-host, the model no longer owns worker
+// threads: the central ready list and the pre-scheduler live here, but
+// dispatch happens by submitting opaque *bundle tickets* to a
+// core.Context, and the pool's workers execute them.  A dedicated pump
+// goroutine is the context's single submitter (the context contract
+// forbids submitting from task bodies), and the tracker recycles
+// renamed storage through the pool's shared store.  The main thread
+// (the PPU) still only analyzes dependencies and waits at barriers; it
+// never executes task bodies.
 type Runtime struct {
 	cfg Config
 	g   *graph.Graph
 	tr  *deps.Tracker
 
-	mu       sync.Mutex
-	dispatch *sync.Cond // signaled when ready tasks or shutdown arrive
-	idle     *sync.Cond // signaled when a worker finishes a bundle
-	ready    []*graph.Node
-	closed   bool
+	ctx     *core.Context // the model's tenant context; the pump submits to it
+	ownPool *core.Pool    // non-nil when New built a private pool
+
+	mu   sync.Mutex
+	pump *sync.Cond // signaled when tickets are owed or the runtime closes
+	idle *sync.Cond // signaled when outstanding work drains
+
+	ready  []*graph.Node
+	owed   int // bundle tickets not yet submitted by the pump
+	closed bool
 
 	outstanding int64
 	submitted   int64
@@ -185,28 +204,68 @@ type Runtime struct {
 	syncCopies  int64
 	firstErr    error
 
-	wg sync.WaitGroup
+	pumpDone chan struct{}
 }
 
-// New creates and starts a runtime.  The caller must eventually call
-// Close to release the workers.
+// bundleTicket is the opaque no-dependency task the pump submits per
+// ready task: a pool worker running one takes a pre-scheduled bundle
+// from the central list (or finds it already drained and returns).
+var bundleTicket = core.NewTaskDef("cellss_bundle", func(a *core.Args) {
+	a.Opaque(0).(*Runtime).runBundle(a.Worker())
+})
+
+// New creates and starts a runtime on a private worker pool — the
+// single-tenant constructor, now a thin wrapper over NewOn.  The caller
+// must eventually call Close to release the workers.
 func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	// All configured workers are dedicated (the PPU never executes task
+	// bodies), so the private pool carries them all; the single context
+	// slot belongs to the pump.
+	pool, err := core.NewPool(core.PoolConfig{Workers: cfg.Workers, MaxContexts: 1})
+	if err != nil {
+		panic(err)
+	}
+	rt, err := NewOn(pool, cfg)
+	if err != nil {
+		panic(err)
+	}
+	rt.ownPool = pool
+	return rt
+}
+
+// NewOn attaches a CellSs-model runtime to a shared pool as one tenant:
+// it takes one context slot and submits bundle tickets that the pool's
+// workers execute alongside every other tenant's tasks.  Close detaches
+// the tenant; the pool itself stays up.
+func NewOn(pool *core.Pool, cfg Config) (*Runtime, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = pool.Workers()
+	}
 	if cfg.Bundle <= 0 {
 		cfg.Bundle = DefaultBundle
 	}
-	rt := &Runtime{cfg: cfg}
-	rt.dispatch = sync.NewCond(&rt.mu)
+	// The context carries opaque tickets only, so its own tracker and
+	// throttle stay out of the way: the central-queue policy mirrors the
+	// model's unique ready list, and the pump must never be forced to
+	// execute tickets itself (GraphLimit < 0 disables throttling).
+	ctx, err := pool.NewContext(core.ContextConfig{
+		Scheduler:  core.SchedGlobalFIFO,
+		GraphLimit: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, ctx: ctx, pumpDone: make(chan struct{})}
+	rt.pump = sync.NewCond(&rt.mu)
 	rt.idle = sync.NewCond(&rt.mu)
 	rt.g = graph.New(rt.onReady)
 	rt.tr = deps.NewTracker(rt.g)
-	for w := 0; w < cfg.Workers; w++ {
-		rt.wg.Add(1)
-		go rt.workerLoop(w)
-	}
-	return rt
+	rt.tr.ShareStorage(pool.Storage())
+	go rt.pumpLoop()
+	return rt, nil
 }
 
 // Workers returns the configured worker count.
@@ -217,12 +276,13 @@ func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return Stats{
-		TasksSubmitted: rt.submitted,
-		TasksExecuted:  rt.executed,
-		Deps:           rt.tr.Stats(),
-		Bundles:        rt.bundles,
-		BundledTasks:   rt.bundled,
-		SyncBackCopies: rt.syncCopies,
+		TasksSubmitted:   rt.submitted,
+		TasksExecuted:    rt.executed,
+		Deps:             rt.tr.Stats(),
+		Bundles:          rt.bundles,
+		BundledTasks:     rt.bundled,
+		SyncBackCopies:   rt.syncCopies,
+		LiveRenamedBytes: rt.tr.LiveRenamedBytes(),
 	}
 }
 
@@ -273,12 +333,55 @@ func (rt *Runtime) Submit(def *TaskDef, args ...Arg) {
 
 // onReady funnels every ready task into the unique central list —
 // regardless of which worker released it (no per-worker locality lists,
-// no stealing).
+// no stealing) — and owes the pump one bundle ticket for it.  Tickets
+// may outnumber the bundles actually taken (an early ticket can drain
+// several ready tasks at once); the surplus tickets find the list empty
+// and return without counting a bundle.
 func (rt *Runtime) onReady(n *graph.Node, releasedBy int) {
 	rt.mu.Lock()
 	rt.ready = append(rt.ready, n)
+	rt.owed++
 	rt.mu.Unlock()
-	rt.dispatch.Signal()
+	rt.pump.Signal()
+}
+
+// pumpLoop is the context's single submitter: it converts owed tickets
+// into context submissions until Close, then closes the context (the
+// implicit context barrier drains any surplus no-op tickets).
+func (rt *Runtime) pumpLoop() {
+	defer close(rt.pumpDone)
+	for {
+		rt.mu.Lock()
+		for rt.owed == 0 && !rt.closed {
+			rt.pump.Wait()
+		}
+		n := rt.owed
+		rt.owed = 0
+		closed := rt.closed
+		rt.mu.Unlock()
+		for i := 0; i < n; i++ {
+			rt.ctx.Submit(bundleTicket, core.Opaque(rt))
+		}
+		if closed && n == 0 {
+			rt.ctx.Close()
+			return
+		}
+	}
+}
+
+// runBundle is a ticket body executing on a pool worker: take one
+// pre-scheduled group from the central list and run it.
+func (rt *Runtime) runBundle(worker int) {
+	rt.mu.Lock()
+	if len(rt.ready) == 0 {
+		rt.mu.Unlock()
+		return
+	}
+	bundle := rt.takeBundle()
+	rt.mu.Unlock()
+	for _, n := range bundle {
+		rt.exec(n, worker)
+	}
 }
 
 // takeBundle pops up to Bundle consecutively-ready tasks for one worker:
@@ -294,27 +397,6 @@ func (rt *Runtime) takeBundle() []*graph.Node {
 	rt.bundles++
 	rt.bundled += int64(k)
 	return b
-}
-
-// workerLoop requests bundles from the central scheduler until Close.
-func (rt *Runtime) workerLoop(self int) {
-	defer rt.wg.Done()
-	for {
-		rt.mu.Lock()
-		for len(rt.ready) == 0 && !rt.closed {
-			rt.dispatch.Wait()
-		}
-		if len(rt.ready) == 0 && rt.closed {
-			rt.mu.Unlock()
-			return
-		}
-		bundle := rt.takeBundle()
-		rt.mu.Unlock()
-
-		for _, n := range bundle {
-			rt.exec(n, self)
-		}
-	}
 }
 
 func (rt *Runtime) exec(n *graph.Node, self int) {
@@ -368,14 +450,21 @@ func (rt *Runtime) Barrier() error {
 	return err
 }
 
-// Close waits for outstanding work (an implicit barrier), then stops the
-// workers.  The runtime must not be used afterwards.
+// Close waits for outstanding work (an implicit barrier), then stops
+// the pump and detaches the runtime's context from its pool — and, when
+// New built a private pool, shuts that pool down too.  The runtime must
+// not be used afterwards.
 func (rt *Runtime) Close() error {
 	err := rt.Barrier()
 	rt.mu.Lock()
 	rt.closed = true
 	rt.mu.Unlock()
-	rt.dispatch.Broadcast()
-	rt.wg.Wait()
+	rt.pump.Signal()
+	<-rt.pumpDone
+	if rt.ownPool != nil {
+		if perr := rt.ownPool.Close(); err == nil {
+			err = perr
+		}
+	}
 	return err
 }

@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // task is one spawned invocation together with the frame whose sync is
@@ -35,10 +37,28 @@ type frame struct {
 	pending atomic.Int64
 }
 
-// RT is a Cilk-style runtime instance with a fixed worker count.
+// RT is a Cilk-style runtime instance.
+//
+// Since the shared-pool re-host the model owns no dedicated threads:
+// the per-executor deques live here, but each Spawn owes one opaque
+// *ticket* on a core.Context, and the pool's workers execute tickets by
+// working their own deque LIFO and stealing FIFO from random victims.
+// Executor identities are the pool's worker-slot ids, plus one virtual
+// id for the thread that calls Run; a pump goroutine is the context's
+// single submitter (Spawn happens inside task bodies, which must never
+// submit to a context directly).  Sync keeps popping and stealing
+// itself, so a waiting frame always makes progress even when the pool
+// is busy with other tenants.
 type RT struct {
-	nworkers int
-	deques   []deque
+	deques []deque
+	rngs   []*rand.Rand // per-executor steal RNG (one thread each)
+	mainID int          // virtual executor id of the Run caller
+
+	ctx      *core.Context // tenant context; nil in standalone (1-thread) mode
+	ownPool  *core.Pool    // non-nil when New built a private pool
+	pumpCond *sync.Cond    // on mu: tickets owed or runtime closing
+	owed     int
+	pumpDone chan struct{}
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -48,9 +68,18 @@ type RT struct {
 	// bump skips the lock and broadcast entirely while it is zero, which
 	// is the common case under load.
 	sleepers atomic.Int64
-
-	wg sync.WaitGroup
 }
+
+// spawnTicket lets a pool worker claim work: own deque LIFO first, then
+// random-victim FIFO steals.  One is owed per Spawn, so surplus tickets
+// (work already drained by a Sync-ing parent) are harmless no-ops.
+var spawnTicket = core.NewTaskDef("cilkrt_ticket", func(a *core.Args) {
+	rt := a.Opaque(0).(*RT)
+	self := a.Worker()
+	if t, ok := rt.next(self, rt.rngs[self]); ok {
+		rt.runTask(t, self, rt.rngs[self])
+	}
+})
 
 // deque is a mutex-guarded per-worker work deque.
 type deque struct {
@@ -90,18 +119,79 @@ func (d *deque) popFront() (task, bool) {
 }
 
 // New creates a runtime with the given number of workers (including the
-// thread that calls Run).  Zero means GOMAXPROCS.
+// thread that calls Run).  Zero means GOMAXPROCS.  With more than one
+// worker this is a thin wrapper over NewOn on a private pool; with
+// exactly one, no pool exists and the Run caller executes everything.
 func New(workers int) *RT {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rt := &RT{nworkers: workers, deques: make([]deque, workers)}
-	rt.cond = sync.NewCond(&rt.mu)
-	for w := 1; w < workers; w++ {
-		rt.wg.Add(1)
-		go rt.workerLoop(w)
+	if workers == 1 {
+		rt := &RT{deques: make([]deque, 1), mainID: 0}
+		rt.rngs = []*rand.Rand{rand.New(rand.NewSource(1))}
+		rt.cond = sync.NewCond(&rt.mu)
+		return rt
 	}
+	pool, err := core.NewPool(core.PoolConfig{Workers: workers - 1, MaxContexts: 1})
+	if err != nil {
+		panic(err)
+	}
+	rt, err := NewOn(pool)
+	if err != nil {
+		panic(err)
+	}
+	rt.ownPool = pool
 	return rt
+}
+
+// NewOn attaches a Cilk-style runtime to a shared pool as one tenant:
+// it takes one context slot, and the pool's workers run its spawned
+// tasks alongside every other tenant's.  Close detaches the tenant.
+func NewOn(pool *core.Pool) (*RT, error) {
+	// One deque per pool worker-slot identity, plus a virtual executor
+	// for the thread that calls Run.
+	slots := pool.MaxContexts() + pool.Workers()
+	rt := &RT{deques: make([]deque, slots+1), mainID: slots}
+	rt.rngs = make([]*rand.Rand, slots+1)
+	for i := range rt.rngs {
+		rt.rngs[i] = rand.New(rand.NewSource(int64(i) + 7))
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	ctx, err := pool.NewContext(core.ContextConfig{
+		Scheduler:  core.SchedGlobalFIFO,
+		GraphLimit: -1, // the pump never executes tickets inline
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.ctx = ctx
+	rt.pumpCond = sync.NewCond(&rt.mu)
+	rt.pumpDone = make(chan struct{})
+	go rt.pumpLoop()
+	return rt, nil
+}
+
+// pumpLoop is the context's single submitter: it converts owed tickets
+// into context submissions until Close, then closes the context.
+func (rt *RT) pumpLoop() {
+	defer close(rt.pumpDone)
+	for {
+		rt.mu.Lock()
+		for rt.owed == 0 && !rt.closed {
+			rt.pumpCond.Wait()
+		}
+		n := rt.owed
+		rt.owed = 0
+		closed := rt.closed
+		rt.mu.Unlock()
+		for i := 0; i < n; i++ {
+			rt.ctx.Submit(spawnTicket, core.Opaque(rt))
+		}
+		if closed && n == 0 {
+			rt.ctx.Close()
+			return
+		}
+	}
 }
 
 // Ctx identifies the executing worker and its current frame; all spawn
@@ -119,6 +209,12 @@ type Ctx struct {
 func (c *Ctx) Spawn(f func(*Ctx)) {
 	c.fr.pending.Add(1)
 	c.rt.deques[c.self].push(task{f: f, fr: c.fr})
+	if c.rt.ctx != nil {
+		c.rt.mu.Lock()
+		c.rt.owed++
+		c.rt.mu.Unlock()
+		c.rt.pumpCond.Signal()
+	}
 	c.rt.bump()
 }
 
@@ -138,21 +234,29 @@ func (c *Ctx) Sync() {
 }
 
 // Run executes f as the root of a parallel computation and returns when
-// f and all its descendants have completed.
+// f and all its descendants have completed.  The caller executes as the
+// runtime's virtual main executor.
 func (rt *RT) Run(f func(*Ctx)) {
 	root := &frame{}
-	c := &Ctx{rt: rt, self: 0, fr: root, rng: rand.New(rand.NewSource(1))}
+	c := &Ctx{rt: rt, self: rt.mainID, fr: root, rng: rt.rngs[rt.mainID]}
 	f(c)
 	c.Sync()
 }
 
-// Close stops the worker threads.
+// Close stops the pump, detaches the runtime's context, and — when New
+// built a private pool — shuts that pool down.
 func (rt *RT) Close() {
 	rt.mu.Lock()
 	rt.closed = true
 	rt.mu.Unlock()
 	rt.cond.Broadcast()
-	rt.wg.Wait()
+	if rt.ctx != nil {
+		rt.pumpCond.Signal()
+		<-rt.pumpDone
+		if rt.ownPool != nil {
+			rt.ownPool.Close()
+		}
+	}
 }
 
 // runTask executes a stolen or popped task: the child body runs in its
@@ -175,12 +279,13 @@ func (rt *RT) next(self int, rng *rand.Rand) (task, bool) {
 	if t, ok := rt.deques[self].popBack(); ok {
 		return t, true
 	}
-	if rt.nworkers == 1 {
+	n := len(rt.deques)
+	if n == 1 {
 		return task{}, false
 	}
-	start := rng.Intn(rt.nworkers)
-	for i := 0; i < rt.nworkers; i++ {
-		v := (start + i) % rt.nworkers
+	start := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
 		if v == self {
 			continue
 		}
@@ -228,27 +333,4 @@ func (rt *RT) waitChange(self int, rng *rand.Rand, cancel func() bool) {
 		rt.cond.Wait()
 	}
 	rt.mu.Unlock()
-}
-
-// workerLoop is the body of each dedicated worker.
-func (rt *RT) workerLoop(self int) {
-	defer rt.wg.Done()
-	rng := rand.New(rand.NewSource(int64(self) + 7))
-	for {
-		if t, ok := rt.next(self, rng); ok {
-			rt.runTask(t, self, rng)
-			continue
-		}
-		rt.mu.Lock()
-		closed := rt.closed
-		rt.mu.Unlock()
-		if closed {
-			return
-		}
-		rt.waitChange(self, rng, func() bool {
-			rt.mu.Lock()
-			defer rt.mu.Unlock()
-			return rt.closed
-		})
-	}
 }

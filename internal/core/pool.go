@@ -123,6 +123,13 @@ func (p *Pool) Workers() int { return p.cfg.Workers }
 // MaxContexts returns the pool's context-slot capacity.
 func (p *Pool) MaxContexts() int { return p.cfg.MaxContexts }
 
+// Storage returns the pool's shared rename-storage recycling store.
+// Hosted programming models that keep their own dependency trackers
+// (internal/cellss and friends) share it via deps.Tracker.ShareStorage,
+// so every tenant's renames draw on one free-list pool exactly like the
+// pool's own contexts.
+func (p *Pool) Storage() *deps.Storage { return p.store }
+
 // Contexts returns the number of currently attached contexts.
 func (p *Pool) Contexts() int {
 	p.mu.Lock()

@@ -13,8 +13,23 @@ package forkjoin
 import (
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/kernels"
 )
+
+// pfor runs body(part) for part = 0..parts-1 in parallel and joins.  It
+// abstracts the fork-join substrate: goroutines for the standalone
+// baseline, a core.Context for the pool-hosted one.  Either way the
+// model's defining property — a barrier after every parallel loop — is
+// preserved; that is exactly what the paper blames for the threaded
+// BLAS scaling collapse (§VI.A).
+type pfor func(parts int, body func(part int))
+
+// goPF is the standalone substrate: ad-hoc goroutines, up to threads of
+// them, joined with a WaitGroup.
+func goPF(threads int) pfor {
+	return func(parts int, body func(part int)) { parallelFor(parts, threads, body) }
+}
 
 // parallelFor runs body(part) for part = 0..parts-1 on up to threads
 // goroutines and joins.
@@ -50,6 +65,58 @@ func parallelFor(parts, threads int, body func(part int)) {
 	wg.Wait()
 }
 
+// forPart executes one partition of a hosted parallel loop on a pool
+// worker.  The loop's tasks carry no dependency arguments — fork-join
+// synchronizes with barriers, not a graph — so they are all immediately
+// ready.
+var forPart = core.NewTaskDef("forkjoin_part", func(a *core.Args) {
+	a.Opaque(0).(func(int))(a.Int(1))
+})
+
+// Host runs the fork-join model as one tenant of a shared pool: every
+// parallel loop becomes a batch of independent context tasks followed
+// by a context barrier, executed by the pool's workers alongside other
+// tenants' tasks.  The caller of Host methods must be the context's
+// single submitter; unlike the spawn-inside-task models, fork-join
+// loops fork only from the driving thread, so no pump is needed.
+type Host struct {
+	ctx *core.Context
+}
+
+// On hosts the fork-join model on an existing context.  The Host does
+// not own the context; closing it remains the caller's job.
+func On(ctx *core.Context) *Host { return &Host{ctx: ctx} }
+
+// threads is the effective parallelism used to size loop partitions:
+// the pool's dedicated workers plus the submitting thread (which the
+// pool turns into a worker whenever it blocks in the barrier).
+func (h *Host) threads() int { return h.ctx.Pool().Workers() + 1 }
+
+// ParallelFor runs body(part) for part = 0..parts-1 on the shared pool
+// and joins at a context barrier.
+func (h *Host) ParallelFor(parts int, body func(part int)) {
+	if parts <= 1 {
+		for p := 0; p < parts; p++ {
+			body(p)
+		}
+		return
+	}
+	for p := 0; p < parts; p++ {
+		h.ctx.Submit(forPart, core.Opaque(body), core.Value(p))
+	}
+	h.ctx.Barrier()
+}
+
+// Gemm is Gemm on the host's shared pool.
+func (h *Host) Gemm(a, b, c []float32, n int, p kernels.Provider) {
+	gemmWith(a, b, c, n, h.threads(), h.ParallelFor, p)
+}
+
+// Cholesky is Cholesky on the host's shared pool.
+func (h *Host) Cholesky(a []float32, n, m int, p kernels.Provider) bool {
+	return choleskyWith(a, n, m, h.ParallelFor, p)
+}
+
 // Gemm computes C += A·B on flat n×n matrices with a row-partitioned
 // parallel loop — the embarrassingly parallel case where threaded BLAS
 // has a "very good and smooth response versus the number of threads"
@@ -57,10 +124,16 @@ func parallelFor(parts, threads int, body func(part int)) {
 // provider's loop discipline, so both a "threaded Goto" and a "threaded
 // MKL" baseline series exist.
 func Gemm(a, b, c []float32, n, threads int, p kernels.Provider) {
+	gemmWith(a, b, c, n, threads, goPF(threads), p)
+}
+
+// gemmWith is Gemm over an explicit fork-join substrate; threads only
+// sizes the partitioning.
+func gemmWith(a, b, c []float32, n, threads int, pf pfor, p kernels.Provider) {
 	if p.GemmNNS != nil {
 		// Packed provider: its discipline is the tile kernel itself, so
 		// the honest threaded baseline drives it over staged blocks.
-		gemmBlocked(a, b, c, n, threads, p)
+		gemmBlocked(a, b, c, n, pf, p)
 		return
 	}
 	parts := threads * 4 // over-partition for balance
@@ -68,7 +141,7 @@ func Gemm(a, b, c []float32, n, threads int, p kernels.Provider) {
 		parts = n
 	}
 	fast := p.Name != kernels.Ref.Name
-	parallelFor(parts, threads, func(part int) {
+	pf(parts, func(part int) {
 		lo := part * n / parts
 		hi := (part + 1) * n / parts
 		if fast {
@@ -107,13 +180,13 @@ func Gemm(a, b, c []float32, n, threads int, p kernels.Provider) {
 // serial kernels pack internally.  Tiles past the matrix edge are
 // zero-padded (exact: padded lanes contribute zero) and only the valid
 // window is written back.
-func gemmBlocked(a, b, c []float32, n, threads int, p kernels.Provider) {
+func gemmBlocked(a, b, c []float32, n int, pf pfor, p kernels.Provider) {
 	bm := 256
 	if bm > n {
 		bm = n
 	}
 	nb := (n + bm - 1) / bm
-	parallelFor(nb, threads, func(bi int) {
+	pf(nb, func(bi int) {
 		// One staging set per strip, reused across every tile product.
 		ab := make([]float32, bm*bm)
 		bb := make([]float32, bm*bm)
@@ -178,6 +251,11 @@ func unpackTile(src, a []float32, n, rlo, clo, m int) {
 // It returns false if A is not positive definite.  The trailing-update
 // arithmetic follows the given provider's loop discipline.
 func Cholesky(a []float32, n, m, threads int, p kernels.Provider) bool {
+	return choleskyWith(a, n, m, goPF(threads), p)
+}
+
+// choleskyWith is Cholesky over an explicit fork-join substrate.
+func choleskyWith(a []float32, n, m int, pf pfor, p kernels.Provider) bool {
 	fast := p.Name != kernels.Ref.Name
 	nb := (n + m - 1) / m
 	blk := func(i int) (lo, sz int) {
@@ -203,7 +281,7 @@ func Cholesky(a []float32, n, m, threads int, p kernels.Provider) bool {
 		}
 		unpackBlock(diag, a, n, klo, klo, ksz)
 		// Panel solve below the diagonal.
-		parallelFor(nb-k-1, threads, func(part int) {
+		pf(nb-k-1, func(part int) {
 			i := k + 1 + part
 			ilo, isz := blk(i)
 			bb := packRect(a, n, ilo, klo, isz, ksz)
@@ -218,7 +296,7 @@ func Cholesky(a []float32, n, m, threads int, p kernels.Provider) bool {
 				updates = append(updates, ij{i, j})
 			}
 		}
-		parallelFor(len(updates), threads, func(part int) {
+		pf(len(updates), func(part int) {
 			u := updates[part]
 			ilo, isz := blk(u.i)
 			jlo, jsz := blk(u.j)

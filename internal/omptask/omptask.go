@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // frame counts outstanding child tasks of one task region for taskwait.
@@ -30,8 +32,23 @@ type task struct {
 }
 
 // RT is an OpenMP-like task-pool runtime instance.
+//
+// Since the shared-pool re-host the model owns no dedicated threads
+// (beyond the Parallel caller): the central FIFO queue lives here, but
+// each Task() push owes one opaque *ticket* on a core.Context, and the
+// pool's workers execute tickets by popping this queue.  A pump
+// goroutine is the context's single submitter, because Task() runs
+// inside task bodies, which must never submit to a context directly.
+// Taskwait keeps popping the model queue itself, so a waiting region
+// always makes progress even when the pool is busy with other tenants.
 type RT struct {
 	nworkers int
+
+	ctx      *core.Context // tenant context; nil in standalone (1-thread) mode
+	ownPool  *core.Pool    // non-nil when New built a private pool
+	pumpCond *sync.Cond    // on mu: tickets owed or runtime closing
+	owed     int
+	pumpDone chan struct{}
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -42,23 +59,89 @@ type RT struct {
 	// sleepers counts threads parked (or about to park); wakeups skip
 	// the broadcast entirely while it is zero.
 	sleepers atomic.Int64
-
-	wg sync.WaitGroup
 }
 
+// poolTicket runs at most one queued model task on a pool worker; one
+// is owed per Task() push, so surplus tickets are harmless no-ops.
+var poolTicket = core.NewTaskDef("omptask_ticket", func(a *core.Args) {
+	rt := a.Opaque(0).(*RT)
+	if t, ok := rt.pop(); ok {
+		rt.runTask(t, a.Worker())
+	}
+})
+
 // New creates a runtime with the given thread count (including the
-// thread that calls Parallel).  Zero means GOMAXPROCS.
+// thread that calls Parallel).  Zero means GOMAXPROCS.  With more than
+// one thread this is a thin wrapper over NewOn on a private pool; with
+// exactly one, no pool exists and the caller executes everything.
 func New(workers int) *RT {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rt := &RT{nworkers: workers}
 	rt.cond = sync.NewCond(&rt.mu)
-	for w := 1; w < workers; w++ {
-		rt.wg.Add(1)
-		go rt.workerLoop(w)
+	if workers > 1 {
+		pool, err := core.NewPool(core.PoolConfig{Workers: workers - 1, MaxContexts: 1})
+		if err != nil {
+			panic(err)
+		}
+		if err := rt.attach(pool); err != nil {
+			panic(err)
+		}
+		rt.ownPool = pool
 	}
 	return rt
+}
+
+// NewOn attaches a task-pool runtime to a shared pool as one tenant:
+// it takes one context slot, and the pool's workers serve its queue
+// alongside every other tenant's tasks.  Close detaches the tenant.
+func NewOn(pool *core.Pool) (*RT, error) {
+	rt := &RT{nworkers: pool.Workers() + 1}
+	rt.cond = sync.NewCond(&rt.mu)
+	if err := rt.attach(pool); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// attach binds the runtime to a pool context and starts its pump.
+func (rt *RT) attach(pool *core.Pool) error {
+	ctx, err := pool.NewContext(core.ContextConfig{
+		Scheduler:  core.SchedGlobalFIFO, // the model is one central FIFO queue
+		GraphLimit: -1,                   // the pump never executes tickets inline
+	})
+	if err != nil {
+		return err
+	}
+	rt.ctx = ctx
+	rt.pumpCond = sync.NewCond(&rt.mu)
+	rt.pumpDone = make(chan struct{})
+	go rt.pumpLoop()
+	return nil
+}
+
+// pumpLoop is the context's single submitter: it converts owed tickets
+// into context submissions until Close, then closes the context.
+func (rt *RT) pumpLoop() {
+	defer close(rt.pumpDone)
+	for {
+		rt.mu.Lock()
+		for rt.owed == 0 && !rt.closed {
+			rt.pumpCond.Wait()
+		}
+		n := rt.owed
+		rt.owed = 0
+		closed := rt.closed
+		rt.mu.Unlock()
+		for i := 0; i < n; i++ {
+			rt.ctx.Submit(poolTicket, core.Opaque(rt))
+		}
+		if closed && n == 0 {
+			rt.ctx.Close()
+			return
+		}
+	}
 }
 
 // Ctx is the per-thread handle inside a parallel region.
@@ -80,6 +163,10 @@ func (c *Ctx) Task(f func(*Ctx)) {
 	c.rt.mu.Lock()
 	c.rt.queue = append(c.rt.queue, t)
 	c.rt.version++
+	if c.rt.ctx != nil {
+		c.rt.owed++
+		c.rt.pumpCond.Signal()
+	}
 	c.rt.mu.Unlock()
 	c.rt.wake()
 }
@@ -106,13 +193,20 @@ func (rt *RT) Parallel(f func(*Ctx)) {
 	c.Taskwait()
 }
 
-// Close stops the worker threads.
+// Close stops the pump, detaches the runtime's context, and — when New
+// built a private pool — shuts that pool down.
 func (rt *RT) Close() {
 	rt.mu.Lock()
 	rt.closed = true
 	rt.mu.Unlock()
 	rt.cond.Broadcast()
-	rt.wg.Wait()
+	if rt.ctx != nil {
+		rt.pumpCond.Signal()
+		<-rt.pumpDone
+		if rt.ownPool != nil {
+			rt.ownPool.Close()
+		}
+	}
 }
 
 func (rt *RT) pop() (task, bool) {
@@ -181,25 +275,4 @@ func (rt *RT) waitChange(self int, cancel func() bool) {
 		rt.cond.Wait()
 	}
 	rt.mu.Unlock()
-}
-
-func (rt *RT) workerLoop(self int) {
-	defer rt.wg.Done()
-	for {
-		if t, ok := rt.pop(); ok {
-			rt.runTask(t, self)
-			continue
-		}
-		rt.sleepers.Add(1)
-		rt.mu.Lock()
-		for rt.head == len(rt.queue) && !rt.closed {
-			rt.cond.Wait()
-		}
-		closed := rt.closed && rt.head == len(rt.queue)
-		rt.mu.Unlock()
-		rt.sleepers.Add(-1)
-		if closed {
-			return
-		}
-	}
 }

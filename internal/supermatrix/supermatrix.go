@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/dataid"
 	"repro/internal/deps"
 	"repro/internal/graph"
@@ -156,10 +157,23 @@ type Stats struct {
 // calls Submit repeatedly (building the whole graph without running
 // anything), then Execute (which consumes the graph to completion).
 // Submit must not be called concurrently with Execute.
+//
+// Since the shared-pool re-host the model owns no worker threads.
+// Execution happens on a core.Context: the blocked Execute caller is
+// the context's single submitter, and the Workers configuration names
+// *virtual cores* — block ownership binds blocks to virtual cores, and
+// at most one ticket per virtual core is in flight at a time, so each
+// core's owned work still runs serially on exactly one thread, with no
+// stealing, exactly as the private per-core lists did.  New runs each
+// Execute phase on a private ephemeral pool (preserving "no worker
+// threads exist until Execute"); NewOn attaches the model to a shared
+// pool as one tenant.
 type Runtime struct {
 	cfg Config
 	g   *graph.Graph
 	tr  *deps.Tracker
+
+	host *core.Context // persistent tenant context (NewOn), or nil
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -167,6 +181,10 @@ type Runtime struct {
 	shared []*graph.Node   // ready tasks that write no owned block
 	owners map[uintptr]int
 	next   int // round-robin cursor for owner assignment
+
+	ownedBusy  []bool // a ticket is in flight for this virtual core
+	sharedOwed int    // shared tasks not yet covered by a ticket
+	inFlight   int    // tickets submitted and not yet finished
 
 	outstanding int64
 	submitted   int64
@@ -183,15 +201,55 @@ func New(cfg Config) *Runtime {
 		cfg.Workers = 1
 	}
 	rt := &Runtime{
-		cfg:    cfg,
-		owned:  make([][]*graph.Node, cfg.Workers),
-		owners: make(map[uintptr]int),
+		cfg:       cfg,
+		owned:     make([][]*graph.Node, cfg.Workers),
+		ownedBusy: make([]bool, cfg.Workers),
+		owners:    make(map[uintptr]int),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	rt.g = graph.New(rt.onReady)
 	rt.tr = deps.NewTracker(rt.g)
 	rt.tr.DisableRenaming = true // SuperMatrix does not support renaming
 	return rt
+}
+
+// NewOn attaches a SuperMatrix-model runtime to a shared pool as one
+// tenant: Execute phases run by submitting tickets to one context
+// instead of spinning up private threads.  Workers still sets the
+// virtual-core count for block ownership (zero picks the pool's worker
+// count).  NewOn, Submit, Execute and Close must all be called from the
+// same goroutine (the context is single-submitter); call Close to
+// release the context slot.
+func NewOn(pool *core.Pool, cfg Config) (*Runtime, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = pool.Workers()
+	}
+	rt := New(cfg)
+	ctx, err := pool.NewContext(core.ContextConfig{
+		Scheduler:  core.SchedGlobalFIFO, // "SuperMatrix has a central ready queue"
+		GraphLimit: -1,                   // the driver must never execute tickets inline
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.host = ctx
+	return rt, nil
+}
+
+// Close detaches a NewOn runtime's context from its pool.  On a private
+// (New) runtime it is a no-op: those own no persistent resources.
+func (rt *Runtime) Close() error {
+	if rt.host == nil {
+		return nil
+	}
+	err := rt.host.Close()
+	rt.host = nil
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.firstErr
 }
 
 // Workers returns the configured worker count.
@@ -264,7 +322,8 @@ func (rt *Runtime) Submit(def *TaskDef, args ...Arg) {
 }
 
 // onReady queues a task whose dependencies are satisfied.  During the
-// Submit phase this only accumulates state; workers drain it in Execute.
+// Submit phase this only accumulates state; Execute drains it by
+// submitting tickets.
 func (rt *Runtime) onReady(n *graph.Node, releasedBy int) {
 	rec := n.Payload.(*taskRec)
 	rt.mu.Lock()
@@ -272,60 +331,134 @@ func (rt *Runtime) onReady(n *graph.Node, releasedBy int) {
 		rt.owned[rec.owner] = append(rt.owned[rec.owner], n)
 	} else {
 		rt.shared = append(rt.shared, n)
+		rt.sharedOwed++
 	}
 	rt.mu.Unlock()
 	rt.cond.Broadcast()
 }
 
-// Execute consumes the developed graph: it starts the configured workers,
-// blocks the main flow until every submitted task has completed, and
-// returns the first task failure (if any).  The runtime may then be used
-// for another Submit/Execute phase.
+// ownedTicket drains one virtual core's owned list serially; at most
+// one is in flight per core, which is exactly the old per-core worker.
+var ownedTicket = core.NewTaskDef("supermatrix_owned", func(a *core.Args) {
+	a.Opaque(0).(*Runtime).runOwned(a.Int(1))
+})
+
+// sharedTicket runs at most one unowned task; Execute submits one per
+// queued shared task, so surplus tickets are harmless no-ops.
+var sharedTicket = core.NewTaskDef("supermatrix_shared", func(a *core.Args) {
+	a.Opaque(0).(*Runtime).runShared(a.Worker())
+})
+
+// Execute consumes the developed graph: it submits tickets to the
+// execution context, blocks the main flow until every submitted task
+// has completed, and returns the first task failure (if any).  The
+// runtime may then be used for another Submit/Execute phase.
+//
+// A NewOn runtime executes on its tenant context; a New runtime builds
+// a private pool for the duration of the phase — matching the original
+// model, where worker threads exist only while Execute runs.
 func (rt *Runtime) Execute() error {
-	var wg sync.WaitGroup
-	for w := 0; w < rt.cfg.Workers; w++ {
-		wg.Add(1)
-		go func(self int) {
-			defer wg.Done()
-			rt.workerLoop(self)
-		}(w)
+	ctx := rt.host
+	var pool *core.Pool
+	if ctx == nil {
+		p, err := core.NewPool(core.PoolConfig{Workers: rt.cfg.Workers, MaxContexts: 1})
+		if err != nil {
+			return err
+		}
+		c, err := p.NewContext(core.ContextConfig{
+			Scheduler:  core.SchedGlobalFIFO,
+			GraphLimit: -1,
+		})
+		if err != nil {
+			p.Close()
+			return err
+		}
+		pool, ctx = p, c
 	}
-	wg.Wait()
+	rt.drive(ctx)
+	if pool != nil {
+		ctx.Close()
+		pool.Close()
+	}
 	rt.mu.Lock()
 	err := rt.firstErr
 	rt.mu.Unlock()
 	return err
 }
 
-// workerLoop pops ready tasks for worker self until the graph drains.
-// The lookup order is: tasks bound to this core (FIFO, the central queue
-// filtered by ownership), then unowned tasks.  There is no stealing.
-func (rt *Runtime) workerLoop(self int) {
+// drive is the heart of the Execute phase: the blocked main flow acts
+// as the context's single submitter, covering every ready task with a
+// ticket — one in-flight ticket per virtual core with owned work, one
+// per queued shared task — until the graph drains and every ticket has
+// finished (so no ticket still references this runtime after return).
+func (rt *Runtime) drive(ctx *core.Context) {
 	for {
 		rt.mu.Lock()
-		for {
-			if rt.outstanding == 0 {
-				rt.mu.Unlock()
-				rt.cond.Broadcast()
-				return
-			}
-			if len(rt.owned[self]) > 0 || len(rt.shared) > 0 {
-				break
-			}
-			rt.cond.Wait()
+		if rt.outstanding == 0 && rt.inFlight == 0 {
+			rt.mu.Unlock()
+			return
 		}
-		var n *graph.Node
-		var owned bool
-		if q := rt.owned[self]; len(q) > 0 {
-			n, rt.owned[self] = q[0], q[1:]
-			owned = true
-		} else {
-			n, rt.shared = rt.shared[0], rt.shared[1:]
+		var ownedStart []int
+		for v := range rt.owned {
+			if len(rt.owned[v]) > 0 && !rt.ownedBusy[v] {
+				rt.ownedBusy[v] = true
+				rt.inFlight++
+				ownedStart = append(ownedStart, v)
+			}
+		}
+		sharedStart := rt.sharedOwed
+		rt.sharedOwed = 0
+		rt.inFlight += sharedStart
+		if len(ownedStart) == 0 && sharedStart == 0 {
+			rt.cond.Wait()
+			rt.mu.Unlock()
+			continue
 		}
 		rt.mu.Unlock()
-
-		rt.exec(n, self, owned)
+		for _, v := range ownedStart {
+			ctx.Submit(ownedTicket, core.Opaque(rt), core.Value(v))
+		}
+		for i := 0; i < sharedStart; i++ {
+			ctx.Submit(sharedTicket, core.Opaque(rt))
+		}
 	}
+}
+
+// runOwned is an owned ticket's body on a pool worker: it drains
+// virtual core v's ready list serially — the ownership filter means no
+// other thread ever runs these tasks concurrently.
+func (rt *Runtime) runOwned(v int) {
+	for {
+		rt.mu.Lock()
+		if len(rt.owned[v]) == 0 {
+			rt.ownedBusy[v] = false
+			rt.inFlight--
+			rt.mu.Unlock()
+			rt.cond.Broadcast()
+			return
+		}
+		n := rt.owned[v][0]
+		rt.owned[v] = rt.owned[v][1:]
+		rt.mu.Unlock()
+		rt.exec(n, v, true)
+	}
+}
+
+// runShared is a shared ticket's body: pop at most one unowned task.
+func (rt *Runtime) runShared(worker int) {
+	rt.mu.Lock()
+	var n *graph.Node
+	if len(rt.shared) > 0 {
+		n, rt.shared = rt.shared[0], rt.shared[1:]
+	}
+	rt.mu.Unlock()
+	if n != nil {
+		rt.exec(n, worker, false)
+	}
+	rt.mu.Lock()
+	rt.inFlight--
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
 }
 
 func (rt *Runtime) exec(n *graph.Node, self int, owned bool) {
