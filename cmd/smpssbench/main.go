@@ -9,6 +9,13 @@
 //	smpssbench -exp all                  # everything, default scale
 //	smpssbench -exp fig11,fig14 -quick   # selected figures, test scale
 //	smpssbench -exp fig08 -dim 4096 -csv # bigger matrix, CSV output
+//	smpssbench -tune                     # autotune the kernel engines,
+//	                                     # write ~/.smpss/profile.json
+//	smpssbench -exp ablation-kernels -json BENCH_kernels.json
+//
+// Every run auto-loads the machine profile from ~/.smpss/profile.json
+// (or -profile PATH) when present, re-blocking the packed kernel
+// engines to this host's measured tile shape, kc depth and crossover.
 package main
 
 import (
@@ -29,7 +36,10 @@ func main() {
 	sortKeys := flag.Int("sortkeys", 0, "multisort input size (default 4M)")
 	queensN := flag.Int("queens", 0, "N-Queens board size (default 13)")
 	contexts := flag.Int("contexts", 0, "client count for ablation-multitenant (default 8)")
-	provider := flag.String("provider", "", "tile-kernel provider: tuned, goto or mkl (default tuned; experiments that sweep providers ignore it for the swept series)")
+	provider := flag.String("provider", "", "tile-kernel provider: simd, tuned, goto or mkl (default tuned; experiments that sweep providers ignore it for the swept series)")
+	tune := flag.Bool("tune", false, "run the kernel autotuner and persist the machine profile (to -profile PATH, default "+kernels.DefaultProfilePath()+")")
+	profilePath := flag.String("profile", "", "machine profile path to load (and to write under -tune); default "+kernels.DefaultProfilePath()+" when it exists")
+	jsonOut := flag.String("json", "", "also write structured results (machine info + every experiment's series) to this file")
 	quick := flag.Bool("quick", false, "tiny test-scale configuration")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "print the registered experiment IDs, one per line, and exit")
@@ -59,11 +69,46 @@ func main() {
 	}
 
 	var ids []string
-	if *exp == "all" {
+	switch {
+	case *tune:
+		// -tune runs exactly the tune experiment and persists the
+		// measured profile; combine with -json for the raw sweep data.
+		out := *profilePath
+		if out == "" {
+			out = kernels.DefaultProfilePath()
+		}
+		cfg.ProfileOut = out
+		ids = []string{"tune"}
+	case *exp == "all":
 		ids = bench.IDs()
-	} else {
+	default:
 		ids = strings.Split(*exp, ",")
 	}
+
+	// Outside -tune, re-block the kernel engines from the machine
+	// profile: an explicit -profile must load; the default path is
+	// best-effort (first run has none).
+	if !*tune {
+		path, explicit := *profilePath, *profilePath != ""
+		if !explicit {
+			path = kernels.DefaultProfilePath()
+		}
+		if _, err := os.Stat(path); err == nil || explicit {
+			prof, applied, err := bench.ApplyProfile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smpssbench: profile %s: %v\n", path, err)
+				if explicit {
+					os.Exit(2)
+				}
+			} else {
+				cfg.Profile = path
+				fmt.Fprintf(os.Stderr, "smpssbench: profile %s (created %s) applied to %s\n",
+					path, prof.CreatedAt, strings.Join(applied, ", "))
+			}
+		}
+	}
+
+	var results []*bench.Result
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		run, ok := bench.Registry[id]
@@ -72,11 +117,30 @@ func main() {
 			os.Exit(2)
 		}
 		res := run(cfg)
+		results = append(results, res)
 		if *csv {
 			fmt.Printf("# %s: %s\n", res.ID, res.Title)
 			res.CSV(os.Stdout)
 		} else {
 			res.Table(os.Stdout)
 		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smpssbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, cfg, results); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "smpssbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smpssbench: closing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "smpssbench: wrote %s\n", *jsonOut)
 	}
 }

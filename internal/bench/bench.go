@@ -21,14 +21,14 @@ import (
 // Point is one measurement: X is the swept parameter (block size or
 // thread count), Y the metric (Gflop/s or speedup).
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one plotted line.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // add appends a point.
@@ -162,10 +162,18 @@ type Config struct {
 	// run K independent runtimes.
 	Contexts int
 	// Provider names the tile-kernel provider every experiment's SMPSs
-	// programs use ("tuned", "goto", "mkl"); empty selects "tuned".
-	// Experiments that sweep providers explicitly (the paper's paired
-	// series, ablation-kernels) ignore it for the swept series.
+	// programs use ("simd", "tuned", "goto", "mkl"); empty selects
+	// "tuned".  Experiments that sweep providers explicitly (the
+	// paper's paired series, ablation-kernels) ignore it for the swept
+	// series.
 	Provider string
+	// Profile records the machine-profile path applied before the run
+	// (loaded by smpssbench via ApplyProfile; informational here so
+	// JSON reports carry it).
+	Profile string `json:",omitempty"`
+	// ProfileOut, when set, makes the tune experiment persist its
+	// measured machine profile there (the -tune flag path).
+	ProfileOut string `json:",omitempty"`
 	// Quick selects the test-scale configuration.
 	Quick bool
 }
@@ -266,6 +274,7 @@ var Registry = map[string]func(Config) *Result{
 	"ext-sparselu":         ExtSparseLU,
 	"ext-heat":             ExtHeat,
 	"ext-bundle":           ExtBundle,
+	"tune":                 Tune,
 }
 
 // IDs returns the registered experiment IDs in order.

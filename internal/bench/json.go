@@ -1,0 +1,80 @@
+// Structured results emission: `smpssbench -json out.json` wraps every
+// experiment run in one machine-stamped report, so committed BENCH_*.json
+// files give future PRs a measured baseline instead of numbers living
+// only in commit messages.
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+// EngineJSON records one engine provider's blocking at run time —
+// after any profile was applied, so the report says what was measured.
+type EngineJSON struct {
+	Provider string `json:"provider"`
+	kernels.Params
+}
+
+// ResultJSON is Result with wall time in seconds instead of a
+// nanosecond Duration.
+type ResultJSON struct {
+	ID             string   `json:"id"`
+	Title          string   `json:"title"`
+	XLabel         string   `json:"x_label"`
+	YLabel         string   `json:"y_label"`
+	Series         []Series `json:"series"`
+	Notes          []string `json:"notes,omitempty"`
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+}
+
+// ReportJSON is the emitted document.
+type ReportJSON struct {
+	CreatedAt  string           `json:"created_at"`
+	Host       kernels.HostInfo `json:"host"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Engines    []EngineJSON     `json:"engines"`
+	Config     Config           `json:"config"`
+	Results    []ResultJSON     `json:"results"`
+}
+
+// Report assembles the JSON document for a finished run.
+func Report(cfg Config, results []*Result) *ReportJSON {
+	rep := &ReportJSON{
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Host:       kernels.Host(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+	}
+	for _, name := range kernels.EngineProviders() {
+		if p, ok := kernels.EngineParams(name); ok {
+			rep.Engines = append(rep.Engines, EngineJSON{Provider: name, Params: p})
+		}
+	}
+	for _, r := range results {
+		rep.Results = append(rep.Results, ResultJSON{
+			ID:             r.ID,
+			Title:          r.Title,
+			XLabel:         r.XLabel,
+			YLabel:         r.YLabel,
+			Series:         r.Series,
+			Notes:          r.Notes,
+			ElapsedSeconds: r.Elapsed.Seconds(),
+		})
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func WriteJSON(w io.Writer, cfg Config, results []*Result) error {
+	data, err := json.MarshalIndent(Report(cfg, results), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

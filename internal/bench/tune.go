@@ -1,0 +1,157 @@
+// The machine autotuner behind `smpssbench -tune`: re-runs PR 3's
+// hand-made blocking shootout mechanically, on the host, for every
+// engine provider, and persists the winners as a kernels.Profile.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+// tuneBlocks are the block sizes whose average GemmNN rate scores a
+// (shape, kc) candidate — the sizes the factorization experiments
+// actually run at.
+func tuneBlocks(quick bool) ([]int, int) {
+	if quick {
+		return []int{32, 64}, 1 << 21
+	}
+	return []int{128, 256}, 1 << 26
+}
+
+// tuneKCs is the swept k-chunk depth axis.
+func tuneKCs(quick bool) []int {
+	if quick {
+		return []int{32, 64, 128}
+	}
+	return []int{64, 128, 256, 512}
+}
+
+// crossoverSizes is the small-block sweep that locates the streaming
+// crossover; must stay sorted ascending.
+var crossoverSizes = []int{4, 8, 12, 16, 24, 32, 48, 64}
+
+// Tune sweeps every engine provider's implemented tile shapes × kc
+// depths on raw tile GemmNN, then locates the block size where the
+// packed engine starts beating the streaming loops, configures the
+// engines with the winners, and — when cfg.ProfileOut is set (the
+// -tune flag path) — persists the result as a machine profile.
+//
+// The result's series plot Gflop/s per (provider, shape) over the kc
+// axis; the notes carry the chosen parameters, the crossover sweep and
+// the profile destination, so a committed BENCH json of this
+// experiment is the machine's tuning trajectory.
+func Tune(cfg Config) *Result {
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "tune",
+		Title:  "Autotuner: tile shape × kc × crossover per engine provider (raw GemmNN Gflop/s)",
+		XLabel: "kc",
+		YLabel: "Gflop/s",
+	}
+	blocks, budget := tuneBlocks(cfg.Quick)
+	kcs := tuneKCs(cfg.Quick)
+
+	profile := &kernels.Profile{
+		Version:   kernels.ProfileVersion,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:      kernels.Host(),
+		Providers: map[string]kernels.ProviderProfile{},
+	}
+
+	for _, name := range kernels.EngineProviders() {
+		orig, _ := kernels.EngineParams(name)
+		p := kernels.ByName(name)
+		var best kernels.Params
+		bestRate := -1.0
+		for _, shape := range kernels.EngineShapes(name) {
+			s := Series{Name: fmt.Sprintf("%s %dx%d", name, shape.MR, shape.NR)}
+			for _, kc := range kcs {
+				try := kernels.Params{MR: shape.MR, NR: shape.NR, KC: kc, Crossover: orig.Crossover}
+				if err := kernels.ConfigureEngine(name, try); err != nil {
+					panic(err) // shapes come from the engine itself
+				}
+				var sum float64
+				for _, b := range blocks {
+					sum += gemmRate(p, b, budget)
+				}
+				rate := sum / float64(len(blocks))
+				s.add(float64(kc), rate)
+				if rate > bestRate {
+					bestRate, best = rate, try
+				}
+			}
+			r.Series = append(r.Series, s)
+		}
+
+		best.Crossover = measureCrossover(name, p, best, r)
+		if err := kernels.ConfigureEngine(name, best); err != nil {
+			panic(err)
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%s: chose mr=%d nr=%d kc=%d crossover=%d (%.2f Gflop/s avg over blocks %v)",
+			name, best.MR, best.NR, best.KC, best.Crossover, bestRate, blocks))
+
+		rates := map[string]float64{}
+		for _, b := range blocks {
+			rates[fmt.Sprint(b)] = gemmRate(p, b, budget)
+		}
+		profile.Providers[name] = kernels.ProviderProfile{Params: best, GflopsGemmNN: rates}
+	}
+
+	if cfg.ProfileOut != "" {
+		if err := profile.Save(cfg.ProfileOut); err != nil {
+			r.Notes = append(r.Notes, "profile save FAILED: "+err.Error())
+		} else {
+			r.Notes = append(r.Notes, "profile written to "+cfg.ProfileOut)
+		}
+	} else {
+		r.Notes = append(r.Notes, "profile not persisted (run with -tune, or -profile to choose the path)")
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// measureCrossover compares the packed engine (crossover disabled)
+// against the streaming loops across small blocks and returns the
+// smallest size from which the engine wins through the top of the
+// sweep.  If the streaming loops still win at the largest small block,
+// the crossover is pinned just above it.
+func measureCrossover(name string, p kernels.Provider, shape kernels.Params, r *Result) int {
+	bare := shape
+	bare.Crossover = 0
+	if err := kernels.ConfigureEngine(name, bare); err != nil {
+		panic(err)
+	}
+	const budget = 1 << 22
+	cross := crossoverSizes[len(crossoverSizes)-1] + 1
+	for i := len(crossoverSizes) - 1; i >= 0; i-- {
+		m := crossoverSizes[i]
+		engine := gemmRate(p, m, budget)
+		stream := gemmRate(kernels.Fast, m, budget)
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%s crossover probe m=%d: engine %.2f vs stream %.2f Gflop/s", name, m, engine, stream))
+		if engine < stream {
+			break
+		}
+		cross = m
+	}
+	return cross
+}
+
+// ApplyProfile loads a machine profile and re-blocks the engine
+// providers with it, returning the profile and the providers applied
+// (see kernels.Profile.Apply for the degrade-gracefully contract).
+func ApplyProfile(path string) (*kernels.Profile, []string, error) {
+	prof, err := kernels.LoadProfile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	applied, err := prof.Apply()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof, applied, nil
+}

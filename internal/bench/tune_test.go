@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// restoreEngines snapshots every engine provider's blocking so tuner
+// tests (which reconfigure the live engines) leave the process as they
+// found it.
+func restoreEngines(t *testing.T) func() {
+	t.Helper()
+	orig := map[string]kernels.Params{}
+	for _, name := range kernels.EngineProviders() {
+		p, _ := kernels.EngineParams(name)
+		orig[name] = p
+	}
+	return func() {
+		for name, p := range orig {
+			if err := kernels.ConfigureEngine(name, p); err != nil {
+				t.Fatalf("restoring %s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestTuneWritesAndAppliesProfile drives the full -tune path at quick
+// scale: the sweep must cover every engine provider's shapes, the
+// winners must be installed on the live engines, and the persisted
+// profile must round-trip through ApplyProfile to the same parameters.
+func TestTuneWritesAndAppliesProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick autotune sweep")
+	}
+	defer restoreEngines(t)()
+
+	out := filepath.Join(t.TempDir(), "profile.json")
+	cfg := Config{Quick: true, ProfileOut: out}
+	res := Tune(cfg)
+
+	wantSeries := 0
+	for _, name := range kernels.EngineProviders() {
+		wantSeries += len(kernels.EngineShapes(name))
+	}
+	if len(res.Series) != wantSeries {
+		t.Fatalf("tune produced %d series, want one per (provider, shape) = %d",
+			len(res.Series), wantSeries)
+	}
+
+	prof, err := kernels.LoadProfile(out)
+	if err != nil {
+		t.Fatalf("tune did not persist a loadable profile: %v", err)
+	}
+	if prof.Version != kernels.ProfileVersion {
+		t.Fatalf("profile version %d, want %d", prof.Version, kernels.ProfileVersion)
+	}
+	for _, name := range kernels.EngineProviders() {
+		pp, ok := prof.Providers[name]
+		if !ok {
+			t.Fatalf("profile missing engine provider %s", name)
+		}
+		if pp.KC < 1 || pp.MR < 1 || pp.NR < 1 || pp.Crossover < 0 {
+			t.Fatalf("%s: profile holds junk params %+v", name, pp.Params)
+		}
+		if len(pp.GflopsGemmNN) == 0 {
+			t.Fatalf("%s: profile carries no measured rates", name)
+		}
+		// Tune installs the winners on the live engines before returning.
+		if live, _ := kernels.EngineParams(name); live != pp.Params {
+			t.Fatalf("%s: live engine %+v differs from persisted winner %+v",
+				name, live, pp.Params)
+		}
+	}
+
+	// Perturb the engines, then prove the saved profile re-blocks them.
+	for _, name := range kernels.EngineProviders() {
+		shape := kernels.EngineShapes(name)[0]
+		if err := kernels.ConfigureEngine(name,
+			kernels.Params{MR: shape.MR, NR: shape.NR, KC: 48, Crossover: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, applied, err := ApplyProfile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != len(kernels.EngineProviders()) {
+		t.Fatalf("ApplyProfile re-blocked %v, want all engine providers", applied)
+	}
+	for _, name := range applied {
+		if live, _ := kernels.EngineParams(name); live != loaded.Providers[name].Params {
+			t.Fatalf("%s: ApplyProfile left engine at %+v, profile says %+v",
+				name, live, loaded.Providers[name].Params)
+		}
+	}
+}
+
+// TestWriteJSONReport pins the structured-emission schema: engines with
+// their run-time blocking, the host stamp, and one entry per result.
+func TestWriteJSONReport(t *testing.T) {
+	res := &Result{ID: "tune", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []Point{{X: 1, Y: 2}}}}}
+	rep := Report(Config{Quick: true}, []*Result{res})
+	if len(rep.Results) != 1 || rep.Results[0].ID != "tune" {
+		t.Fatalf("report results = %+v", rep.Results)
+	}
+	if len(rep.Engines) != len(kernels.EngineProviders()) {
+		t.Fatalf("report lists %d engines, want %d", len(rep.Engines), len(kernels.EngineProviders()))
+	}
+	if rep.Host.Arch == "" || rep.Host.GoVersion == "" {
+		t.Fatalf("report host stamp incomplete: %+v", rep.Host)
+	}
+}

@@ -1,0 +1,466 @@
+package kernels
+
+// The packed micro-kernel engine, parameterized over its blocking
+// parameters.  PR 3 introduced the engine with the tile shape and
+// k-chunk depth as compile-time constants chosen by a hand-run shootout
+// on one container; this file is the same Goto/BLIS decomposition with
+// the shape turned into data so a machine profile (profile.go, measured
+// by `smpssbench -tune`) can re-block the engine for the host it is
+// actually running on.
+//
+// An engine is a family of register-tile micro-kernels (each a fixed
+// mr×nr shape — the shape is the register allocation, so it cannot be a
+// runtime loop bound inside the kernel) plus a current configuration:
+// which family member to drive, how deep to chunk k (kc), and below
+// which block size to delegate to the streaming loops (crossover).
+// The driver loops, the packing routines and the edge handling are
+// generic over (mr, nr, kc); only the innermost kernel is shape-bound.
+//
+// Two engines exist: the scalar engine behind the Tuned provider
+// (tuned.go) and the AVX2/FMA assembly engine behind the Simd provider
+// (simd.go), which degrades to the scalar family when the hardware or
+// build lacks the assembly kernels.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Params are the tunable blocking parameters of a packed engine: the
+// register tile shape (MR×NR), the k-chunk depth KC, and the Crossover
+// block size below which the engine delegates to the streaming loops.
+type Params struct {
+	MR        int `json:"mr"`
+	NR        int `json:"nr"`
+	KC        int `json:"kc"`
+	Crossover int `json:"crossover"`
+}
+
+// tileFunc is one register-tile micro-kernel: C ±= Ap·Bp over kk packed
+// steps for a full mr×nr tile.  Ap is an mr×kk column-major panel
+// (ap[k*mr+r]), Bp a kk×nr row-major panel (bp[k*nr+c]); both are fully
+// padded, so the k loop never branches on shape.  The tile is written
+// directly to c with row stride ldc — add when !sub, subtract when sub.
+type tileFunc func(ap, bp, c []float32, ldc, kk int, sub bool)
+
+// tileKernel binds a micro-kernel to its shape.
+type tileKernel struct {
+	mr, nr int
+	kern   tileFunc
+}
+
+// engineConfig is one immutable engine configuration; the engine swaps
+// whole configurations atomically so a Configure racing with in-flight
+// kernels is safe (each kernel call reads the pointer once).
+type engineConfig struct {
+	kern      tileKernel
+	kc        int
+	crossover int
+}
+
+// engine drives the packed decomposition for one micro-kernel family.
+type engine struct {
+	name   string
+	family []tileKernel
+	cfg    atomic.Pointer[engineConfig]
+}
+
+// newEngine builds an engine over the family, configured to defaults.
+func newEngine(name string, family []tileKernel, def Params) *engine {
+	e := &engine{name: name, family: family}
+	if err := e.configure(def); err != nil {
+		panic("kernels: bad default engine params: " + err.Error())
+	}
+	return e
+}
+
+// shapes returns the family's candidate (MR, NR) shapes with the
+// engine's current KC/Crossover filled in, the tuner's sweep axis.
+func (e *engine) shapes() []Params {
+	cur := e.cfg.Load()
+	out := make([]Params, len(e.family))
+	for i, k := range e.family {
+		out[i] = Params{MR: k.mr, NR: k.nr, KC: cur.kc, Crossover: cur.crossover}
+	}
+	return out
+}
+
+// params returns the current configuration.
+func (e *engine) params() Params {
+	c := e.cfg.Load()
+	return Params{MR: c.kern.mr, NR: c.kern.nr, KC: c.kc, Crossover: c.crossover}
+}
+
+// configure installs p, validating that the shape names an implemented
+// family member and the depths are sane.
+func (e *engine) configure(p Params) error {
+	if p.KC < 1 {
+		return fmt.Errorf("kernels: engine %s: kc %d < 1", e.name, p.KC)
+	}
+	if p.Crossover < 0 {
+		return fmt.Errorf("kernels: engine %s: crossover %d < 0", e.name, p.Crossover)
+	}
+	for _, k := range e.family {
+		if k.mr == p.MR && k.nr == p.NR {
+			e.cfg.Store(&engineConfig{kern: k, kc: p.KC, crossover: p.Crossover})
+			return nil
+		}
+	}
+	return fmt.Errorf("kernels: engine %s: no %d×%d micro-kernel (shapes: %v)",
+		e.name, p.MR, p.NR, e.shapeList())
+}
+
+// setFamily swaps the micro-kernel family (the Simd engine's forced
+// fallback uses it) and re-blocks to the given defaults.
+func (e *engine) setFamily(family []tileKernel, def Params) {
+	e.family = family
+	if err := e.configure(def); err != nil {
+		panic("kernels: bad engine family swap: " + err.Error())
+	}
+}
+
+func (e *engine) shapeList() []string {
+	var out []string
+	for _, k := range e.family {
+		out = append(out, fmt.Sprintf("%dx%d", k.mr, k.nr))
+	}
+	return out
+}
+
+// engines indexes the tunable engine providers by provider name.
+var engines = map[string]*engine{}
+
+// EngineProviders lists the provider names backed by a parameterized
+// packed engine, in plot order.
+func EngineProviders() []string {
+	var out []string
+	for _, p := range Providers {
+		if engines[p.Name] != nil {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// EngineShapes returns the named engine provider's candidate tile
+// shapes (the implemented micro-kernels), each with the current
+// KC/Crossover.  Nil for providers without an engine.
+func EngineShapes(provider string) []Params {
+	e := engines[provider]
+	if e == nil {
+		return nil
+	}
+	return e.shapes()
+}
+
+// EngineParams returns the named engine provider's current blocking
+// parameters.
+func EngineParams(provider string) (Params, bool) {
+	e := engines[provider]
+	if e == nil {
+		return Params{}, false
+	}
+	return e.params(), true
+}
+
+// ConfigureEngine installs blocking parameters on the named engine
+// provider.  The shape must name an implemented micro-kernel of that
+// engine's family (see EngineShapes).
+func ConfigureEngine(provider string, p Params) error {
+	e := engines[provider]
+	if e == nil {
+		return fmt.Errorf("kernels: provider %q has no tunable engine (have: %v)",
+			provider, EngineProviders())
+	}
+	return e.configure(p)
+}
+
+// --- provider entry points -------------------------------------------
+
+// The eight entry points below are bound into Provider structs as
+// method values (engineProvider); the plain four borrow a pooled
+// scratch, the S variants take the executing worker's.
+
+func (e *engine) GemmNN(a, b, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		gemmNNFast(a, b, c, m)
+		return
+	}
+	s := AcquireScratch()
+	e.gemm(s, a, b, c, m, false, false)
+	ReleaseScratch(s)
+}
+
+func (e *engine) GemmNT(a, b, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		gemmNTFast(a, b, c, m)
+		return
+	}
+	s := AcquireScratch()
+	e.gemm(s, a, b, c, m, true, true)
+	ReleaseScratch(s)
+}
+
+func (e *engine) Syrk(a, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		syrkFast(a, c, m)
+		return
+	}
+	s := AcquireScratch()
+	e.syrk(s, a, c, m)
+	ReleaseScratch(s)
+}
+
+func (e *engine) GemmSub(a, b, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		GemmSubNN(a, b, c, m)
+		return
+	}
+	s := AcquireScratch()
+	e.gemm(s, a, b, c, m, false, true)
+	ReleaseScratch(s)
+}
+
+func (e *engine) GemmNNS(s *Scratch, a, b, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		gemmNNFast(a, b, c, m)
+		return
+	}
+	e.gemm(s, a, b, c, m, false, false)
+}
+
+func (e *engine) GemmNTS(s *Scratch, a, b, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		gemmNTFast(a, b, c, m)
+		return
+	}
+	e.gemm(s, a, b, c, m, true, true)
+}
+
+func (e *engine) SyrkS(s *Scratch, a, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		syrkFast(a, c, m)
+		return
+	}
+	e.syrk(s, a, c, m)
+}
+
+func (e *engine) GemmSubS(s *Scratch, a, b, c []float32, m int) {
+	if m < e.cfg.Load().crossover {
+		GemmSubNN(a, b, c, m)
+		return
+	}
+	e.gemm(s, a, b, c, m, false, true)
+}
+
+// engineProvider builds a Provider over the engine; the lower-order or
+// bandwidth-bound sidekicks (Trsm, Potrf, Add, Sub, Gemv, Trsv) inherit
+// the Fast loops — the packing layout brings them nothing.  Callers may
+// override fields afterwards (Simd swaps in its FMA Gemv).
+func engineProvider(name string, e *engine) Provider {
+	engines[name] = e
+	return Provider{
+		Name:     name,
+		GemmNN:   e.GemmNN,
+		GemmNT:   e.GemmNT,
+		Syrk:     e.Syrk,
+		Trsm:     trsmFast,
+		Potrf:    potrf,
+		GemmSub:  e.GemmSub,
+		Add:      addFast,
+		Sub:      subFast,
+		Gemv:     gemvFast,
+		Trsv:     trsvFast,
+		GemmNNS:  e.GemmNNS,
+		GemmNTS:  e.GemmNTS,
+		SyrkS:    e.SyrkS,
+		GemmSubS: e.GemmSubS,
+	}
+}
+
+// --- the packed decomposition ----------------------------------------
+
+// gemm drives the engine: C ±= A·op(B) with op = Bᵀ when transB.
+// sub selects subtraction at write-back (GemmNT/GemmSub's contract).
+func (e *engine) gemm(s *Scratch, a, b, c []float32, m int, transB, sub bool) {
+	cfg := e.cfg.Load()
+	mr, nr, kcd := cfg.kern.mr, cfg.kern.nr, cfg.kc
+	np := (m + nr - 1) / nr
+	kcap := min(kcd, m)
+	bpLen, apLen := np*kcap*nr, mr*kcap
+	arena := s.ensure(bpLen + apLen + mr*nr)
+	bp := arena[:bpLen:bpLen]
+	ap := arena[bpLen : bpLen+apLen : bpLen+apLen]
+	tile := arena[bpLen+apLen:]
+	for k0 := 0; k0 < m; k0 += kcd {
+		kk := min(kcd, m-k0)
+		if transB {
+			packBT(bp, b, m, k0, kk, nr)
+		} else {
+			packBN(bp, b, m, k0, kk, nr)
+		}
+		for i0 := 0; i0 < m; i0 += mr {
+			rows := min(mr, m-i0)
+			packA(ap, a, m, i0, rows, k0, kk, mr)
+			for jp := 0; jp < np; jp++ {
+				j0 := jp * nr
+				cols := min(nr, m-j0)
+				if rows == mr && cols == nr {
+					cfg.kern.kern(ap, bp[jp*kk*nr:], c[i0*m+j0:], m, kk, sub)
+				} else {
+					edgeTile(cfg.kern, ap, bp[jp*kk*nr:], tile,
+						c[i0*m+j0:], m, kk, rows, cols, sub)
+				}
+			}
+		}
+	}
+}
+
+// syrk is gemm with B = Aᵀ, visiting only tiles that intersect the
+// lower triangle and masking the write-back of diagonal-crossing tiles.
+func (e *engine) syrk(s *Scratch, a, c []float32, m int) {
+	cfg := e.cfg.Load()
+	mr, nr, kcd := cfg.kern.mr, cfg.kern.nr, cfg.kc
+	np := (m + nr - 1) / nr
+	kcap := min(kcd, m)
+	bpLen, apLen := np*kcap*nr, mr*kcap
+	arena := s.ensure(bpLen + apLen + mr*nr)
+	bp := arena[:bpLen:bpLen]
+	ap := arena[bpLen : bpLen+apLen : bpLen+apLen]
+	tile := arena[bpLen+apLen:]
+	for k0 := 0; k0 < m; k0 += kcd {
+		kk := min(kcd, m-k0)
+		packBT(bp, a, m, k0, kk, nr)
+		for i0 := 0; i0 < m; i0 += mr {
+			rows := min(mr, m-i0)
+			packA(ap, a, m, i0, rows, k0, kk, mr)
+			// Only tiles whose first column is on or below the last row.
+			for jp := 0; jp*nr <= i0+rows-1 && jp < np; jp++ {
+				j0 := jp * nr
+				cols := min(nr, m-j0)
+				if j0+cols-1 <= i0 && rows == mr && cols == nr {
+					// Entirely within the lower triangle, full shape.
+					cfg.kern.kern(ap, bp[jp*kk*nr:], c[i0*m+j0:], m, kk, true)
+				} else {
+					lowerTile(cfg.kern, ap, bp[jp*kk*nr:], tile,
+						c[i0*m+j0:], m, kk, rows, cols, i0-j0)
+				}
+			}
+		}
+	}
+}
+
+// edgeTile runs the micro-kernel for a partial tile: the kernel always
+// computes a full mr×nr product, so it accumulates into a zeroed
+// scratch tile (ldc = nr) and the write-back into C is masked to
+// rows×cols.  Edges are O(m²) of an O(m³) computation; the detour
+// through the scratch tile keeps every kernel's k loop shape-free.
+func edgeTile(k tileKernel, ap, bp, tile, c []float32, ldc, kk, rows, cols int, sub bool) {
+	n := k.mr * k.nr
+	tile = tile[:n:n]
+	for i := range tile {
+		tile[i] = 0
+	}
+	k.kern(ap, bp, tile, k.nr, kk, false)
+	for r := 0; r < rows; r++ {
+		if sub {
+			for j := 0; j < cols; j++ {
+				c[r*ldc+j] -= tile[r*k.nr+j]
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				c[r*ldc+j] += tile[r*k.nr+j]
+			}
+		}
+	}
+}
+
+// lowerTile is edgeTile for a Syrk tile that crosses the diagonal: the
+// write-back subtracts only at positions on or below the block diagonal
+// (global row i0+r ≥ global column j0+j, i.e. r+diag ≥ j with
+// diag = i0-j0).
+func lowerTile(k tileKernel, ap, bp, tile, c []float32, ldc, kk, rows, cols, diag int) {
+	n := k.mr * k.nr
+	tile = tile[:n:n]
+	for i := range tile {
+		tile[i] = 0
+	}
+	k.kern(ap, bp, tile, k.nr, kk, false)
+	for r := 0; r < rows; r++ {
+		jmax := r + diag
+		if jmax >= cols {
+			jmax = cols - 1
+		}
+		for j := 0; j <= jmax; j++ {
+			c[r*ldc+j] -= tile[r*k.nr+j]
+		}
+	}
+}
+
+// packA packs rows i0..i0+rows-1 of the k-chunk a[·][k0:k0+kk] as one
+// mr×kk panel: ap[k*mr+r] = a[(i0+r)*lda + k0+k], rows past the edge
+// zero-filled so the micro-kernel always consumes a full panel.
+func packA(ap, a []float32, lda, i0, rows, k0, kk, mr int) {
+	ap = ap[: kk*mr : kk*mr]
+	for r := 0; r < rows; r++ {
+		src := a[(i0+r)*lda+k0 : (i0+r)*lda+k0+kk]
+		for k, v := range src {
+			ap[k*mr+r] = v
+		}
+	}
+	for r := rows; r < mr; r++ {
+		for k := 0; k < kk; k++ {
+			ap[k*mr+r] = 0
+		}
+	}
+}
+
+// packBN packs the k-chunk of B into column panels of nr:
+// bp[jp*kk*nr + k*nr + c] = b[(k0+k)*ldb + jp*nr+c], edge columns
+// zero-filled.
+func packBN(bp, b []float32, ldb, k0, kk, nr int) {
+	np := (ldb + nr - 1) / nr
+	for jp := 0; jp < np; jp++ {
+		j0 := jp * nr
+		cols := min(nr, ldb-j0)
+		dst := bp[jp*kk*nr : (jp+1)*kk*nr : (jp+1)*kk*nr]
+		if cols == nr {
+			for k := 0; k < kk; k++ {
+				src := b[(k0+k)*ldb+j0 : (k0+k)*ldb+j0+nr]
+				copy(dst[k*nr:(k+1)*nr], src)
+			}
+		} else {
+			for k := 0; k < kk; k++ {
+				src := b[(k0+k)*ldb+j0 : (k0+k)*ldb+j0+cols]
+				row := dst[k*nr : (k+1)*nr]
+				n := copy(row, src)
+				for c := n; c < nr; c++ {
+					row[c] = 0
+				}
+			}
+		}
+	}
+}
+
+// packBT packs the k-chunk of Bᵀ into column panels of nr — column j of
+// op(B) is row j of B, so each packed lane streams one contiguous row:
+// bp[jp*kk*nr + k*nr + c] = b[(jp*nr+c)*ldb + k0+k].
+func packBT(bp, b []float32, ldb, k0, kk, nr int) {
+	np := (ldb + nr - 1) / nr
+	for jp := 0; jp < np; jp++ {
+		j0 := jp * nr
+		cols := min(nr, ldb-j0)
+		dst := bp[jp*kk*nr : (jp+1)*kk*nr : (jp+1)*kk*nr]
+		for c := 0; c < cols; c++ {
+			src := b[(j0+c)*ldb+k0 : (j0+c)*ldb+k0+kk]
+			for k, v := range src {
+				dst[k*nr+c] = v
+			}
+		}
+		for c := cols; c < nr; c++ {
+			for k := 0; k < kk; k++ {
+				dst[k*nr+c] = 0
+			}
+		}
+	}
+}

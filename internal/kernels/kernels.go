@@ -3,14 +3,20 @@
 // the paper uses as task bodies (§VI: "we have implemented the tasks
 // using highly tuned BLAS libraries").
 //
-// Blocks are dense M×M row-major []float32 slices.  Three providers are
+// Blocks are dense M×M row-major []float32 slices.  Four providers are
 // offered so every "SMPSs + Goto tiles" vs "SMPSs + MKL tiles" series
-// pair in the paper's figures has an analogue, plus a genuinely tuned
-// library in the role the paper's "highly tuned BLAS" actually played:
+// pair in the paper's figures has an analogue, plus genuinely tuned
+// libraries in the role the paper's "highly tuned BLAS" actually played:
 //
-//   - Tuned: the packed, register-tiled micro-kernel engine (tuned.go)
-//     — panel packing, an mr×nr register accumulator tile, cache-depth
-//     k-chunking, and a crossover to streaming loops on small blocks.
+//   - Simd: the packed engine driven by AVX2/FMA assembly micro-kernels
+//     (simd.go), selected by CPUID feature detection at init, with the
+//     scalar engine as bit-compatible fallback on machines or builds
+//     (`noasm` tag) without them.
+//   - Tuned: the packed, register-tiled micro-kernel engine (engine.go,
+//     tuned.go) — panel packing, an mr×nr register accumulator tile,
+//     cache-depth k-chunking, and a crossover to streaming loops on
+//     small blocks, all tunable via a measured machine profile
+//     (profile.go, `smpssbench -tune`).
 //   - Fast: register-blocked, vectorization-friendly loop orders (the
 //     stand-in for Goto BLAS).
 //   - Ref: straightforward textbook loops (the stand-in for MKL 9.1 in
@@ -44,6 +50,12 @@ type Provider struct {
 	// Add computes C = A + B; Sub computes C = A - B (Strassen).
 	Add func(a, b, c []float32, m int)
 	Sub func(a, b, c []float32, m int)
+	// Gemv computes y -= A·x and Trsv solves L·z = b in place of b
+	// (forward substitution) — the block-vector kernels of the
+	// post-Cholesky solve path (§VII.D), routed through the provider so
+	// kernel work reaches them too.
+	Gemv func(a, x, y []float32, m int)
+	Trsv func(l, b []float32, m int)
 
 	// GemmNNS, GemmNTS, SyrkS and GemmSubS are scratch-aware variants,
 	// non-nil only for providers that pack (Tuned).  The runtime path
@@ -68,6 +80,8 @@ var Fast = Provider{
 	GemmSub: GemmSubNN,
 	Add:     addFast,
 	Sub:     subFast,
+	Gemv:    gemvFast,
+	Trsv:    trsvFast,
 }
 
 // Ref is the straightforward provider (the "MKL" stand-in).
@@ -81,11 +95,13 @@ var Ref = Provider{
 	GemmSub: gemmSubRef,
 	Add:     addRef,
 	Sub:     subRef,
+	Gemv:    gemvRef,
+	Trsv:    trsvRef,
 }
 
-// Providers lists the kernel providers in plot order: the tuned engine
-// first, then the paper's goto/mkl stand-in pair.
-var Providers = []Provider{Tuned, Fast, Ref}
+// Providers lists the kernel providers in plot order: the SIMD engine,
+// the scalar engine, then the paper's goto/mkl stand-in pair.
+var Providers = []Provider{Simd, Tuned, Fast, Ref}
 
 // ByName returns the provider with the given name, defaulting to Tuned.
 func ByName(name string) Provider {

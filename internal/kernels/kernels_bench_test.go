@@ -8,15 +8,15 @@ import (
 // Tile-kernel benchmarks: the per-provider single-core rates that anchor
 // every Gflop/s figure (the "peak" series is the tuned GemmNN × threads).
 // Every provider×block point reports gflop/s and allocs/op; the packed
-// provider must hold 0 allocs/op in steady state (its pool is warmed by
-// the timed loop's first iteration, and TestTunedSteadyStateAllocFree
-// pins the criterion exactly).
+// providers must hold 0 allocs/op in steady state (their pool is warmed
+// by the timed loop's first iteration, and the SteadyStateAllocFree
+// tests pin the criterion exactly).
 
 // benchBlockSizes sweeps the block range of the paper's Fig. 8 sweet
-// spot; every size is above the engine's pack threshold (16; the
-// sub-threshold delegation runs Fast's loops, already measured by the
-// goto series), and 384 exceeds kc=256 so the multi-chunk k loop is
-// benchmarked, not just unit-tested.
+// spot; every size is above the engines' default streaming crossover
+// (the sub-crossover delegation runs Fast's loops, already measured by
+// the goto series), and 384 exceeds the default kc=256 so the
+// multi-chunk k loop is benchmarked, not just unit-tested.
 var benchBlockSizes = []int{32, 64, 128, 256, 384}
 
 func benchBlocks(m int) (a, b, c []float32) {

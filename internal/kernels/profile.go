@@ -1,0 +1,128 @@
+package kernels
+
+// Machine profiles: the persisted output of `smpssbench -tune`.
+//
+// PR 3 chose the engine's blocking by a hand-run shootout on one
+// container and recorded the winner as constants; a profile is that
+// shootout made reproducible — the autotuner (internal/bench.Tune)
+// measures every implemented tile shape × kc depth × crossover on the
+// host and writes the winners here, and any later process (benchmarks,
+// applications, tests) applies the file to re-block the engines to the
+// machine it is actually running on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// ProfileVersion is bumped when the profile schema changes
+// incompatibly; Apply rejects files from a different major scheme.
+const ProfileVersion = 1
+
+// HostInfo identifies the machine a profile (or benchmark report) was
+// measured on — enough to notice a profile traveling to foreign
+// hardware, not a full inventory.
+type HostInfo struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	AVX2       bool   `json:"avx2"`
+	SimdActive bool   `json:"simd_active"`
+}
+
+// Host returns this process's HostInfo.
+func Host() HostInfo {
+	return HostInfo{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		AVX2:       SimdAvailable(),
+		SimdActive: SimdActive(),
+	}
+}
+
+// ProviderProfile is the measured blocking for one engine provider,
+// with the rates that justified it (Gflop/s keyed by block size) kept
+// for the perf trajectory.
+type ProviderProfile struct {
+	Params
+	GflopsGemmNN map[string]float64 `json:"gflops_gemm_nn,omitempty"`
+}
+
+// Profile is the persisted machine profile.
+type Profile struct {
+	Version   int                        `json:"version"`
+	CreatedAt string                     `json:"created_at,omitempty"`
+	Host      HostInfo                   `json:"host"`
+	Providers map[string]ProviderProfile `json:"providers"`
+}
+
+// DefaultProfilePath is where -tune writes and smpssbench looks by
+// default: ~/.smpss/profile.json ($HOME-relative so one tuned machine
+// serves every checkout on it).
+func DefaultProfilePath() string {
+	home, err := os.UserHomeDir()
+	if err != nil {
+		return filepath.Join(".smpss", "profile.json")
+	}
+	return filepath.Join(home, ".smpss", "profile.json")
+}
+
+// LoadProfile reads a profile from disk.
+func LoadProfile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("kernels: profile %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// Save writes the profile as indented JSON, creating the directory.
+func (p *Profile) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply configures every engine provider named in the profile.  A
+// provider whose recorded shape is not implemented by this build's
+// family is skipped, not an error: a profile tuned with the assembly
+// kernels must degrade gracefully on a `noasm` build or a non-AVX2
+// machine, where the engine keeps its scalar defaults.  It returns the
+// providers actually re-blocked.
+func (p *Profile) Apply() ([]string, error) {
+	if p.Version != ProfileVersion {
+		return nil, fmt.Errorf("kernels: profile version %d, want %d (re-run -tune)",
+			p.Version, ProfileVersion)
+	}
+	var applied []string
+	for _, name := range EngineProviders() {
+		pp, ok := p.Providers[name]
+		if !ok {
+			continue
+		}
+		if err := ConfigureEngine(name, pp.Params); err != nil {
+			// Shape not in this build's family (or junk depths): keep
+			// the engine's defaults rather than failing the process.
+			continue
+		}
+		applied = append(applied, name)
+	}
+	return applied, nil
+}

@@ -1,0 +1,109 @@
+package kernels
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// snapshotEngines records every engine provider's blocking and returns
+// a restore function, so profile tests leave the package state alone.
+func snapshotEngines(t *testing.T) func() {
+	t.Helper()
+	orig := map[string]Params{}
+	for _, name := range EngineProviders() {
+		p, ok := EngineParams(name)
+		if !ok {
+			t.Fatalf("EngineParams(%q) missing", name)
+		}
+		orig[name] = p
+	}
+	return func() {
+		for name, p := range orig {
+			if err := ConfigureEngine(name, p); err != nil {
+				t.Fatalf("restoring %s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestProfileRoundTrip is the acceptance test for the tuner's persisted
+// output: Save → Load → Apply must re-block every engine provider to
+// exactly the recorded parameters.
+func TestProfileRoundTrip(t *testing.T) {
+	defer snapshotEngines(t)()
+
+	prof := &Profile{
+		Version:   ProfileVersion,
+		Host:      Host(),
+		Providers: map[string]ProviderProfile{},
+	}
+	want := map[string]Params{}
+	for _, name := range EngineProviders() {
+		shape := EngineShapes(name)[0]
+		p := Params{MR: shape.MR, NR: shape.NR, KC: 96, Crossover: 24}
+		want[name] = p
+		prof.Providers[name] = ProviderProfile{
+			Params:       p,
+			GflopsGemmNN: map[string]float64{"128": 1.0},
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := prof.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := loaded.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != len(want) {
+		t.Fatalf("applied %v, want all of %d engine providers", applied, len(want))
+	}
+	for name, w := range want {
+		got, _ := EngineParams(name)
+		if got != w {
+			t.Fatalf("%s: EngineParams %+v after applying profile %+v", name, got, w)
+		}
+	}
+}
+
+// TestProfileVersionMismatch: a profile from a different schema version
+// is rejected outright, not partially applied.
+func TestProfileVersionMismatch(t *testing.T) {
+	defer snapshotEngines(t)()
+	prof := &Profile{Version: ProfileVersion + 1, Providers: map[string]ProviderProfile{}}
+	if _, err := prof.Apply(); err == nil {
+		t.Fatal("Apply accepted a profile with a foreign version")
+	}
+}
+
+// TestProfileSkipsUnimplementedShape: a profile tuned on hardware with
+// kernels this build lacks must degrade gracefully — the engine keeps
+// its defaults and Apply reports it as not applied.
+func TestProfileSkipsUnimplementedShape(t *testing.T) {
+	defer snapshotEngines(t)()
+	name := EngineProviders()[0]
+	before, _ := EngineParams(name)
+	prof := &Profile{
+		Version: ProfileVersion,
+		Providers: map[string]ProviderProfile{
+			name: {Params: Params{MR: 999, NR: 999, KC: 128, Crossover: 8}},
+		},
+	}
+	applied, err := prof.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range applied {
+		if a == name {
+			t.Fatalf("Apply claims to have applied an unimplemented shape to %s", name)
+		}
+	}
+	if after, _ := EngineParams(name); after != before {
+		t.Fatalf("%s: params changed %+v → %+v on a skipped profile entry", name, before, after)
+	}
+}

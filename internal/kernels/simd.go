@@ -1,0 +1,93 @@
+package kernels
+
+// The Simd provider: the packed engine (engine.go) driven by AVX2/FMA
+// assembly micro-kernels where the machine and build have them, and by
+// the scalar family of the Tuned provider everywhere else.
+//
+// Dispatch happens once, at package init: CPUID feature detection
+// (cpu_amd64.s — FMA, AVX, OSXSAVE, OS ymm state via XGETBV, AVX2)
+// selects the assembly family; builds under the `noasm` tag, non-amd64
+// architectures, machines without AVX2/FMA, and processes started with
+// SMPSS_NOSIMD=1 (the CI feature-mask job) all take the identical
+// fallback path: the Simd engine is re-pointed at the scalar kernels,
+// making Simd bit-compatible with Tuned.
+//
+// The assembly kernels consume the exact packed panels the scalar ones
+// do — packing, edge handling and the kc loop are shared engine code —
+// so the only difference is the register tile: 8-lane float32 ymm
+// accumulators with a fused-multiply-add k loop instead of scalar XMM.
+// Like the scalar family, the shape/kc/crossover blocking is engine
+// parameters, re-measurable per machine with `smpssbench -tune`.
+
+import "os"
+
+// simdAsmDefaults is the assembly family's default blocking: the 6×16
+// tile (12 ymm accumulators + 2 B lanes + 2 A broadcasts = the full
+// ymm file) with the scalar engine's kc, until a machine profile says
+// otherwise.
+var simdAsmDefaults = Params{MR: 6, NR: 16, KC: 256, Crossover: 16}
+
+var (
+	// simdHW records whether the assembly kernels are compiled in and
+	// the CPU supports them; simdOn whether dispatch currently selects
+	// them (false when masked by SMPSS_NOSIMD or the test hook).
+	simdHW bool
+	simdOn bool
+	// simdGemv is the Gemv implementation behind the Simd provider's
+	// closure, swapped with the family by the dispatch.
+	simdGemv func(a, x, y []float32, m int) = gemvFast
+)
+
+// simdEngine drives whichever family dispatch selected.
+var simdEngine = buildSimdEngine()
+
+// Simd is the SIMD micro-kernel provider.
+var Simd = buildSimdProvider()
+
+func buildSimdEngine() *engine {
+	fam, gemv, hw := archSimdKernels()
+	simdHW = hw
+	if fam == nil || os.Getenv("SMPSS_NOSIMD") != "" {
+		return newEngine("simd", scalarKernels, tunedDefaults)
+	}
+	simdOn = true
+	simdGemv = gemv
+	return newEngine("simd", fam, simdAsmDefaults)
+}
+
+func buildSimdProvider() Provider {
+	p := engineProvider("simd", simdEngine)
+	// Indirect through simdGemv so the forced-fallback hook swaps the
+	// vector kernel together with the tile family.
+	p.Gemv = func(a, x, y []float32, m int) { simdGemv(a, x, y, m) }
+	return p
+}
+
+// SimdAvailable reports whether the AVX2/FMA assembly kernels are
+// compiled into this binary and supported by this CPU.
+func SimdAvailable() bool { return simdHW }
+
+// SimdActive reports whether the Simd provider currently dispatches to
+// the assembly kernels (false on the fallback path: unsupported CPU,
+// `noasm` build, SMPSS_NOSIMD, or a forced-fallback test).
+func SimdActive() bool { return simdOn }
+
+// simdForce is the test hook behind the forced-fallback dispatch test:
+// simdForce(false) re-points the Simd engine at the scalar family
+// exactly as init does on machines without AVX2; simdForce(true)
+// restores the assembly family when available.  It reports whether the
+// assembly kernels are now active.  Not safe concurrently with running
+// Simd kernels (the engine config swap is atomic, but simdGemv is not).
+func simdForce(on bool) bool {
+	fam, gemv, _ := archSimdKernels()
+	if !on || fam == nil {
+		simdEngine.setFamily(scalarKernels, tunedDefaults)
+		simdGemv = gemvFast
+		simdOn = false
+		return false
+	}
+	simdEngine.setFamily(fam, simdAsmDefaults)
+	simdGemv = gemv
+	simdOn = true
+	return true
+}

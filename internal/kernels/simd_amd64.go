@@ -1,0 +1,92 @@
+//go:build amd64 && !noasm
+
+package kernels
+
+// amd64 side of the Simd provider: feature detection and the Go
+// declarations of the assembly kernels (gemm_amd64.s, cpu_amd64.s).
+
+// fmaTile6x16 accumulates the full 6×16 register tile
+// c[0:6, 0:16] ±= Ap·Bp over kk packed steps (see tileFunc's panel
+// layout), writing back add (sub=0) or subtract (sub=1).
+//
+//go:noescape
+func fmaTile6x16(ap, bp, c *float32, ldc, kk, sub uintptr)
+
+// fmaTile8x8 is the 8×8 tile variant (one ymm accumulator per row).
+//
+//go:noescape
+func fmaTile8x8(ap, bp, c *float32, ldc, kk, sub uintptr)
+
+// fmaDot returns the dot product of two length-n float32 vectors using
+// 4 ymm FMA accumulators (32 floats in flight) with 8-wide and scalar
+// tails.
+//
+//go:noescape
+func fmaDot(a, x *float32, n uintptr) float32
+
+// cpuidAsm executes CPUID for the given leaf/subleaf.
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0 (requires OSXSAVE, checked before calling).
+func xgetbvAsm() (eax, edx uint32)
+
+// detectAVX2FMA reports whether this CPU and OS support the assembly
+// kernels: FMA + AVX + OSXSAVE with OS-enabled xmm/ymm state, and AVX2.
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const fma, osxsave, avx = 1 << 12, 1 << 27, 1 << 28
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	const xmmYmmState = 0x6
+	if eax, _ := xgetbvAsm(); eax&xmmYmmState != xmmYmmState {
+		return false
+	}
+	const avx2 = 1 << 5
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	return ebx7&avx2 != 0
+}
+
+// asmTile6x16 and asmTile8x8 adapt the assembly kernels to tileFunc.
+
+func asmTile6x16(ap, bp, c []float32, ldc, kk int, sub bool) {
+	s := uintptr(0)
+	if sub {
+		s = 1
+	}
+	fmaTile6x16(&ap[0], &bp[0], &c[0], uintptr(ldc), uintptr(kk), s)
+}
+
+func asmTile8x8(ap, bp, c []float32, ldc, kk int, sub bool) {
+	s := uintptr(0)
+	if sub {
+		s = 1
+	}
+	fmaTile8x8(&ap[0], &bp[0], &c[0], uintptr(ldc), uintptr(kk), s)
+}
+
+// asmGemv computes y -= A·x with one FMA dot product per row.
+func asmGemv(a, x, y []float32, m int) {
+	if m == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		y[i] -= fmaDot(&a[i*m], &x[0], uintptr(m))
+	}
+}
+
+// archSimdKernels returns the assembly micro-kernel family and Gemv
+// when the CPU supports them, or (nil, nil, false) for the fallback.
+func archSimdKernels() ([]tileKernel, func(a, x, y []float32, m int), bool) {
+	if !detectAVX2FMA() {
+		return nil, nil, false
+	}
+	return []tileKernel{
+		{mr: 6, nr: 16, kern: asmTile6x16},
+		{mr: 8, nr: 8, kern: asmTile8x8},
+	}, asmGemv, true
+}

@@ -1,0 +1,10 @@
+//go:build !amd64 || noasm
+
+package kernels
+
+// archSimdKernels reports no assembly family: the Simd provider runs
+// the scalar engine (bit-compatible with Tuned) on non-amd64
+// architectures and under the `noasm` build tag.
+func archSimdKernels() ([]tileKernel, func(a, x, y []float32, m int), bool) {
+	return nil, nil, false
+}

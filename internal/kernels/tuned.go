@@ -1,285 +1,76 @@
 package kernels
 
-// The Tuned provider: a packed, register-tiled micro-kernel engine in
-// the Goto/BLIS mold, shared by GemmNN, GemmNT and Syrk.
+// The Tuned provider: the packed engine (engine.go) driven by scalar
+// micro-kernels — register tiles the Go compiler keeps in scalar XMM
+// registers, for builds and machines without the AVX2/FMA assembly
+// family of the Simd provider.
 //
 // The streaming loops of the Fast provider read ~3 floats from cache
-// per multiply-add; the engine instead packs A into mr×kc row panels
-// and B into kc×nr column panels laid out in the exact order the inner
-// loop consumes them, then drives an mr×nr register-resident
-// accumulator tile down the shared k dimension: every loaded float
-// feeds mr (or nr) multiply-adds, and the packed panels stream through
-// L1 with unit stride regardless of the block's leading dimension.
-// Blocks whose k extent exceeds kc are processed in kc-deep chunks so
-// the active B panel set stays cache-resident (the "cache blocking"
-// loop of the Goto decomposition); edge tiles for m not divisible by
-// mr/nr are handled by zero-padding the panels and masking the
-// write-back, so the micro-kernel's k loop never branches on shape.
-//
-// The tile shape is chosen for the Go compiler's scalar code, not for
-// a hand-written SIMD kernel: gc does not auto-vectorize, so the
-// accumulators live in scalar XMM registers and the shape must fit the
-// 16 registers of amd64.  Measured on this container's single core,
-// 4×2 (8 accumulators + 6 operand temporaries, bounds-check-free,
-// k unrolled ×4) reaches ~8.4 Gflop/s at block 128 where 4×4 (16
-// accumulators, spilled) manages ~4.0 and the Fast axpy loop ~3.7.
+// per multiply-add; the engine instead packs panels so every loaded
+// float feeds mr (or nr) multiply-adds (see engine.go).  The tile
+// shape is chosen for the Go compiler's scalar code: gc does not
+// auto-vectorize, so the shape must fit the 16 scalar registers of
+// amd64.  Measured on the PR 3 container, 4×2 (8 accumulators + 6
+// operand temporaries, bounds-check-free, k unrolled ×4) reaches ~8.4
+// Gflop/s at block 128 where 4×4 (16 accumulators, spilled) manages
+// ~4.0 and the Fast axpy loop ~3.7.  The 4×4 and 2×4 shapes stay in
+// the family so `smpssbench -tune` re-runs that shootout on the host
+// instead of trusting one container's numbers.
 //
 // Packing costs O(m²) traffic against the O(m³) work it accelerates,
-// so below packThreshold the engine delegates to the Fast streaming
-// loops (the crossover heuristic).
+// so below the crossover the engine delegates to the Fast streaming
+// loops.  Shape, kc depth and crossover are engine parameters
+// (kernels.Params), overridable by a measured machine profile.
 
-const (
-	// mr×nr is the register tile: mr rows of A against nr columns of B,
-	// giving mr*nr scalar accumulators the compiler keeps in registers
-	// across the k loop.
-	mr = 4
-	nr = 2
-	// kc is the k-chunk depth: one packed B panel set is at most
-	// ceil(m/nr)·kc·nr floats and one A panel mr·kc floats.
-	kc = 256
-	// packThreshold is the crossover block size.  Measured on this
-	// container the engine wins from 16×16 up (6.5 vs 4.0 Gflop/s at
-	// 32, 5.1 vs 3.4 at 16); below 16 a block is L1-resident, tiles are
-	// mostly padding (mr-1 zero rows on a 5-row block) and the pooled
-	// arena traffic is pure overhead, so the streaming loops keep the
-	// small-block regime.
-	packThreshold = 16
-)
+// tunedDefaults is the blocking the PR 3 shootout chose, the
+// configuration used when no machine profile has been applied.
+var tunedDefaults = Params{MR: 4, NR: 2, KC: 256, Crossover: 16}
 
-// Tuned is the packed micro-kernel provider.  Trsm, Potrf, Add and Sub
-// are inherited from the Fast provider: they are lower-order or
-// bandwidth-bound sidekicks off the critical kernel path, and the
-// engine's packing layout brings them nothing.
-var Tuned = Provider{
-	Name:     "tuned",
-	GemmNN:   tunedGemmNN,
-	GemmNT:   tunedGemmNT,
-	Syrk:     tunedSyrk,
-	Trsm:     trsmFast,
-	Potrf:    potrf,
-	GemmSub:  tunedGemmSub,
-	Add:      addFast,
-	Sub:      subFast,
-	GemmNNS:  (*Scratch).GemmNN,
-	GemmNTS:  (*Scratch).GemmNT,
-	SyrkS:    (*Scratch).Syrk,
-	GemmSubS: (*Scratch).GemmSub,
+// scalarKernels is the scalar micro-kernel family.
+var scalarKernels = []tileKernel{
+	{mr: 4, nr: 2, kern: tile4x2},
+	{mr: 4, nr: 4, kern: tile4x4},
+	{mr: 2, nr: 4, kern: tile2x4},
 }
 
-// The plain Provider entry points borrow a pooled scratch per call, so
-// Tuned drops into every call site that has no worker identity.
+// tunedEngine drives the scalar family; it doubles as the Simd
+// provider's bit-compatible portable fallback.
+var tunedEngine = newEngine("tuned", scalarKernels, tunedDefaults)
 
-func tunedGemmNN(a, b, c []float32, m int) {
-	if m < packThreshold {
-		gemmNNFast(a, b, c, m)
-		return
-	}
-	s := AcquireScratch()
-	s.gemm(a, b, c, m, false, false)
-	ReleaseScratch(s)
-}
+// Tuned is the packed scalar micro-kernel provider.  Trsm, Potrf, Add,
+// Sub, Gemv and Trsv are inherited from the Fast provider: they are
+// lower-order or bandwidth-bound sidekicks off the critical kernel
+// path, and the engine's packing layout brings them nothing.
+var Tuned = engineProvider("tuned", tunedEngine)
 
-func tunedGemmNT(a, b, c []float32, m int) {
-	if m < packThreshold {
-		gemmNTFast(a, b, c, m)
-		return
-	}
-	s := AcquireScratch()
-	s.gemm(a, b, c, m, true, true)
-	ReleaseScratch(s)
-}
+// The Scratch methods below keep the pre-parameterization API: a
+// per-worker scratch driving the scalar engine directly.
 
-func tunedSyrk(a, c []float32, m int) {
-	if m < packThreshold {
-		syrkFast(a, c, m)
-		return
-	}
-	s := AcquireScratch()
-	s.syrk(a, c, m)
-	ReleaseScratch(s)
-}
-
-func tunedGemmSub(a, b, c []float32, m int) {
-	if m < packThreshold {
-		GemmSubNN(a, b, c, m)
-		return
-	}
-	s := AcquireScratch()
-	s.gemm(a, b, c, m, false, true)
-	ReleaseScratch(s)
-}
-
-// GemmNN computes C += A·B through the packed engine using this
+// GemmNN computes C += A·B through the packed scalar engine using this
 // scratch's buffers.  The runtime path calls it with the executing
 // worker's scratch so packing reuses warm per-worker storage.
-func (s *Scratch) GemmNN(a, b, c []float32, m int) {
-	if m < packThreshold {
-		gemmNNFast(a, b, c, m)
-		return
-	}
-	s.gemm(a, b, c, m, false, false)
-}
+func (s *Scratch) GemmNN(a, b, c []float32, m int) { tunedEngine.GemmNNS(s, a, b, c, m) }
 
-// GemmNT computes C -= A·Bᵀ through the packed engine.
-func (s *Scratch) GemmNT(a, b, c []float32, m int) {
-	if m < packThreshold {
-		gemmNTFast(a, b, c, m)
-		return
-	}
-	s.gemm(a, b, c, m, true, true)
-}
+// GemmNT computes C -= A·Bᵀ through the packed scalar engine.
+func (s *Scratch) GemmNT(a, b, c []float32, m int) { tunedEngine.GemmNTS(s, a, b, c, m) }
 
 // Syrk computes C -= A·Aᵀ on the lower triangle through the packed
-// engine, skipping tiles strictly above the diagonal.
-func (s *Scratch) Syrk(a, c []float32, m int) {
-	if m < packThreshold {
-		syrkFast(a, c, m)
-		return
-	}
-	s.syrk(a, c, m)
-}
+// scalar engine, skipping tiles strictly above the diagonal.
+func (s *Scratch) Syrk(a, c []float32, m int) { tunedEngine.SyrkS(s, a, c, m) }
 
-// GemmSub computes C -= A·B through the packed engine (the trailing
-// update of tiled LU).
-func (s *Scratch) GemmSub(a, b, c []float32, m int) {
-	if m < packThreshold {
-		GemmSubNN(a, b, c, m)
-		return
-	}
-	s.gemm(a, b, c, m, false, true)
-}
+// GemmSub computes C -= A·B through the packed scalar engine (the
+// trailing update of tiled LU).
+func (s *Scratch) GemmSub(a, b, c []float32, m int) { tunedEngine.GemmSubS(s, a, b, c, m) }
 
-// gemm drives the engine: C ±= A·op(B) with op = Bᵀ when transB.
-// sub selects subtraction at write-back (GemmNT's contract).
-func (s *Scratch) gemm(a, b, c []float32, m int, transB, sub bool) {
-	np := (m + nr - 1) / nr
-	kcap := min(kc, m)
-	arena := s.ensure(np*kcap*nr + mr*kcap)
-	bp := arena[: np*kcap*nr : np*kcap*nr]
-	ap := arena[np*kcap*nr:]
-	for k0 := 0; k0 < m; k0 += kc {
-		kk := min(kc, m-k0)
-		if transB {
-			packBT(bp, b, m, k0, kk)
-		} else {
-			packBN(bp, b, m, k0, kk)
-		}
-		for i0 := 0; i0 < m; i0 += mr {
-			rows := min(mr, m-i0)
-			packA(ap, a, m, i0, rows, k0, kk)
-			for jp := 0; jp < np; jp++ {
-				j0 := jp * nr
-				microTile(ap, bp[jp*kk*nr:], c[i0*m+j0:], m, kk,
-					rows, min(nr, m-j0), sub)
-			}
-		}
-	}
-}
-
-// syrk is gemm with B = Aᵀ, visiting only tiles that intersect the
-// lower triangle and masking the write-back of diagonal-crossing tiles.
-func (s *Scratch) syrk(a, c []float32, m int) {
-	np := (m + nr - 1) / nr
-	kcap := min(kc, m)
-	arena := s.ensure(np*kcap*nr + mr*kcap)
-	bp := arena[: np*kcap*nr : np*kcap*nr]
-	ap := arena[np*kcap*nr:]
-	for k0 := 0; k0 < m; k0 += kc {
-		kk := min(kc, m-k0)
-		packBT(bp, a, m, k0, kk)
-		for i0 := 0; i0 < m; i0 += mr {
-			rows := min(mr, m-i0)
-			packA(ap, a, m, i0, rows, k0, kk)
-			// Only tiles whose first column is on or below the last row.
-			for jp := 0; jp*nr <= i0+rows-1 && jp < np; jp++ {
-				j0 := jp * nr
-				cols := min(nr, m-j0)
-				if j0+cols-1 <= i0 {
-					// Entirely within the lower triangle.
-					microTile(ap, bp[jp*kk*nr:], c[i0*m+j0:], m, kk,
-						rows, cols, true)
-				} else {
-					microTileLower(ap, bp[jp*kk*nr:], c[i0*m+j0:], m, kk,
-						rows, cols, i0-j0)
-				}
-			}
-		}
-	}
-}
-
-// packA packs rows i0..i0+rows-1 of the k-chunk a[·][k0:k0+kk] as one
-// mr×kk panel: ap[k*mr+r] = a[(i0+r)*lda + k0+k], rows past the edge
-// zero-filled so the micro-kernel always consumes a full panel.
-func packA(ap, a []float32, lda, i0, rows, k0, kk int) {
-	ap = ap[: kk*mr : kk*mr]
-	for r := 0; r < rows; r++ {
-		src := a[(i0+r)*lda+k0 : (i0+r)*lda+k0+kk]
-		for k, v := range src {
-			ap[k*mr+r] = v
-		}
-	}
-	for r := rows; r < mr; r++ {
-		for k := 0; k < kk; k++ {
-			ap[k*mr+r] = 0
-		}
-	}
-}
-
-// packBN packs the k-chunk of B into column panels of nr:
-// bp[jp*kk*nr + k*nr + c] = b[(k0+k)*ldb + jp*nr+c], edge columns
-// zero-filled.
-func packBN(bp, b []float32, ldb, k0, kk int) {
-	np := (ldb + nr - 1) / nr
-	for jp := 0; jp < np; jp++ {
-		j0 := jp * nr
-		cols := min(nr, ldb-j0)
-		dst := bp[jp*kk*nr : (jp+1)*kk*nr : (jp+1)*kk*nr]
-		if cols == nr {
-			for k := 0; k < kk; k++ {
-				src := b[(k0+k)*ldb+j0:]
-				dst[k*nr] = src[0]
-				dst[k*nr+1] = src[1]
-			}
-		} else {
-			for k := 0; k < kk; k++ {
-				dst[k*nr] = b[(k0+k)*ldb+j0]
-				dst[k*nr+1] = 0
-			}
-		}
-	}
-}
-
-// packBT packs the k-chunk of Bᵀ into column panels of nr — column j of
-// op(B) is row j of B, so each packed lane streams one contiguous row:
-// bp[jp*kk*nr + k*nr + c] = b[(jp*nr+c)*ldb + k0+k].
-func packBT(bp, b []float32, ldb, k0, kk int) {
-	np := (ldb + nr - 1) / nr
-	for jp := 0; jp < np; jp++ {
-		j0 := jp * nr
-		cols := min(nr, ldb-j0)
-		dst := bp[jp*kk*nr : (jp+1)*kk*nr : (jp+1)*kk*nr]
-		for c := 0; c < cols; c++ {
-			src := b[(j0+c)*ldb+k0 : (j0+c)*ldb+k0+kk]
-			for k, v := range src {
-				dst[k*nr+c] = v
-			}
-		}
-		for c := cols; c < nr; c++ {
-			for k := 0; k < kk; k++ {
-				dst[k*nr+c] = 0
-			}
-		}
-	}
-}
-
-// microTile is the engine's inner kernel: a 4×2 accumulator tile
-// C[0:rows, 0:cols] ±= Ap·Bp over kk packed steps, the k loop unrolled
+// tile4x2 is the scalar engine's primary kernel: a 4×2 accumulator
+// tile C[0:4, 0:2] ±= Ap·Bp over kk packed steps, the k loop unrolled
 // four times.  Both panels advance by re-slicing under an explicit len
 // guard so every load sits at a constant offset the compiler proves in
 // bounds — the bounds-check-free form is worth ~1.5× over indexed
 // access here.  The k loop is shape-free — padding guarantees full
-// panels — and rows/cols only mask the write-back of edge tiles.
-func microTile(ap, bp, c []float32, ldc, kk, rows, cols int, sub bool) {
+// panels — so the tile is written back whole.
+func tile4x2(ap, bp, c []float32, ldc, kk int, sub bool) {
+	const mr, nr = 4, 2
 	var c00, c01, c10, c11, c20, c21, c30, c31 float32
 	ap = ap[: kk*mr : kk*mr]
 	bp = bp[: kk*nr : kk*nr]
@@ -347,55 +138,133 @@ func microTile(ap, bp, c []float32, ldc, kk, rows, cols int, sub bool) {
 		c20, c21 = -c20, -c21
 		c30, c31 = -c30, -c31
 	}
-	if rows == mr && cols == nr {
-		c[0] += c00
-		c[1] += c01
-		c[ldc+0] += c10
-		c[ldc+1] += c11
-		c[2*ldc+0] += c20
-		c[2*ldc+1] += c21
-		c[3*ldc+0] += c30
-		c[3*ldc+1] += c31
-		return
-	}
-	acc := [mr * nr]float32{c00, c01, c10, c11, c20, c21, c30, c31}
-	for r := 0; r < rows; r++ {
-		for j := 0; j < cols; j++ {
-			c[r*ldc+j] += acc[r*nr+j]
-		}
-	}
+	c[0] += c00
+	c[1] += c01
+	c[ldc+0] += c10
+	c[ldc+1] += c11
+	c[2*ldc+0] += c20
+	c[2*ldc+1] += c21
+	c[3*ldc+0] += c30
+	c[3*ldc+1] += c31
 }
 
-// microTileLower is microTile for a diagonal-crossing Syrk tile: it
-// subtracts the accumulators only at positions on or below the block
-// diagonal (global row i0+r ≥ global column j0+j, i.e. r+diag ≥ j with
-// diag = i0-j0).
-func microTileLower(ap, bp, c []float32, ldc, kk, rows, cols, diag int) {
-	var c00, c01, c10, c11, c20, c21, c30, c31 float32
+// tile4x4 is the 16-accumulator scalar shape: on amd64 it spills past
+// the 16 scalar registers and loses to 4×2, but wider machines (or
+// future compilers) may disagree — the tuner decides.
+func tile4x4(ap, bp, c []float32, ldc, kk int, sub bool) {
+	const mr, nr = 4, 4
+	var (
+		c00, c01, c02, c03 float32
+		c10, c11, c12, c13 float32
+		c20, c21, c22, c23 float32
+		c30, c31, c32, c33 float32
+	)
 	ap = ap[: kk*mr : kk*mr]
 	bp = bp[: kk*nr : kk*nr]
 	for len(ap) >= mr && len(bp) >= nr {
 		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
-		b0, b1 := bp[0], bp[1]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
 		c00 += a0 * b0
 		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
 		c10 += a1 * b0
 		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
 		c20 += a2 * b0
 		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
 		c30 += a3 * b0
 		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
 		ap = ap[mr:]
 		bp = bp[nr:]
 	}
-	acc := [mr * nr]float32{c00, c01, c10, c11, c20, c21, c30, c31}
-	for r := 0; r < rows; r++ {
-		jmax := r + diag
-		if jmax >= cols {
-			jmax = cols - 1
-		}
-		for j := 0; j <= jmax; j++ {
-			c[r*ldc+j] -= acc[r*nr+j]
-		}
+	if sub {
+		c00, c01, c02, c03 = -c00, -c01, -c02, -c03
+		c10, c11, c12, c13 = -c10, -c11, -c12, -c13
+		c20, c21, c22, c23 = -c20, -c21, -c22, -c23
+		c30, c31, c32, c33 = -c30, -c31, -c32, -c33
 	}
+	c[0] += c00
+	c[1] += c01
+	c[2] += c02
+	c[3] += c03
+	c[ldc+0] += c10
+	c[ldc+1] += c11
+	c[ldc+2] += c12
+	c[ldc+3] += c13
+	c[2*ldc+0] += c20
+	c[2*ldc+1] += c21
+	c[2*ldc+2] += c22
+	c[2*ldc+3] += c23
+	c[3*ldc+0] += c30
+	c[3*ldc+1] += c31
+	c[3*ldc+2] += c32
+	c[3*ldc+3] += c33
+}
+
+// tile2x4 is the transposed 8-accumulator shape — same register budget
+// as 4×2 with the wide side on B.
+func tile2x4(ap, bp, c []float32, ldc, kk int, sub bool) {
+	const mr, nr = 2, 4
+	var (
+		c00, c01, c02, c03 float32
+		c10, c11, c12, c13 float32
+	)
+	ap = ap[: kk*mr : kk*mr]
+	bp = bp[: kk*nr : kk*nr]
+	for len(ap) >= 2*mr && len(bp) >= 2*nr {
+		a0, a1 := ap[0], ap[1]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = ap[2], ap[3]
+		b0, b1, b2, b3 = bp[4], bp[5], bp[6], bp[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		ap = ap[2*mr:]
+		bp = bp[2*nr:]
+	}
+	for len(ap) >= mr && len(bp) >= nr { // kk % 2 tail
+		a0, a1 := ap[0], ap[1]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		ap = ap[mr:]
+		bp = bp[nr:]
+	}
+	if sub {
+		c00, c01, c02, c03 = -c00, -c01, -c02, -c03
+		c10, c11, c12, c13 = -c10, -c11, -c12, -c13
+	}
+	c[0] += c00
+	c[1] += c01
+	c[2] += c02
+	c[3] += c03
+	c[ldc+0] += c10
+	c[ldc+1] += c11
+	c[ldc+2] += c12
+	c[ldc+3] += c13
 }

@@ -2,24 +2,64 @@ package kernels
 
 // Block-vector kernels for the triangular solve that consumes a Cholesky
 // factor (paper §VII.D: "a real program may perform a Cholesky
-// factorization and use the result in another operation").
+// factorization and use the result in another operation").  Like the
+// tile kernels, they come in provider flavors: Ref textbook loops, Fast
+// unrolled dot products (shared by Tuned — packing brings an O(m²)
+// kernel nothing), and an FMA assembly Gemv on the Simd provider.
 
 // Gemv computes y -= A·x for an m×m row-major block A and length-m
-// vectors.
-func Gemv(a, x, y []float32, m int) {
+// vectors (the portable implementation, also the Fast provider's).
+func Gemv(a, x, y []float32, m int) { gemvFast(a, x, y, m) }
+
+// Trsv solves L·z = b in place of b for the lower triangle of the m×m
+// block L (forward substitution).
+func Trsv(l, b []float32, m int) { trsvFast(l, b, m) }
+
+// gemvRef: y -= A·x, textbook order.
+func gemvRef(a, x, y []float32, m int) {
 	for i := 0; i < m; i++ {
-		ai := a[i*m : i*m+m]
 		var s float32
 		for k := 0; k < m; k++ {
-			s += ai[k] * x[k]
+			s += a[i*m+k] * x[k]
 		}
 		y[i] -= s
 	}
 }
 
-// Trsv solves L·z = b in place of b for the lower triangle of the m×m
-// block L (forward substitution).
-func Trsv(l, b []float32, m int) {
+// gemvFast: y -= A·x with 4-way unrolled dot products over contiguous
+// rows of A.
+func gemvFast(a, x, y []float32, m int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*m : i*m+m]
+		var s0, s1, s2, s3 float32
+		k := 0
+		for ; k+3 < m; k += 4 {
+			s0 += ai[k] * x[k]
+			s1 += ai[k+1] * x[k+1]
+			s2 += ai[k+2] * x[k+2]
+			s3 += ai[k+3] * x[k+3]
+		}
+		for ; k < m; k++ {
+			s0 += ai[k] * x[k]
+		}
+		y[i] -= s0 + s1 + s2 + s3
+	}
+}
+
+// trsvRef: forward substitution, textbook order.
+func trsvRef(l, b []float32, m int) {
+	for i := 0; i < m; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*m+k] * b[k]
+		}
+		b[i] = s / l[i*m+i]
+	}
+}
+
+// trsvFast is trsvRef with the dot product over the contiguous row
+// prefix hoisted into a re-sliced range loop.
+func trsvFast(l, b []float32, m int) {
 	for i := 0; i < m; i++ {
 		s := b[i]
 		li := l[i*m : i*m+i]

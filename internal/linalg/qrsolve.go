@@ -25,7 +25,7 @@ type qrSolveTasks struct {
 }
 
 func (al *Algos) qrSolveTasks() *qrSolveTasks {
-	m := al.m
+	m, p := al.m, al.p
 	return &qrSolveTasks{
 		unmqrV: core.NewTaskDef("sunmqr_v_t", func(a *core.Args) {
 			kernels.UnmqrVec(a.F32(0), a.F32(1), a.F32(2), m)
@@ -34,7 +34,7 @@ func (al *Algos) qrSolveTasks() *qrSolveTasks {
 			kernels.TsmqrVec(a.F32(0), a.F32(1), a.F32(2), a.F32(3), m)
 		}),
 		gemv: core.NewTaskDef("sgemv_t", func(a *core.Args) {
-			kernels.Gemv(a.F32(0), a.F32(1), a.F32(2), m)
+			p.Gemv(a.F32(0), a.F32(1), a.F32(2), m)
 		}),
 		utrsv: core.NewTaskDef("sutrsv_t", func(a *core.Args) {
 			kernels.UTrsv(a.F32(0), a.F32(1), m)

@@ -3,7 +3,6 @@ package linalg
 import (
 	"repro/internal/core"
 	"repro/internal/hypermatrix"
-	"repro/internal/kernels"
 )
 
 // SolveLower submits a blocked forward substitution solving L·z = b in
@@ -19,12 +18,12 @@ import (
 // recovering the parallelism lost as the execution reaches the bottom of
 // the Cholesky graph."
 func (al *Algos) SolveLower(l *hypermatrix.Matrix, b [][]float32) {
-	m := al.m
+	m, p := al.m, al.p
 	gemv := core.NewTaskDef("sgemv_t", func(a *core.Args) {
-		kernels.Gemv(a.F32(0), a.F32(1), a.F32(2), m)
+		p.Gemv(a.F32(0), a.F32(1), a.F32(2), m)
 	})
 	trsv := core.NewTaskDef("strsv_t", func(a *core.Args) {
-		kernels.Trsv(a.F32(0), a.F32(1), m)
+		p.Trsv(a.F32(0), a.F32(1), m)
 	})
 	n := l.N
 	for i := 0; i < n; i++ {
