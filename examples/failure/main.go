@@ -1,0 +1,217 @@
+// Failure demonstrates the runtime's failure domains: structured task
+// failure with poison propagation, tenant cancellation on a shared
+// pool, graceful drain, and the seeded fault-injection harness.
+//
+// Three acts:
+//
+//  1. A task fails (Args.Fail) under OnFailure: FailPoison — its
+//     transitive dependents are skipped-and-counted instead of running
+//     on garbage data, the failure surfaces at the barrier as a typed
+//     *core.TaskError, and independent work is untouched.
+//  2. Two tenants share one pool; one runs past its deadline and is
+//     canceled (typed *core.CanceledError, remaining tasks drained as
+//     skips) while its co-tenant finishes bit-exact.  Pool.Drain then
+//     retires the pool.
+//  3. The chaos harness injects seeded task errors into one tenant of
+//     a fresh pool; the targeted tenant fails deterministically, the
+//     untargeted one still matches a sequential run exactly.
+//
+// Run with:
+//
+//	go run ./examples/failure
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
+
+var fill = core.NewTaskDef("fill_t", func(a *core.Args) {
+	out := a.F32(0)
+	c := float32(a.Float(1))
+	for i := range out {
+		out[i] = c * float32(i%5)
+	}
+})
+
+var double = core.NewTaskDef("double_t", func(a *core.Args) {
+	x := a.F32(0)
+	for i := range x {
+		x[i] *= 2
+	}
+})
+
+var boom = core.NewTaskDef("boom_t", func(a *core.Args) {
+	a.Fail(errors.New("sensor returned garbage"))
+})
+
+var slow = core.NewTaskDef("slow_t", func(a *core.Args) {
+	time.Sleep(time.Millisecond)
+	a.F32(0)[0]++
+})
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "failure:", err)
+	os.Exit(1)
+}
+
+// actPoison: fail in the middle of a dependency chain under FailPoison.
+func actPoison() {
+	rt := core.New(core.Config{Workers: 4, OnFailure: core.FailPoison})
+	x := make([]float32, 256)
+	y := make([]float32, 256)
+	rt.Submit(fill, core.Out(x), core.Value(1.0))
+	rt.Submit(boom, core.InOut(x)) // fails: everything downstream of x is poisoned
+	for i := 0; i < 4; i++ {
+		rt.Submit(double, core.InOut(x))
+	}
+	rt.Submit(fill, core.Out(y), core.Value(3.0)) // independent: must run
+	rt.Submit(double, core.InOut(y))
+
+	err := rt.Barrier()
+	var te *core.TaskError
+	if !errors.As(err, &te) {
+		fatal(fmt.Errorf("expected a *core.TaskError at the barrier, got %v", err))
+	}
+	st := rt.Stats()
+	fmt.Printf("act 1: barrier reported: %v\n", te)
+	fmt.Printf("act 1: failures %d, poisoned (skipped) %d, executed %d of %d, live renamed bytes %d\n",
+		st.Failures, st.Poisoned, st.TasksExecuted, st.TasksSubmitted, st.LiveRenamedBytes)
+	if st.Poisoned != 4 || y[2] != 3*2*2 {
+		fatal(errors.New("act 1: poison domain wrong"))
+	}
+	rt.ClearErr() // acknowledge; the latch is clearable, cancellation is not
+	if err := rt.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// actCancel: a deadline kills one tenant; its co-tenant is untouched.
+func actCancel() {
+	pool, err := core.NewPool(core.PoolConfig{Workers: 4, MaxContexts: 2})
+	if err != nil {
+		fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Tenant A: a serial chain that would take ~500ms, against a
+		// 15ms deadline.  The blocked barrier is unparked by the cancel.
+		c, err := pool.NewContext(core.ContextConfig{Deadline: 15 * time.Millisecond})
+		if err != nil {
+			done <- err
+			return
+		}
+		x := make([]float32, 8)
+		for i := 0; i < 500; i++ {
+			if err := c.Submit(slow, core.InOut(x)); err != nil {
+				break // canceled mid-submission: also fine
+			}
+		}
+		err = c.Barrier()
+		st := c.Stats()
+		fmt.Printf("act 2: tenant A: %v (executed %d, canceled-skips %d)\n", err, st.TasksExecuted, st.Canceled)
+		c.Close()
+		var ce *core.CanceledError
+		if !errors.As(err, &ce) {
+			done <- fmt.Errorf("expected a *core.CanceledError, got %v", err)
+			return
+		}
+		done <- nil
+	}()
+
+	// Tenant B: unaffected co-tenant doing exact arithmetic.
+	c, err := pool.NewContext(core.ContextConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	y := make([]float32, 256)
+	c.Submit(fill, core.Out(y), core.Value(1.0))
+	for i := 0; i < 10; i++ {
+		c.Submit(double, core.InOut(y))
+	}
+	if err := c.Barrier(); err != nil {
+		fatal(err)
+	}
+	if y[1] != 1<<10 {
+		fatal(fmt.Errorf("act 2: co-tenant result corrupted: %g", y[1]))
+	}
+	fmt.Printf("act 2: tenant B unaffected: y[1] = %g (exact)\n", y[1])
+	c.Close()
+	if err := <-done; err != nil {
+		fatal(err)
+	}
+	// Both tenants closed voluntarily; Drain retires the pool.
+	if err := pool.Drain(time.Second); err != nil {
+		fatal(err)
+	}
+}
+
+// actChaos: seeded injected task errors into one tenant only.
+func actChaos() {
+	pool, err := core.NewPool(core.PoolConfig{Workers: 4, MaxContexts: 2})
+	if err != nil {
+		fatal(err)
+	}
+	victim, err := pool.NewContext(core.ContextConfig{OnFailure: core.FailPoison})
+	if err != nil {
+		fatal(err)
+	}
+	bystander, err := pool.NewContext(core.ContextConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	inj := chaos.New(chaos.Config{
+		Seed:  42,
+		Rates: map[chaos.Site]float64{chaos.SiteTaskError: 0.1},
+		Ctxs:  map[int]bool{victim.ID(): true},
+	})
+	chaos.Install(inj)
+	defer chaos.Uninstall()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		xs := make([][]float32, 64)
+		for i := range xs {
+			xs[i] = make([]float32, 64)
+			victim.Submit(fill, core.Out(xs[i]), core.Value(float64(i)))
+			victim.Submit(double, core.InOut(xs[i]))
+		}
+		err := victim.Barrier()
+		st := victim.Stats()
+		fmt.Printf("act 3: victim (ctx %d): %v\n", victim.ID(), err)
+		fmt.Printf("act 3: injected errors fired %d times; failures %d, poisoned %d\n",
+			inj.Fired(chaos.SiteTaskError), st.Failures, st.Poisoned)
+		victim.Close()
+	}()
+
+	z := make([]float32, 256)
+	bystander.Submit(fill, core.Out(z), core.Value(2.0))
+	for i := 0; i < 8; i++ {
+		bystander.Submit(double, core.InOut(z))
+	}
+	if err := bystander.Barrier(); err != nil {
+		fatal(fmt.Errorf("act 3: bystander hit a fault that was not aimed at it: %w", err))
+	}
+	if z[1] != 2*256 {
+		fatal(fmt.Errorf("act 3: bystander result corrupted: %g", z[1]))
+	}
+	fmt.Printf("act 3: bystander (ctx %d) exact: z[1] = %g\n", bystander.ID(), z[1])
+	bystander.Close()
+	<-done
+	if err := pool.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func main() {
+	actPoison()
+	actCancel()
+	actChaos()
+	fmt.Println("all failure domains held")
+}

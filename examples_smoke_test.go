@@ -22,6 +22,7 @@ func TestExamplesRaceSmoke(t *testing.T) {
 	}{
 		{"quickstart", nil},
 		{"multitenant", nil},
+		{"failure", nil},
 		{"sparse", nil},
 		{"heat", []string{"-n", "4", "-m", "16", "-sweeps", "4"}},
 	}

@@ -264,6 +264,7 @@ var Registry = map[string]func(Config) *Result{
 	"ablation-locality":    AblationLocality,
 	"ablation-models":      AblationModels,
 	"ablation-multitenant": AblationMultitenant,
+	"ablation-faults":      AblationFaults,
 	"ablation-rename":      AblationRenaming,
 	"ablation-sched":       AblationScheduler,
 	"ablation-tracker":     AblationTracker,

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/kernels"
 )
@@ -175,6 +176,35 @@ func TestAblationRenameAcceptance(t *testing.T) {
 	}
 	if pooled.st.LiveRenamedBytes != 0 {
 		t.Fatalf("live renamed bytes after barrier = %d, want 0", pooled.st.LiveRenamedBytes)
+	}
+}
+
+// TestAblationFaultsAcceptance pins the fault-harness criterion: the
+// zero-failure fast path must be within noise of a run with the chaos
+// harness absent.  Timing bounds on shared machines need slack, so the
+// pin is a generous 2× on the compute-bound Cholesky churn — the real
+// claim (one atomic pointer load per hook) would show up as orders of
+// magnitude, not fractions.  The run must also leave no injector
+// installed behind it.
+func TestAblationFaultsAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	res := AblationFaults(quickCfg)
+	if chaos.Active() != nil {
+		t.Fatal("AblationFaults left an injector installed")
+	}
+	for _, wl := range []string{"cholesky", "churn"} {
+		disabled := res.SeriesByName(wl + " disabled")
+		armed := res.SeriesByName(wl + " armed-zero")
+		if disabled == nil || armed == nil {
+			t.Fatalf("%s: missing series in %v", wl, res.Series)
+		}
+	}
+	disabled := res.SeriesByName("cholesky disabled").Points[0].Y
+	armed := res.SeriesByName("cholesky armed-zero").Points[0].Y
+	if armed > 2*disabled {
+		t.Fatalf("armed-zero Cholesky churn %.4fs vs disabled %.4fs: fast path is not within noise", armed, disabled)
 	}
 }
 

@@ -1,0 +1,110 @@
+package chaos
+
+import "testing"
+
+// Decisions must be pure functions of (seed, site, key): the same
+// injector asked twice answers the same, and a second injector with
+// the same seed agrees fault for fault.
+func TestDecisionsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Rates: map[Site]float64{SiteTaskPanic: 0.3, SiteTaskError: 0.3}}
+	a, b := New(cfg), New(cfg)
+	for ctx := 0; ctx < 4; ctx++ {
+		for id := int64(1); id <= 200; id++ {
+			key := TaskKey(ctx, id)
+			first := a.decide(SiteTaskPanic, key)
+			if a.decide(SiteTaskPanic, key) != first {
+				t.Fatalf("ctx %d task %d: same injector changed its mind", ctx, id)
+			}
+			if b.decide(SiteTaskPanic, key) != first {
+				t.Fatalf("ctx %d task %d: same seed, different decision", ctx, id)
+			}
+		}
+	}
+}
+
+// A different seed must produce a different fault set (astronomically
+// likely over 800 decisions at rate 0.3).
+func TestSeedChangesFaults(t *testing.T) {
+	a := New(Config{Seed: 1, Rates: map[Site]float64{SiteTaskPanic: 0.3}})
+	b := New(Config{Seed: 2, Rates: map[Site]float64{SiteTaskPanic: 0.3}})
+	same := true
+	for id := int64(1); id <= 800; id++ {
+		if a.decide(SiteTaskPanic, TaskKey(0, id)) != b.decide(SiteTaskPanic, TaskKey(0, id)) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault sets")
+	}
+}
+
+// The observed fire rate should be in the ballpark of the configured
+// rate — the threshold arithmetic, not the hash, is what this guards.
+func TestRateRoughlyHonored(t *testing.T) {
+	inj := New(Config{Seed: 7, Rates: map[Site]float64{SiteTaskError: 0.25}})
+	const n = 4000
+	for id := int64(1); id <= n; id++ {
+		inj.decide(SiteTaskError, TaskKey(0, id))
+	}
+	got := float64(inj.Fired(SiteTaskError)) / n
+	if got < 0.18 || got > 0.32 {
+		t.Fatalf("rate 0.25 fired at %.3f", got)
+	}
+}
+
+// Rate 0 never fires; rate 1 always fires.
+func TestRateExtremes(t *testing.T) {
+	inj := New(Config{Seed: 3, Rates: map[Site]float64{SiteTaskPanic: 1}})
+	for id := int64(1); id <= 100; id++ {
+		if !inj.decide(SiteTaskPanic, TaskKey(0, id)) {
+			t.Fatal("rate 1 did not fire")
+		}
+		if inj.decide(SiteTaskError, TaskKey(0, id)) {
+			t.Fatal("unconfigured site fired")
+		}
+	}
+}
+
+// The context filter confines task-body sites to the targeted tenants.
+func TestCtxFilter(t *testing.T) {
+	inj := New(Config{
+		Seed:  9,
+		Rates: map[Site]float64{SiteTaskError: 1},
+		Ctxs:  map[int]bool{1: true},
+	})
+	Install(inj)
+	defer Uninstall()
+	if err := TaskBody(0, 5); err != nil {
+		t.Fatalf("untargeted ctx 0 faulted: %v", err)
+	}
+	if err := TaskBody(1, 5); err == nil {
+		t.Fatal("targeted ctx 1 did not fault")
+	}
+}
+
+// With no injector installed every hook is a no-op returning the
+// pass-through answer.
+func TestDisabledHooksAreNoOps(t *testing.T) {
+	Uninstall()
+	if Active() != nil {
+		t.Fatal("expected no active injector")
+	}
+	if err := TaskBody(0, 1); err != nil {
+		t.Fatalf("TaskBody faulted while disabled: %v", err)
+	}
+	if ExhaustRename(4096) {
+		t.Fatal("ExhaustRename fired while disabled")
+	}
+	if DropWake(3) {
+		t.Fatal("DropWake fired while disabled")
+	}
+	StealDelay(2) // must simply return
+}
+
+func TestSiteNames(t *testing.T) {
+	for s := Site(0); int(s) < NumSites; s++ {
+		if s.String() == "site(?)" {
+			t.Fatalf("site %d has no name", s)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package cilkrt
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -59,6 +60,9 @@ type RT struct {
 	pumpCond *sync.Cond    // on mu: tickets owed or runtime closing
 	owed     int
 	pumpDone chan struct{}
+
+	errMu    sync.Mutex
+	firstErr error
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -244,8 +248,10 @@ func (rt *RT) Run(f func(*Ctx)) {
 }
 
 // Close stops the pump, detaches the runtime's context, and — when New
-// built a private pool — shuts that pool down.
-func (rt *RT) Close() {
+// built a private pool — shuts that pool down.  It returns the first
+// task panic recovered during the runtime's life, so a tenant's failure
+// surfaces at its drain.
+func (rt *RT) Close() error {
 	rt.mu.Lock()
 	rt.closed = true
 	rt.mu.Unlock()
@@ -257,20 +263,47 @@ func (rt *RT) Close() {
 			rt.ownPool.Close()
 		}
 	}
+	return rt.Err()
 }
 
 // runTask executes a stolen or popped task: the child body runs in its
 // own frame with an implicit sync at function end (Cilk semantics), and
 // only then is the parent's pending count released.  The executing
-// worker's steal RNG is reused across tasks.
+// worker's steal RNG is reused across tasks.  A panicking body is
+// recovered into the runtime's sticky first error: the implicit sync
+// and the parent's decrement still run, so a Sync in the enclosing
+// frame can never wedge on a lost count.
 func (rt *RT) runTask(t task, self int, rng *rand.Rand) {
 	child := &frame{}
 	c := &Ctx{rt: rt, self: self, fr: child, rng: rng}
-	t.f(c)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rt.setErr(fmt.Errorf("cilkrt: task panicked: %v", r))
+			}
+		}()
+		t.f(c)
+	}()
 	c.Sync()
 	if t.fr.pending.Add(-1) == 0 {
 		rt.bump()
 	}
+}
+
+// Err returns the first task panic recovered by the runtime, or nil.
+// The latch is sticky, like core.Context.Err.
+func (rt *RT) Err() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.firstErr
+}
+
+func (rt *RT) setErr(err error) {
+	rt.errMu.Lock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+	rt.errMu.Unlock()
 }
 
 // next finds work: own deque in LIFO order, then random victims in FIFO

@@ -4,12 +4,42 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/deps"
 	"repro/internal/graph"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
+
+// FailurePolicy selects what happens to the dependents of a failed
+// task (a body that panicked or called Args.Fail).
+type FailurePolicy int
+
+const (
+	// FailContinue (the default) runs dependents of a failed task
+	// anyway: the failure is latched and reported at the next
+	// Barrier/WaitOn/Close, but the graph keeps executing.  Dependents
+	// may read garbage data — this is the seed runtime's behavior.
+	FailContinue FailurePolicy = iota
+	// FailPoison skips the transitive dependents of a failed task:
+	// each is completed without running its body (so edges, refcounts
+	// and pooled rename storage still drain) and counted in
+	// Stats.Poisoned.
+	FailPoison
+)
+
+// String returns the policy name.
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailContinue:
+		return "continue"
+	case FailPoison:
+		return "poison"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
 
 // ContextConfig parameterizes one Context on a shared pool.  The fields
 // mirror the graph-state half of Config; worker-count and wakeup
@@ -50,6 +80,15 @@ type ContextConfig struct {
 	Tracer *trace.Tracer
 	// Recorder, when non-nil, retains the full task graph for export.
 	Recorder *graph.Recorder
+	// OnFailure selects the fate of a failed task's dependents:
+	// FailContinue (default, run them anyway) or FailPoison (skip and
+	// count them).
+	OnFailure FailurePolicy
+	// Deadline, when positive, cancels the context that long after
+	// creation exactly as Context.Cancel would: remaining tasks drain
+	// as canceled skips and Barrier/WaitOn/Close return a
+	// CanceledError.  Zero means no deadline.
+	Deadline time.Duration
 }
 
 // Context is one tenant of a shared Pool: a task graph, a dependency
@@ -89,11 +128,23 @@ type Context struct {
 	waiters      atomic.Int64
 	renamedBytes atomic.Int64
 	chainHits    atomic.Int64
+	failures     atomic.Int64
+	poisonSkips  atomic.Int64
+	cancelSkips  atomic.Int64
 
-	errMu    sync.Mutex
-	firstErr error
+	// errMu guards the two sticky error latches.  firstErr is the first
+	// task failure (clearable with ClearErr); cancelErr is set once by
+	// cancel and never cleared.  cancelErr is always stored before the
+	// canceled flag, so any reader that observes the flag finds the
+	// error.
+	errMu     sync.Mutex
+	firstErr  error
+	cancelErr error
 
-	closed atomic.Bool
+	canceled atomic.Bool
+	closed   atomic.Bool
+	// deadline is the ContextConfig.Deadline timer, stopped at Close.
+	deadline *time.Timer
 
 	// Submission scratch reused across Submit/SubmitBatch calls to keep
 	// the per-task tracker entry allocation-free.  Guarded by the
@@ -134,6 +185,9 @@ func (p *Pool) NewContext(cfg ContextConfig) (*Context, error) {
 			p.mux.Wake(c.slot)
 		}
 	})
+	if cfg.Deadline > 0 {
+		c.deadline = time.AfterFunc(cfg.Deadline, func() { c.cancel("deadline") })
+	}
 	return c, nil
 }
 
@@ -147,11 +201,24 @@ func (c *Context) Pool() *Pool { return c.pool }
 // Closed reports whether the context has been closed.
 func (c *Context) Closed() bool { return c.closed.Load() }
 
-// Err returns the first task failure (panic) observed, or nil.
+// Err returns the first task failure observed — a *TaskError wrapping
+// the panic value or the error passed to Args.Fail — or nil.  The
+// latch is sticky: it survives Barrier and is returned by every later
+// Barrier/WaitOn/Close until ClearErr.  Runtime.Err has the identical
+// contract.
 func (c *Context) Err() error {
 	c.errMu.Lock()
 	defer c.errMu.Unlock()
 	return c.firstErr
+}
+
+// ClearErr clears the sticky task-failure latch, letting a tenant
+// observe a failure at one Barrier and keep going.  Cancellation is
+// not clearable: a canceled context stays canceled.
+func (c *Context) ClearErr() {
+	c.errMu.Lock()
+	c.firstErr = nil
+	c.errMu.Unlock()
 }
 
 func (c *Context) setErr(err error) {
@@ -160,6 +227,55 @@ func (c *Context) setErr(err error) {
 		c.firstErr = err
 	}
 	c.errMu.Unlock()
+}
+
+// Cancel aborts the context: no further submissions are admitted, and
+// every task not yet started — queued, chained, or still blocked on
+// predecessors — is drained as a canceled skip (completing normally
+// for dependency, refcount and memory bookkeeping, but never running
+// its body).  A submitter blocked in Barrier, WaitOn or a throttle is
+// unparked; Barrier/WaitOn/Close return a *CanceledError.  Tasks whose
+// bodies are already running are not interrupted, and co-tenants of
+// the pool are untouched.  Cancel is idempotent and safe to call from
+// any goroutine — it is the one Context entry point exempt from the
+// single-submitter contract.
+func (c *Context) Cancel() { c.cancel("cancel") }
+
+func (c *Context) cancel(reason string) {
+	c.errMu.Lock()
+	if c.cancelErr == nil {
+		c.cancelErr = &CanceledError{Ctx: c.id, Reason: reason}
+	}
+	c.errMu.Unlock()
+	c.canceled.Store(true)
+	// Unpark this context's submitter (blocked in Barrier/throttle) and
+	// kick the pool so parked workers drain the already-queued tasks as
+	// canceled skips.
+	c.pool.mux.Wake(c.slot)
+	c.pool.mux.Kick()
+}
+
+// Canceled reports whether the context has been canceled (by Cancel,
+// its Deadline, or a pool Drain).
+func (c *Context) Canceled() bool { return c.canceled.Load() }
+
+// cancelError returns the cancellation latch, or nil.
+func (c *Context) cancelError() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.cancelErr
+}
+
+// barrierErr is the error contract of Barrier/WaitOn/Close: the first
+// task failure if one is latched, else the cancellation error, else
+// nil.
+func (c *Context) barrierErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.firstErr != nil {
+		return c.firstErr
+	}
+	return c.cancelErr
 }
 
 // Stats returns a snapshot of this context's counters.  Everything in
@@ -185,6 +301,9 @@ func (c *Context) Stats() Stats {
 		PoolHits:         d.PoolHits,
 		PoolMisses:       d.PoolMisses,
 		LiveRenamedBytes: c.liveRenamedBytes(),
+		Failures:         c.failures.Load(),
+		Poisoned:         c.poisonSkips.Load(),
+		Canceled:         c.cancelSkips.Load(),
 	}
 }
 
@@ -209,10 +328,14 @@ func (c *Context) liveRenamedBytes() int64 {
 // (graph size limit, memory limit), in which case the calling thread
 // executes this context's tasks until the condition clears.
 //
-// Submitting to a closed context returns a ClosedError.
+// Submitting to a closed context returns a ClosedError; submitting to
+// a canceled context returns its CanceledError.
 func (c *Context) Submit(def *TaskDef, args ...Arg) error {
 	if c.closed.Load() {
 		return &ClosedError{Entity: "context", Op: "Submit"}
+	}
+	if c.canceled.Load() {
+		return c.cancelError()
 	}
 	c.throttle()
 	c.submitOne(def, args)
@@ -226,6 +349,9 @@ func (c *Context) Submit(def *TaskDef, args ...Arg) error {
 func (c *Context) SubmitBatch(calls ...TaskCall) error {
 	if c.closed.Load() {
 		return &ClosedError{Entity: "context", Op: "SubmitBatch"}
+	}
+	if c.canceled.Load() {
+		return c.cancelError()
 	}
 	for i := range calls {
 		c.throttle()
@@ -369,31 +495,43 @@ func (c *Context) exec(n *graph.Node, self int) {
 		}
 		c.g.MarkRunning(n)
 		rec := n.Payload.(*taskRec)
-		// Seed renamed inout parameters.  The RAW edge on the previous
-		// producer guarantees the source contents are final.
-		for i := range rec.args {
-			if b := &rec.args[i]; b.copyFrom != nil {
-				b.copyFn(b.instance, b.copyFrom)
-				b.copyFrom = nil
-			}
-		}
-		c.tracr.EmitCtx(c.id, self, trace.EvStart, n.Kind, rec.def.Name, n.ID)
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					c.setErr(fmt.Errorf("core: task %s (#%d) panicked: %v", rec.def.Name, n.ID, r))
+		// A canceled tenant or a poisoned dependent skips the body —
+		// including the renamed-inout seed copies, whose sources may be
+		// garbage — but still completes the node below, so edges,
+		// version refcounts and pooled rename storage drain exactly as
+		// on the success path.
+		skipped := true
+		if c.canceled.Load() {
+			c.cancelSkips.Add(1)
+			c.tracr.EmitCtx(c.id, self, trace.EvCanceled, n.Kind, rec.def.Name, n.ID)
+		} else if n.Poisoned() {
+			c.poisonSkips.Add(1)
+			c.tracr.EmitCtx(c.id, self, trace.EvPoisoned, n.Kind, rec.def.Name, n.ID)
+		} else {
+			skipped = false
+			// Seed renamed inout parameters.  The RAW edge on the previous
+			// producer guarantees the source contents are final.
+			for i := range rec.args {
+				if b := &rec.args[i]; b.copyFrom != nil {
+					b.copyFn(b.instance, b.copyFrom)
+					b.copyFrom = nil
 				}
-			}()
-			rec.def.Fn(&Args{rec: rec, ctx: c, worker: self})
-		}()
-		c.tracr.EmitCtx(c.id, self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
+			}
+			c.tracr.EmitCtx(c.id, self, trace.EvStart, n.Kind, rec.def.Name, n.ID)
+			c.runBody(rec, n, self)
+			c.tracr.EmitCtx(c.id, self, trace.EvEnd, n.Kind, rec.def.Name, n.ID)
+		}
 		var next *graph.Node
 		if chained < c.cfg.Locality.ChainDepth && !c.q.HighPending() {
 			next = c.g.CompleteChain(n, self)
 		} else {
 			c.g.Complete(n, self)
 		}
-		c.executed.Add(1)
+		if !skipped {
+			// Skips complete without executing, so TasksExecuted keeps
+			// meaning "bodies run"; the skip counters hold the rest.
+			c.executed.Add(1)
+		}
 		if rec.renamedBytes != 0 {
 			c.renamedBytes.Add(-rec.renamedBytes)
 		}
@@ -412,6 +550,40 @@ func (c *Context) exec(n *graph.Node, self int) {
 		c.chainHits.Add(1)
 		c.tracr.EmitCtx(c.id, self, trace.EvChain, next.Kind, next.Label, next.ID)
 		n = next
+	}
+}
+
+// runBody executes one task body, converting a panic or an Args.Fail
+// call (or an injected fault) into the context's latched *TaskError.
+// A panic takes precedence over a recorded Fail.  Under FailPoison the
+// failed node is tainted, and Complete then spreads the taint to its
+// dependents.
+func (c *Context) runBody(rec *taskRec, n *graph.Node, self int) {
+	a := Args{rec: rec, ctx: c, worker: self}
+	var cause error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				cause = fmt.Errorf("panicked: %v", r)
+			}
+		}()
+		if err := chaos.TaskBody(c.id, n.ID); err != nil {
+			a.failed = err
+			return
+		}
+		rec.def.Fn(&a)
+	}()
+	if cause == nil {
+		cause = a.failed
+	}
+	if cause == nil {
+		return
+	}
+	c.failures.Add(1)
+	c.setErr(&TaskError{Def: rec.def.Name, TaskID: n.ID, Ctx: c.id, Worker: self, Cause: cause})
+	c.tracr.EmitCtx(c.id, self, trace.EvFail, n.Kind, rec.def.Name, n.ID)
+	if c.cfg.OnFailure == FailPoison {
+		n.MarkPoisoned()
 	}
 }
 
@@ -437,7 +609,9 @@ func (c *Context) helpOnce(done func() bool) bool {
 // context in the meantime (paper §III).  On return, any data whose
 // current contents live in renamed storage have been copied back to
 // the variables the program named, and the first task failure (if any)
-// is returned.  Other contexts on the pool are unaffected.
+// is returned; on a canceled context, the remaining tasks drain as
+// skips and Barrier returns the CanceledError (a latched task failure
+// still wins).  Other contexts on the pool are unaffected.
 func (c *Context) Barrier() error {
 	c.tracr.EmitCtx(c.id, c.slot, trace.EvBarrier, -1, "", 0)
 	for c.outstanding.Load() > 0 {
@@ -445,7 +619,7 @@ func (c *Context) Barrier() error {
 	}
 	c.syncCopies.Add(int64(c.tr.SyncAll()))
 	c.tracr.EmitCtx(c.id, c.slot, trace.EvBarrierDone, -1, "", 0)
-	return c.Err()
+	return c.barrierErr()
 }
 
 // WaitOn blocks until all pending writers of data have completed,
@@ -466,17 +640,20 @@ func (c *Context) WaitOnRegion(data any, r Region) error {
 	if c.tr.SyncObject(key) {
 		c.syncCopies.Add(1)
 	}
-	return c.Err()
+	return c.barrierErr()
 }
 
 // Close waits for all of this context's outstanding work (an implicit
 // barrier), then detaches the context from the pool, freeing its slot
 // for a future tenant.  The context must not be used afterwards; the
 // pool and its other contexts keep running.  Closing an already-closed
-// context is a no-op returning the first task error.
+// context is a no-op returning the latched error.
 func (c *Context) Close() error {
 	if c.closed.Load() {
-		return c.Err()
+		return c.barrierErr()
+	}
+	if c.deadline != nil {
+		c.deadline.Stop()
 	}
 	err := c.Barrier()
 	c.closed.Store(true)

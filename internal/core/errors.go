@@ -20,6 +20,49 @@ func (e *ClosedError) Error() string {
 	return fmt.Sprintf("core: %s on closed %s", e.Op, e.Entity)
 }
 
+// TaskError is the typed record of one task-body failure: a panic
+// recovered by the executor, an error handed to Args.Fail, or an
+// injected fault.  It is the context's sticky first error, so
+// Barrier/WaitOn/Close return it; inspect with errors.As and unwrap
+// Cause with errors.Is/As.
+type TaskError struct {
+	// Def is the task definition name, e.g. "boom".
+	Def string
+	// TaskID is the failing task's invocation order (graph node ID).
+	TaskID int64
+	// Ctx is the owning context's pool-wide ID.
+	Ctx int
+	// Worker is the worker identity that ran the failing body.
+	Worker int
+	// Cause is the failure itself: the error passed to Args.Fail, or a
+	// wrapped panic value.
+	Cause error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("core: task %s (#%d) failed on worker %d (ctx %d): %v",
+		e.Def, e.TaskID, e.Worker, e.Ctx, e.Cause)
+}
+
+// Unwrap exposes the failure cause to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Cause }
+
+// CanceledError is the typed error returned by Barrier, WaitOn, Submit
+// and Close on a context that was aborted by Context.Cancel, its
+// configured Deadline, or a pool Drain deadline.  Check for it with
+// errors.As.
+type CanceledError struct {
+	// Ctx is the canceled context's pool-wide ID.
+	Ctx int
+	// Reason records what triggered the cancellation: "cancel",
+	// "deadline" or "drain".
+	Reason string
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: context %d canceled (%s)", e.Ctx, e.Reason)
+}
+
 // ConfigError is the typed error returned for invalid pool or context
 // sizing (negative worker counts, exhausted context slots, and the
 // like).

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/deps"
 	"repro/internal/graph"
@@ -77,7 +78,9 @@ type Pool struct {
 
 	nextCtxID atomic.Int64
 	closed    atomic.Bool
-	wg        sync.WaitGroup
+	// draining refuses new tenants while Drain waits out the old ones.
+	draining atomic.Bool
+	wg       sync.WaitGroup
 }
 
 // NewPool creates and starts a shared worker pool.  The caller must
@@ -166,7 +169,7 @@ func (p *Pool) workerLoop(self int) {
 func (p *Pool) attach(c *Context) (slot int, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed.Load() {
+	if p.closed.Load() || p.draining.Load() {
 		return 0, &ClosedError{Entity: "pool", Op: "NewContext"}
 	}
 	for i := range p.ctxs {
@@ -218,6 +221,54 @@ func (p *Pool) Close() error {
 	// slot writes); recycle worker-local values that support it.
 	p.releaseLocals()
 	return nil
+}
+
+// Drain shuts the pool down gracefully: it stops admitting new
+// contexts, gives the attached tenants until the timeout to finish and
+// Close on their own, then cancels the stragglers — their queued work
+// drains as canceled skips, releasing every edge, refcount and byte of
+// pooled rename storage — force-detaches them, and closes the pool.
+// A straggler's own Barrier/Close observes a *CanceledError with
+// reason "drain".  Drain may be called from any goroutine and is the
+// shutdown path a service wraps around SIGTERM.
+func (p *Pool) Drain(timeout time.Duration) error {
+	p.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for p.Contexts() > 0 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	p.mu.Lock()
+	stragglers := make([]*Context, 0, p.nctx)
+	for _, c := range p.ctxs {
+		if c != nil {
+			stragglers = append(stragglers, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range stragglers {
+		c.cancel("drain")
+	}
+	for _, c := range stragglers {
+		if c.deadline != nil {
+			c.deadline.Stop()
+		}
+		// Wait out the tenant's in-flight tasks: everything not yet
+		// started skips, and running bodies finish (cancellation never
+		// interrupts a body mid-write).
+		for c.outstanding.Load() > 0 {
+			p.mux.Kick()
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Mark closed before detaching so the owner's own Close (if it
+		// ever runs) takes the latched-error early return instead of
+		// barriering against a detached client.  Renamed storage a
+		// force-detached tenant diverged is synced back only by its
+		// owner's Barrier — Drain must not call SyncAll concurrently
+		// with a submitter that may still be running.
+		c.closed.Store(true)
+		p.detach(c)
+	}
+	return p.Close()
 }
 
 // policyFor builds a context's scheduling policy sized to the pool's

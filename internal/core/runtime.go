@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/deps"
 	"repro/internal/graph"
 	"repro/internal/sched"
@@ -102,6 +104,13 @@ type Config struct {
 	// Recorder, when non-nil, retains the full task graph for export
 	// (Fig. 5).  Recording is unbounded; use it for analysis runs only.
 	Recorder *graph.Recorder
+	// OnFailure selects the fate of a failed task's dependents:
+	// FailContinue (default, run them anyway) or FailPoison (skip and
+	// count them).
+	OnFailure FailurePolicy
+	// Deadline, when positive, cancels the runtime's context that long
+	// after creation (see ContextConfig.Deadline).
+	Deadline time.Duration
 }
 
 // contextConfig extracts the per-context half of a Config.
@@ -117,6 +126,8 @@ func (cfg Config) contextConfig() ContextConfig {
 		MemoryLimit:       cfg.MemoryLimit,
 		Tracer:            cfg.Tracer,
 		Recorder:          cfg.Recorder,
+		OnFailure:         cfg.OnFailure,
+		Deadline:          cfg.Deadline,
 	}
 }
 
@@ -147,6 +158,15 @@ type Stats struct {
 	PoolHits         int64
 	PoolMisses       int64
 	LiveRenamedBytes int64
+
+	// Failure-domain view.  Failures counts task bodies that panicked
+	// or called Args.Fail; Poisoned counts dependents skipped under
+	// OnFailure: FailPoison; Canceled counts tasks drained as skips
+	// after Cancel/Deadline/Drain.  Skipped tasks are not in
+	// TasksExecuted.
+	Failures int64
+	Poisoned int64
+	Canceled int64
 }
 
 // Runtime is one private SMPSs runtime instance: the single-tenant view
@@ -205,8 +225,19 @@ func (rt *Runtime) Stats() Stats {
 	return st
 }
 
-// Err returns the first task failure (panic) observed, or nil.
+// Err returns the first task failure observed — a *TaskError — or nil.
+// The latch is sticky and identical to Context.Err: it survives
+// Barrier and is returned by every later Barrier/WaitOn/Close until
+// ClearErr.
 func (rt *Runtime) Err() error { return rt.ctx.Err() }
+
+// ClearErr clears the sticky task-failure latch (see Context.ClearErr).
+func (rt *Runtime) ClearErr() { rt.ctx.ClearErr() }
+
+// Cancel aborts the runtime's context exactly as Context.Cancel: tasks
+// not yet started drain as canceled skips and Barrier/WaitOn/Close
+// return a *CanceledError.  Safe to call from any goroutine.
+func (rt *Runtime) Cancel() { rt.ctx.Cancel() }
 
 // liveRenamedBytes is the context's memory-limit gauge (kept on the
 // wrapper for the white-box tests that probe it).
@@ -331,7 +362,9 @@ func (b *Batch) Submit() error {
 // thread behaving as a worker in the meantime (paper §III).  On return,
 // any data whose current contents live in renamed storage have been
 // copied back to the variables the program named, and the first task
-// failure (if any) is returned.
+// failure (if any) is returned.  The failure stays latched across
+// barriers — this call never resets it; use ClearErr to resume after a
+// handled failure.  The contract is identical to Context.Barrier.
 func (rt *Runtime) Barrier() error { return rt.ctx.Barrier() }
 
 // WaitOn blocks until all pending writers of data have completed,

@@ -72,10 +72,23 @@ type Args struct {
 	rec    *taskRec
 	ctx    *Context
 	worker int
+	failed error
 }
 
 // Len returns the number of bound parameters.
 func (a *Args) Len() int { return len(a.rec.args) }
+
+// Fail marks the task as failed with err: the body may finish normally,
+// but the runtime records a TaskError wrapping err as the context's
+// sticky failure (first failure wins), and under OnFailure: FailPoison
+// the task's dependents are skipped as poisoned.  Multiple calls keep
+// the first non-nil err; Fail(nil) is a no-op.  A panic in the body
+// takes precedence over a recorded Fail.
+func (a *Args) Fail(err error) {
+	if err != nil && a.failed == nil {
+		a.failed = err
+	}
+}
 
 // Worker returns the identity of the executing thread (0 = main thread,
 // 1.. = workers), handy for per-thread scratch storage.

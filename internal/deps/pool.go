@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/dataid"
 )
 
@@ -250,7 +251,14 @@ const intSize = 32 << (^uint(0) >> 63) / 8 // bytes in an int
 // live until released (or forfeited).
 func (p *Pool) acquire(a *Access) (any, int64) {
 	key, bytes := classOf(a.Data)
-	inst := p.storage().take(key, bytes)
+	var inst any
+	// Fault-injection point: a simulated exhausted free list turns the
+	// hit into a miss (fresh allocation) — correctness-neutral, but it
+	// exercises the allocation path and the live-byte accounting under
+	// storage pressure.
+	if !chaos.ExhaustRename(bytes) {
+		inst = p.storage().take(key, bytes)
+	}
 	if inst != nil {
 		p.hits.Add(1)
 	} else {

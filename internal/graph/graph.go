@@ -82,6 +82,12 @@ type Node struct {
 	// the readiness callback before analysis has finished.
 	pending atomic.Int32
 	state   atomic.Int32
+	// poisoned marks the node as tainted by an upstream failure: its
+	// inputs may be garbage, so the executor must skip the task body
+	// (while still completing the node, so edges, observers and memory
+	// bookkeeping drain normally).  Set on the node itself when its body
+	// fails, and propagated to successors by complete.
+	poisoned atomic.Bool
 
 	// executedBy records, biased by +1 so the zero value means "not
 	// executed", the worker identity that completed the task.  It is
@@ -131,6 +137,16 @@ func (n *Node) SetAffinity(worker int) {
 
 // Affinity returns the placement hint set by SetAffinity, or -1.
 func (n *Node) Affinity() int { return int(n.affinity) - 1 }
+
+// MarkPoisoned taints the node: the runtime calls it when the task's
+// body fails (under a poisoning failure policy) or when its tenant is
+// canceled, and Complete then spreads the taint to every successor the
+// completion releases.
+func (n *Node) MarkPoisoned() { n.poisoned.Store(true) }
+
+// Poisoned reports whether the node was tainted by MarkPoisoned or by
+// the completion of a poisoned predecessor.
+func (n *Node) Poisoned() bool { return n.poisoned.Load() }
 
 // OnComplete registers a completion observer: f runs exactly once, after
 // the node transitions to Done and its successors have been released.
@@ -293,8 +309,15 @@ func (g *Graph) complete(n *Node, worker int, chain bool) *Node {
 	// kept is the candidate for inline chaining: the first non-priority
 	// successor this completion released, withheld from the readiness
 	// callback until a second release proves the completion fans out.
+	poison := n.poisoned.Load()
 	var kept *Node
 	for _, s := range succs {
+		// Taint before the decrement: whoever's decrement reaches zero
+		// (this thread or a concurrent predecessor's) fires readiness
+		// after this store, so the executor always observes the poison.
+		if poison {
+			s.poisoned.Store(true)
+		}
 		if s.pending.Add(-1) != 0 {
 			continue
 		}

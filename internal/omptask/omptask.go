@@ -13,6 +13,7 @@
 package omptask
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,9 @@ type RT struct {
 	pumpCond *sync.Cond    // on mu: tickets owed or runtime closing
 	owed     int
 	pumpDone chan struct{}
+
+	errMu    sync.Mutex
+	firstErr error
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -194,8 +198,10 @@ func (rt *RT) Parallel(f func(*Ctx)) {
 }
 
 // Close stops the pump, detaches the runtime's context, and — when New
-// built a private pool — shuts that pool down.
-func (rt *RT) Close() {
+// built a private pool — shuts that pool down.  It returns the first
+// task panic recovered during the runtime's life, so a tenant's failure
+// surfaces at its drain.
+func (rt *RT) Close() error {
 	rt.mu.Lock()
 	rt.closed = true
 	rt.mu.Unlock()
@@ -207,6 +213,7 @@ func (rt *RT) Close() {
 			rt.ownPool.Close()
 		}
 	}
+	return rt.Err()
 }
 
 func (rt *RT) pop() (task, bool) {
@@ -226,15 +233,41 @@ func (rt *RT) pop() (task, bool) {
 }
 
 // runTask executes a pool task in its own region frame with an implicit
-// taskwait at the end, then releases the parent's count.
+// taskwait at the end, then releases the parent's count.  A panicking
+// body is recovered into the runtime's sticky first error: the implicit
+// taskwait and the parent's decrement still run, so Taskwait in the
+// enclosing region can never wedge on a lost count.
 func (rt *RT) runTask(t task, self int) {
 	child := &frame{}
 	c := &Ctx{rt: rt, self: self, fr: child}
-	t.f(c)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rt.setErr(fmt.Errorf("omptask: task panicked: %v", r))
+			}
+		}()
+		t.f(c)
+	}()
 	c.Taskwait()
 	if t.fr.pending.Add(-1) == 0 {
 		rt.bump()
 	}
+}
+
+// Err returns the first task panic recovered by the runtime, or nil.
+// The latch is sticky, like core.Context.Err.
+func (rt *RT) Err() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.firstErr
+}
+
+func (rt *RT) setErr(err error) {
+	rt.errMu.Lock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+	rt.errMu.Unlock()
 }
 
 func (rt *RT) bump() {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/graph"
 )
 
@@ -270,9 +271,11 @@ func (m *TokenMux) Push(c *Client, n *graph.Node, releasedBy int) {
 		// it is parked — the wake-to-data counterpart of the hinted
 		// push.  If the hinted worker is not idle (or loses the race to
 		// a concurrent unpark), fall back to the LIFO idle stack so the
-		// push's wake is never swallowed.
+		// push's wake is never swallowed.  chaos.DropWake deliberately
+		// loses the targeted wake to prove the fallback really covers
+		// every push.
 		if h := n.Affinity(); h < 0 || h >= len(m.inIdle) ||
-			!m.inIdle[h].Load() || !m.wakeIdle(h) {
+			!m.inIdle[h].Load() || chaos.DropWake(h) || !m.wakeIdle(h) {
 			m.unparkOne()
 		}
 		if c.waiting.Load() {

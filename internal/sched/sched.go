@@ -3,6 +3,7 @@ package sched
 import (
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/graph"
 )
 
@@ -245,6 +246,9 @@ func (s *Locality) TryNext(self int) *graph.Node {
 			minSize = 2
 		}
 	}
+	// Fault-injection point: widen the window between "own queues are
+	// empty" and the first victim probe, the classic lost-wake race.
+	chaos.StealDelay(self)
 	for i := 1; i < len(s.deques); i++ {
 		victim := (self + i) % len(s.deques)
 		k := s.deques[victim].grabHalf(buf, minSize)

@@ -80,6 +80,18 @@ func ParsePRV(r io.Reader, labels map[int]string) (*Tracer, error) {
 			ev.Type = EvChain
 			ev.Kind = int(val - 1)
 			ev.Label = labelFor(labels, ev.Kind)
+		case prvFail:
+			ev.Type = EvFail
+			ev.Kind = int(val - 1)
+			ev.Label = labelFor(labels, ev.Kind)
+		case prvPoisoned:
+			ev.Type = EvPoisoned
+			ev.Kind = int(val - 1)
+			ev.Label = labelFor(labels, ev.Kind)
+		case prvCanceled:
+			ev.Type = EvCanceled
+			ev.Kind = int(val - 1)
+			ev.Label = labelFor(labels, ev.Kind)
 		default:
 			continue // foreign event type
 		}

@@ -41,6 +41,17 @@ const (
 	// the scheduler's queues.  Emitted just before the chained task's
 	// EvStart.
 	EvChain
+	// EvFail marks a task body that failed (panic or Args.Fail),
+	// emitted by the executing worker after the body's EvEnd bracket.
+	EvFail
+	// EvPoisoned marks a task skipped because a predecessor failed
+	// under the poisoning failure policy; the body never ran, so no
+	// EvStart/EvEnd bracket accompanies it.
+	EvPoisoned
+	// EvCanceled marks a task drained as a skip by its context's
+	// cancellation (Cancel, Deadline, or pool Drain); like EvPoisoned
+	// it has no EvStart/EvEnd bracket.
+	EvCanceled
 )
 
 // String returns a short name for the event type.
@@ -60,6 +71,12 @@ func (e EventType) String() string {
 		return "barrier_done"
 	case EvChain:
 		return "chain"
+	case EvFail:
+		return "fail"
+	case EvPoisoned:
+		return "poisoned"
+	case EvCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("event(%d)", uint8(e))
 }
@@ -168,6 +185,9 @@ const (
 	prvBarrier  = 90000003
 	prvCreate   = 90000004
 	prvChain    = 90000005 // value = task kind + 1 of the chained task
+	prvFail     = 90000006 // value = task kind + 1 of the failed task
+	prvPoisoned = 90000007 // value = task kind + 1 of the skipped task
+	prvCanceled = 90000008 // value = task kind + 1 of the skipped task
 )
 
 // WritePRV exports the trace in Paraver .prv format: a header line
@@ -223,6 +243,12 @@ func (t *Tracer) WritePRV(w io.Writer) error {
 			typ, val = prvCreate, int64(ev.Kind)+1
 		case EvChain:
 			typ, val = prvChain, int64(ev.Kind)+1
+		case EvFail:
+			typ, val = prvFail, int64(ev.Kind)+1
+		case EvPoisoned:
+			typ, val = prvPoisoned, int64(ev.Kind)+1
+		case EvCanceled:
+			typ, val = prvCanceled, int64(ev.Kind)+1
 		}
 		// cpu, appl, task are 1-based; the task field carries the runtime
 		// context (ctx+1) so a shared tracer's tenants stay separable in
@@ -262,6 +288,9 @@ func (t *Tracer) WritePCF(w io.Writer) error {
 	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Barrier\nVALUES\n0      outside\n1      inside\n\n", prvBarrier)
 	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Task creation\n\n", prvCreate)
 	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Successor chain\n\n", prvChain)
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Task failure\n\n", prvFail)
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Poisoned skip\n\n", prvPoisoned)
+	fmt.Fprintf(&b, "EVENT_TYPE\n0    %d    Canceled skip\n\n", prvCanceled)
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -305,6 +334,15 @@ type Summary struct {
 	// Chained is the number of successor-chain events (tasks run inline
 	// by the completing worker, bypassing the scheduler's queues).
 	Chained int
+	// Failures is the number of task-failure events (bodies that
+	// panicked or called Args.Fail).
+	Failures int
+	// Poisoned is the number of tasks skipped as dependents of a
+	// failure under the poisoning policy.
+	Poisoned int
+	// Canceled is the number of tasks drained as skips by their
+	// context's cancellation.
+	Canceled int
 	// Truncated is the number of task starts with no matching end — a
 	// context that closed mid-trace, or a trace snapshotted while tasks
 	// were executing.  Instead of silently unbalancing later pairings
@@ -374,6 +412,12 @@ func (t *Tracer) Summarize() Summary {
 			s.Renames++
 		case EvChain:
 			s.Chained++
+		case EvFail:
+			s.Failures++
+		case EvPoisoned:
+			s.Poisoned++
+		case EvCanceled:
+			s.Canceled++
 		}
 	}
 	// Whatever is still open at the end of the trace never terminated.
@@ -399,6 +443,15 @@ func (s Summary) Format(w io.Writer) {
 	fmt.Fprintf(w, "trace span: %v, renames: %d", s.Span, s.Renames)
 	if s.Chained > 0 {
 		fmt.Fprintf(w, ", chained: %d", s.Chained)
+	}
+	if s.Failures > 0 {
+		fmt.Fprintf(w, ", failures: %d", s.Failures)
+	}
+	if s.Poisoned > 0 {
+		fmt.Fprintf(w, ", poisoned: %d", s.Poisoned)
+	}
+	if s.Canceled > 0 {
+		fmt.Fprintf(w, ", canceled: %d", s.Canceled)
 	}
 	if s.Truncated > 0 {
 		fmt.Fprintf(w, ", truncated: %d", s.Truncated)

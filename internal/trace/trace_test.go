@@ -334,3 +334,61 @@ func TestChainEventRoundTrip(t *testing.T) {
 		t.Fatalf("PCF missing the successor-chain event type")
 	}
 }
+
+func TestFailureEventsRoundTrip(t *testing.T) {
+	tr := New()
+	tr.EmitCtx(0, 1, EvStart, 2, "boom", 1)
+	tr.EmitCtx(0, 1, EvFail, 2, "boom", 1)
+	tr.EmitCtx(0, 1, EvEnd, 2, "boom", 1)
+	tr.EmitCtx(0, 2, EvPoisoned, 2, "boom", 2)
+	tr.EmitCtx(0, 2, EvPoisoned, 2, "boom", 3)
+	tr.EmitCtx(1, 2, EvCanceled, 2, "boom", 4)
+	sum := tr.Summarize()
+	if sum.Failures != 1 || sum.Poisoned != 2 || sum.Canceled != 1 {
+		t.Fatalf("summary = failures %d poisoned %d canceled %d, want 1/2/1",
+			sum.Failures, sum.Poisoned, sum.Canceled)
+	}
+	var rep strings.Builder
+	sum.Format(&rep)
+	for _, want := range []string{"failures: 1", "poisoned: 2", "canceled: 1"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Fatalf("summary report missing %q:\n%s", want, rep.String())
+		}
+	}
+
+	var prv strings.Builder
+	if err := tr.WritePRV(&prv); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePRV(strings.NewReader(prv.String()), map[int]string{2: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventType]int{}
+	for _, ev := range back.Events() {
+		counts[ev.Type]++
+		switch ev.Type {
+		case EvFail, EvPoisoned, EvCanceled:
+			if ev.Kind != 2 || ev.Label != "boom" {
+				t.Fatalf("%v event lost its kind: %+v", ev.Type, ev)
+			}
+		}
+	}
+	if counts[EvFail] != 1 || counts[EvPoisoned] != 2 || counts[EvCanceled] != 1 {
+		t.Fatalf("round-trip counts = %v", counts)
+	}
+	bsum := back.Summarize()
+	if bsum.Failures != 1 || bsum.Poisoned != 2 || bsum.Canceled != 1 {
+		t.Fatalf("round-trip summary = %+v", bsum)
+	}
+
+	var pcf strings.Builder
+	if err := tr.WritePCF(&pcf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Task failure", "Poisoned skip", "Canceled skip"} {
+		if !strings.Contains(pcf.String(), want) {
+			t.Fatalf("PCF missing %q", want)
+		}
+	}
+}
