@@ -1,0 +1,240 @@
+// ablation-elastic: fixed vs elastic pool sizing, and flat vs
+// hierarchical stealing.  Part one runs K version-churn tenants on one
+// shared pool under two load shapes — steady (back-to-back bursts) and
+// bursty (bursts separated by idle gaps several hysteresis windows
+// long) — comparing a right-sized fixed pool, an elastic pool breathing
+// between one worker and the same ceiling, and on the bursty shape the
+// over-provisioned fixed pool the elastic one replaces.  Part two runs
+// the steady workload on a fixed pool with a flat steal order vs a
+// synthetic two-group topology, reporting the local/remote steal split.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// elWorkload sizes one tenant's program: bursts of version churn
+// (consume + refill per object, renames keeping the rename store warm)
+// with an optional idle gap after each burst's barrier.
+type elWorkload struct {
+	objs, iters, objLen int
+	bursts              int
+	gap                 time.Duration
+}
+
+// runTenant drives one tenant's bursts on its context.
+func (w *elWorkload) runTenant(c *core.Context) error {
+	bufs := make([][]float32, w.objs)
+	for i := range bufs {
+		bufs[i] = make([]float32, w.objLen)
+	}
+	for b := 0; b < w.bursts; b++ {
+		batch := c.NewBatch()
+		for it := 0; it < w.iters; it++ {
+			for o := range bufs {
+				batch.Add(mtChurnConsume, core.In(bufs[o]))
+				batch.Add(mtChurnRefill, core.Out(bufs[o]))
+			}
+			if err := batch.Submit(); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if w.gap > 0 {
+			time.Sleep(w.gap)
+		}
+	}
+	return nil
+}
+
+// elRun is one measured configuration: K concurrent tenants on a pool
+// built from pc.  Pool construction and Close sit inside the timed
+// region, like the other pool ablations.  Returns wall seconds, the
+// pool's scaling stats, and the tenants' aggregate steal split.
+func elRun(pc core.PoolConfig, tenants int, w *elWorkload) (float64, core.PoolStats, [2]int64, error) {
+	var pst core.PoolStats
+	var steals [2]int64
+	var poolErr error
+	errs := make([]error, tenants)
+	secs := timeIt(func() {
+		pool, err := core.NewPool(pc)
+		if err != nil {
+			poolErr = err
+			return
+		}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for k := 0; k < tenants; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				c, err := pool.NewContext(core.ContextConfig{GraphLimit: 256})
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				errs[k] = w.runTenant(c)
+				st := c.Stats()
+				mu.Lock()
+				steals[0] += st.Sched.LocalSteals
+				steals[1] += st.Sched.RemoteSteals
+				mu.Unlock()
+				if err := c.Close(); errs[k] == nil && err != nil {
+					errs[k] = err
+				}
+			}(k)
+		}
+		wg.Wait()
+		pst = pool.Stats()
+		poolErr = pool.Close()
+	})
+	if poolErr != nil {
+		return secs, pst, steals, poolErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return secs, pst, steals, err
+		}
+	}
+	return secs, pst, steals, nil
+}
+
+// AblationElastic measures elastic sizing and hierarchical stealing.
+// Steady load pins the cost of elasticity (the elastic pool must sit
+// within noise of the right-sized fixed pool once it has grown to the
+// ceiling); bursty load shows what it buys against the over-provisioned
+// fixed pool; and the steal sweep splits steal traffic into
+// topology-local and remote under a synthetic two-group hierarchy.
+func AblationElastic(cfg Config) *Result {
+	explicitThreads := cfg.MaxThreads
+	cfg = cfg.Normalize()
+	start := time.Now()
+	r := &Result{
+		ID:     "ablation-elastic",
+		Title:  "Fixed vs elastic pool under steady and bursty multi-tenant churn (seconds, lower is better)",
+		XLabel: "tenants",
+		YLabel: "seconds",
+	}
+	workers := explicitThreads
+	if workers <= 0 {
+		workers = 8
+		if cfg.Quick {
+			workers = 4
+		}
+	}
+	w := &elWorkload{objs: 32, iters: 48, objLen: 2048, bursts: 3, gap: 25 * time.Millisecond}
+	if cfg.Quick {
+		w = &elWorkload{objs: 8, iters: 8, objLen: 512, bursts: 2, gap: 15 * time.Millisecond}
+	}
+	// The controller's hysteresis is wall-clock (shrink after 64
+	// consecutive idle intervals), so the bursty gap must span several
+	// windows for the team to actually breathe.
+	const interval = 100 * time.Microsecond
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"%d workers (fixed and elastic ceiling); churn %d objs x %d iters x %d bursts, %v idle gap on the bursty shape; scale interval %v",
+		workers, w.objs, w.iters, w.bursts, w.gap, interval))
+
+	fixedCfg := func(tenants int) core.PoolConfig {
+		return core.PoolConfig{Workers: workers, MaxContexts: tenants}
+	}
+	elasticCfg := func(tenants int) core.PoolConfig {
+		return core.PoolConfig{
+			MinWorkers: 1, MaxWorkers: workers,
+			MaxContexts: tenants, ScaleInterval: interval,
+		}
+	}
+
+	steady := *w
+	steady.gap = 0
+
+	reps := 2
+	if cfg.Quick {
+		reps = 1
+	}
+	type mode struct {
+		name    string
+		cfgOf   func(int) core.PoolConfig
+		load    *elWorkload
+		elastic bool
+	}
+	modes := []mode{
+		{"steady-fixed", fixedCfg, &steady, false},
+		{"steady-elastic", elasticCfg, &steady, true},
+		{"bursty-fixed-over", fixedCfg, w, false},
+		{"bursty-elastic", elasticCfg, w, true},
+	}
+	series := make([]Series, len(modes))
+	for i, m := range modes {
+		series[i].Name = m.name
+	}
+	for _, k := range clientSweep(cfg.Contexts) {
+		for i, m := range modes {
+			var best float64
+			var bestStats core.PoolStats
+			// Interleaving the repetitions across modes matters less here
+			// than for the tighter ablations: the bursty points are
+			// dominated by the deliberate idle gaps, not machine drift.
+			for rep := 0; rep < reps; rep++ {
+				secs, pst, _, err := elRun(m.cfgOf(k), k, m.load)
+				if err != nil {
+					panic(err)
+				}
+				if rep == 0 || secs < best {
+					best, bestStats = secs, pst
+				}
+			}
+			series[i].add(float64(k), best)
+			if m.elastic {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"K=%d %s: %.3fs, grows %d shrinks %d, team high %d low %d",
+					k, m.name, best, bestStats.Grows, bestStats.Shrinks,
+					bestStats.ActiveWorkersHigh, bestStats.ActiveWorkersLow))
+			}
+		}
+	}
+	r.Series = append(r.Series, series...)
+
+	// Part two: flat vs hierarchical stealing on a fixed pool.  The
+	// synthetic topology splits the whole identity space (submitters +
+	// dedicated workers) into two groups; steal loops then probe
+	// group-local victims before crossing over.
+	flat := Series{Name: "steal-flat"}
+	hier := Series{Name: "steal-hier"}
+	for _, k := range clientSweep(cfg.Contexts) {
+		pcFlat := fixedCfg(k)
+		pcHier := fixedCfg(k)
+		pcHier.Topology = topo.Split(k+workers, 2)
+		var fBest, hBest float64
+		var hSteals [2]int64
+		for rep := 0; rep < reps; rep++ {
+			fs, _, _, err := elRun(pcFlat, k, &steady)
+			if err != nil {
+				panic(err)
+			}
+			if rep == 0 || fs < fBest {
+				fBest = fs
+			}
+			hs, _, steals, err := elRun(pcHier, k, &steady)
+			if err != nil {
+				panic(err)
+			}
+			if rep == 0 || hs < hBest {
+				hBest, hSteals = hs, steals
+			}
+		}
+		flat.add(float64(k), fBest)
+		hier.add(float64(k), hBest)
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"K=%d steal split (hier): %d local, %d remote", k, hSteals[0], hSteals[1]))
+	}
+	r.Series = append(r.Series, flat, hier)
+	r.Elapsed = time.Since(start)
+	return r
+}

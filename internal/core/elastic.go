@@ -1,0 +1,313 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// This file is the elastic side of the pool: a worker-retirement state
+// machine and a sampling controller that sizes the active team to the
+// observed load.  The full MaxWorkers identity space is allocated and
+// its goroutines started at construction — traces, stats, scratch and
+// the chaos harness keep stable worker identities — and scaling only
+// flips slots between active duty and a parked "retired" state.  A
+// fixed-size pool (MinWorkers == MaxWorkers, or neither set) builds
+// none of this machinery.
+
+// Worker scaling states (Pool.state, dedicated slots only).
+const (
+	// wActive: the worker serves the mux normally.
+	wActive int32 = iota
+	// wRetiring: the controller asked the worker to retire; its Get
+	// cancel condition now fires, but it keeps draining available work
+	// until the queues are dry (and a grow may still revert it).
+	wRetiring
+	// wRetired: the worker evicted its deque, released its scratch and
+	// parked on its retire channel until a grow or pool close.
+	wRetired
+)
+
+// Scaling policy constants.  The policy is deliberately deterministic —
+// a pure function of the sampled sequence — so unit tests can replay
+// it without a pool.
+const (
+	// defaultScaleInterval is the controller's sampling period when
+	// PoolConfig.ScaleInterval is zero.
+	defaultScaleInterval = 500 * time.Microsecond
+	// growAfterSamples is how many consecutive loaded samples (queued
+	// tasks exceeding active workers) trigger a grow: two, so a single
+	// submission spike between two samples does not recruit a worker
+	// the backlog cannot feed.
+	growAfterSamples = 2
+	// shrinkAfterSamples is the hysteresis window: how many consecutive
+	// empty samples park a worker.  64 samples at the default interval
+	// is ~32ms of sustained idleness — long enough that a pipelined
+	// graph's release gaps never flap the team size.
+	shrinkAfterSamples = 64
+)
+
+// scalePolicy is the deterministic grow/shrink decision function.  It
+// is not safe for concurrent use; only the controller goroutine (or a
+// test) drives it.
+type scalePolicy struct {
+	growAfter   int
+	shrinkAfter int
+
+	loaded int // consecutive samples with queued > active
+	idle   int // consecutive samples with queued == 0
+}
+
+// observe feeds one load sample (total queued tasks, current active
+// team size) and returns +1 to grow, -1 to shrink, 0 to hold.
+func (sp *scalePolicy) observe(queued int64, active int) int {
+	if queued > int64(active) {
+		sp.idle = 0
+		sp.loaded++
+		if sp.loaded >= sp.growAfter {
+			sp.loaded = 0
+			return +1
+		}
+		return 0
+	}
+	sp.loaded = 0
+	if queued == 0 {
+		sp.idle++
+		if sp.idle >= sp.shrinkAfter {
+			sp.idle = 0
+			return -1
+		}
+		return 0
+	}
+	// Queued work within the team's capacity: neither direction.
+	sp.idle = 0
+	return 0
+}
+
+// workerLoopElastic is workerLoop for a pool with scaling enabled: the
+// same serve loop, plus the retire/unretire protocol around it.
+func (p *Pool) workerLoopElastic(self int) {
+	cancel := func() bool { return p.state[self].Load() != wActive }
+	for {
+		if p.state[self].Load() == wRetired {
+			// Parked out of the team.  Only a grow (to re-enlist) or the
+			// pool's close delivers the token.
+			<-p.retireCh[self]
+			if p.closed.Load() {
+				return
+			}
+			continue
+		}
+		n := p.mux.Get(self, nil, cancel)
+		if n != nil {
+			n.Payload.(*taskRec).ctx.exec(n, self)
+			continue
+		}
+		if p.closed.Load() {
+			return
+		}
+		// Get gave up because the cancel condition fired: the controller
+		// marked this worker retiring.  Finish the retirement — unless a
+		// grow already reverted it, in which case just keep serving.
+		p.finishRetire(self)
+	}
+}
+
+// finishRetire completes a retirement the controller requested: leave
+// the live set, spill the deque back to the injectors, release this
+// worker's scratch, rescale the shared rename store, and re-arm the
+// wake protocol for any task whose wake this worker consumed on its
+// way out.  Runs on the retiring worker itself.
+func (p *Pool) finishRetire(self int) {
+	p.scaleMu.Lock()
+	if p.closed.Load() || p.state[self].Load() != wRetiring {
+		// A grow reverted the retirement while we were draining, or the
+		// pool is closing; either way, back to the serve loop.
+		p.scaleMu.Unlock()
+		return
+	}
+	p.state[self].Store(wRetired)
+	// Leave the live set before evicting, so affinity hints stop
+	// targeting this deque before it is emptied.
+	p.active.Set(self, false)
+	size := int(p.activeWorkers.Load())
+	p.scaleMu.Unlock()
+	// Fault-injection point: widen the window between leaving the live
+	// set and evicting the deque — the span concurrent pushes, drains
+	// and grows race against.
+	chaos.ShrinkDelay(self)
+	p.mux.Evict(self)
+	p.releaseLocalsFor(self)
+	p.rescaleStorage()
+	p.cfg.Tracer.EmitCtx(0, self, trace.EvShrink, size, "", int64(self))
+	// A push may have spent its wake on this worker in the retirement
+	// window (the token died with us); if work is queued, hand the wake
+	// to a live worker.
+	p.mux.Nudge()
+}
+
+// releaseLocalsFor recycles one retiring worker's scratch registry
+// entries (the per-worker half of Pool.releaseLocals).  Runs on the
+// worker itself — the only thread that touches locals[w] — and leaves
+// the slot nil so Close's sweep cannot release the values twice.
+func (p *Pool) releaseLocalsFor(w int) {
+	for _, v := range p.locals[w] {
+		if r, ok := v.(interface{ Release() }); ok {
+			r.Release()
+		}
+	}
+	p.locals[w] = nil
+}
+
+// rescaleStorage sizes the shared rename store's free-list bound to the
+// active fraction of the team: a pool scaled down to a quarter of its
+// workers keeps a quarter of the recycling headroom.
+func (p *Pool) rescaleStorage() {
+	active := int(p.activeWorkers.Load())
+	units := (p.cfg.MaxContexts*active + p.cfg.MaxWorkers - 1) / p.cfg.MaxWorkers
+	p.store.Rescale(units)
+}
+
+// grow adds one worker to the team: preferably by reverting a
+// retirement still in flight (free — the worker never stopped), else by
+// unparking the lowest retired slot.  Returns false at the MaxWorkers
+// ceiling or after close.
+func (p *Pool) grow() bool {
+	p.scaleMu.Lock()
+	defer p.scaleMu.Unlock()
+	if p.closed.Load() || int(p.activeWorkers.Load()) >= p.cfg.MaxWorkers {
+		return false
+	}
+	for w := p.cfg.MaxContexts; w < p.slots; w++ {
+		if p.state[w].Load() == wRetiring {
+			p.state[w].Store(wActive)
+			p.bookGrowLocked(w)
+			return true
+		}
+	}
+	for w := p.cfg.MaxContexts; w < p.slots; w++ {
+		if p.state[w].Load() == wRetired {
+			p.state[w].Store(wActive)
+			p.active.Set(w, true)
+			p.bookGrowLocked(w)
+			select {
+			case p.retireCh[w] <- struct{}{}:
+			default:
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// bookGrowLocked records one grow (counter, gauge, watermark, trace).
+// Caller holds scaleMu.
+func (p *Pool) bookGrowLocked(w int) {
+	p.grows.Add(1)
+	size := p.activeWorkers.Add(1)
+	if size > p.activeHigh.Load() {
+		p.activeHigh.Store(size)
+	}
+	p.cfg.Tracer.EmitCtx(0, w, trace.EvGrow, int(size), "", int64(w))
+}
+
+// shrink retires one worker: the highest-numbered active slot, so the
+// active team stays a prefix of the dedicated identity range and
+// topology groups empty from the top down.  The worker is only marked —
+// it drains available work first and completes the retirement itself in
+// finishRetire.  Returns false at the MinWorkers floor or after close.
+func (p *Pool) shrink() bool {
+	p.scaleMu.Lock()
+	defer p.scaleMu.Unlock()
+	if p.closed.Load() || int(p.activeWorkers.Load()) <= p.cfg.MinWorkers {
+		return false
+	}
+	for w := p.slots - 1; w >= p.cfg.MaxContexts; w-- {
+		if p.state[w].Load() == wActive {
+			p.state[w].Store(wRetiring)
+			p.shrinks.Add(1)
+			size := p.activeWorkers.Add(-1)
+			if size < p.activeLow.Load() {
+				p.activeLow.Store(size)
+			}
+			// Nudge the worker out of its park (or, if it is busy, arm
+			// the token so its next idle Get observes the request).
+			p.mux.Wake(w)
+			return true
+		}
+	}
+	return false
+}
+
+// scaleLoop is the controller goroutine: sample the mux's queue depth
+// every interval and feed the hysteresis policy.  It exists only on
+// elastic pools and exits at Close.
+//
+// Ticker delivery is much coarser than a sub-millisecond ScaleInterval
+// on most kernels, so each delivered tick replays one policy sample per
+// interval actually elapsed — the hysteresis windows are wall-clock
+// quantities (shrinkAfter × interval of sustained idleness), not counts
+// of whatever tick rate the timer happened to achieve.  At most one
+// scaling action fires per delivered tick: catch-up samples share one
+// stale load reading, which justifies completing a pending streak but
+// not chaining several grows off it.
+func (p *Pool) scaleLoop() {
+	defer close(p.scaleDone)
+	pol := scalePolicy{growAfter: growAfterSamples, shrinkAfter: shrinkAfterSamples}
+	tick := time.NewTicker(p.cfg.ScaleInterval)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-p.scaleStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		samples := int(now.Sub(last) / p.cfg.ScaleInterval)
+		last = now
+		if samples < 1 {
+			samples = 1
+		}
+		queued := p.mux.Load()
+		active := int(p.activeWorkers.Load())
+		for ; samples > 0; samples-- {
+			switch pol.observe(queued, active) {
+			case +1:
+				p.grow()
+				samples = 0
+			case -1:
+				p.shrink()
+				samples = 0
+			}
+		}
+	}
+}
+
+// initElastic builds the scaling machinery: state machine, retire
+// channels, live set, initial team (the first MinWorkers dedicated
+// slots; the rest start retired) and the controller.  Called from
+// newPool only when MaxWorkers > MinWorkers.
+func (p *Pool) initElastic() {
+	p.elastic = true
+	p.state = make([]atomic.Int32, p.slots)
+	p.retireCh = make([]chan struct{}, p.slots)
+	p.active = sched.NewActiveSet(p.slots)
+	for w := p.cfg.MaxContexts; w < p.slots; w++ {
+		p.retireCh[w] = make(chan struct{}, 1)
+		if w >= p.cfg.MaxContexts+p.cfg.MinWorkers {
+			p.state[w].Store(wRetired)
+			p.active.Set(w, false)
+		}
+	}
+	p.activeWorkers.Store(int32(p.cfg.MinWorkers))
+	p.activeHigh.Store(int32(p.cfg.MinWorkers))
+	p.activeLow.Store(int32(p.cfg.MinWorkers))
+	// Size the rename store's recycling headroom to the starting team.
+	p.rescaleStorage()
+	p.scaleStop = make(chan struct{})
+	p.scaleDone = make(chan struct{})
+}

@@ -91,6 +91,16 @@ type Mux interface {
 	// Stats returns the mux-level parking counters.  Policy counters
 	// live on the clients.
 	Stats() Stats
+	// Evict spills worker w's per-client queues back to the shared
+	// injectors (a retiring worker must strand no tasks); returns the
+	// number of tasks moved.
+	Evict(w int) int
+	// Nudge unparks one idle worker if any client has queued work —
+	// the elastic pool's re-arm after a retirement or grow.
+	Nudge()
+	// Load returns the total queued tasks across all clients, the
+	// depth gauge the scaling controller samples.
+	Load() int64
 }
 
 // muxCursor is one worker's round-robin position over the client list,

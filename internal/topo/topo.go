@@ -1,0 +1,262 @@
+// Package topo models the machine's worker-placement hierarchy for the
+// scheduler: a two-level node/core view in which worker identities are
+// partitioned into groups that plausibly share a last-level cache (a
+// NUMA node or an L3 complex).  The scheduler uses it to probe
+// topology-near steal victims before remote ones and to redirect
+// affinity hints whose target worker has been retired toward a worker
+// in the same group — generalizing per-worker cache affinity to "the
+// group that owns the data".
+//
+// A Topology can be detected from the host (Detect reads the sysfs
+// cache hierarchy on Linux) or constructed synthetically (Split), which
+// is what tests and single-CPU containers use.  A nil *Topology is the
+// flat machine: every victim equidistant, exactly the pre-topology
+// steal order.
+package topo
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Topology is one two-level hierarchy over a pool's worker identities:
+// Groups[g] lists the worker slots of group g.  Every slot of the pool
+// appears in exactly one group.  A Topology is immutable after
+// construction and safe for concurrent readers.
+type Topology struct {
+	groups [][]int
+	// groupOf[slot] is the index into groups, -1 for slots the topology
+	// does not cover (they steal flat and are never affinity targets).
+	groupOf []int
+}
+
+// New builds a topology from an explicit group layout.  Slots absent
+// from every group are treated as ungrouped (flat).  It returns an
+// error if a slot appears twice or is negative.
+func New(groups [][]int) (*Topology, error) {
+	max := -1
+	for _, g := range groups {
+		for _, s := range g {
+			if s < 0 {
+				return nil, fmt.Errorf("topo: negative worker slot %d", s)
+			}
+			if s > max {
+				max = s
+			}
+		}
+	}
+	t := &Topology{groupOf: make([]int, max+1)}
+	for i := range t.groupOf {
+		t.groupOf[i] = -1
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		members := append([]int(nil), g...)
+		sort.Ints(members)
+		for _, s := range members {
+			if t.groupOf[s] != -1 {
+				return nil, fmt.Errorf("topo: worker slot %d in two groups", s)
+			}
+			t.groupOf[s] = len(t.groups)
+		}
+		t.groups = append(t.groups, members)
+	}
+	if len(t.groups) == 0 {
+		return nil, fmt.Errorf("topo: no groups")
+	}
+	return t, nil
+}
+
+// Split builds a synthetic topology: nslots worker identities divided
+// into ngroups contiguous groups of near-equal size (earlier groups get
+// the remainder).  It is the constructor tests and single-CPU
+// containers use to exercise hierarchical stealing without real NUMA
+// hardware.  ngroups < 2 or nslots < ngroups returns nil — a flat
+// machine needs no topology.
+func Split(nslots, ngroups int) *Topology {
+	if ngroups < 2 || nslots < ngroups {
+		return nil
+	}
+	groups := make([][]int, ngroups)
+	base, rem := nslots/ngroups, nslots%ngroups
+	slot := 0
+	for g := range groups {
+		n := base
+		if g < rem {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			groups[g] = append(groups[g], slot)
+			slot++
+		}
+	}
+	t, err := New(groups)
+	if err != nil {
+		return nil
+	}
+	return t
+}
+
+// NumGroups returns the number of groups; a nil topology has one
+// (the flat machine).
+func (t *Topology) NumGroups() int {
+	if t == nil {
+		return 1
+	}
+	return len(t.groups)
+}
+
+// GroupOf returns the group index of a worker slot, or -1 when the
+// topology is nil or does not cover the slot.
+func (t *Topology) GroupOf(slot int) int {
+	if t == nil || slot < 0 || slot >= len(t.groupOf) {
+		return -1
+	}
+	return t.groupOf[slot]
+}
+
+// Group returns the member slots of group g in ascending order.  The
+// returned slice is shared and must not be mutated.
+func (t *Topology) Group(g int) []int {
+	if t == nil || g < 0 || g >= len(t.groups) {
+		return nil
+	}
+	return t.groups[g]
+}
+
+// StealOrder returns the victim probe order for worker self over a pool
+// of nslots identities: topology-near victims first (the rest of self's
+// group, in creation order starting after self, wrapping), then every
+// remote slot in creation order starting after self.  Slots the
+// topology does not cover count as remote.  The boundary between the
+// near and far segments is returned so the caller can attribute steals.
+// For an uncovered self the order degenerates to the flat creation-order
+// scan with zero near victims.
+func (t *Topology) StealOrder(self, nslots int) (order []int, near int) {
+	order = make([]int, 0, nslots-1)
+	g := t.GroupOf(self)
+	if g >= 0 {
+		members := t.groups[g]
+		// Rotate the group so probing starts just after self, matching
+		// the flat scan's "next worker first" convention within the group.
+		start := 0
+		for i, s := range members {
+			if s == self {
+				start = i + 1
+				break
+			}
+		}
+		for i := 0; i < len(members); i++ {
+			s := members[(start+i)%len(members)]
+			if s != self {
+				order = append(order, s)
+			}
+		}
+	}
+	near = len(order)
+	for i := 1; i < nslots; i++ {
+		s := (self + i) % nslots
+		if g >= 0 && t.GroupOf(s) == g {
+			continue // already in the near segment
+		}
+		order = append(order, s)
+	}
+	return order, near
+}
+
+// Detect probes the host for a shared last-level-cache hierarchy and
+// maps nslots worker identities over it: CPUs are grouped by the L3
+// complex sysfs reports, and worker slots are distributed over the CPU
+// groups proportionally and contiguously.  It returns nil — the flat
+// machine — when the host exposes fewer than two complexes (the
+// single-CPU container, most laptops) or when the hierarchy cannot be
+// read, so callers can pass the result straight to the pool config.
+func Detect(nslots int) *Topology {
+	return detectFrom("/sys/devices/system/cpu", nslots)
+}
+
+// detectFrom is Detect against an alternate sysfs root (tests point it
+// at a fixture tree).
+func detectFrom(root string, nslots int) *Topology {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil
+	}
+	// Group CPUs by the shared_cpu_list of their last-level cache.
+	groupsBy := map[string]int{}
+	ngroups := 0
+	ncpus := 0
+	cpuGroup := map[int]int{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cpu") {
+			continue
+		}
+		id, err := strconv.Atoi(name[3:])
+		if err != nil {
+			continue
+		}
+		key := lastLevelKey(root + "/" + name)
+		if key == "" {
+			continue
+		}
+		g, ok := groupsBy[key]
+		if !ok {
+			g = ngroups
+			groupsBy[key] = g
+			ngroups++
+		}
+		cpuGroup[id] = g
+		ncpus++
+	}
+	if ngroups < 2 || ncpus == 0 {
+		return nil
+	}
+	// Count CPUs per group, then hand out worker slots contiguously in
+	// proportion (every group gets at least one slot while slots last).
+	sizes := make([]int, ngroups)
+	for _, g := range cpuGroup {
+		sizes[g]++
+	}
+	groups := make([][]int, ngroups)
+	slot := 0
+	for g := 0; g < ngroups && slot < nslots; g++ {
+		n := (nslots*sizes[g] + ncpus - 1) / ncpus
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n && slot < nslots; i++ {
+			groups[g] = append(groups[g], slot)
+			slot++
+		}
+	}
+	// Leftover slots (rounding) join the last group.
+	for ; slot < nslots; slot++ {
+		groups[ngroups-1] = append(groups[ngroups-1], slot)
+	}
+	t, err := New(groups)
+	if err != nil {
+		return nil
+	}
+	if t.NumGroups() < 2 {
+		return nil
+	}
+	return t
+}
+
+// lastLevelKey returns a stable identity for the deepest cache level a
+// CPU shares ("index3:0-7"), or "" when unreadable.
+func lastLevelKey(cpuDir string) string {
+	for _, idx := range []string{"index3", "index2"} {
+		b, err := os.ReadFile(cpuDir + "/cache/" + idx + "/shared_cpu_list")
+		if err == nil && len(b) > 0 {
+			return idx + ":" + strings.TrimSpace(string(b))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,206 @@
+package topo
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSplitShapes(t *testing.T) {
+	cases := []struct {
+		nslots, ngroups int
+		want            [][]int
+	}{
+		{8, 2, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}},
+		{7, 2, [][]int{{0, 1, 2, 3}, {4, 5, 6}}},
+		{6, 3, [][]int{{0, 1}, {2, 3}, {4, 5}}},
+		{5, 4, [][]int{{0, 1}, {2}, {3}, {4}}},
+	}
+	for _, c := range cases {
+		tp := Split(c.nslots, c.ngroups)
+		if tp == nil {
+			t.Fatalf("Split(%d,%d) = nil", c.nslots, c.ngroups)
+		}
+		if tp.NumGroups() != len(c.want) {
+			t.Fatalf("Split(%d,%d): %d groups, want %d", c.nslots, c.ngroups, tp.NumGroups(), len(c.want))
+		}
+		for g, want := range c.want {
+			if got := tp.Group(g); !reflect.DeepEqual(got, want) {
+				t.Errorf("Split(%d,%d) group %d = %v, want %v", c.nslots, c.ngroups, g, got, want)
+			}
+			for _, s := range want {
+				if tp.GroupOf(s) != g {
+					t.Errorf("Split(%d,%d): GroupOf(%d) = %d, want %d", c.nslots, c.ngroups, s, tp.GroupOf(s), g)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	if Split(8, 1) != nil {
+		t.Error("Split(8,1) should be nil: one group is the flat machine")
+	}
+	if Split(1, 2) != nil {
+		t.Error("Split(1,2) should be nil: fewer slots than groups")
+	}
+	if Split(0, 2) != nil {
+		t.Error("Split(0,2) should be nil")
+	}
+}
+
+func TestNewRejectsBadLayouts(t *testing.T) {
+	if _, err := New([][]int{{0, 1}, {1, 2}}); err == nil {
+		t.Error("duplicate slot accepted")
+	}
+	if _, err := New([][]int{{-1}}); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("empty layout accepted")
+	}
+}
+
+func TestNilTopologyIsFlat(t *testing.T) {
+	var tp *Topology
+	if tp.NumGroups() != 1 {
+		t.Errorf("nil NumGroups = %d, want 1", tp.NumGroups())
+	}
+	if tp.GroupOf(3) != -1 {
+		t.Errorf("nil GroupOf = %d, want -1", tp.GroupOf(3))
+	}
+	if tp.Group(0) != nil {
+		t.Errorf("nil Group(0) = %v, want nil", tp.Group(0))
+	}
+}
+
+// TestStealOrderNearBeforeFar pins the hierarchical probe order: every
+// same-group victim must precede every remote victim, the near segment
+// starts just after self within the group, and the far segment keeps
+// the flat creation-order scan.
+func TestStealOrderNearBeforeFar(t *testing.T) {
+	tp := Split(8, 2) // {0,1,2,3} {4,5,6,7}
+	order, near := tp.StealOrder(1, 8)
+	wantOrder := []int{2, 3, 0, 4, 5, 6, 7}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Errorf("StealOrder(1) = %v, want %v", order, wantOrder)
+	}
+	if near != 3 {
+		t.Errorf("StealOrder(1) near = %d, want 3", near)
+	}
+
+	order, near = tp.StealOrder(6, 8)
+	wantOrder = []int{7, 4, 5, 0, 1, 2, 3}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Errorf("StealOrder(6) = %v, want %v", order, wantOrder)
+	}
+	if near != 3 {
+		t.Errorf("StealOrder(6) near = %d, want 3", near)
+	}
+
+	// Group boundaries hold for every self: all near victims share
+	// self's group, all far victims don't, and the order is a
+	// permutation of every other slot.
+	for self := 0; self < 8; self++ {
+		order, near := tp.StealOrder(self, 8)
+		if len(order) != 7 {
+			t.Fatalf("StealOrder(%d): %d victims, want 7", self, len(order))
+		}
+		seen := map[int]bool{self: true}
+		for i, v := range order {
+			if seen[v] {
+				t.Fatalf("StealOrder(%d): duplicate victim %d", self, v)
+			}
+			seen[v] = true
+			sameGroup := tp.GroupOf(v) == tp.GroupOf(self)
+			if i < near && !sameGroup {
+				t.Errorf("StealOrder(%d): near victim %d in foreign group", self, v)
+			}
+			if i >= near && sameGroup {
+				t.Errorf("StealOrder(%d): far victim %d in own group", self, v)
+			}
+		}
+	}
+}
+
+// TestStealOrderUncoveredSelf: slots beyond the topology's coverage
+// scan flat with an empty near segment.
+func TestStealOrderUncoveredSelf(t *testing.T) {
+	tp, err := New([][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, near := tp.StealOrder(5, 6)
+	if near != 0 {
+		t.Errorf("uncovered self near = %d, want 0", near)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("uncovered self order = %v, want %v", order, want)
+	}
+}
+
+// writeSysfs lays down a fixture /sys/devices/system/cpu tree.
+func writeSysfs(t *testing.T, root string, shared map[int]string) {
+	t.Helper()
+	for cpu, list := range shared {
+		dir := filepath.Join(root, "cpu"+itoa(cpu), "cache", "index3")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "shared_cpu_list"), []byte(list+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestDetectTwoComplexes(t *testing.T) {
+	root := t.TempDir()
+	writeSysfs(t, root, map[int]string{
+		0: "0-3", 1: "0-3", 2: "0-3", 3: "0-3",
+		4: "4-7", 5: "4-7", 6: "4-7", 7: "4-7",
+	})
+	tp := detectFrom(root, 8)
+	if tp == nil {
+		t.Fatal("detect returned nil for a 2-complex machine")
+	}
+	if tp.NumGroups() != 2 {
+		t.Fatalf("detect: %d groups, want 2", tp.NumGroups())
+	}
+	total := 0
+	for g := 0; g < tp.NumGroups(); g++ {
+		total += len(tp.Group(g))
+	}
+	if total != 8 {
+		t.Errorf("detect covers %d slots, want 8", total)
+	}
+}
+
+func TestDetectSingleComplexIsFlat(t *testing.T) {
+	root := t.TempDir()
+	writeSysfs(t, root, map[int]string{0: "0-3", 1: "0-3", 2: "0-3", 3: "0-3"})
+	if tp := detectFrom(root, 4); tp != nil {
+		t.Errorf("single complex should detect as nil (flat), got %d groups", tp.NumGroups())
+	}
+}
+
+func TestDetectUnreadableIsFlat(t *testing.T) {
+	if tp := detectFrom(filepath.Join(t.TempDir(), "absent"), 4); tp != nil {
+		t.Error("unreadable sysfs should detect as nil (flat)")
+	}
+}
