@@ -130,9 +130,13 @@ func actCancel() {
 		fatal(err)
 	}
 	y := make([]float32, 256)
-	c.Submit(fill, core.Out(y), core.Value(1.0))
+	if err := c.Submit(fill, core.Out(y), core.Value(1.0)); err != nil {
+		fatal(err)
+	}
 	for i := 0; i < 10; i++ {
-		c.Submit(double, core.InOut(y))
+		if err := c.Submit(double, core.InOut(y)); err != nil {
+			fatal(err)
+		}
 	}
 	if err := c.Barrier(); err != nil {
 		fatal(err)
@@ -179,8 +183,12 @@ func actChaos() {
 		xs := make([][]float32, 64)
 		for i := range xs {
 			xs[i] = make([]float32, 64)
-			victim.Submit(fill, core.Out(xs[i]), core.Value(float64(i)))
-			victim.Submit(double, core.InOut(xs[i]))
+			if victim.Submit(fill, core.Out(xs[i]), core.Value(float64(i))) != nil {
+				break // refused mid-submission: the barrier reports why
+			}
+			if victim.Submit(double, core.InOut(xs[i])) != nil {
+				break
+			}
 		}
 		err := victim.Barrier()
 		st := victim.Stats()
@@ -191,9 +199,13 @@ func actChaos() {
 	}()
 
 	z := make([]float32, 256)
-	bystander.Submit(fill, core.Out(z), core.Value(2.0))
+	if err := bystander.Submit(fill, core.Out(z), core.Value(2.0)); err != nil {
+		fatal(err)
+	}
 	for i := 0; i < 8; i++ {
-		bystander.Submit(double, core.InOut(z))
+		if err := bystander.Submit(double, core.InOut(z)); err != nil {
+			fatal(err)
+		}
 	}
 	if err := bystander.Barrier(); err != nil {
 		fatal(fmt.Errorf("act 3: bystander hit a fault that was not aimed at it: %w", err))

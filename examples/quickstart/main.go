@@ -64,7 +64,9 @@ func main() {
 					core.In(b.Block(k, j)),
 					core.InOut(c.Block(i, j)))
 			}
-			batch.Submit()
+			if err := batch.Submit(); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	if err := ctx.Barrier(); err != nil {

@@ -153,6 +153,7 @@ func HeatSMPSsGS(ctx *core.Context, h *hypermatrix.Matrix, bc HeatBC, sweeps int
 		}
 		heatGSBlock(a.F32(5), get(0), get(1), get(2), get(3), m, bc)
 	})
+	sub := &submitter{ctx: ctx}
 	for s := 0; s < sweeps; s++ {
 		for i := 0; i < h.N; i++ {
 			for j := 0; j < h.N; j++ {
@@ -177,11 +178,11 @@ func HeatSMPSsGS(ctx *core.Context, h *hypermatrix.Matrix, bc HeatBC, sweeps int
 					}
 					args = append(args, core.In(nb))
 				}
-				ctx.Submit(gs, args...)
+				sub.submit(gs, args...)
 			}
 		}
 	}
-	return ctx.Err()
+	return sub.finish()
 }
 
 // HeatSeqJacobi runs sweeps Jacobi sweeps sequentially, double-buffering
@@ -216,6 +217,7 @@ func HeatSMPSsJacobi(ctx *core.Context, h *hypermatrix.Matrix, bc HeatBC, sweeps
 		heatJacobiBlock(a.F32(5), a.F32(6), get(0), get(1), get(2), get(3), m, bc)
 	})
 	cur, next := h, hypermatrix.New(h.N, h.M)
+	sub := &submitter{ctx: ctx}
 	for s := 0; s < sweeps; s++ {
 		for i := 0; i < cur.N; i++ {
 			for j := 0; j < cur.N; j++ {
@@ -236,12 +238,12 @@ func HeatSMPSsJacobi(ctx *core.Context, h *hypermatrix.Matrix, bc HeatBC, sweeps
 					}
 					args = append(args, core.In(nb))
 				}
-				ctx.Submit(jac, args...)
+				sub.submit(jac, args...)
 			}
 		}
 		cur, next = next, cur
 	}
-	return cur, ctx.Err()
+	return cur, sub.finish()
 }
 
 // HeatResidual returns the maximum absolute 4-point stencil residual

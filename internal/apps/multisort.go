@@ -265,6 +265,16 @@ type smpssSorter struct {
 	seqquick *core.TaskDef
 	seqmerge *core.TaskDef
 	seqcopy  *core.TaskDef
+	err      error // first submission refusal; later submits are skipped
+}
+
+// submit forwards to the context until the first refusal (closed or
+// canceled context) and latches it: every later submission would fail
+// with the same error, so the sort just stops feeding the graph.
+func (s *smpssSorter) submit(def *core.TaskDef, args ...core.Arg) {
+	if s.err == nil {
+		s.err = s.ctx.Submit(def, args...)
+	}
 }
 
 // MultisortSMPSs sorts data on the SMPSs runtime using array-region
@@ -305,7 +315,10 @@ func multisortSMPSs(ctx *core.Context, data []int64, cfg SortConfig, coarse bool
 		copy(dst[lo:hi+1], src[lo:hi+1])
 	})
 	s.sort(0, len(data)-1)
-	return ctx.Barrier()
+	if err := ctx.Barrier(); err != nil {
+		return err
+	}
+	return s.err
 }
 
 // region returns the dependency region for [lo..hi]: the precise
@@ -338,7 +351,7 @@ func (s *smpssSorter) sort(lo, hi int) {
 			end = hi
 		}
 		runs = append(runs, run{at, end})
-		s.ctx.Submit(s.seqquick,
+		s.submit(s.seqquick,
 			core.InOutR(s.data, s.region(at, end)),
 			core.Value(at), core.Value(end))
 	}
@@ -382,7 +395,7 @@ func (s *smpssSorter) copyRun(src, dst []int64, lo, hi int) {
 	if s.coarse {
 		destArg = core.InOut(dst)
 	}
-	s.ctx.Submit(s.seqcopy,
+	s.submit(s.seqcopy,
 		core.InR(src, s.region(lo, hi)),
 		destArg,
 		core.Value(lo), core.Value(hi))
@@ -449,5 +462,5 @@ func (s *smpssSorter) submitLeafMerge(src, dest []int64, lo1, hi1, lo2, hi2, dlo
 		// Second source region present.
 		args = append(args, core.InR(src, s.region(lo2, hi2)))
 	}
-	s.ctx.Submit(s.seqmerge, args...)
+	s.submit(s.seqmerge, args...)
 }

@@ -180,19 +180,20 @@ func NQueensSMPSs(ctx *core.Context, n int) (int64, error) {
 		a.I64(1)[0] = queensCountTail(local, row, len(b))
 	})
 
+	sub := &submitter{ctx: ctx}
 	var cells [][]int64
 	var explore func(row int)
 	explore = func(row int) {
 		if row >= spawnDepth(n) {
 			cell := make([]int64, 1)
 			cells = append(cells, cell)
-			ctx.Submit(tail, core.In(board), core.Out(cell), core.Value(row))
+			sub.submit(tail, core.In(board), core.Out(cell), core.Value(row))
 			return
 		}
 		for col := int32(0); col < int32(n); col++ {
 			if queensOK(shadow, row, col) {
 				shadow[row] = col
-				ctx.Submit(place, core.InOut(board), core.Value(row), core.Value(int(col)))
+				sub.submit(place, core.InOut(board), core.Value(row), core.Value(int(col)))
 				explore(row + 1)
 			}
 		}
@@ -200,6 +201,9 @@ func NQueensSMPSs(ctx *core.Context, n int) (int64, error) {
 	explore(0)
 	if err := ctx.Barrier(); err != nil {
 		return 0, err
+	}
+	if sub.err != nil {
+		return 0, sub.err
 	}
 	var total int64
 	for _, c := range cells {

@@ -118,20 +118,21 @@ func SparseLUSMPSs(ctx *core.Context, h *hypermatrix.Matrix) error {
 		kernels.GemmSubNN(a.F32(0), a.F32(1), a.F32(2), m)
 	})
 
+	sub := &submitter{ctx: ctx}
 	for k := 0; k < n; k++ {
 		if h.Blocks[k][k] == nil {
 			h.EnsureBlock(k, k)
 		}
 		diag := h.Blocks[k][k]
-		ctx.Submit(lu0, core.InOut(diag))
+		sub.submit(lu0, core.InOut(diag))
 		for j := k + 1; j < n; j++ {
 			if h.Blocks[k][j] != nil {
-				ctx.Submit(fwd, core.In(diag), core.InOut(h.Blocks[k][j]))
+				sub.submit(fwd, core.In(diag), core.InOut(h.Blocks[k][j]))
 			}
 		}
 		for i := k + 1; i < n; i++ {
 			if h.Blocks[i][k] != nil {
-				ctx.Submit(bdiv, core.In(diag), core.InOut(h.Blocks[i][k]))
+				sub.submit(bdiv, core.In(diag), core.InOut(h.Blocks[i][k]))
 			}
 		}
 		for i := k + 1; i < n; i++ {
@@ -142,13 +143,13 @@ func SparseLUSMPSs(ctx *core.Context, h *hypermatrix.Matrix) error {
 				if h.Blocks[k][j] == nil {
 					continue
 				}
-				ctx.Submit(bmod,
+				sub.submit(bmod,
 					core.In(h.Blocks[i][k]), core.In(h.Blocks[k][j]),
 					core.InOut(h.EnsureBlock(i, j)))
 			}
 		}
 	}
-	return ctx.Err()
+	return sub.finish()
 }
 
 // SparseLUOMP3 factors h in place under the task-pool model: without

@@ -82,11 +82,12 @@ func StreamSMPSs(ctx *core.Context, v *StreamVectors, scale float32, iters int) 
 		}
 	})
 	t := make([]float32, m) // the one temporary the program names
+	sub := &submitter{ctx: ctx}
 	for it := 0; it < iters; it++ {
 		for blk := range v.A {
-			ctx.Submit(add, core.In(v.A[blk]), core.In(v.B[blk]), core.Out(t))
-			ctx.Submit(axpy, core.In(t), core.InOut(v.C[blk]), core.Value(scale))
+			sub.submit(add, core.In(v.A[blk]), core.In(v.B[blk]), core.Out(t))
+			sub.submit(axpy, core.In(t), core.InOut(v.C[blk]), core.Value(scale))
 		}
 	}
-	return ctx.Err()
+	return sub.finish()
 }

@@ -1,0 +1,30 @@
+package apps
+
+import "repro/internal/core"
+
+// submitter is the apps' sticky submission wrapper: it forwards to
+// Context.Submit until the first refusal and latches that error.  A
+// context refuses a submission only when it is closed or canceled, and
+// once it does every later submission fails identically — so skipping
+// the rest is equivalent to submitting them, and the driver loop stays
+// free of per-site error plumbing while still surfacing the refusal
+// instead of silently no-oping the remaining task graph.
+type submitter struct {
+	ctx *core.Context
+	err error
+}
+
+func (s *submitter) submit(def *core.TaskDef, args ...core.Arg) {
+	if s.err == nil {
+		s.err = s.ctx.Submit(def, args...)
+	}
+}
+
+// finish reports how the submission phase ended: the first refusal if
+// any, else the context's own first task failure.
+func (s *submitter) finish() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.ctx.Err()
+}

@@ -186,7 +186,9 @@ func AblationRenaming(cfg Config) *Result {
 					batch.Add(consume, core.In(bufs[o]))
 					batch.Add(refill, core.Out(bufs[o]))
 				}
-				batch.Submit()
+				if err := batch.Submit(); err != nil {
+					panic(err)
+				}
 			}
 		})
 		s := Series{Name: "churn " + c.name}
@@ -320,7 +322,9 @@ func AblationTracker(cfg Config) *Result {
 								batch.Add(churn,
 									core.In(xs[o]), core.In(ys[o]), core.InOut(b))
 							}
-							batch.Submit()
+							if err := batch.Submit(); err != nil {
+								panic(err)
+							}
 						}
 					} else {
 						for o, b := range accs {

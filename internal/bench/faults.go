@@ -121,7 +121,9 @@ func AblationFaults(cfg Config) *Result {
 						for k := 0; k < chain; k++ {
 							batch.Add(tiny, core.InOut(bufs[o]))
 						}
-						batch.Submit()
+						if err := batch.Submit(); err != nil {
+							panic(err)
+						}
 					}
 					if err := rt.Barrier(); err != nil {
 						panic(err)

@@ -111,7 +111,9 @@ func AblationLocality(cfg Config) *Result {
 				for o := range bufs {
 					batch.Add(chainStep, core.InOut(bufs[o]))
 				}
-				batch.Submit()
+				if err := batch.Submit(); err != nil {
+					panic(err)
+				}
 			}
 		}},
 	}

@@ -192,9 +192,10 @@ type Runtime struct {
 	pump *sync.Cond // signaled when tickets are owed or the runtime closes
 	idle *sync.Cond // signaled when outstanding work drains
 
-	ready  []*graph.Node
-	owed   int // bundle tickets not yet submitted by the pump
-	closed bool
+	ready   []*graph.Node
+	owed    int // bundle tickets not yet submitted by the pump
+	closed  bool
+	aborted bool // the context refused a ticket; bundles stopped running
 
 	outstanding int64
 	submitted   int64
@@ -350,6 +351,7 @@ func (rt *Runtime) onReady(n *graph.Node, releasedBy int) {
 // implicit context barrier drains any surplus no-op tickets).
 func (rt *Runtime) pumpLoop() {
 	defer close(rt.pumpDone)
+	dead := false // the context refused a ticket; no more will be accepted
 	for {
 		rt.mu.Lock()
 		for rt.owed == 0 && !rt.closed {
@@ -359,14 +361,40 @@ func (rt *Runtime) pumpLoop() {
 		rt.owed = 0
 		closed := rt.closed
 		rt.mu.Unlock()
-		for i := 0; i < n; i++ {
-			rt.ctx.Submit(bundleTicket, core.Opaque(rt))
+		for i := 0; i < n && !dead; i++ {
+			if err := rt.ctx.Submit(bundleTicket, core.Opaque(rt)); err != nil {
+				rt.abortBundles(err)
+				dead = true
+			}
 		}
 		if closed && n == 0 {
 			rt.ctx.Close()
 			return
 		}
 	}
+}
+
+// abortBundles handles a refused bundle ticket (the context was closed
+// or its tenant canceled): unlike the task-pool and cilk hosts, cellss
+// bundles run only on pool tickets — the PPU never executes task
+// bodies — so once tickets stop being accepted the pre-scheduled
+// bundles will never run and Barrier would wedge on outstanding work.
+// The pump (the context's single submitter) first barriers the context
+// so every accepted ticket has finished, then latches the refusal and
+// releases the barrier waiters.
+func (rt *Runtime) abortBundles(err error) {
+	// Quiesce: after Barrier returns, no accepted bundle ticket is
+	// running and none is coming (this goroutine is the only submitter).
+	if berr := rt.ctx.Barrier(); berr != nil && err == nil {
+		err = berr
+	}
+	rt.mu.Lock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+	rt.aborted = true
+	rt.mu.Unlock()
+	rt.idle.Broadcast()
 }
 
 // runBundle is a ticket body executing on a pool worker: take one
@@ -438,7 +466,7 @@ func (rt *Runtime) exec(n *graph.Node, self int) {
 // and the first task failure (if any) is returned.
 func (rt *Runtime) Barrier() error {
 	rt.mu.Lock()
-	for rt.outstanding > 0 {
+	for rt.outstanding > 0 && !rt.aborted {
 		rt.idle.Wait()
 	}
 	rt.mu.Unlock()

@@ -179,6 +179,7 @@ func NewOn(pool *core.Pool) (*RT, error) {
 // into context submissions until Close, then closes the context.
 func (rt *RT) pumpLoop() {
 	defer close(rt.pumpDone)
+	dead := false // the context refused a ticket; no more will be accepted
 	for {
 		rt.mu.Lock()
 		for rt.owed == 0 && !rt.closed {
@@ -188,8 +189,16 @@ func (rt *RT) pumpLoop() {
 		rt.owed = 0
 		closed := rt.closed
 		rt.mu.Unlock()
-		for i := 0; i < n; i++ {
-			rt.ctx.Submit(spawnTicket, core.Opaque(rt))
+		for i := 0; i < n && !dead; i++ {
+			if err := rt.ctx.Submit(spawnTicket, core.Opaque(rt)); err != nil {
+				// Refused ticket: the context is closed or its tenant
+				// canceled, and every later submission would be refused
+				// the same way.  Tickets are parallelism donors — sync
+				// and the region exit self-pop the deques — so latch
+				// the refusal and stop donating.
+				rt.setErr(err)
+				dead = true
+			}
 		}
 		if closed && n == 0 {
 			rt.ctx.Close()

@@ -81,11 +81,23 @@ var forPart = core.NewTaskDef("forkjoin_part", func(a *core.Args) {
 // loops fork only from the driving thread, so no pump is needed.
 type Host struct {
 	ctx *core.Context
+	// err latches the first refusal.  Once the context refuses a
+	// submission (closed or tenant canceled) every later one fails the
+	// same way, and parts already accepted may be cancel-skipped, so
+	// the loop results can no longer be trusted; ParallelFor stops
+	// submitting and drivers must check Err.
+	err error
 }
 
 // On hosts the fork-join model on an existing context.  The Host does
 // not own the context; closing it remains the caller's job.
 func On(ctx *core.Context) *Host { return &Host{ctx: ctx} }
+
+// Err returns the first refused submission or failed barrier latched
+// by the host, or nil.  After a non-nil Err the results of past and
+// future ParallelFor calls are not trustworthy: parts may have been
+// skipped.
+func (h *Host) Err() error { return h.err }
 
 // threads is the effective parallelism used to size loop partitions:
 // the pool's dedicated workers plus the submitting thread (which the
@@ -102,9 +114,16 @@ func (h *Host) ParallelFor(parts int, body func(part int)) {
 		return
 	}
 	for p := 0; p < parts; p++ {
-		h.ctx.Submit(forPart, core.Opaque(body), core.Value(p))
+		if err := h.ctx.Submit(forPart, core.Opaque(body), core.Value(p)); err != nil {
+			if h.err == nil {
+				h.err = err
+			}
+			break
+		}
 	}
-	h.ctx.Barrier()
+	if err := h.ctx.Barrier(); err != nil && h.err == nil {
+		h.err = err
+	}
 }
 
 // Gemm is Gemm on the host's shared pool.

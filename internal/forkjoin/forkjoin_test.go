@@ -3,6 +3,7 @@ package forkjoin
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/kernels"
 )
 
@@ -100,5 +101,29 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 	unpackRect(r, a, n, 2, 3, 4, 5)
 	if d := kernels.MaxAbsDiff(orig, a); d != 0 {
 		t.Fatalf("pack/unpack round trip changed data by %g", d)
+	}
+}
+
+// TestHostLatchesRefusedSubmit is the regression test for silently
+// discarded submissions: a hosted loop on a canceled tenant context
+// used to drop every part without a trace.  The host must latch the
+// first refusal and expose it through Err.
+func TestHostLatchesRefusedSubmit(t *testing.T) {
+	pool, err := core.NewPool(core.PoolConfig{Workers: 2, MaxContexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx, err := pool.NewContext(core.ContextConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	h := On(ctx)
+	ctx.Cancel()
+	ran := make([]bool, 8)
+	h.ParallelFor(len(ran), func(part int) { ran[part] = true })
+	if h.Err() == nil {
+		t.Fatal("Err is nil after ParallelFor on a canceled context")
 	}
 }

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// chaossite enforces the PR 8 fault-injection contracts on a package
+// that declares the chaos sites (a defined type named Site with
+// Site*-prefixed constants):
+//
+//  1. every Site constant is installed at a hook — it is passed to the
+//     injector's decide() in a non-test file; a site nobody decides on
+//     is dead configuration that silently never fires;
+//  2. every Site constant is exercised by at least one test anywhere
+//     in the program, so the fault path it arms cannot rot untested;
+//  3. every hook (a free function that calls decide) starts with a
+//     single atomic injector-pointer load followed by a nil check that
+//     returns early — the disarmed fast path must stay one atomic
+//     load, because the hooks are compiled into the runtime's hot
+//     paths.
+func init() {
+	Register(&Analyzer{
+		Name: "chaossite",
+		Doc:  "chaos sites must be installed at a hook, exercised by a test, and disarmed in one atomic load",
+		Run:  runChaosSite,
+	})
+}
+
+func runChaosSite(pass *Pass) error {
+	u := pass.Unit
+	scope := u.Pkg.Scope()
+	siteType, ok := scope.Lookup("Site").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	var sites []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && strings.HasPrefix(name, "Site") && types.Identical(c.Type(), siteType.Type()) {
+			sites = append(sites, c)
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+
+	// decided: declaration positions of site constants passed to a
+	// decide() call in non-test files of this package.
+	decided := map[token.Pos]bool{}
+	for _, f := range u.Files {
+		if pass.Prog.TestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(u.Info, call); fn == nil || fn.Name() != "decide" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := u.Info.Uses[id]; obj != nil {
+						decided[obj.Pos()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// tested: declaration positions of site constants referenced from
+	// any _test.go file anywhere in the program.
+	tested := map[token.Pos]bool{}
+	for _, other := range pass.Prog.Units {
+		for _, f := range other.Files {
+			if !pass.Prog.TestFile(f.Pos()) {
+				continue
+			}
+			usedObjPositions(other.Info, f, tested)
+		}
+	}
+
+	for _, c := range sites {
+		if !decided[c.Pos()] {
+			pass.Reportf(c.Pos(), "chaos site %s is never installed at a hook (no decide call uses it)", c.Name())
+		}
+		if !tested[c.Pos()] {
+			pass.Reportf(c.Pos(), "chaos site %s is not exercised by any test", c.Name())
+		}
+	}
+
+	// Rule 3: hooks — free functions calling decide — must begin with
+	// `x := active.Load()` on a package-level atomic.Pointer, then an
+	// `if x == nil` (possibly `||`-extended) early return.
+	for _, f := range u.Files {
+		if pass.Prog.TestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil || !callsDecide(u.Info, fd.Body) {
+				continue
+			}
+			if !hasDisarmedFastPath(u, fd.Body) {
+				pass.Reportf(fd.Pos(), "chaos hook %s must start with one atomic injector load and a nil-check early return (the disarmed fast path)", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// callsDecide reports whether body contains a call to a function or
+// method named decide.
+func callsDecide(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && fn.Name() == "decide" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasDisarmedFastPath checks the hook prologue shape:
+//
+//	inj := active.Load()
+//	if inj == nil { return ... }     // or: if inj == nil || <more> { ... }
+func hasDisarmedFastPath(u *Unit, body *ast.BlockStmt) bool {
+	if len(body.List) < 2 {
+		return false
+	}
+	assign, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	// The receiver must be a package-level variable of the typed
+	// atomic.Pointer kind (one load, no mutex, no map).
+	recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := u.Info.Uses[recv].(*types.Var)
+	if !ok || v.Parent() != u.Pkg.Scope() || !namedFrom(v.Type(), "sync/atomic", "Pointer") {
+		return false
+	}
+	ifStmt, ok := body.List[1].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	// Leftmost ||-operand must be `<lhs> == nil`.
+	cond := ast.Unparen(ifStmt.Cond)
+	for {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if bin.Op == token.LOR {
+			cond = ast.Unparen(bin.X)
+			continue
+		}
+		if bin.Op != token.EQL {
+			return false
+		}
+		x, xok := ast.Unparen(bin.X).(*ast.Ident)
+		y, yok := ast.Unparen(bin.Y).(*ast.Ident)
+		if !(xok && yok) {
+			return false
+		}
+		if !(x.Name == lhs.Name && y.Name == "nil" || y.Name == lhs.Name && x.Name == "nil") {
+			return false
+		}
+		break
+	}
+	if len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}

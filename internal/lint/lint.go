@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one registered invariant check.  Run is invoked once
+// per analysis unit; it reports findings through the pass and returns
+// an error only for internal failures (a finding is never an error).
+type Analyzer struct {
+	// Name is the identifier used by -run filters and in diagnostics
+	// and suppression comments.
+	Name string
+	// Doc is the one-line description -list prints.
+	Doc string
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one analysis unit.  Prog is
+// available for whole-program rules (e.g. "exercised by at least one
+// test anywhere"); analyzers that use it must still report each
+// finding only from the unit that owns the offending position, so the
+// driver's per-unit iteration cannot duplicate reports.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Unit     *Unit
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one position-accurate finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+var registry = map[string]*Analyzer{}
+
+// Register adds an analyzer to the registry; analyzer files call it
+// from init, mirroring the smpssbench experiment registry.
+func Register(a *Analyzer) {
+	if a.Name == "" || a.Run == nil {
+		panic("lint: Register: analyzer needs a name and a Run function")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("lint: Register: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns every registered analyzer, sorted by name.
+func Analyzers() []*Analyzer {
+	var as []*Analyzer
+	for _, a := range registry {
+		as = append(as, a)
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// ByName resolves a comma-separated -run selection to analyzers,
+// erroring on unknown names.
+func ByName(names string) ([]*Analyzer, error) {
+	var as []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := registry[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		as = append(as, a)
+	}
+	if len(as) == 0 {
+		return nil, errors.New("lint: no analyzers selected")
+	}
+	return as, nil
+}
+
+// allowPrefix is the suppression comment syntax:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// A suppression covers diagnostics of that analyzer on its own line
+// (end-of-line comment) or on the line directly below (a comment on
+// its own line above the offending statement).  The reason is
+// mandatory: a suppression without one is a driver error, not a
+// finding, so it can never be waved through.
+const allowPrefix = "//lint:allow"
+
+// suppKey identifies the diagnostics one suppression comment covers.
+type suppKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectSuppressions scans every unit's comments for //lint:allow
+// directives, validating them against the selected analyzer set (plus
+// the full registry, so suppressing an analyzer excluded by -run is
+// not an error).
+func collectSuppressions(prog *Program) (map[suppKey]bool, error) {
+	supp := map[suppKey]bool{}
+	var errs []error
+	for _, u := range prog.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						errs = append(errs, fmt.Errorf("%s:%d:%d: lint:allow needs an analyzer name and a reason", pos.Filename, pos.Line, pos.Column))
+						continue
+					}
+					if _, known := registry[fields[0]]; !known {
+						errs = append(errs, fmt.Errorf("%s:%d:%d: lint:allow names unknown analyzer %q", pos.Filename, pos.Line, pos.Column, fields[0]))
+						continue
+					}
+					if len(fields) < 2 {
+						errs = append(errs, fmt.Errorf("%s:%d:%d: lint:allow %s is missing the mandatory reason", pos.Filename, pos.Line, pos.Column, fields[0]))
+						continue
+					}
+					supp[suppKey{pos.Filename, pos.Line, fields[0]}] = true
+					supp[suppKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return supp, errors.Join(errs...)
+}
+
+// Run executes the analyzers over every unit of prog and returns the
+// unsuppressed diagnostics, deduplicated (whole-program rules may
+// surface the same finding from several units) and sorted by position.
+// The returned error covers driver-level failures: malformed
+// suppressions or an analyzer's internal error.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	supp, err := collectSuppressions(prog)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var diags []Diagnostic
+	var errs []error
+	for _, a := range analyzers {
+		for _, u := range prog.Units {
+			pass := &Pass{
+				Analyzer: a,
+				Prog:     prog,
+				Unit:     u,
+				report: func(d Diagnostic) {
+					key := d.String()
+					if seen[key] {
+						return
+					}
+					seen[key] = true
+					if supp[suppKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Errorf("lint: %s on %s: %w", a.Name, u.Path, err))
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, errors.Join(errs...)
+}
+
+// inspect walks every file of the unit.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, fn)
+	}
+}

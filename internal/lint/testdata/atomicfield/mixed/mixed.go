@@ -1,0 +1,35 @@
+// Package mixed exercises the atomicfield analyzer: hits is accessed
+// through sync/atomic in bump/read, so every other access must be
+// atomic too; plain is never atomic and stays exempt, as do
+// composite-literal initializers.
+package mixed
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	plain int64
+}
+
+func (c *counter) bump() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want "field counter.hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want "field counter.hits is accessed with sync/atomic elsewhere"
+}
+
+func leak(c *counter) *int64 {
+	return &c.hits // want "field counter.hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) fine() int64 { return c.plain }
+
+func newCounter() *counter { return &counter{hits: 0, plain: 1} }
+
+var _ = leak
+var _ = newCounter

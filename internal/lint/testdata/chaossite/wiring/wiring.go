@@ -1,0 +1,48 @@
+// Package wiring exercises the chaossite analyzer: SiteGood is
+// installed and tested (clean); SiteDead is never passed to decide;
+// SiteUntested is installed but no test references it; BadHook calls
+// decide without the disarmed fast-path prologue.
+package wiring
+
+import "sync/atomic"
+
+type Site uint8
+
+const (
+	SiteGood     Site = iota
+	SiteDead          // want "chaos site SiteDead is never installed at a hook"
+	SiteUntested      // want "chaos site SiteUntested is not exercised by any test"
+)
+
+type Injector struct{ thr [3]uint64 }
+
+func (inj *Injector) decide(s Site, key uint64) bool { return key < inj.thr[s] }
+
+var active atomic.Pointer[Injector]
+
+func GoodHook(key uint64) bool {
+	inj := active.Load()
+	if inj == nil {
+		return false
+	}
+	return inj.decide(SiteGood, key)
+}
+
+func UntestedHook(key uint64) bool {
+	inj := active.Load()
+	if inj == nil {
+		return false
+	}
+	return inj.decide(SiteUntested, key)
+}
+
+func BadHook(key uint64) bool { // want "chaos hook BadHook must start with one atomic injector load"
+	inj := active.Load()
+	if key == 0 {
+		return false
+	}
+	if inj == nil {
+		return false
+	}
+	return inj.decide(SiteGood, key)
+}

@@ -1,0 +1,9 @@
+package wiring
+
+import "testing"
+
+func TestSites(t *testing.T) {
+	if SiteGood == Site(SiteDead) {
+		t.Fatal("distinct sites")
+	}
+}

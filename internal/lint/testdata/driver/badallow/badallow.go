@@ -1,0 +1,13 @@
+// Package badallow exercises the driver's suppression validation: a
+// lint:allow without a reason is rejected.
+package badallow
+
+type Ctx struct{}
+
+func (c *Ctx) Submit(n int) error { return nil }
+
+func use(c *Ctx) {
+	c.Submit(1) //lint:allow submiterr
+}
+
+var _ = use

@@ -1,0 +1,15 @@
+// Package suppressed exercises the driver's //lint:allow handling:
+// both placements (end of line, line above) hide the finding.
+package suppressed
+
+type Ctx struct{}
+
+func (c *Ctx) Submit(n int) error { return nil }
+
+func use(c *Ctx) {
+	c.Submit(1) //lint:allow submiterr fixture exercises end-of-line suppression
+	//lint:allow submiterr fixture exercises line-above suppression
+	c.Submit(2)
+}
+
+var _ = use

@@ -1,0 +1,13 @@
+// Package unknown exercises the driver's suppression validation: a
+// lint:allow naming an unregistered analyzer is rejected.
+package unknown
+
+type Ctx struct{}
+
+func (c *Ctx) Submit(n int) error { return nil }
+
+func use(c *Ctx) {
+	c.Submit(1) //lint:allow nosuchanalyzer because it does not exist
+}
+
+var _ = use

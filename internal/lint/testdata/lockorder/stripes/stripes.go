@@ -1,0 +1,77 @@
+// Package stripes exercises the lockorder analyzer: ad-hoc two-stripe
+// and accumulating-loop acquisitions fire; single-stripe access,
+// defer-unlock, the canonical mask walk, balanced snapshot loops and
+// unlock-then-panic escape branches stay clean.
+package stripes
+
+import (
+	"math/bits"
+	"sync"
+)
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	shards []shard
+}
+
+func (t *table) one(i int) {
+	t.shards[i].mu.Lock()
+	t.shards[i].n++
+	t.shards[i].mu.Unlock()
+}
+
+func (t *table) deferred(i int) int {
+	sh := &t.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.n
+}
+
+func (t *table) bad(i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() // want "striped lock acquired while another stripe is held"
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+func (t *table) canonical(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		t.shards[bits.TrailingZeros64(m)].mu.Lock()
+	}
+	for m := mask; m != 0; m &= m - 1 {
+		t.shards[bits.TrailingZeros64(m)].mu.Unlock()
+	}
+}
+
+func (t *table) snapshot() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += t.shards[i].n
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+func (t *table) accumulate() {
+	for i := range t.shards { // want "loop accumulates striped locks without the canonical ascending-index mask walk"
+		t.shards[i].mu.Lock()
+	}
+	for i := range t.shards {
+		t.shards[i].mu.Unlock()
+	}
+}
+
+func (t *table) escape(i int) {
+	sh := &t.shards[i]
+	sh.mu.Lock()
+	if sh.n < 0 {
+		sh.mu.Unlock()
+		panic("negative count")
+	}
+	sh.mu.Unlock()
+}

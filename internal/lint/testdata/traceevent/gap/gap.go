@@ -1,0 +1,58 @@
+// Package gap exercises the traceevent analyzer: EvBeta is written and
+// parsed but never summarized; prvBeta is written and parsed but never
+// named in the PCF.  EvAlpha/prvAlpha are fully wired and stay clean.
+package gap
+
+import (
+	"fmt"
+	"io"
+)
+
+type EventType int
+
+const (
+	EvAlpha EventType = iota
+	EvBeta            // want "trace event EvBeta is not referenced in Summarize"
+)
+
+const (
+	prvAlpha = 90000001
+	prvBeta  = 90000002 // want "paraver event code prvBeta is not referenced in WritePCF"
+)
+
+type Tracer struct{ evs []EventType }
+
+func (t *Tracer) WritePRV(w io.Writer) {
+	for _, e := range t.evs {
+		switch e {
+		case EvAlpha:
+			fmt.Fprintln(w, prvAlpha)
+		case EvBeta:
+			fmt.Fprintln(w, prvBeta)
+		}
+	}
+}
+
+func (t *Tracer) WritePCF(w io.Writer) {
+	fmt.Fprintln(w, prvAlpha, "alpha")
+}
+
+func ParsePRV(code int) EventType {
+	switch code {
+	case prvAlpha:
+		return EvAlpha
+	case prvBeta:
+		return EvBeta
+	}
+	return EvAlpha
+}
+
+func (t *Tracer) Summarize() int {
+	n := 0
+	for _, e := range t.evs {
+		if e == EvAlpha {
+			n++
+		}
+	}
+	return n
+}

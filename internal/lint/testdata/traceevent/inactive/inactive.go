@@ -1,0 +1,16 @@
+// Package inactive is the traceevent near miss: it declares an event
+// type and constants but not the four wiring functions, so it is not a
+// trace package and the analyzer stays silent.
+package inactive
+
+type EventType int
+
+const (
+	EvOne EventType = iota
+	EvTwo
+)
+
+func use() EventType { return EvOne }
+
+var _ = use
+var _ = EvTwo

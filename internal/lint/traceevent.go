@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// traceevent enforces the four-file trace wiring PRs 5, 8 and 9 each
+// re-verified by hand: every event constant (trace.Ev*) must be
+// handled by the PRV writer, the PRV parser and the summarizer, and
+// every Paraver event-type code (trace.prv*) must be written
+// (WritePRV), named (WritePCF) and parsed (ParsePRV).  An event that
+// is emitted but silently dropped by Summarize — or written but
+// unparseable — is exactly the drift this pins.
+//
+// The analyzer activates only on a package that declares an integer
+// event type with Ev*-named constants AND all four functions; a
+// package missing one of the functions is not a trace package and
+// stays silent.
+func init() {
+	Register(&Analyzer{
+		Name: "traceevent",
+		Doc:  "every trace event constant must be wired through WritePRV, WritePCF, ParsePRV and Summarize",
+		Run:  runTraceEvent,
+	})
+}
+
+func runTraceEvent(pass *Pass) error {
+	u := pass.Unit
+	scope := u.Pkg.Scope()
+
+	// Event constants: package-level consts named Ev* whose type is an
+	// integer type defined in this package.
+	var evConsts, prvConsts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "Ev"):
+			named, ok := c.Type().(*types.Named)
+			if !ok || named.Obj().Pkg() != u.Pkg {
+				continue
+			}
+			if basic, ok := named.Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+				evConsts = append(evConsts, c)
+			}
+		case strings.HasPrefix(name, "prv"):
+			if basic, ok := c.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+				prvConsts = append(prvConsts, c)
+			}
+		}
+	}
+	if len(evConsts) == 0 {
+		return nil
+	}
+
+	bodies := funcBodies(u)
+	const writer, namer, parser, summarizer = "WritePRV", "WritePCF", "ParsePRV", "Summarize"
+	for _, fn := range []string{writer, namer, parser, summarizer} {
+		if len(bodies[fn]) == 0 {
+			return nil // not a trace package
+		}
+	}
+
+	// usedIn[fn] is the set of object declaration positions referenced
+	// anywhere in the bodies of functions named fn.
+	usedIn := map[string]map[token.Pos]bool{}
+	for name, decls := range bodies {
+		set := map[token.Pos]bool{}
+		for _, d := range decls {
+			usedObjPositions(u.Info, d.Body, set)
+		}
+		usedIn[name] = set
+	}
+
+	check := func(consts []*types.Const, kind string, fns []string) {
+		for _, c := range consts {
+			var missing []string
+			for _, fn := range fns {
+				if !usedIn[fn][c.Pos()] {
+					missing = append(missing, fn)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(c.Pos(), "%s %s is not referenced in %s", kind, c.Name(), strings.Join(missing, ", "))
+			}
+		}
+	}
+	check(evConsts, "trace event", []string{writer, parser, summarizer})
+	check(prvConsts, "paraver event code", []string{writer, namer, parser})
+	return nil
+}

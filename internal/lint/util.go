@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the function or method it
+// invokes, or nil for conversions, builtins and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the import path of an object's package, or "".
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// inModulePkg reports whether pkg belongs to the analyzed program: a
+// package under the module path, or (for fixture programs without a
+// go.mod) one of the loaded units' packages.
+func inModulePkg(prog *Program, pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if prog.ModulePath != "" {
+		return pkg.Path() == prog.ModulePath ||
+			len(pkg.Path()) > len(prog.ModulePath) && pkg.Path()[:len(prog.ModulePath)+1] == prog.ModulePath+"/"
+	}
+	for _, u := range prog.Units {
+		if u.Pkg == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// namedFrom reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && pkgPathOf(obj) == pkgPath
+}
+
+// fieldSelection returns the struct field a selector expression
+// resolves to, or nil when sel is not a field access.
+func fieldSelection(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// funcBodies collects the bodies of the unit's top-level functions (and
+// methods) by name; several analyzers check "constant X is referenced
+// inside function F".
+func funcBodies(u *Unit) map[string][]*ast.FuncDecl {
+	out := map[string][]*ast.FuncDecl{}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out[fd.Name.Name] = append(out[fd.Name.Name], fd)
+			}
+		}
+	}
+	return out
+}
+
+// usedObjPositions records the declaration positions of every object
+// referenced inside node.
+func usedObjPositions(info *types.Info, node ast.Node, into map[token.Pos]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				into[obj.Pos()] = true
+			}
+		}
+		return true
+	})
+}

@@ -129,6 +129,7 @@ func (rt *RT) attach(pool *core.Pool) error {
 // into context submissions until Close, then closes the context.
 func (rt *RT) pumpLoop() {
 	defer close(rt.pumpDone)
+	dead := false // the context refused a ticket; no more will be accepted
 	for {
 		rt.mu.Lock()
 		for rt.owed == 0 && !rt.closed {
@@ -138,8 +139,17 @@ func (rt *RT) pumpLoop() {
 		rt.owed = 0
 		closed := rt.closed
 		rt.mu.Unlock()
-		for i := 0; i < n; i++ {
-			rt.ctx.Submit(poolTicket, core.Opaque(rt))
+		for i := 0; i < n && !dead; i++ {
+			if err := rt.ctx.Submit(poolTicket, core.Opaque(rt)); err != nil {
+				// The shared pool refused the ticket (context closed or
+				// tenant canceled), so the donated parallelism stops
+				// here.  Tickets only donate workers — Taskwait and the
+				// region exit self-pop the model queues — so latching
+				// the refusal and dropping the remaining owed tickets
+				// loses no work, only parallelism.
+				rt.setErr(err)
+				dead = true
+			}
 		}
 		if closed && n == 0 {
 			rt.ctx.Close()

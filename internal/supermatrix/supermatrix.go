@@ -416,12 +416,43 @@ func (rt *Runtime) drive(ctx *core.Context) {
 		}
 		rt.mu.Unlock()
 		for _, v := range ownedStart {
-			ctx.Submit(ownedTicket, core.Opaque(rt), core.Value(v))
+			if err := ctx.Submit(ownedTicket, core.Opaque(rt), core.Value(v)); err != nil {
+				rt.abortDrive(ctx, err)
+				return
+			}
 		}
 		for i := 0; i < sharedStart; i++ {
-			ctx.Submit(sharedTicket, core.Opaque(rt))
+			if err := ctx.Submit(sharedTicket, core.Opaque(rt)); err != nil {
+				rt.abortDrive(ctx, err)
+				return
+			}
 		}
 	}
+}
+
+// abortDrive handles a refused ticket (the context was closed or its
+// tenant canceled; every later submission would be refused the same
+// way).  drive pre-accounts inFlight and ownedBusy before submitting,
+// so a refusal strands accounting for tickets that will never run and
+// would wedge drive on cond.Wait forever.  The blocked main flow is
+// the context's single submitter, so once Barrier returns every
+// accepted ticket has finished and no pool worker references this
+// runtime; the stranded accounting can then be dropped safely.  The
+// unexecuted remainder of the graph stays put: Execute surfaces the
+// refusal as its error.
+func (rt *Runtime) abortDrive(ctx *core.Context, err error) {
+	if berr := ctx.Barrier(); berr != nil && err == nil {
+		err = berr
+	}
+	rt.mu.Lock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+	rt.inFlight = 0
+	for v := range rt.ownedBusy {
+		rt.ownedBusy[v] = false
+	}
+	rt.mu.Unlock()
 }
 
 // runOwned is an owned ticket's body on a pool worker: it drains

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/hypermatrix"
 	"repro/internal/kernels"
 )
@@ -256,5 +258,40 @@ func TestReadersShareVersion(t *testing.T) {
 	}
 	if st := rt.Stats(); st.Deps.TrueEdges != 0 {
 		t.Fatalf("independent readers created %d true edges", st.Deps.TrueEdges)
+	}
+}
+
+// TestRefusedTicketDoesNotWedge is the regression test for a drive()
+// wedge: drive pre-accounts inFlight and ownedBusy before submitting
+// each ticket, and a refused submission (closed or canceled tenant
+// context) used to strand that accounting, leaving drive waiting on
+// cond forever for tickets that would never run.  Canceling the tenant
+// context before Execute makes the very first ticket refuse; Execute
+// must surface an error promptly instead of hanging.
+func TestRefusedTicketDoesNotWedge(t *testing.T) {
+	pool, err := core.NewPool(core.PoolConfig{Workers: 2, MaxContexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	rt, err := NewOn(pool, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := NewTaskDef("never", func(a *Args) {})
+	data := make([]float32, 8)
+	for i := 0; i < 10; i++ {
+		rt.Submit(def, InOut(data))
+	}
+	rt.host.Cancel()
+	done := make(chan error, 1)
+	go func() { done <- rt.Execute() }()
+	select {
+	case execErr := <-done:
+		if execErr == nil {
+			t.Fatal("Execute returned nil after its context was canceled")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Execute wedged on a refused ticket")
 	}
 }

@@ -347,8 +347,19 @@ type Summary struct {
 	Kinds []KindSummary
 	// Workers summarizes per thread, sorted by worker id.
 	Workers []WorkerSummary
+	// Created is the number of task-creation events (tasks added to the
+	// graph by the main thread).  It can exceed the summed Kinds counts
+	// when the trace ends before every created task ran.
+	Created int
 	// Renames is the number of rename events.
 	Renames int
+	// Barriers is the number of barrier entries the main threads
+	// recorded; BarrierWait is the summed time between each barrier
+	// entry and its matching exit, paired per (context, worker).  An
+	// entry with no recorded exit (trace snapshotted inside a barrier)
+	// counts in Barriers but adds nothing to BarrierWait.
+	Barriers    int
+	BarrierWait time.Duration
 	// Chained is the number of successor-chain events (tasks run inline
 	// by the completing worker, bypassing the scheduler's queues).
 	Chained int
@@ -402,8 +413,19 @@ func (t *Tracer) Summarize() Summary {
 		s.Truncated++
 	}
 	workers := make(map[int]*WorkerSummary)
+	inBarrier := make(map[key]Event)
 	for _, ev := range events {
 		switch ev.Type {
+		case EvCreate:
+			s.Created++
+		case EvBarrier:
+			s.Barriers++
+			inBarrier[key{ev.Ctx, ev.Worker}] = ev
+		case EvBarrierDone:
+			if ent, ok := inBarrier[key{ev.Ctx, ev.Worker}]; ok {
+				s.BarrierWait += ev.When - ent.When
+				delete(inBarrier, key{ev.Ctx, ev.Worker})
+			}
 		case EvStart:
 			k := key{ev.Ctx, ev.Worker}
 			if prev, ok := open[k]; ok {
@@ -466,7 +488,10 @@ func (t *Tracer) Summarize() Summary {
 
 // Format renders the summary as a fixed-width text report.
 func (s Summary) Format(w io.Writer) {
-	fmt.Fprintf(w, "trace span: %v, renames: %d", s.Span, s.Renames)
+	fmt.Fprintf(w, "trace span: %v, created: %d, renames: %d", s.Span, s.Created, s.Renames)
+	if s.Barriers > 0 {
+		fmt.Fprintf(w, ", barriers: %d (%v waiting)", s.Barriers, s.BarrierWait)
+	}
 	if s.Chained > 0 {
 		fmt.Fprintf(w, ", chained: %d", s.Chained)
 	}

@@ -45,6 +45,9 @@ func TestSummarizePairsStartEnd(t *testing.T) {
 	if sum.Renames != 1 {
 		t.Fatalf("renames = %d, want 1", sum.Renames)
 	}
+	if sum.Created != 1 {
+		t.Fatalf("created = %d, want 1", sum.Created)
+	}
 	if len(sum.Kinds) != 2 {
 		t.Fatalf("kinds = %+v", sum.Kinds)
 	}
@@ -442,5 +445,24 @@ func TestScalingEventsRoundTrip(t *testing.T) {
 		if !strings.Contains(pcf.String(), want) {
 			t.Fatalf("PCF missing %q", want)
 		}
+	}
+}
+
+func TestSummarizeBarrierWait(t *testing.T) {
+	tr := New()
+	tr.Emit(0, EvBarrier, -1, "", 0)
+	tr.Emit(0, EvBarrierDone, -1, "", 0)
+	tr.EmitCtx(1, 0, EvBarrier, -1, "", 0) // snapshotted inside: no exit
+	sum := tr.Summarize()
+	if sum.Barriers != 2 {
+		t.Fatalf("barriers = %d, want 2", sum.Barriers)
+	}
+	if sum.BarrierWait <= 0 {
+		t.Fatalf("barrier wait must be positive, got %v", sum.BarrierWait)
+	}
+	var sb strings.Builder
+	sum.Format(&sb)
+	if !strings.Contains(sb.String(), "barriers: 2") {
+		t.Fatalf("Format omits barriers:\n%s", sb.String())
 	}
 }

@@ -1,0 +1,34 @@
+package repro_test
+
+// The repository keeps itself clean under its own static-analysis
+// suite: every invariant smpssvet enforces (see internal/lint) holds
+// over the whole module, or this test names the violations.  Running
+// the driver in-process keeps the check inside plain `go test`, so a
+// regression cannot land without either a fix or an explicit
+// `//lint:allow <analyzer> <reason>` suppression.
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecking the whole module is not short")
+	}
+	prog, err := lint.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.Run(prog, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if t.Failed() {
+		t.Log("fix the finding or add `//lint:allow <analyzer> <reason>` on or above the line")
+	}
+}

@@ -401,6 +401,9 @@ func equivTenantForkJoin(pool *core.Pool, ops []equivOp) ([][]float32, error) {
 			executed.Add(1)
 		})
 	}
+	if err := h.Err(); err != nil {
+		return nil, err
+	}
 	st := ctx.Stats()
 	if st.LiveRenamedBytes != 0 {
 		return nil, fmt.Errorf("%d renamed bytes live after drain", st.LiveRenamedBytes)
@@ -539,6 +542,9 @@ func TestModelsEquivalenceSingleWorker(t *testing.T) {
 		h := forkjoin.On(ctx)
 		for _, level := range equivLevels(ops) {
 			h.ParallelFor(len(level), func(part int) { equivRunOp(level[part], bufs) })
+		}
+		if err := h.Err(); err != nil {
+			t.Fatal(err)
 		}
 		if err := ctx.Close(); err != nil {
 			t.Fatal(err)
